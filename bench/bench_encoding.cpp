@@ -1,0 +1,133 @@
+/// \file bench_encoding.cpp
+/// Reproduces the Sec. 4.1 encoding comparison: ArchEx 2.0's separated
+/// selection/mapping encoding vs the predecessor encoding of [3, 11] where
+/// mapping choices are folded into the interconnection variables.
+///
+/// Paper claims: ~1/2 the constraints and 2-4x faster solves; decision
+/// variables linear (new) vs quadratic (legacy) in the library size l.
+///
+/// Output: one row per library size l with sizes and solve times for both
+/// encodings on the same chain-structured instance family.
+#include <chrono>
+#include <cstdio>
+
+#include "arch/legacy_encoder.hpp"
+#include "arch/patterns/connection.hpp"
+#include "arch/problem.hpp"
+#include "milp/branch_bound.hpp"
+
+using namespace archex;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Instance {
+  Library lib;
+  ArchTemplate tmpl;
+};
+
+Instance make_instance(int per_stage, int ell) {
+  Instance inst;
+  inst.lib.set_edge_cost(2.0);
+  for (const char* type : {"A", "B", "C"}) {
+    for (int i = 0; i < ell; ++i) {
+      inst.lib.add({std::string(type) + "impl" + std::to_string(i), type, "", {},
+                    {{attr::kCost, 10.0 + i}}});
+    }
+  }
+  inst.tmpl.add_nodes(per_stage, "a", "A");
+  inst.tmpl.add_nodes(per_stage, "b", "B");
+  inst.tmpl.add_nodes(per_stage, "c", "C");
+  inst.tmpl.allow_connection(NodeFilter::of_type("A"), NodeFilter::of_type("B"));
+  inst.tmpl.allow_connection(NodeFilter::of_type("B"), NodeFilter::of_type("C"));
+  return inst;
+}
+
+struct Row {
+  std::size_t vars = 0;
+  std::size_t cons = 0;
+  double seconds = 0.0;
+  double objective = 0.0;
+  const char* status = "";
+};
+
+Row run_new(const Instance& inst) {
+  Problem p(inst.lib, inst.tmpl);
+  p.apply(patterns::NConnections(NodeFilter::of_type("B"), NodeFilter::of_type("C"), 1,
+                                 milp::Sense::EQ, false, patterns::CountSide::kTo));
+  p.apply(patterns::NConnections(NodeFilter::of_type("A"), NodeFilter::of_type("B"), 1,
+                                 milp::Sense::GE, true, patterns::CountSide::kTo));
+  Row row;
+  const milp::ModelStats st = p.model().stats();
+  row.vars = st.num_vars;
+  row.cons = st.num_constraints;
+  milp::MilpOptions opts;
+  opts.time_limit_s = 30;
+  const auto t0 = Clock::now();
+  ExplorationResult res = p.solve(opts);
+  row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  row.objective = res.feasible() ? res.architecture.cost : -1;
+  row.status = milp::to_string(res.solution.status);
+  return row;
+}
+
+Row run_legacy(const Instance& inst) {
+  LegacyEncoding enc(inst.lib, inst.tmpl);
+  for (NodeId c : inst.tmpl.select(NodeFilter::of_type("C"))) {
+    milp::LinExpr in;
+    for (NodeId b : inst.tmpl.select(NodeFilter::of_type("B"))) in += enc.edge_expr(b, c);
+    enc.model().add_constraint(std::move(in), milp::Sense::EQ, 1.0);
+  }
+  for (NodeId b : inst.tmpl.select(NodeFilter::of_type("B"))) {
+    milp::LinExpr in;
+    for (NodeId a : inst.tmpl.select(NodeFilter::of_type("A"))) in += enc.edge_expr(a, b);
+    milp::LinExpr used = enc.used_expr(b);
+    milp::LinExpr cst = used - in;
+    enc.model().add_constraint(std::move(cst), milp::Sense::LE, 0.0);
+  }
+  enc.finalize_objective(inst.lib.edge_cost());
+  Row row;
+  const milp::ModelStats st = enc.model().stats();
+  row.vars = st.num_vars;
+  row.cons = st.num_constraints;
+  milp::MilpOptions opts;
+  opts.time_limit_s = 30;
+  const auto t0 = Clock::now();
+  milp::Solution sol = milp::solve_milp(enc.model(), opts);
+  row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  row.objective = sol.has_incumbent ? sol.objective : -1;
+  row.status = milp::to_string(sol.status);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Encoding comparison: ArchEx 2.0 vs legacy [3,11] (paper Sec. 4.1) ===\n"
+      "Paper: new encoding has ~1/2 the constraints, decision variables linear\n"
+      "(vs quadratic) in library size l, and solves 2-4x faster.\n\n");
+  std::printf("%4s | %22s | %22s | %8s | %8s | %s\n", "l", "new (vars / cons)",
+              "legacy (vars / cons)", "t_new", "t_legacy", "speedup  same_cost\n");
+
+  const int per_stage = 2;
+  for (int ell : {2, 3, 4, 6, 8, 10}) {
+    const Instance inst = make_instance(per_stage, ell);
+    const Row n = run_new(inst);
+    const Row l = run_legacy(inst);
+    std::printf("%4d | %9zu / %10zu | %9zu / %10zu | %7.3fs | %7.3fs | %5.1fx       %s\n",
+                ell, n.vars, n.cons, l.vars, l.cons, n.seconds, l.seconds,
+                n.seconds > 0 ? l.seconds / n.seconds : 0.0,
+                (n.objective >= 0 && l.objective >= 0 &&
+                 std::abs(n.objective - l.objective) < 1e-6)
+                    ? "yes"
+                    : "CHECK");
+  }
+  std::printf(
+      "\nExpected shape: legacy vars grow ~l^2 (z per edge x impl pair), new vars\n"
+      "grow ~l (one mapping binary per node x option); constraints shrink by\n"
+      ">= the paper's ~2x. The paper reports 2-4x faster solves with CPLEX; our\n"
+      "simple branch & bound suffers even more from the legacy blowup, so the\n"
+      "measured speedups exceed that band (same winner, larger margin).\n");
+  return 0;
+}

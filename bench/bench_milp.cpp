@@ -1,0 +1,129 @@
+/// \file bench_milp.cpp
+/// Microbenchmarks of the MILP substrate (google-benchmark): LP solve
+/// scaling, warm-started dual reoptimization vs cold solves (the ablation
+/// behind the branch & bound design), and presolve throughput.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "milp/branch_bound.hpp"
+#include "milp/presolve.hpp"
+#include "milp/simplex.hpp"
+
+namespace {
+
+using namespace archex::milp;
+
+/// Random dense-ish LP with n variables and n constraints.
+Model random_lp(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coef(0.1, 3.0);
+  Model m;
+  std::vector<VarId> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) v.push_back(m.add_continuous(0, 10));
+  for (int i = 0; i < n; ++i) {
+    LinExpr e;
+    for (int j = 0; j < n; ++j) {
+      if ((i + j) % 3 == 0) e += coef(rng) * v[static_cast<std::size_t>(j)];
+    }
+    m.add_constraint(std::move(e), Sense::LE, 5.0 * coef(rng));
+  }
+  LinExpr obj;
+  for (int j = 0; j < n; ++j) obj += -coef(rng) * v[static_cast<std::size_t>(j)];
+  m.set_objective(obj);
+  return m;
+}
+
+/// Random binary knapsack-style MILP.
+Model random_milp(int n, int rows, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> w(1, 9);
+  Model m;
+  std::vector<VarId> v;
+  for (int j = 0; j < n; ++j) v.push_back(m.add_binary());
+  LinExpr obj;
+  for (int i = 0; i < rows; ++i) {
+    LinExpr e;
+    for (int j = 0; j < n; ++j) e += static_cast<double>(w(rng)) * v[static_cast<std::size_t>(j)];
+    m.add_constraint(std::move(e), Sense::LE, 2.5 * n);
+  }
+  for (int j = 0; j < n; ++j) obj += static_cast<double>(w(rng)) * v[static_cast<std::size_t>(j)];
+  m.set_objective(obj, ObjectiveSense::Maximize);
+  return m;
+}
+
+void BM_LpSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Model m = random_lp(n, 42);
+  for (auto _ : state) {
+    Solution s = solve_lp_relaxation(m);
+    benchmark::DoNotOptimize(s.objective);
+  }
+  state.counters["rows"] = n;
+}
+BENCHMARK(BM_LpSolve)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_WarmDualReopt(benchmark::State& state) {
+  // One bound change + dual reoptimization, the branch & bound node kernel.
+  const Model m = random_lp(static_cast<int>(state.range(0)), 7);
+  SimplexSolver lp(m);
+  lp.solve_primal();
+  int col = 0;
+  for (auto _ : state) {
+    lp.set_bounds(col, 0.0, 1.0);
+    benchmark::DoNotOptimize(lp.reoptimize_dual());
+    lp.set_bounds(col, 0.0, 10.0);
+    benchmark::DoNotOptimize(lp.reoptimize_dual());
+    col = (col + 1) % static_cast<int>(state.range(0));
+  }
+}
+BENCHMARK(BM_WarmDualReopt)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+void BM_ColdResolve(benchmark::State& state) {
+  // The same kernel without warm starts: full two-phase solve per change.
+  const Model m = random_lp(static_cast<int>(state.range(0)), 7);
+  SimplexSolver lp(m);
+  int col = 0;
+  for (auto _ : state) {
+    lp.set_bounds(col, 0.0, 1.0);
+    benchmark::DoNotOptimize(lp.solve_primal());
+    lp.set_bounds(col, 0.0, 10.0);
+    col = (col + 1) % static_cast<int>(state.range(0));
+  }
+}
+BENCHMARK(BM_ColdResolve)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+void BM_MilpWarmVsCold(benchmark::State& state) {
+  const bool warm = state.range(1) != 0;
+  const Model m = random_milp(static_cast<int>(state.range(0)), 4, 11);
+  MilpOptions opts;
+  opts.warm_start = warm;
+  std::int64_t nodes = 0;
+  for (auto _ : state) {
+    Solution s = solve_milp(m, opts);
+    nodes = s.nodes_explored;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetLabel(warm ? "warm-start" : "cold");
+}
+BENCHMARK(BM_MilpWarmVsCold)
+    ->Args({16, 1})
+    ->Args({16, 0})
+    ->Args({24, 1})
+    ->Args({24, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Presolve(benchmark::State& state) {
+  const Model m = random_milp(static_cast<int>(state.range(0)), 8, 3);
+  for (auto _ : state) {
+    PresolveResult r = presolve(m);
+    benchmark::DoNotOptimize(r.reduced.num_vars());
+  }
+}
+BENCHMARK(BM_Presolve)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

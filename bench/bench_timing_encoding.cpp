@@ -1,0 +1,94 @@
+/// \file bench_timing_encoding.cpp
+/// Ablation of the max_cycle_time encoding (DESIGN.md): the paper's
+/// formulation (6) enumerates every source->sink path; this implementation
+/// defaults to the polynomial arrival-time big-M encoding. Both are
+/// implemented; this bench sweeps pipeline width/depth and reports encoding
+/// size, solve time, and agreement of the optimal cost.
+#include <chrono>
+#include <cstdio>
+
+#include "arch/patterns/connection.hpp"
+#include "arch/patterns/timing.hpp"
+#include "arch/problem.hpp"
+
+using namespace archex;
+using namespace archex::patterns;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Pipeline {
+  Library lib;
+  ArchTemplate tmpl;
+
+  Pipeline(int stages, int width) {
+    lib.set_edge_cost(1.0);
+    lib.add({"SrcX", "Src", "", {}, {{attr::kCost, 5}, {attr::kDelay, 1}}});
+    lib.add({"StageSlow", "Stage", "slow", {}, {{attr::kCost, 3}, {attr::kDelay, 4}}});
+    lib.add({"StageFast", "Stage", "fast", {}, {{attr::kCost, 7}, {attr::kDelay, 1}}});
+    lib.add({"SnkX", "Snk", "", {}, {{attr::kCost, 0}, {attr::kDelay, 0}}});
+
+    tmpl.add_node({"S", "Src", "", {}, {}});
+    std::string prev_tag = "src";
+    for (int s = 0; s < stages; ++s) {
+      const std::string tag = "st" + std::to_string(s);
+      tmpl.add_nodes(width, "N" + std::to_string(s) + "_", "Stage", "", {tag});
+      if (s == 0) {
+        tmpl.allow_connection(NodeFilter::of_type("Src"), {"Stage", "", tag});
+      } else {
+        tmpl.allow_connection({"Stage", "", prev_tag}, {"Stage", "", tag});
+      }
+      prev_tag = tag;
+    }
+    tmpl.add_node({"T", "Snk", "", {}, {}});
+    tmpl.allow_connection({"Stage", "", prev_tag}, NodeFilter::of_type("Snk"));
+  }
+};
+
+struct Row {
+  std::size_t cons = 0;
+  double seconds = 0;
+  double cost = -1;
+};
+
+Row run(const Pipeline& pl, CycleTimeEncoding enc, double bound) {
+  Problem p(pl.lib, pl.tmpl);
+  p.set_functional_flow({"Src", "Stage", "Snk"});
+  p.apply(NConnections(NodeFilter::of_type("Stage"), NodeFilter::of_type("Snk"), 1,
+                       milp::Sense::GE, false, CountSide::kTo));
+  p.apply(NConnections({}, NodeFilter::of_type("Stage"), 1, milp::Sense::GE, true,
+                       CountSide::kTo));
+  p.apply(MaxCycleTime(NodeFilter::of_type("Snk"), bound, enc));
+  p.add_symmetry_breaking();
+  Row row;
+  row.cons = p.model().num_constraints();
+  milp::MilpOptions opts;
+  opts.time_limit_s = 30;
+  const auto t0 = Clock::now();
+  ExplorationResult res = p.solve(opts);
+  row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  if (res.feasible()) row.cost = res.architecture.cost;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== max_cycle_time encoding ablation: arrival-time vs path enumeration ===\n");
+  std::printf("%7s | %18s | %18s | agree\n", "stages",
+              "arrival (cons, t)", "paths (cons, t)");
+  for (int stages : {2, 3, 4, 5, 6}) {
+    const int width = 2;
+    const Pipeline pl(stages, width);
+    // Bound chosen so the fast implementation is required on every stage.
+    const double bound = 1.0 + stages * 1.0 + 0.5;
+    const Row a = run(pl, CycleTimeEncoding::kArrivalTime, bound);
+    const Row b = run(pl, CycleTimeEncoding::kPathEnumeration, bound);
+    std::printf("%7d | %7zu, %7.3fs | %7zu, %7.3fs | %s\n", stages, a.cons, a.seconds,
+                b.cons, b.seconds,
+                (a.cost >= 0 && std::abs(a.cost - b.cost) < 1e-6) ? "yes" : "CHECK");
+  }
+  std::printf("\nThe path count (and thus the (6)-style encoding) grows as width^stages;\n"
+              "the arrival-time encoding stays linear in the candidate edge count.\n");
+  return 0;
+}

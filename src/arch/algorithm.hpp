@@ -1,0 +1,120 @@
+/// \file algorithm.hpp
+/// Exploration algorithms (Sec. 2 "Algorithms"):
+///
+///   * **Eager (monolithic)**: all constraints — including the approximate
+///     reliability encoding — go into one MILP; `Problem::solve` does this
+///     directly once the reliability patterns are applied.
+///
+///   * **Lazy (MILP modulo reliability)**: the MILP is solved *without*
+///     reliability constraints; each candidate architecture is checked by
+///     the exact factoring analysis; violated functional links trigger a
+///     conflict-driven learning step that adds stronger disjoint-path
+///     constraints, and the solver iterates. Fewer, simpler MILP instances;
+///     global optimality is no longer guaranteed (the paper's EPN run: cost
+///     108,000 lazily vs 106,000 monolithically).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/problem.hpp"
+
+namespace archex {
+
+/// A reliability requirement handled lazily (not encoded up front).
+struct ReliabilityRequirement {
+  NodeFilter sources;
+  NodeFilter sinks;
+  double threshold;  ///< max acceptable link failure probability
+};
+
+/// Snapshot of one lazy iteration (what Fig. 3a-c shows per step).
+struct LazyIteration {
+  int index = 0;
+  double cost = 0.0;
+  /// Exact link failure probability per sink node name.
+  std::map<std::string, double> sink_fail_prob;
+  /// Disjoint-path requirement in force per sink name (0 = none yet).
+  std::map<std::string, int> required_paths;
+  milp::ModelStats stats;
+  Architecture architecture;
+  double solve_seconds = 0.0;
+};
+
+struct LazyOptions {
+  int max_iterations = 12;
+  /// Upper bound on the learned disjoint-path requirement; if a sink still
+  /// violates its threshold at this redundancy, the loop reports failure.
+  int max_path_requirement = 8;
+  milp::MilpOptions milp;
+};
+
+struct LazyResult {
+  bool converged = false;
+  ExplorationResult final_result;
+  std::vector<LazyIteration> iterations;
+};
+
+/// Runs the lazy iterative scheme on `p`. The problem must have been
+/// constructed with all *non-reliability* patterns applied; `requirements`
+/// are checked by exact analysis between iterations. The learning step
+/// raises the vertex-disjoint-path requirement of each violated sink to one
+/// more than the current architecture provides.
+LazyResult solve_lazy(Problem& p, const std::vector<ReliabilityRequirement>& requirements,
+                      const LazyOptions& options = {});
+
+/// Exact per-sink failure probabilities of `arch` for one requirement
+/// (exposed for tests and benches; keys are sink node names).
+std::map<std::string, double> analyze_reliability(const Problem& p, const Architecture& arch,
+                                                  const ReliabilityRequirement& req);
+
+// ---------------------------------------------------------------------------
+// Generic iterative scheme (Sec. 3: "we also provide an infrastructure to
+// design generic iterative schemes, including interfaces to analysis and
+// conflict-driven learning routines that can be domain-specific").
+// ---------------------------------------------------------------------------
+
+/// Outcome of one analysis pass over a candidate architecture.
+struct AnalysisVerdict {
+  bool accepted = false;
+  /// Free-form metrics recorded into the iteration trace (e.g. worst link
+  /// failure probability per class).
+  std::map<std::string, double> metrics;
+};
+
+/// Domain-specific analysis routine: checks a candidate architecture against
+/// the requirements that were *not* encoded in the MILP.
+using AnalysisFn = std::function<AnalysisVerdict(Problem&, const Architecture&)>;
+
+/// Domain-specific conflict-driven learning routine: adds constraints to the
+/// problem based on the rejected candidate. Returns false when nothing more
+/// can be learned (the scheme then stops without convergence).
+using LearnFn = std::function<bool(Problem&, const Architecture&)>;
+
+/// Iteration snapshot of the generic scheme.
+struct IterativeStep {
+  int index = 0;
+  double cost = 0.0;
+  std::map<std::string, double> metrics;
+  milp::ModelStats stats;
+  Architecture architecture;
+  double solve_seconds = 0.0;
+};
+
+struct IterativeResult {
+  bool converged = false;
+  ExplorationResult final_result;
+  std::vector<IterativeStep> steps;
+};
+
+/// Runs the generic lazy scheme: solve -> analyze -> learn -> repeat.
+/// Terminates when the analysis accepts a candidate, when learning cannot
+/// strengthen the formulation further, when an iteration produces no
+/// architecture, or after `max_iterations`.
+IterativeResult solve_iteratively(Problem& p, const AnalysisFn& analyze, const LearnFn& learn,
+                                  const milp::MilpOptions& milp_options = {},
+                                  int max_iterations = 12);
+
+}  // namespace archex

@@ -1,0 +1,118 @@
+#include "arch/arch_template.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace archex {
+
+std::string NodeFilter::to_string() const {
+  std::string s = type.empty() ? "*" : type;
+  if (!subtype.empty()) s += "/" + subtype;
+  if (!tag.empty()) s += "#" + tag;
+  return s;
+}
+
+bool NodeSpec::allows_subtype(const std::string& s) const {
+  if (subtype.empty()) return true;
+  std::size_t start = 0;
+  while (start <= subtype.size()) {
+    const std::size_t bar = subtype.find('|', start);
+    const std::string part =
+        subtype.substr(start, bar == std::string::npos ? std::string::npos : bar - start);
+    if (part == s) return true;
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  return false;
+}
+
+NodeFilter NodeFilter::parse(const std::string& text) {
+  NodeFilter f;
+  std::string rest = text;
+  if (const std::size_t hash = rest.find('#'); hash != std::string::npos) {
+    f.tag = rest.substr(hash + 1);
+    rest = rest.substr(0, hash);
+  }
+  if (const std::size_t slash = rest.find('/'); slash != std::string::npos) {
+    f.subtype = rest.substr(slash + 1);
+    rest = rest.substr(0, slash);
+  }
+  f.type = rest;
+  if (f.type == "*") f.type.clear();
+  if (f.subtype == "*") f.subtype.clear();
+  if (f.tag == "*") f.tag.clear();
+  return f;
+}
+
+NodeId ArchTemplate::add_node(NodeSpec spec) {
+  if (spec.name.empty()) throw std::invalid_argument("ArchTemplate: node needs a name");
+  if (spec.type.empty()) throw std::invalid_argument("ArchTemplate: node needs a type");
+  if (find(spec.name) >= 0) {
+    throw std::invalid_argument("ArchTemplate: duplicate node name " + spec.name);
+  }
+  nodes_.push_back(std::move(spec));
+  for (auto& row : edge_set_) row.push_back(false);
+  edge_set_.emplace_back(nodes_.size(), false);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+std::vector<NodeId> ArchTemplate::add_nodes(int count, const std::string& prefix,
+                                            std::string type, std::string subtype,
+                                            std::vector<std::string> tags) {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (int i = 1; i <= count; ++i) {
+    ids.push_back(add_node({prefix + std::to_string(i), type, subtype, tags}));
+  }
+  return ids;
+}
+
+void ArchTemplate::allow_edge(NodeId from, NodeId to) {
+  if (from == to) return;
+  if (from < 0 || to < 0 || static_cast<std::size_t>(from) >= nodes_.size() ||
+      static_cast<std::size_t>(to) >= nodes_.size()) {
+    throw std::invalid_argument("ArchTemplate::allow_edge: node out of range");
+  }
+  auto allowed = edge_set_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  if (allowed) return;
+  edge_set_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] = true;
+  edges_.emplace_back(from, to);
+}
+
+void ArchTemplate::allow_connection(const NodeFilter& from, const NodeFilter& to) {
+  for (NodeId a : select(from)) {
+    for (NodeId b : select(to)) {
+      if (a != b) allow_edge(a, b);
+    }
+  }
+}
+
+std::vector<NodeId> ArchTemplate::select(const NodeFilter& f) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (f.matches(nodes_[i])) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+NodeId ArchTemplate::find(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return -1;
+}
+
+bool ArchTemplate::edge_allowed(NodeId from, NodeId to) const {
+  if (from < 0 || to < 0) return false;
+  return edge_set_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+}
+
+std::vector<std::string> ArchTemplate::types() const {
+  std::vector<std::string> out;
+  for (const NodeSpec& n : nodes_) {
+    if (std::find(out.begin(), out.end(), n.type) == out.end()) out.push_back(n.type);
+  }
+  return out;
+}
+
+}  // namespace archex

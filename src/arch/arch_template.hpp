@@ -1,0 +1,115 @@
+/// \file arch_template.hpp
+/// The architecture template T = (V, E): a reconfigurable graph with a fixed
+/// node set and a variable edge set (Sec. 2).
+///
+/// Template nodes are "virtual" components: they carry a type, an optional
+/// subtype and tags, but no implementation — the solver decides which library
+/// component realizes each node (the map M) and which candidate edges exist
+/// (the configuration E). Candidate edges are declared per ordered node-group
+/// pair; only declared pairs get an edge decision variable, which keeps the
+/// encoding linear in the realistic connection structure instead of |V|^2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace archex {
+
+/// Index of a node in a template.
+using NodeId = std::int32_t;
+
+/// A "virtual" component of the template.
+struct NodeSpec {
+  std::string name;
+  std::string type;
+  /// Optional subtype restriction for the mapping. Supports an alternation
+  /// list "B|AB" (the node may map to any listed subtype); empty = any.
+  std::string subtype;
+  std::vector<std::string> tags;  ///< optional, e.g. location LE/RI/MI
+  /// Optional fixed implementation: restricts the mapping candidates to the
+  /// named library component (used for sinks whose characteristics are
+  /// givens, e.g. the EPN loads with fixed power demands).
+  std::string impl;
+
+  [[nodiscard]] bool has_tag(const std::string& tag) const {
+    for (const std::string& t : tags) {
+      if (t == tag) return true;
+    }
+    return false;
+  }
+
+  /// True if the node's subtype restriction admits `s` (empty restriction
+  /// admits everything; "B|AB" admits B and AB).
+  [[nodiscard]] bool allows_subtype(const std::string& s) const;
+};
+
+/// Selects a subset of template nodes by type / subtype / tag. Empty fields
+/// match anything; this is the argument form every pattern takes (the paper's
+/// T, S', and tag parameters).
+struct NodeFilter {
+  std::string type;
+  std::string subtype;
+  std::string tag;
+
+  [[nodiscard]] bool matches(const NodeSpec& n) const {
+    if (!type.empty() && n.type != type) return false;
+    if (!subtype.empty() && !n.allows_subtype(subtype)) return false;
+    if (!tag.empty() && !n.has_tag(tag)) return false;
+    return true;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "Type", "Type/Subtype", "Type#tag" or "Type/Subtype#tag"
+  /// ("*" or empty segment = any). This is the argument syntax of the
+  /// problem-description files.
+  [[nodiscard]] static NodeFilter parse(const std::string& text);
+
+  /// Convenience factories so patterns read close to the paper's syntax.
+  static NodeFilter of_type(std::string t) { return {std::move(t), {}, {}}; }
+  static NodeFilter of(std::string t, std::string s, std::string tag = {}) {
+    return {std::move(t), std::move(s), std::move(tag)};
+  }
+};
+
+/// The reconfigurable architecture template.
+class ArchTemplate {
+ public:
+  /// Adds a virtual component; node names must be unique.
+  NodeId add_node(NodeSpec spec);
+
+  /// Convenience: adds `count` nodes named `<prefix>1..count`.
+  std::vector<NodeId> add_nodes(int count, const std::string& prefix, std::string type,
+                                std::string subtype = {}, std::vector<std::string> tags = {});
+
+  /// Declares candidate edges from every node matching `from` to every node
+  /// matching `to` (self-loops excluded). Idempotent per pair.
+  void allow_connection(const NodeFilter& from, const NodeFilter& to);
+  /// Declares a single candidate edge.
+  void allow_edge(NodeId from, NodeId to);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const NodeSpec& node(NodeId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const std::vector<NodeSpec>& nodes() const { return nodes_; }
+
+  [[nodiscard]] std::vector<NodeId> select(const NodeFilter& f) const;
+  [[nodiscard]] NodeId find(const std::string& name) const;  ///< -1 if absent
+
+  /// Candidate edges as ordered (from, to) pairs, in declaration order.
+  [[nodiscard]] const std::vector<std::pair<NodeId, NodeId>>& candidate_edges() const {
+    return edges_;
+  }
+  [[nodiscard]] bool edge_allowed(NodeId from, NodeId to) const;
+
+  /// All distinct node types in first-appearance order.
+  [[nodiscard]] std::vector<std::string> types() const;
+
+ private:
+  std::vector<NodeSpec> nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<std::vector<bool>> edge_set_;  // dense allowed-matrix for O(1) lookup
+};
+
+}  // namespace archex

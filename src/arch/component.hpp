@@ -1,0 +1,53 @@
+/// \file component.hpp
+/// Library components: typed, attributed building blocks of an architecture.
+///
+/// Mirrors the `Component` class of the ArchEx toolbox (Sec. 3): every
+/// component has a type (its role in the system, e.g. "Generator"), an
+/// optional subtype (e.g. "HV"/"LV"), free-form tags (e.g. location "LE"),
+/// and a dictionary of numeric attributes (cost, failure probability, flow
+/// rate, throughput, delay, power rating, ...).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace archex {
+
+/// Well-known attribute keys used by the built-in patterns. Domain libraries
+/// may define additional keys; patterns receive the key names they need.
+namespace attr {
+inline constexpr const char* kCost = "cost";          ///< component cost c
+inline constexpr const char* kFailProb = "failprob";  ///< failure probability p
+inline constexpr const char* kFlowRate = "lambda";    ///< produced flow rate
+inline constexpr const char* kThroughput = "mu";      ///< max processed rate
+inline constexpr const char* kDelay = "tau";          ///< propagation delay
+inline constexpr const char* kPower = "power";        ///< power rating g / capacity b / demand l
+}  // namespace attr
+
+/// A concrete ("real") component from a domain library.
+struct Component {
+  std::string name;
+  std::string type;
+  std::string subtype;                  ///< optional; empty = none
+  std::vector<std::string> tags;        ///< optional labels (e.g. location)
+  std::map<std::string, double> attrs;  ///< numeric attributes by key
+
+  /// Attribute lookup with a default for missing keys.
+  [[nodiscard]] double attr_or(const std::string& key, double fallback = 0.0) const {
+    const auto it = attrs.find(key);
+    return it == attrs.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has_attr(const std::string& key) const { return attrs.count(key) > 0; }
+  [[nodiscard]] bool has_tag(const std::string& tag) const {
+    for (const std::string& t : tags) {
+      if (t == tag) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double cost() const { return attr_or(attr::kCost); }
+  [[nodiscard]] double fail_prob() const { return attr_or(attr::kFailProb); }
+};
+
+}  // namespace archex

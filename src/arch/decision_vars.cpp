@@ -1,0 +1,67 @@
+#include "arch/decision_vars.hpp"
+
+namespace archex {
+
+AdjacencyMatrix::AdjacencyMatrix(const ArchTemplate& tmpl, milp::Model& model) {
+  const std::size_t n = tmpl.num_nodes();
+  var_of_.assign(n, std::vector<std::int32_t>(n, -1));
+  in_.assign(n, {});
+  out_.assign(n, {});
+  for (const auto& [from, to] : tmpl.candidate_edges()) {
+    const std::string name =
+        "e(" + tmpl.node(from).name + "," + tmpl.node(to).name + ")";
+    const milp::VarId v = model.add_binary(name);
+    const std::int32_t idx = static_cast<std::int32_t>(edges_.size());
+    edges_.push_back({from, to, v});
+    var_of_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] = idx;
+    out_[static_cast<std::size_t>(from)].push_back(idx);
+    in_[static_cast<std::size_t>(to)].push_back(idx);
+  }
+}
+
+milp::VarId AdjacencyMatrix::at(NodeId from, NodeId to) const {
+  if (from < 0 || to < 0 || static_cast<std::size_t>(from) >= var_of_.size() ||
+      static_cast<std::size_t>(to) >= var_of_.size()) {
+    return {};
+  }
+  const std::int32_t idx = var_of_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  return idx < 0 ? milp::VarId{} : edges_[static_cast<std::size_t>(idx)].var;
+}
+
+LibraryMapping::LibraryMapping(const ArchTemplate& tmpl, const Library& lib,
+                               milp::Model& model) {
+  cand_.resize(tmpl.num_nodes());
+  for (std::size_t j = 0; j < tmpl.num_nodes(); ++j) {
+    const NodeSpec& node = tmpl.nodes()[j];
+    for (LibIndex i : lib.of_type(node.type)) {
+      const Component& c = lib.at(i);
+      if (!node.impl.empty()) {
+        if (c.name != node.impl) continue;  // node pinned to one implementation
+      } else if (!c.subtype.empty() && !node.allows_subtype(c.subtype)) {
+        continue;
+      } else if (c.subtype.empty() && !node.subtype.empty()) {
+        continue;  // node requires a subtype the component does not declare
+      }
+      const std::string name = "m(" + c.name + "->" + node.name + ")";
+      cand_[j].push_back({i, model.add_binary(name)});
+    }
+  }
+}
+
+milp::VarId LibraryMapping::var(LibIndex i, NodeId j) const {
+  for (const Candidate& c : cand_[static_cast<std::size_t>(j)]) {
+    if (c.lib == i) return c.var;
+  }
+  return {};
+}
+
+milp::LinExpr LibraryMapping::attr_expr(NodeId j, const std::string& key,
+                                        const Library& lib) const {
+  milp::LinExpr e;
+  for (const Candidate& c : cand_[static_cast<std::size_t>(j)]) {
+    e.add_term(c.var, lib.at(c.lib).attr_or(key));
+  }
+  return e;
+}
+
+}  // namespace archex

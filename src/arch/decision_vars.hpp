@@ -1,0 +1,83 @@
+/// \file decision_vars.hpp
+/// Reusable decision-variable containers (Sec. 3): AdjacencyMatrix holds the
+/// edge binaries E, LibraryMapping holds the mapping binaries M. Both map
+/// structural coordinates (node ids, library indices) to MILP variable ids,
+/// so patterns never touch raw variable indices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch_template.hpp"
+#include "arch/library.hpp"
+#include "milp/model.hpp"
+
+namespace archex {
+
+/// Edge decision variables e_ij over the template's candidate edges.
+class AdjacencyMatrix {
+ public:
+  AdjacencyMatrix() = default;
+  AdjacencyMatrix(const ArchTemplate& tmpl, milp::Model& model);
+
+  /// Variable for edge (from, to); invalid VarId if the pair is not a
+  /// candidate edge.
+  [[nodiscard]] milp::VarId at(NodeId from, NodeId to) const;
+  [[nodiscard]] bool allowed(NodeId from, NodeId to) const { return at(from, to).valid(); }
+
+  struct Edge {
+    NodeId from;
+    NodeId to;
+    milp::VarId var;
+  };
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Candidate edges into / out of a node (indices into edges()).
+  [[nodiscard]] const std::vector<std::int32_t>& in_edges(NodeId v) const {
+    return in_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& out_edges(NodeId v) const {
+    return out_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const Edge& edge(std::int32_t idx) const {
+    return edges_[static_cast<std::size_t>(idx)];
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::int32_t>> var_of_;  // dense (from,to) -> edge idx, -1 = none
+  std::vector<std::vector<std::int32_t>> in_, out_;
+};
+
+/// Mapping decision variables m^k_ij: node j implemented by library
+/// component i. Candidates are the library components whose type matches the
+/// node's type (and subtype, when the node declares one).
+class LibraryMapping {
+ public:
+  LibraryMapping() = default;
+  LibraryMapping(const ArchTemplate& tmpl, const Library& lib, milp::Model& model);
+
+  struct Candidate {
+    LibIndex lib;
+    milp::VarId var;
+  };
+  /// Candidate implementations of node j.
+  [[nodiscard]] const std::vector<Candidate>& candidates(NodeId j) const {
+    return cand_[static_cast<std::size_t>(j)];
+  }
+
+  /// Variable m_ij for (library component i, node j); invalid if not a
+  /// candidate pair.
+  [[nodiscard]] milp::VarId var(LibIndex i, NodeId j) const;
+
+  /// Linear expression of a mapped attribute of node j:
+  /// sum_i m_ij * attr_i. Evaluates to 0 when the node is not instantiated.
+  [[nodiscard]] milp::LinExpr attr_expr(NodeId j, const std::string& key,
+                                        const Library& lib) const;
+
+ private:
+  std::vector<std::vector<Candidate>> cand_;
+};
+
+}  // namespace archex

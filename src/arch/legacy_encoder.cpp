@@ -1,0 +1,127 @@
+#include "arch/legacy_encoder.hpp"
+
+namespace archex {
+
+LegacyEncoding::LegacyEncoding(const Library& lib, const ArchTemplate& tmpl)
+    : lib_(lib), tmpl_(tmpl) {
+  const std::size_t n = tmpl.num_nodes();
+  cand_.resize(n);
+  y_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const NodeSpec& node = tmpl.node(static_cast<NodeId>(j));
+    cand_[j] = lib.of_type(node.type, node.subtype);
+    for (LibIndex li : cand_[j]) {
+      y_[j].push_back(model_.add_binary("y(" + lib.at(li).name + "->" + node.name + ")"));
+    }
+    // At most one implementation per node.
+    if (!y_[j].empty()) {
+      milp::LinExpr sum;
+      for (milp::VarId v : y_[j]) sum += milp::LinExpr(v);
+      model_.add_constraint(std::move(sum), milp::Sense::LE, 1.0,
+                            "one_impl(" + node.name + ")");
+    }
+  }
+
+  // One z block per candidate edge: z_ij^ab, coupled to both endpoints'
+  // implementation choices. This is where the quadratic-in-l blowup lives.
+  for (const auto& [from, to] : tmpl.candidate_edges()) {
+    EdgeBlock blk;
+    blk.from = from;
+    blk.to = to;
+    const auto& ca = cand_[static_cast<std::size_t>(from)];
+    const auto& cb = cand_[static_cast<std::size_t>(to)];
+    blk.z.resize(ca.size(), std::vector<milp::VarId>(cb.size()));
+    for (std::size_t a = 0; a < ca.size(); ++a) {
+      for (std::size_t b = 0; b < cb.size(); ++b) {
+        const milp::VarId z = model_.add_binary(
+            "z(" + tmpl.node(from).name + "." + std::to_string(a) + "->" +
+            tmpl.node(to).name + "." + std::to_string(b) + ")");
+        blk.z[a][b] = z;
+        // z implies both implementation choices.
+        model_.add_constraint(milp::LinExpr(z) - milp::LinExpr(y_[static_cast<std::size_t>(from)][a]),
+                              milp::Sense::LE, 0.0);
+        model_.add_constraint(milp::LinExpr(z) - milp::LinExpr(y_[static_cast<std::size_t>(to)][b]),
+                              milp::Sense::LE, 0.0);
+      }
+    }
+    block_of_[{from, to}] = blocks_.size();
+    blocks_.push_back(std::move(blk));
+  }
+
+  // An implementation choice requires at least one incident z (the legacy
+  // analogue of "instantiated iff connected").
+  std::vector<milp::LinExpr> incident(n);
+  for (const EdgeBlock& blk : blocks_) {
+    for (const auto& row : blk.z) {
+      for (milp::VarId z : row) {
+        incident[static_cast<std::size_t>(blk.from)] += milp::LinExpr(z);
+        incident[static_cast<std::size_t>(blk.to)] += milp::LinExpr(z);
+      }
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (y_[j].empty()) continue;
+    milp::LinExpr ysum;
+    for (milp::VarId v : y_[j]) ysum += milp::LinExpr(v);
+    if (incident[j].size() == 0) {
+      model_.add_constraint(std::move(ysum), milp::Sense::EQ, 0.0);
+      continue;
+    }
+    // y <= sum(z incident); and every incident z <= sum(y) is already implied
+    // by the per-z coupling above.
+    milp::LinExpr c = ysum - incident[j];
+    model_.add_constraint(std::move(c), milp::Sense::LE, 0.0,
+                          "impl_needs_edge(" + tmpl.node(static_cast<NodeId>(j)).name + ")");
+  }
+}
+
+milp::LinExpr LegacyEncoding::edge_expr(NodeId from, NodeId to) const {
+  milp::LinExpr e;
+  const auto it = block_of_.find({from, to});
+  if (it == block_of_.end()) return e;
+  for (const auto& row : blocks_[it->second].z) {
+    for (milp::VarId z : row) e += milp::LinExpr(z);
+  }
+  return e;
+}
+
+milp::VarId LegacyEncoding::impl_var(NodeId node, LibIndex lib) const {
+  const auto& c = cand_[static_cast<std::size_t>(node)];
+  for (std::size_t a = 0; a < c.size(); ++a) {
+    if (c[a] == lib) return y_[static_cast<std::size_t>(node)][a];
+  }
+  return {};
+}
+
+milp::LinExpr LegacyEncoding::used_expr(NodeId node) const {
+  milp::LinExpr e;
+  for (milp::VarId v : y_[static_cast<std::size_t>(node)]) e += milp::LinExpr(v);
+  return e;
+}
+
+void LegacyEncoding::require_connections(const NodeFilter& from, const NodeFilter& to, int n,
+                                         milp::Sense sense) {
+  for (NodeId a : tmpl_.select(from)) {
+    milp::LinExpr total;
+    for (NodeId b : tmpl_.select(to)) total += edge_expr(a, b);
+    model_.add_constraint(std::move(total), sense, static_cast<double>(n),
+                          "legacy_conn(" + tmpl_.node(a).name + ")");
+  }
+}
+
+void LegacyEncoding::finalize_objective(double edge_cost) {
+  milp::LinExpr cost;
+  for (std::size_t j = 0; j < cand_.size(); ++j) {
+    for (std::size_t a = 0; a < cand_[j].size(); ++a) {
+      cost.add_term(y_[j][a], lib_.at(cand_[j][a]).cost());
+    }
+  }
+  for (const EdgeBlock& blk : blocks_) {
+    for (const auto& row : blk.z) {
+      for (milp::VarId z : row) cost.add_term(z, edge_cost);
+    }
+  }
+  model_.set_objective(std::move(cost), milp::ObjectiveSense::Minimize);
+}
+
+}  // namespace archex

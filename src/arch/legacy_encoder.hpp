@@ -1,0 +1,67 @@
+/// \file legacy_encoder.hpp
+/// Baseline encoding after [3, 11]: mapping folded into the interconnection
+/// variables.
+///
+/// The paper's Sec. 2 argues the ArchEx 2.0 encoding (separate selection
+/// delta and mapping m; decision-variable count *linear* in the number of
+/// library options l) improves on the predecessor encoding where each edge
+/// variable is replicated per implementation pair — z_{ij}^{ab} = "edge from
+/// node i implemented by library option a to node j implemented by b" —
+/// making the count *quadratic* in l. Sec. 4.1 reports ~1/2 the constraints
+/// and 2-4x faster solves for the new encoding.
+///
+/// This module reimplements the legacy encoding faithfully enough to
+/// reproduce that comparison (bench_encoding): same template, same library,
+/// same connectivity requirements, two formulations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/arch_template.hpp"
+#include "arch/library.hpp"
+#include "milp/model.hpp"
+
+namespace archex {
+
+/// The legacy [3]-style MILP for a template + library.
+class LegacyEncoding {
+ public:
+  LegacyEncoding(const Library& lib, const ArchTemplate& tmpl);
+
+  [[nodiscard]] milp::Model& model() { return model_; }
+  [[nodiscard]] const milp::Model& model() const { return model_; }
+
+  /// Aggregate edge indicator e_ij = sum_ab z_ij^ab (an expression, not a
+  /// separate variable — the legacy style works on the z variables).
+  [[nodiscard]] milp::LinExpr edge_expr(NodeId from, NodeId to) const;
+  /// Implementation indicator y_i^a.
+  [[nodiscard]] milp::VarId impl_var(NodeId node, LibIndex lib) const;
+  /// Instantiation indicator delta_i (sum_a y_i^a).
+  [[nodiscard]] milp::LinExpr used_expr(NodeId node) const;
+
+  /// Degree-style connectivity requirement on the aggregate edges:
+  /// sum over (a in from, b in to) of e_ab  sense  n, per `from` node.
+  void require_connections(const NodeFilter& from, const NodeFilter& to, int n,
+                           milp::Sense sense);
+
+  /// Sets the cost objective: component costs via y, edge costs via z.
+  void finalize_objective(double edge_cost);
+
+ private:
+  const Library& lib_;
+  const ArchTemplate& tmpl_;
+  milp::Model model_;
+  /// Per candidate edge: z variables indexed by (impl of from, impl of to).
+  struct EdgeBlock {
+    NodeId from, to;
+    std::vector<std::vector<milp::VarId>> z;  // [a][b]
+  };
+  std::vector<EdgeBlock> blocks_;
+  std::map<std::pair<NodeId, NodeId>, std::size_t> block_of_;
+  std::vector<std::vector<milp::VarId>> y_;  // [node][candidate]
+  std::vector<std::vector<LibIndex>> cand_;  // [node] -> library indices
+};
+
+}  // namespace archex

@@ -1,0 +1,76 @@
+#include "arch/library.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace archex {
+
+LibIndex Library::add(Component c) {
+  if (c.name.empty()) throw std::invalid_argument("Library::add: component needs a name");
+  if (c.type.empty()) throw std::invalid_argument("Library::add: component needs a type");
+  if (find(c.name)) throw std::invalid_argument("Library::add: duplicate name " + c.name);
+  comps_.push_back(std::move(c));
+  return static_cast<LibIndex>(comps_.size() - 1);
+}
+
+std::vector<LibIndex> Library::of_type(const std::string& type, const std::string& subtype) const {
+  std::vector<LibIndex> out;
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    if (comps_[i].type != type) continue;
+    if (!subtype.empty() && comps_[i].subtype != subtype) continue;
+    out.push_back(static_cast<LibIndex>(i));
+  }
+  return out;
+}
+
+std::optional<LibIndex> Library::find(const std::string& name) const {
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    if (comps_[i].name == name) return static_cast<LibIndex>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Library::types() const {
+  std::vector<std::string> out;
+  for (const Component& c : comps_) {
+    if (std::find(out.begin(), out.end(), c.type) == out.end()) out.push_back(c.type);
+  }
+  return out;
+}
+
+std::vector<std::string> Library::subtypes_of(const std::string& type) const {
+  std::vector<std::string> out;
+  for (const Component& c : comps_) {
+    if (c.type != type || c.subtype.empty()) continue;
+    if (std::find(out.begin(), out.end(), c.subtype) == out.end()) out.push_back(c.subtype);
+  }
+  return out;
+}
+
+double Library::max_attr(const std::string& type, const std::string& key) const {
+  double best = 0.0;
+  for (const Component& c : comps_) {
+    if (c.type == type) best = std::max(best, c.attr_or(key));
+  }
+  return best;
+}
+
+std::ostream& operator<<(std::ostream& os, const Library& lib) {
+  os << "Library (" << lib.size() << " components, edge cost " << lib.edge_cost() << ")\n";
+  for (const Component& c : lib.components()) {
+    os << "  " << c.type;
+    if (!c.subtype.empty()) os << "/" << c.subtype;
+    os << " " << c.name;
+    if (!c.tags.empty()) {
+      os << " [";
+      for (std::size_t i = 0; i < c.tags.size(); ++i) os << (i ? "," : "") << c.tags[i];
+      os << "]";
+    }
+    for (const auto& [k, v] : c.attrs) os << " " << k << "=" << v;
+    os << "\n";
+  }
+  return os;
+}
+
+}  // namespace archex

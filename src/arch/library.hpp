@@ -1,0 +1,68 @@
+/// \file library.hpp
+/// Component library: the collection L of "real" components (Sec. 2).
+///
+/// Mirrors the `Library` class of the ArchEx toolbox (Sec. 3): a collection
+/// of Component records grouped by type, with query methods by type, subtype
+/// and tag, plus the text-file loader (`parser.hpp` provides the format).
+/// Edge (connection element) costs also live here: the paper maps edges
+/// directly onto connection elements such as contactors, wires and links.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/component.hpp"
+
+namespace archex {
+
+/// Index of a component inside a Library.
+using LibIndex = std::int32_t;
+
+/// A collection of components with type/subtype/tag queries.
+class Library {
+ public:
+  /// Adds a component; returns its index. Component names must be unique
+  /// within the library (throws std::invalid_argument otherwise).
+  LibIndex add(Component c);
+
+  [[nodiscard]] std::size_t size() const { return comps_.size(); }
+  [[nodiscard]] bool empty() const { return comps_.empty(); }
+  [[nodiscard]] const Component& at(LibIndex i) const {
+    return comps_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const std::vector<Component>& components() const { return comps_; }
+
+  /// Indices of all components of `type` (optionally restricted to a
+  /// subtype; empty string = any subtype).
+  [[nodiscard]] std::vector<LibIndex> of_type(const std::string& type,
+                                              const std::string& subtype = {}) const;
+
+  /// Component by name; nullopt if absent.
+  [[nodiscard]] std::optional<LibIndex> find(const std::string& name) const;
+
+  /// All distinct component types, in first-appearance order.
+  [[nodiscard]] std::vector<std::string> types() const;
+
+  /// All distinct subtypes of a type, in first-appearance order.
+  [[nodiscard]] std::vector<std::string> subtypes_of(const std::string& type) const;
+
+  /// Maximum value of an attribute over components of a type (0 if none).
+  [[nodiscard]] double max_attr(const std::string& type, const std::string& key) const;
+
+  /// Cost of the connection element used to realize edges (the paper's
+  /// contactors/wires). A single scalar by default; problems may override
+  /// per edge group.
+  void set_edge_cost(double c) { edge_cost_ = c; }
+  [[nodiscard]] double edge_cost() const { return edge_cost_; }
+
+ private:
+  std::vector<Component> comps_;
+  double edge_cost_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Library& lib);
+
+}  // namespace archex

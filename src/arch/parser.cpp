@@ -1,0 +1,258 @@
+#include "arch/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace archex {
+
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Strips a trailing comment and whitespace; returns empty for blank lines.
+/// A '#' only starts a comment at the beginning of the line or after
+/// whitespace — "Load#critical" is the tag-filter syntax, not a comment.
+std::string clean_line(const std::string& raw) {
+  std::size_t hash = std::string::npos;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '#' &&
+        (i == 0 || std::isspace(static_cast<unsigned char>(raw[i - 1])))) {
+      hash = i;
+      break;
+    }
+  }
+  return strip(hash == std::string::npos ? raw : raw.substr(0, hash));
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(strip(cur));
+  return out;
+}
+
+std::vector<std::string> tokens(const std::string& s) {
+  std::istringstream is(s);
+  std::vector<std::string> out;
+  std::string t;
+  while (is >> t) out.push_back(t);
+  return out;
+}
+
+bool parse_number(const std::string& s, double& value) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Applies `key=value` tokens to a component-like record. Returns false for
+/// tokens without '='.
+struct Record {
+  std::string type, subtype, impl;
+  std::vector<std::string> tags;
+  std::map<std::string, double> attrs;
+};
+
+void apply_kv(Record& r, const std::string& tok, int line) {
+  const std::size_t eq = tok.find('=');
+  if (eq == std::string::npos) {
+    throw ParseError("expected key=value, got '" + tok + "'", line);
+  }
+  const std::string key = tok.substr(0, eq);
+  const std::string value = tok.substr(eq + 1);
+  if (key == "type") {
+    r.type = value;
+  } else if (key == "subtype") {
+    r.subtype = value;
+  } else if (key == "impl") {
+    r.impl = value;
+  } else if (key == "tags") {
+    for (const std::string& t : split(value, ',')) {
+      if (!t.empty()) r.tags.push_back(t);
+    }
+  } else {
+    double num = 0.0;
+    if (!parse_number(value, num)) {
+      throw ParseError("attribute '" + key + "' needs a numeric value, got '" + value + "'",
+                       line);
+    }
+    r.attrs[key] = num;
+  }
+}
+
+}  // namespace
+
+Library load_library(std::istream& in) {
+  Library lib;
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = clean_line(raw);
+    if (line.empty()) continue;
+    const std::vector<std::string> toks = tokens(line);
+    if (toks[0] == "edge_cost") {
+      double c = 0.0;
+      if (toks.size() != 2 || !parse_number(toks[1], c)) {
+        throw ParseError("edge_cost expects one number", lineno);
+      }
+      lib.set_edge_cost(c);
+    } else if (toks[0] == "component") {
+      if (toks.size() < 3) throw ParseError("component needs a name and a type", lineno);
+      Record r;
+      for (std::size_t i = 2; i < toks.size(); ++i) apply_kv(r, toks[i], lineno);
+      if (r.type.empty()) throw ParseError("component '" + toks[1] + "' needs type=", lineno);
+      Component c;
+      c.name = toks[1];
+      c.type = std::move(r.type);
+      c.subtype = std::move(r.subtype);
+      c.tags = std::move(r.tags);
+      c.attrs = std::move(r.attrs);
+      try {
+        lib.add(std::move(c));
+      } catch (const std::invalid_argument& e) {
+        throw ParseError(e.what(), lineno);
+      }
+    } else {
+      throw ParseError("unknown library directive '" + toks[0] + "'", lineno);
+    }
+  }
+  return lib;
+}
+
+Library load_library_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open library file: " + path);
+  return load_library(in);
+}
+
+std::pair<std::string, std::vector<PatternArg>> parse_pattern_call(const std::string& text) {
+  const std::string s = strip(text);
+  const std::size_t open = s.find('(');
+  if (open == std::string::npos || s.back() != ')') {
+    throw std::invalid_argument("pattern call must look like name(args): " + s);
+  }
+  const std::string name = strip(s.substr(0, open));
+  const std::string inner = s.substr(open + 1, s.size() - open - 2);
+  std::vector<PatternArg> args;
+  if (!strip(inner).empty()) {
+    for (const std::string& part : split(inner, ',')) {
+      double num = 0.0;
+      if (parse_number(part, num)) args.emplace_back(num);
+      else args.emplace_back(part);
+    }
+  }
+  return {name, std::move(args)};
+}
+
+ProblemSpec load_problem_spec(std::istream& in) {
+  ProblemSpec spec;
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = clean_line(raw);
+    if (line.empty()) continue;
+    ++spec.spec_lines;
+    const std::vector<std::string> toks = tokens(line);
+    const std::string& head = toks[0];
+
+    if (head == "functional_flow") {
+      if (toks.size() != 2) throw ParseError("functional_flow expects one comma list", lineno);
+      spec.functional_flow = split(toks[1], ',');
+    } else if (head == "node") {
+      if (toks.size() < 3) throw ParseError("node needs a name and a type", lineno);
+      Record r;
+      for (std::size_t i = 2; i < toks.size(); ++i) apply_kv(r, toks[i], lineno);
+      if (r.type.empty()) throw ParseError("node '" + toks[1] + "' needs type=", lineno);
+      try {
+        spec.tmpl.add_node({toks[1], r.type, r.subtype, r.tags, r.impl});
+      } catch (const std::invalid_argument& e) {
+        throw ParseError(e.what(), lineno);
+      }
+    } else if (head == "nodes") {
+      if (toks.size() < 4) throw ParseError("nodes needs prefix, count, type=", lineno);
+      double count = 0.0;
+      if (!parse_number(toks[2], count) || count < 1) {
+        throw ParseError("nodes count must be a positive number", lineno);
+      }
+      Record r;
+      for (std::size_t i = 3; i < toks.size(); ++i) apply_kv(r, toks[i], lineno);
+      if (r.type.empty()) throw ParseError("nodes '" + toks[1] + "' needs type=", lineno);
+      spec.tmpl.add_nodes(static_cast<int>(count), toks[1], r.type, r.subtype, r.tags);
+    } else if (head == "allow") {
+      // allow <filter> -> <filter> [cost=N]
+      const std::size_t arrow = line.find("->");
+      if (arrow == std::string::npos) throw ParseError("allow needs 'from -> to'", lineno);
+      const std::string from = strip(line.substr(5, arrow - 5));
+      std::string to = strip(line.substr(arrow + 2));
+      double cost = -1.0;
+      if (const std::size_t sp = to.find(' '); sp != std::string::npos) {
+        const std::string extra = strip(to.substr(sp));
+        to = strip(to.substr(0, sp));
+        if (extra.rfind("cost=", 0) != 0 || !parse_number(extra.substr(5), cost)) {
+          throw ParseError("allow trailer must be cost=<number>, got '" + extra + "'",
+                           lineno);
+        }
+      }
+      if (from.empty() || to.empty()) throw ParseError("allow needs 'from -> to'", lineno);
+      const NodeFilter ff = NodeFilter::parse(from);
+      const NodeFilter tf = NodeFilter::parse(to);
+      spec.tmpl.allow_connection(ff, tf);
+      if (cost >= 0) spec.edge_costs.push_back({ff, tf, cost});
+    } else if (head == "pattern") {
+      if (line.size() <= 8) throw ParseError("pattern needs a call like name(args)", lineno);
+      const std::string call = strip(line.substr(8));
+      try {
+        spec.patterns.push_back(parse_pattern_call(call));
+      } catch (const std::invalid_argument& e) {
+        throw ParseError(e.what(), lineno);
+      }
+    } else {
+      throw ParseError("unknown problem directive '" + head + "'", lineno);
+    }
+  }
+  return spec;
+}
+
+ProblemSpec load_problem_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open problem file: " + path);
+  return load_problem_spec(in);
+}
+
+std::unique_ptr<Problem> instantiate(const ProblemSpec& spec, Library library) {
+  auto problem = std::make_unique<Problem>(std::move(library), spec.tmpl);
+  problem->set_functional_flow(spec.functional_flow);
+  for (const ProblemSpec::EdgeCostOverride& o : spec.edge_costs) {
+    for (NodeId a : spec.tmpl.select(o.from)) {
+      for (NodeId b : spec.tmpl.select(o.to)) {
+        if (a != b && spec.tmpl.edge_allowed(a, b)) problem->set_edge_cost(a, b, o.cost);
+      }
+    }
+  }
+  const PatternRegistry& reg = PatternRegistry::instance();
+  for (const auto& [name, args] : spec.patterns) {
+    problem->apply(reg.create(name, args));
+  }
+  return problem;
+}
+
+}  // namespace archex

@@ -1,0 +1,183 @@
+/// \file builtin.cpp
+/// Registers the built-in Table 1 patterns in the PatternRegistry, which is
+/// what the problem-description parser resolves names through. Filter
+/// arguments use the "Type", "Type/Subtype", "Type#tag" syntax
+/// (NodeFilter::parse); numeric arguments are plain numbers.
+#include <memory>
+
+#include "arch/patterns/connection.hpp"
+#include "arch/patterns/flow.hpp"
+#include "arch/patterns/general.hpp"
+#include "arch/patterns/pattern.hpp"
+#include "arch/patterns/reliability_patterns.hpp"
+#include "arch/patterns/timing.hpp"
+
+namespace archex {
+
+namespace {
+
+using namespace patterns;
+using pattern_detail::arg_number;
+using pattern_detail::arg_string;
+using pattern_detail::arg_string_or;
+using pattern_detail::check_arity;
+
+NodeFilter filter_arg(const std::vector<PatternArg>& args, std::size_t i,
+                      const std::string& pattern) {
+  return NodeFilter::parse(arg_string(args, i, pattern));
+}
+
+/// Shared factory for the three (2a) connection-count variants. Accepts
+/// (T1, T2, N) plus optional trailing "if_used" / "per_to" flags in any
+/// order.
+PatternRegistry::Factory n_connections_factory(milp::Sense sense, const char* name) {
+  return [sense, name](const std::vector<PatternArg>& args) -> std::shared_ptr<Pattern> {
+    check_arity(args, 3, 5, name);
+    bool if_used = false;
+    CountSide side = CountSide::kFrom;
+    for (std::size_t i = 3; i < args.size(); ++i) {
+      const std::string flag = arg_string(args, i, name);
+      if (flag == "if_used") if_used = true;
+      else if (flag == "per_to") side = CountSide::kTo;
+      else throw std::invalid_argument(std::string(name) + ": unknown flag '" + flag + "'");
+    }
+    return std::make_shared<NConnections>(filter_arg(args, 0, name), filter_arg(args, 1, name),
+                                          static_cast<int>(arg_number(args, 2, name)), sense,
+                                          if_used, side);
+  };
+}
+
+/// Shared factory for the (T, S', N) count patterns: 2 args = (T, N),
+/// 3 args = (T, S, N).
+template <typename P>
+PatternRegistry::Factory count_factory(const char* name) {
+  return [name](const std::vector<PatternArg>& args) -> std::shared_ptr<Pattern> {
+    check_arity(args, 2, 3, name);
+    NodeFilter f = filter_arg(args, 0, name);
+    if (args.size() == 3) {
+      f.subtype = arg_string(args, 1, name);
+      return std::make_shared<P>(std::move(f), static_cast<int>(arg_number(args, 2, name)));
+    }
+    return std::make_shared<P>(std::move(f), static_cast<int>(arg_number(args, 1, name)));
+  };
+}
+
+}  // namespace
+
+void register_builtin_patterns(PatternRegistry& reg) {
+  // --- General ---
+  reg.register_pattern("at_least_n_components",
+                       count_factory<AtLeastNComponents>("at_least_n_components"));
+  reg.register_pattern("sinks_connected_to_sources", [](const std::vector<PatternArg>& args) {
+    check_arity(args, 2, 2, "sinks_connected_to_sources");
+    return std::make_shared<SinksConnectedToSources>(
+        filter_arg(args, 0, "sinks_connected_to_sources"),
+        filter_arg(args, 1, "sinks_connected_to_sources"));
+  });
+  reg.register_pattern("at_least_n_paths", [](const std::vector<PatternArg>& args) {
+    check_arity(args, 3, 3, "at_least_n_paths");
+    return std::make_shared<AtLeastNPaths>(
+        filter_arg(args, 0, "at_least_n_paths"), filter_arg(args, 1, "at_least_n_paths"),
+        static_cast<int>(arg_number(args, 2, "at_least_n_paths")));
+  });
+
+  // --- Connection ---
+  reg.register_pattern("at_least_n_connections",
+                       n_connections_factory(milp::Sense::GE, "at_least_n_connections"));
+  reg.register_pattern("at_most_n_connections",
+                       n_connections_factory(milp::Sense::LE, "at_most_n_connections"));
+  reg.register_pattern("exactly_n_connections",
+                       n_connections_factory(milp::Sense::EQ, "exactly_n_connections"));
+  reg.register_pattern("in_conn_implies_out_conn", [](const std::vector<PatternArg>& args) {
+    check_arity(args, 3, 3, "in_conn_implies_out_conn");
+    return std::make_shared<InConnImpliesOutConn>(
+        filter_arg(args, 0, "in_conn_implies_out_conn"),
+        filter_arg(args, 1, "in_conn_implies_out_conn"),
+        filter_arg(args, 2, "in_conn_implies_out_conn"));
+  });
+  reg.register_pattern("bidirectional_connection", [](const std::vector<PatternArg>& args) {
+    check_arity(args, 2, 2, "bidirectional_connection");
+    return std::make_shared<BidirectionalConnection>(
+        filter_arg(args, 0, "bidirectional_connection"),
+        filter_arg(args, 1, "bidirectional_connection"));
+  });
+  reg.register_pattern("no_self_loops", [](const std::vector<PatternArg>& args) {
+    check_arity(args, 1, 1, "no_self_loops");
+    return std::make_shared<NoSelfLoops>(filter_arg(args, 0, "no_self_loops"));
+  });
+  reg.register_pattern("cannot_connect", [](const std::vector<PatternArg>& args) {
+    // Paper form: cannot_connect(T1, S1', T2, S2'); filter form: (F1, F2).
+    check_arity(args, 2, 4, "cannot_connect");
+    if (args.size() == 4) {
+      NodeFilter from = filter_arg(args, 0, "cannot_connect");
+      from.subtype = arg_string(args, 1, "cannot_connect");
+      NodeFilter to = filter_arg(args, 2, "cannot_connect");
+      to.subtype = arg_string(args, 3, "cannot_connect");
+      return std::make_shared<CannotConnect>(std::move(from), std::move(to));
+    }
+    return std::make_shared<CannotConnect>(filter_arg(args, 0, "cannot_connect"),
+                                           filter_arg(args, 1, "cannot_connect"));
+  });
+
+  // --- Flow ---
+  reg.register_pattern("flow_balance", [](const std::vector<PatternArg>& args) {
+    check_arity(args, 1, 8, "flow_balance");
+    std::vector<std::string> commodities;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      commodities.push_back(arg_string(args, i, "flow_balance"));
+    }
+    return std::make_shared<FlowBalance>(filter_arg(args, 0, "flow_balance"),
+                                         std::move(commodities));
+  });
+  reg.register_pattern("no_overloads", [](const std::vector<PatternArg>& args) {
+    check_arity(args, 1, 1, "no_overloads");
+    return std::make_shared<NoOverloads>(filter_arg(args, 0, "no_overloads"));
+  });
+  reg.register_pattern("capacity_limit", [](const std::vector<PatternArg>& args) {
+    check_arity(args, 2, 8, "capacity_limit");
+    std::vector<std::string> commodities;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      commodities.push_back(arg_string(args, i, "capacity_limit"));
+    }
+    return std::make_shared<CapacityLimit>(filter_arg(args, 0, "capacity_limit"),
+                                           arg_string(args, 1, "capacity_limit"),
+                                           std::move(commodities));
+  });
+
+  // --- Timing ---
+  reg.register_pattern("max_cycle_time", [](const std::vector<PatternArg>& args) {
+    check_arity(args, 2, 2, "max_cycle_time");
+    return std::make_shared<MaxCycleTime>(filter_arg(args, 0, "max_cycle_time"),
+                                          arg_number(args, 1, "max_cycle_time"));
+  });
+  reg.register_pattern("max_total_idle_rate", [](const std::vector<PatternArg>& args) {
+    check_arity(args, 2, 2, "max_total_idle_rate");
+    return std::make_shared<MaxTotalIdleRate>(filter_arg(args, 0, "max_total_idle_rate"),
+                                              arg_number(args, 1, "max_total_idle_rate"));
+  });
+
+  // --- Reliability ---
+  reg.register_pattern("min_redundant_components",
+                       count_factory<MinRedundantComponents>("min_redundant_components"));
+  reg.register_pattern(
+      "max_failprob_of_connection",
+      [](const std::vector<PatternArg>& args) -> std::shared_ptr<Pattern> {
+        // 3-arg form: (T1, T2, theta) — redundancy measured at each sink.
+        // 4-arg form: (T1, Thub, T2, theta) — hub-level requirement for
+        // single-feed sinks (EPN loads behind their DC bus).
+        check_arity(args, 3, 4, "max_failprob_of_connection");
+        if (args.size() == 4) {
+          return std::make_shared<MaxFailprobViaHub>(
+              filter_arg(args, 0, "max_failprob_of_connection"),
+              filter_arg(args, 1, "max_failprob_of_connection"),
+              filter_arg(args, 2, "max_failprob_of_connection"),
+              arg_number(args, 3, "max_failprob_of_connection"));
+        }
+        return std::make_shared<MaxFailprobOfConnection>(
+            filter_arg(args, 0, "max_failprob_of_connection"),
+            filter_arg(args, 1, "max_failprob_of_connection"),
+            arg_number(args, 2, "max_failprob_of_connection"));
+      });
+}
+
+}  // namespace archex

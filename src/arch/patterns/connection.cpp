@@ -1,0 +1,145 @@
+#include "arch/patterns/connection.hpp"
+
+#include "arch/problem.hpp"
+
+namespace archex::patterns {
+
+std::string NConnections::name() const {
+  switch (sense_) {
+    case milp::Sense::GE: return "at_least_n_connections";
+    case milp::Sense::LE: return "at_most_n_connections";
+    case milp::Sense::EQ: return "exactly_n_connections";
+  }
+  return "n_connections";
+}
+
+std::string NConnections::describe() const {
+  return name() + "(" + from_.to_string() + ", " + to_.to_string() + ", " +
+         std::to_string(n_) + (only_if_used_ ? ", if_used" : "") +
+         (side_ == CountSide::kTo ? ", per_to" : "") + ")";
+}
+
+void NConnections::emit(Problem& p) const {
+  const ArchTemplate& t = p.arch_template();
+  const bool per_from = side_ == CountSide::kFrom;
+  for (NodeId a : t.select(per_from ? from_ : to_)) {
+    milp::LinExpr conns = per_from ? p.out_degree(a, to_) : p.in_degree(a, from_);
+    const std::string cname = name() + "(" + t.node(a).name + (per_from ? "->" : "<-") +
+                              (per_from ? to_ : from_).to_string() + ")";
+    if (only_if_used_) {
+      // sense over (conns - N * delta_a) vs 0.
+      conns.add_term(p.instantiated(a), -static_cast<double>(n_));
+      p.model().add_constraint(std::move(conns), sense_, 0.0, cname);
+    } else {
+      p.model().add_constraint(std::move(conns), sense_, static_cast<double>(n_), cname);
+    }
+  }
+}
+
+std::string InConnImpliesOutConn::describe() const {
+  return "in_conn_implies_out_conn(" + in_.to_string() + ", " + mid_.to_string() + ", " +
+         out_.to_string() + ")";
+}
+
+void InConnImpliesOutConn::emit(Problem& p) const {
+  const ArchTemplate& t = p.arch_template();
+  for (NodeId b : t.select(mid_)) {
+    const milp::LinExpr outgoing = p.out_degree(b, out_);
+    // (2b): every single incoming edge implies at least one outgoing edge:
+    // e_ab <= sum_c e_bc  for each candidate a matching `in`.
+    for (std::int32_t idx : p.edges().in_edges(b)) {
+      const AdjacencyMatrix::Edge& e = p.edges().edge(idx);
+      if (!in_.matches(t.node(e.from))) continue;
+      milp::LinExpr c = milp::LinExpr(e.var) - outgoing;
+      p.model().add_constraint(std::move(c), milp::Sense::LE, 0.0,
+                               "in_implies_out(" + t.node(e.from).name + "->" +
+                                   t.node(b).name + ")");
+    }
+  }
+}
+
+std::string BidirectionalConnection::describe() const {
+  return "bidirectional_connection(" + a_.to_string() + ", " + b_.to_string() + ")";
+}
+
+void BidirectionalConnection::emit(Problem& p) const {
+  const ArchTemplate& t = p.arch_template();
+  for (NodeId a : t.select(a_)) {
+    for (NodeId b : t.select(b_)) {
+      if (a >= b && a_.to_string() == b_.to_string()) continue;  // emit each pair once
+      const milp::VarId fwd = p.edges().at(a, b);
+      const milp::VarId bwd = p.edges().at(b, a);
+      if (!fwd.valid() || !bwd.valid()) continue;
+      p.model().add_constraint(milp::LinExpr(fwd) - milp::LinExpr(bwd), milp::Sense::EQ, 0.0,
+                               "bidir(" + t.node(a).name + "<->" + t.node(b).name + ")");
+    }
+  }
+}
+
+void NoSelfLoops::emit(Problem& p) const {
+  // Self-loop candidates are structurally excluded by ArchTemplate; nothing
+  // to emit. Kept as an applied pattern for specification fidelity.
+  (void)p;
+}
+
+std::string CannotConnect::describe() const {
+  return "cannot_connect(" + from_.to_string() + ", " + to_.to_string() + ")";
+}
+
+namespace {
+
+/// How a node relates to a forbidden subtype: it can never have it, it
+/// always has it (when instantiated), or it depends on the mapping.
+enum class SubtypeMatch { kNever, kAlways, kDepends };
+
+SubtypeMatch classify_subtype(const Problem& p, NodeId v, const std::string& subtype) {
+  if (subtype.empty()) return SubtypeMatch::kAlways;  // no restriction => any
+  bool any = false;
+  bool all = true;
+  for (const LibraryMapping::Candidate& c : p.mapping().candidates(v)) {
+    if (p.library().at(c.lib).subtype == subtype) any = true;
+    else all = false;
+  }
+  if (!any) return SubtypeMatch::kNever;
+  return all ? SubtypeMatch::kAlways : SubtypeMatch::kDepends;
+}
+
+}  // namespace
+
+void CannotConnect::emit(Problem& p) const {
+  const ArchTemplate& t = p.arch_template();
+  // Type/tag matching is static; subtype matching follows the *mapping*
+  // (an EPN bus becomes HV or LV depending on the chosen component).
+  NodeFilter from_static = from_;
+  from_static.subtype.clear();
+  NodeFilter to_static = to_;
+  to_static.subtype.clear();
+
+  for (NodeId a : t.select(from_static)) {
+    const SubtypeMatch ma = classify_subtype(p, a, from_.subtype);
+    if (ma == SubtypeMatch::kNever) continue;
+    for (std::int32_t idx : p.edges().out_edges(a)) {
+      const AdjacencyMatrix::Edge& e = p.edges().edge(idx);
+      if (!to_static.matches(t.node(e.to))) continue;
+      const SubtypeMatch mb = classify_subtype(p, e.to, to_.subtype);
+      if (mb == SubtypeMatch::kNever) continue;
+      if (ma == SubtypeMatch::kAlways && mb == SubtypeMatch::kAlways) {
+        // Unconditionally forbidden: fix the edge variable to zero (presolve
+        // then removes it entirely).
+        p.model().tighten_bounds(e.var, 0.0, 0.0);
+        continue;
+      }
+      // Conditional: e_ab + [a has S1] + [b has S2] <= 2.
+      milp::LinExpr c = milp::LinExpr(e.var);
+      double rhs = 2.0;
+      if (ma == SubtypeMatch::kAlways) rhs -= 1.0;
+      else c += p.subtype_indicator(a, from_.subtype);
+      if (mb == SubtypeMatch::kAlways) rhs -= 1.0;
+      else c += p.subtype_indicator(e.to, to_.subtype);
+      p.model().add_constraint(std::move(c), milp::Sense::LE, rhs,
+                               "cannot(" + t.node(a).name + "->" + t.node(e.to).name + ")");
+    }
+  }
+}
+
+}  // namespace archex::patterns

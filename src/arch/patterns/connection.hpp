@@ -1,0 +1,106 @@
+/// \file connection.hpp
+/// Connection patterns of Table 1: constraints of form (2a)/(2b) and edge
+/// restrictions.
+#pragma once
+
+#include <string>
+
+#include "arch/arch_template.hpp"
+#include "arch/patterns/pattern.hpp"
+#include "milp/expr.hpp"
+
+namespace archex::patterns {
+
+/// Which endpoint the per-node count quantifies over.
+enum class CountSide {
+  kFrom,  ///< per node matching `from`: count its out-edges into `to`
+  kTo,    ///< per node matching `to`:   count its in-edges from `from`
+};
+
+/// `at_least_n_connections(T1, T2, N)` and its at-most / exactly variants
+/// (form (2a)): per quantified node, the number of candidate edges from
+/// `from` nodes to `to` nodes is >=, <= or == N.
+///
+/// With `only_if_used`, the bound becomes N * delta of the quantified node,
+/// so optional components are only constrained when instantiated.
+class NConnections final : public Pattern {
+ public:
+  NConnections(NodeFilter from, NodeFilter to, int n, milp::Sense sense,
+               bool only_if_used = false, CountSide side = CountSide::kFrom)
+      : from_(std::move(from)), to_(std::move(to)), n_(n), sense_(sense),
+        only_if_used_(only_if_used), side_(side) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter from_, to_;
+  int n_;
+  milp::Sense sense_;
+  bool only_if_used_;
+  CountSide side_;
+};
+
+/// `in_conn_implies_out_conn(Tin, T, Tout)` (form (2b)): if a node b
+/// matching `mid` has an incoming edge from a node matching `in`, it must
+/// have at least one outgoing edge to a node matching `out`.
+class InConnImpliesOutConn final : public Pattern {
+ public:
+  InConnImpliesOutConn(NodeFilter in, NodeFilter mid, NodeFilter out)
+      : in_(std::move(in)), mid_(std::move(mid)), out_(std::move(out)) {}
+
+  [[nodiscard]] std::string name() const override { return "in_conn_implies_out_conn"; }
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter in_, mid_, out_;
+};
+
+/// `bidirectional_connection(T1, T2)`: for every candidate pair (a, b) with
+/// both directed edges declared, e_ab == e_ba (the paper's undirected bus
+/// ties and junction conveyors).
+class BidirectionalConnection final : public Pattern {
+ public:
+  BidirectionalConnection(NodeFilter a, NodeFilter b) : a_(std::move(a)), b_(std::move(b)) {}
+
+  [[nodiscard]] std::string name() const override { return "bidirectional_connection"; }
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter a_, b_;
+};
+
+/// `no_self_loops(T)`: e_aa = 0. The template never declares self-loop
+/// candidates, so this emits nothing; it exists for specification fidelity
+/// (a spec file listing it parses and applies cleanly).
+class NoSelfLoops final : public Pattern {
+ public:
+  explicit NoSelfLoops(NodeFilter t) : t_(std::move(t)) {}
+
+  [[nodiscard]] std::string name() const override { return "no_self_loops"; }
+  [[nodiscard]] std::string describe() const override { return "no_self_loops(" + t_.to_string() + ")"; }
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter t_;
+};
+
+/// `cannot_connect(T1, S1', T2, S2')`: forbids every edge from nodes
+/// matching `from` to nodes matching `to` (e.g. HV components may not feed
+/// LV components directly).
+class CannotConnect final : public Pattern {
+ public:
+  CannotConnect(NodeFilter from, NodeFilter to) : from_(std::move(from)), to_(std::move(to)) {}
+
+  [[nodiscard]] std::string name() const override { return "cannot_connect"; }
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter from_, to_;
+};
+
+}  // namespace archex::patterns

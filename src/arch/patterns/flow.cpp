@@ -1,0 +1,128 @@
+#include "arch/patterns/flow.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "arch/component.hpp"
+#include "arch/problem.hpp"
+
+namespace archex::patterns {
+
+namespace {
+
+const FlowCommodity& require_flow(Problem& p, const std::string& name,
+                                  const std::string& pattern) {
+  const FlowCommodity* f = p.find_flow(name);
+  if (f == nullptr) {
+    throw std::invalid_argument(pattern + ": unknown flow commodity '" + name +
+                                "' (apply the pattern creating it first)");
+  }
+  return *f;
+}
+
+std::vector<std::string> all_commodities(const Problem& p) {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : p.flows()) out.push_back(name);
+  return out;
+}
+
+}  // namespace
+
+void FlowBalance::emit(Problem& p) const {
+  const std::vector<std::string> names =
+      commodities_.empty() ? all_commodities(p) : commodities_;
+  for (const std::string& cname : names) {
+    const FlowCommodity& f = require_flow(p, cname, "flow_balance");
+    for (NodeId v : p.arch_template().select(filter_)) {
+      milp::LinExpr bal = p.flow_in(f, v);
+      bal -= p.flow_out(f, v);
+      if (bal.size() == 0) continue;  // node carries no candidate flow
+      p.model().add_constraint(std::move(bal), milp::Sense::EQ, 0.0,
+                               "flow_balance[" + cname + "](" +
+                                   p.arch_template().node(v).name + ")");
+    }
+  }
+}
+
+void NoOverloads::emit(Problem& p) const {
+  std::vector<std::vector<std::string>> groups = groups_;
+  if (groups.empty()) {
+    // Group existing commodities by their "<prefix>:" naming convention, so
+    // all products of one operation mode are summed against the throughput.
+    std::map<std::string, std::vector<std::string>> by_prefix;
+    for (const std::string& c : all_commodities(p)) {
+      const std::size_t colon = c.find(':');
+      by_prefix[colon == std::string::npos ? c : c.substr(0, colon)].push_back(c);
+    }
+    for (auto& [_, names] : by_prefix) groups.push_back(std::move(names));
+  }
+  for (NodeId v : p.arch_template().select(filter_)) {
+    // Mapped throughput mu_j = sum_i m_ij mu_i.
+    const milp::LinExpr mu = p.node_attr(v, attr::kThroughput);
+    for (const auto& group : groups) {
+      milp::LinExpr in;
+      std::string gname;
+      for (const std::string& cname : group) {
+        in += p.flow_in(require_flow(p, cname, "no_overloads"), v);
+        gname += (gname.empty() ? "" : "+") + cname;
+      }
+      if (in.size() == 0) continue;
+      in -= mu;
+      p.model().add_constraint(std::move(in), milp::Sense::LE, 0.0,
+                               "no_overload[" + gname + "](" +
+                                   p.arch_template().node(v).name + ")");
+    }
+  }
+}
+
+void CapacityLimit::emit(Problem& p) const {
+  std::vector<std::string> names = commodities_.empty() ? all_commodities(p) : commodities_;
+  for (NodeId v : p.arch_template().select(filter_)) {
+    milp::LinExpr in;
+    for (const std::string& cname : names) {
+      in += p.flow_in(require_flow(p, cname, "capacity_limit"), v);
+    }
+    if (in.size() == 0) continue;
+    in -= p.node_attr(v, attr_);
+    p.model().add_constraint(std::move(in), milp::Sense::LE, 0.0,
+                             "capacity[" + attr_ + "](" +
+                                 p.arch_template().node(v).name + ")");
+  }
+}
+
+std::string SourceRate::describe() const {
+  std::ostringstream os;
+  os << "source_rate(" << commodity_ << ", " << filter_.to_string() << ", " << rate_ << ")";
+  return os.str();
+}
+
+void SourceRate::emit(Problem& p) const {
+  const FlowCommodity& f = require_flow(p, commodity_, "source_rate");
+  for (NodeId v : p.arch_template().select(filter_)) {
+    milp::LinExpr net = p.flow_out(f, v);
+    net -= p.flow_in(f, v);
+    p.model().add_constraint(std::move(net), milp::Sense::EQ, rate_,
+                             "source_rate[" + commodity_ + "](" +
+                                 p.arch_template().node(v).name + ")");
+  }
+}
+
+std::string SinkDemand::describe() const {
+  std::ostringstream os;
+  os << "sink_demand(" << commodity_ << ", " << filter_.to_string() << ", " << rate_ << ")";
+  return os.str();
+}
+
+void SinkDemand::emit(Problem& p) const {
+  const FlowCommodity& f = require_flow(p, commodity_, "sink_demand");
+  for (NodeId v : p.arch_template().select(filter_)) {
+    milp::LinExpr net = p.flow_in(f, v);
+    net -= p.flow_out(f, v);
+    p.model().add_constraint(std::move(net), milp::Sense::EQ, rate_,
+                             "sink_demand[" + commodity_ + "](" +
+                                 p.arch_template().node(v).name + ")");
+  }
+}
+
+}  // namespace archex::patterns

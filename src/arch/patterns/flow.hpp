@@ -1,0 +1,117 @@
+/// \file flow.hpp
+/// Flow and workload patterns of Table 1: balance equations (4) and
+/// overload bounds (5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_template.hpp"
+#include "arch/patterns/pattern.hpp"
+
+namespace archex::patterns {
+
+/// `flow_balance(T, S')`: at every node matching the filter, incoming flow
+/// equals outgoing flow, per listed commodity (equation (4), linearized by
+/// the commodity's capacity coupling). Empty commodity list = every
+/// commodity existing at emit time.
+class FlowBalance final : public Pattern {
+ public:
+  FlowBalance(NodeFilter filter, std::vector<std::string> commodities = {})
+      : filter_(std::move(filter)), commodities_(std::move(commodities)) {}
+
+  [[nodiscard]] std::string name() const override { return "flow_balance"; }
+  [[nodiscard]] std::string describe() const override {
+    return "flow_balance(" + filter_.to_string() + ")";
+  }
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter filter_;
+  std::vector<std::string> commodities_;
+};
+
+/// `no_overloads(T, S')`: at every node matching the filter, the summed
+/// incoming flow of each commodity group stays below the node's mapped
+/// throughput: sum_in lambda <= mu_j = sum_i m_ij mu_i (equation (5)).
+///
+/// Each inner vector is one group whose flows are summed (e.g. all products
+/// processed simultaneously in one operation mode); each group gets its own
+/// bound. Empty groups = one singleton group per existing commodity.
+class NoOverloads final : public Pattern {
+ public:
+  NoOverloads(NodeFilter filter, std::vector<std::vector<std::string>> groups = {})
+      : filter_(std::move(filter)), groups_(std::move(groups)) {}
+
+  [[nodiscard]] std::string name() const override { return "no_overloads"; }
+  [[nodiscard]] std::string describe() const override {
+    return "no_overloads(" + filter_.to_string() + ")";
+  }
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter filter_;
+  std::vector<std::vector<std::string>> groups_;
+};
+
+/// `capacity_limit(T, S', attr, commodities...)` (ArchEx-cpp extension):
+/// bounds the summed incoming flow of the listed commodities at every node
+/// matching the filter by the node's *mapped* value of an arbitrary
+/// capacity attribute: sum_in lambda <= attr_j(m). `no_overloads` is the
+/// special case attr = "mu"; the EPN's bus power capacities b (Table 2) use
+/// attr = "power". Empty commodity list = every commodity.
+class CapacityLimit final : public Pattern {
+ public:
+  CapacityLimit(NodeFilter filter, std::string attr_key,
+                std::vector<std::string> commodities = {})
+      : filter_(std::move(filter)), attr_(std::move(attr_key)),
+        commodities_(std::move(commodities)) {}
+
+  [[nodiscard]] std::string name() const override { return "capacity_limit"; }
+  [[nodiscard]] std::string describe() const override {
+    return "capacity_limit(" + filter_.to_string() + ", " + attr_ + ")";
+  }
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter filter_;
+  std::string attr_;
+  std::vector<std::string> commodities_;
+};
+
+/// `source_rate(commodity, T, rate)`: every node matching the filter emits
+/// exactly `rate` net outgoing flow of the commodity (flow production at
+/// sources). Used by domain patterns to pin operation-mode rates.
+class SourceRate final : public Pattern {
+ public:
+  SourceRate(std::string commodity, NodeFilter filter, double rate)
+      : commodity_(std::move(commodity)), filter_(std::move(filter)), rate_(rate) {}
+
+  [[nodiscard]] std::string name() const override { return "source_rate"; }
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+
+ private:
+  std::string commodity_;
+  NodeFilter filter_;
+  double rate_;
+};
+
+/// `sink_demand(commodity, T, rate)`: every node matching the filter absorbs
+/// exactly `rate` net incoming flow of the commodity.
+class SinkDemand final : public Pattern {
+ public:
+  SinkDemand(std::string commodity, NodeFilter filter, double rate)
+      : commodity_(std::move(commodity)), filter_(std::move(filter)), rate_(rate) {}
+
+  [[nodiscard]] std::string name() const override { return "sink_demand"; }
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+
+ private:
+  std::string commodity_;
+  NodeFilter filter_;
+  double rate_;
+};
+
+}  // namespace archex::patterns

@@ -1,0 +1,160 @@
+#include "arch/patterns/general.hpp"
+
+#include <algorithm>
+
+#include "arch/problem.hpp"
+
+namespace archex::patterns {
+
+void AtLeastNComponents::emit(Problem& p) const {
+  milp::LinExpr total;
+  for (NodeId j : p.arch_template().select(filter_)) {
+    total += milp::LinExpr(p.instantiated(j));
+  }
+  p.model().add_constraint(std::move(total), milp::Sense::GE, static_cast<double>(n_),
+                           "n_components(" + filter_.to_string() + ")");
+}
+
+namespace {
+
+/// Common body of the two disjoint-path emitters. With an empty trigger
+/// list the demand is unconditional; otherwise one conditional demand row is
+/// emitted per trigger edge.
+void emit_disjoint_paths_impl(Problem& p, const std::vector<NodeId>& sources, NodeId target,
+                              int k, const std::vector<milp::VarId>* triggers,
+                              bool disjoint_sources, const std::string& tag) {
+  const ArchTemplate& t = p.arch_template();
+  const std::string& tname = t.node(target).name;
+  // Requirements with the same tag+target share one commodity: only the
+  // demand rows differ (e.g. a hub serving both critical and sheddable
+  // loads), so the structural rows are emitted once.
+  const std::string fname = "paths[" + tag + ":" + tname + "]";
+  const bool fresh = p.find_flow(fname) == nullptr;
+  FlowCommodity& f = p.flow(fname, 1.0);
+
+  auto is_source = [&](NodeId v) {
+    return std::find(sources.begin(), sources.end(), v) != sources.end();
+  };
+
+  for (std::size_t j = 0; j < t.num_nodes(); ++j) {
+    const NodeId v = static_cast<NodeId>(j);
+    if (!fresh && v != target) continue;  // structural rows already present
+    milp::LinExpr in = p.flow_in(f, v);
+    milp::LinExpr out = p.flow_out(f, v);
+    const std::string& vn = t.node(v).name;
+
+    if (v == target) {
+      // Strengthening cuts implied by k vertex-disjoint paths: the target
+      // sees >= k distinct in-edges, >= k distinct sources are instantiated,
+      // and the sources emit >= k distinct out-edges. These pure-binary
+      // inequalities give the LP relaxation integer structure the fractional
+      // flow alone cannot (fixed-charge network-design bound tightening).
+      milp::LinExpr in_edges = p.in_degree(v);
+      milp::LinExpr src_used;
+      milp::LinExpr src_out;
+      if (disjoint_sources) {
+        for (NodeId s : sources) {
+          src_used += milp::LinExpr(p.instantiated(s));
+          src_out += p.out_degree(s);
+        }
+      }
+      auto add_demand = [&](milp::LinExpr lhs, double rhs, const char* what, int idx) {
+        p.model().add_constraint(std::move(lhs), milp::Sense::GE, rhs,
+                                 std::string(what) + "[" + tag + "](" + tname + "#" +
+                                     std::to_string(idx) + ")");
+      };
+      if (triggers == nullptr) {
+        add_demand(in - out, k, "paths_demand", 0);
+        add_demand(std::move(in_edges), k, "paths_cut_in", 0);
+        if (disjoint_sources) {
+          add_demand(std::move(src_used), k, "paths_cut_src", 0);
+          add_demand(std::move(src_out), k, "paths_cut_srcout", 0);
+        }
+      } else {
+        int idx = 0;
+        for (milp::VarId trig : *triggers) {
+          milp::LinExpr c = in;
+          c -= out;
+          c.add_term(trig, -static_cast<double>(k));
+          add_demand(std::move(c), 0.0, "paths_demand", idx);
+          milp::LinExpr cut1 = in_edges;
+          cut1.add_term(trig, -static_cast<double>(k));
+          add_demand(std::move(cut1), 0.0, "paths_cut_in", idx);
+          if (disjoint_sources) {
+            milp::LinExpr cut2 = src_used;
+            cut2.add_term(trig, -static_cast<double>(k));
+            add_demand(std::move(cut2), 0.0, "paths_cut_src", idx);
+            milp::LinExpr cut3 = src_out;
+            cut3.add_term(trig, -static_cast<double>(k));
+            add_demand(std::move(cut3), 0.0, "paths_cut_srcout", idx);
+          }
+          ++idx;
+        }
+      }
+    } else if (is_source(v)) {
+      if (disjoint_sources) {
+        // Each source originates at most one of the disjoint paths.
+        p.model().add_constraint(out - in, milp::Sense::LE, 1.0,
+                                 "paths_src[" + tag + "](" + vn + "->" + tname + ")");
+      }
+    } else {
+      // Conservation at intermediates...
+      if (in.size() + out.size() > 0) {
+        milp::LinExpr bal = in;
+        bal -= out;
+        p.model().add_constraint(std::move(bal), milp::Sense::EQ, 0.0,
+                                 "paths_bal[" + tag + "](" + vn + "->" + tname + ")");
+      }
+      // ... and unit vertex capacity (vertex-disjointness).
+      if (in.size() > 0) {
+        p.model().add_constraint(p.flow_in(f, v), milp::Sense::LE, 1.0,
+                                 "paths_cap[" + tag + "](" + vn + "->" + tname + ")");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void emit_disjoint_paths(Problem& p, const std::vector<NodeId>& sources, NodeId target, int k,
+                         bool disjoint_sources, const std::string& tag) {
+  emit_disjoint_paths_impl(p, sources, target, k, nullptr, disjoint_sources, tag);
+}
+
+void emit_disjoint_paths_conditional(Problem& p, const std::vector<NodeId>& sources,
+                                     NodeId target, int k,
+                                     const std::vector<milp::VarId>& trigger_edges,
+                                     bool disjoint_sources, const std::string& tag) {
+  emit_disjoint_paths_impl(p, sources, target, k, &trigger_edges, disjoint_sources, tag);
+}
+
+void SinksConnectedToSources::emit(Problem& p) const {
+  const ArchTemplate& t = p.arch_template();
+  const std::vector<NodeId> sources = t.select(sources_);
+  const std::vector<NodeId> sinks = t.select(sinks_);
+  FlowCommodity& f = p.flow("connected[" + sources_.to_string() + "->" + sinks_.to_string() +
+                                "]",
+                            static_cast<double>(sinks.size()));
+  auto contains = [](const std::vector<NodeId>& v, NodeId x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  for (std::size_t j = 0; j < t.num_nodes(); ++j) {
+    const NodeId v = static_cast<NodeId>(j);
+    if (contains(sources, v)) continue;  // sources inject freely
+    milp::LinExpr net = p.flow_in(f, v);
+    net -= p.flow_out(f, v);
+    if (net.size() == 0) continue;
+    const double demand = contains(sinks, v) ? 1.0 : 0.0;
+    p.model().add_constraint(std::move(net), milp::Sense::EQ, demand,
+                             "connected(" + t.node(v).name + ")");
+  }
+}
+
+void AtLeastNPaths::emit(Problem& p) const {
+  const std::vector<NodeId> sources = p.arch_template().select(from_);
+  for (NodeId target : p.arch_template().select(to_)) {
+    emit_disjoint_paths(p, sources, target, n_, disjoint_sources_, "np" + std::to_string(n_));
+  }
+}
+
+}  // namespace archex::patterns

@@ -1,0 +1,95 @@
+/// \file general.hpp
+/// General patterns of Table 1: component counts and redundant paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_template.hpp"
+#include "arch/patterns/pattern.hpp"
+#include "milp/expr.hpp"
+
+namespace archex::patterns {
+
+/// `at_least_n_components(T, S', N)`: at least N instantiated components
+/// matching the filter: sum(delta_j) >= N.
+class AtLeastNComponents final : public Pattern {
+ public:
+  AtLeastNComponents(NodeFilter filter, int n) : filter_(std::move(filter)), n_(n) {}
+
+  [[nodiscard]] std::string name() const override { return "at_least_n_components"; }
+  [[nodiscard]] std::string describe() const override {
+    return "at_least_n_components(" + filter_.to_string() + ", " + std::to_string(n_) + ")";
+  }
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter filter_;
+  int n_;
+};
+
+/// `at_least_n_paths(T1, T2, N)`: for every node t matching `to`, at least N
+/// internally vertex-disjoint paths from nodes matching `from` to t must
+/// exist in the selected configuration.
+///
+/// Encoding: one unit-capacity flow commodity per target. Flow variables are
+/// continuous — with the edge binaries fixed the flow polytope is integral,
+/// so a feasible fractional flow of value N certifies N disjoint paths
+/// (Menger). `disjoint_sources` additionally caps each source's contribution
+/// at one path (required when sources themselves can fail, as in the EPN).
+class AtLeastNPaths final : public Pattern {
+ public:
+  AtLeastNPaths(NodeFilter from, NodeFilter to, int n, bool disjoint_sources = true)
+      : from_(std::move(from)), to_(std::move(to)), n_(n), disjoint_sources_(disjoint_sources) {}
+
+  [[nodiscard]] std::string name() const override { return "at_least_n_paths"; }
+  [[nodiscard]] std::string describe() const override {
+    return "at_least_n_paths(" + from_.to_string() + ", " + to_.to_string() + ", " +
+           std::to_string(n_) + ")";
+  }
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter from_, to_;
+  int n_;
+  bool disjoint_sources_;
+};
+
+/// `sinks_connected_to_sources(T1, T2)` (ArchEx-cpp extension): every node
+/// matching `sinks` must be reachable from some node matching `sources` in
+/// the selected configuration. One shared flow commodity with unit demand
+/// per sink — much cheaper than a disjoint-path requirement and the natural
+/// base-connectivity requirement of the lazy algorithm's first iteration.
+class SinksConnectedToSources final : public Pattern {
+ public:
+  SinksConnectedToSources(NodeFilter sources, NodeFilter sinks)
+      : sources_(std::move(sources)), sinks_(std::move(sinks)) {}
+
+  [[nodiscard]] std::string name() const override { return "sinks_connected_to_sources"; }
+  [[nodiscard]] std::string describe() const override {
+    return "sinks_connected_to_sources(" + sources_.to_string() + ", " + sinks_.to_string() +
+           ")";
+  }
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter sources_, sinks_;
+};
+
+/// Shared emitter for disjoint-path requirements (used by AtLeastNPaths and
+/// the reliability pattern, and directly by the lazy algorithm's learning
+/// step). `tag` disambiguates the flow commodity name so repeated or
+/// strengthened requirements for the same target do not collide.
+void emit_disjoint_paths(Problem& p, const std::vector<NodeId>& sources, NodeId target, int k,
+                         bool disjoint_sources, const std::string& tag);
+
+/// Conditional variant: the k-disjoint-path demand at `target` is only
+/// enforced when a trigger edge is selected — one row `in - out >= k * e`
+/// per trigger. Used for hub-level reliability (the EPN's "if this DC bus
+/// serves a critical load, it needs k disjoint generator paths").
+void emit_disjoint_paths_conditional(Problem& p, const std::vector<NodeId>& sources,
+                                     NodeId target, int k,
+                                     const std::vector<milp::VarId>& trigger_edges,
+                                     bool disjoint_sources, const std::string& tag);
+
+}  // namespace archex::patterns

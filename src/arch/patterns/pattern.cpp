@@ -1,0 +1,92 @@
+#include "arch/patterns/pattern.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace archex {
+
+std::string to_string(const PatternArg& a) {
+  if (const auto* s = std::get_if<std::string>(&a)) return *s;
+  std::ostringstream os;
+  os << std::get<double>(a);
+  return os.str();
+}
+
+void register_builtin_patterns(PatternRegistry& reg);  // defined in builtin.cpp
+
+PatternRegistry& PatternRegistry::instance() {
+  static PatternRegistry* reg = [] {
+    auto* r = new PatternRegistry;
+    register_builtin_patterns(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void PatternRegistry::register_pattern(const std::string& name, Factory factory) {
+  if (factories_.count(name) > 0) {
+    throw std::invalid_argument("PatternRegistry: duplicate pattern " + name);
+  }
+  factories_.emplace(name, std::move(factory));
+}
+
+std::vector<std::string> PatternRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+std::shared_ptr<Pattern> PatternRegistry::create(const std::string& name,
+                                                 const std::vector<PatternArg>& args) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("PatternRegistry: unknown pattern '" + name + "'");
+  }
+  return it->second(args);
+}
+
+namespace pattern_detail {
+
+void check_arity(const std::vector<PatternArg>& args, std::size_t min_args,
+                 std::size_t max_args, const std::string& pattern) {
+  if (args.size() < min_args || args.size() > max_args) {
+    throw std::invalid_argument(pattern + ": expected between " + std::to_string(min_args) +
+                                " and " + std::to_string(max_args) + " arguments, got " +
+                                std::to_string(args.size()));
+  }
+}
+
+std::string arg_string(const std::vector<PatternArg>& args, std::size_t i,
+                       const std::string& pattern) {
+  if (i >= args.size() || !std::holds_alternative<std::string>(args[i])) {
+    throw std::invalid_argument(pattern + ": argument " + std::to_string(i + 1) +
+                                " must be a string");
+  }
+  return std::get<std::string>(args[i]);
+}
+
+double arg_number(const std::vector<PatternArg>& args, std::size_t i,
+                  const std::string& pattern) {
+  if (i >= args.size() || !std::holds_alternative<double>(args[i])) {
+    throw std::invalid_argument(pattern + ": argument " + std::to_string(i + 1) +
+                                " must be a number");
+  }
+  return std::get<double>(args[i]);
+}
+
+std::string arg_string_or(const std::vector<PatternArg>& args, std::size_t i,
+                          std::string fallback) {
+  if (i >= args.size()) return fallback;
+  if (const auto* s = std::get_if<std::string>(&args[i])) return *s;
+  return fallback;
+}
+
+double arg_number_or(const std::vector<PatternArg>& args, std::size_t i, double fallback) {
+  if (i >= args.size()) return fallback;
+  if (const auto* d = std::get_if<double>(&args[i])) return *d;
+  return fallback;
+}
+
+}  // namespace pattern_detail
+}  // namespace archex

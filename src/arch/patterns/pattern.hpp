@@ -1,0 +1,89 @@
+/// \file pattern.hpp
+/// Requirement patterns (Sec. 3, Table 1).
+///
+/// A pattern is a named, parameterized requirement that knows how to
+/// translate itself into MILP constraints over the problem's decision
+/// variables. Patterns are the user-facing specification language: a system
+/// developer writes `exactly_n_connections(L, D, 1)` instead of the raw
+/// linear constraints, and the pattern emits them through Problem's
+/// accessors.
+///
+/// The set is extensible (the paper's key usability claim): domain-specific
+/// patterns (EPN's has_sufficient_power, RPL's has_operation_mode) implement
+/// the same interface and register themselves in the same registry the
+/// problem-description parser resolves names through.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace archex {
+
+class Problem;
+
+/// Base class of all requirement patterns.
+class Pattern {
+ public:
+  virtual ~Pattern() = default;
+
+  /// Pattern name as written in specification files, e.g.
+  /// "at_least_n_connections".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Human-readable rendering with arguments, e.g.
+  /// "at_least_n_connections(G, A, 1)".
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Translates the requirement into MILP constraints on `p`.
+  virtual void emit(Problem& p) const = 0;
+};
+
+/// Argument of a pattern as written in a specification file: a string
+/// (type/subtype/tag/filter) or a number.
+using PatternArg = std::variant<std::string, double>;
+
+[[nodiscard]] std::string to_string(const PatternArg& a);
+
+/// Factory registry: resolves pattern names from specification files to
+/// constructed Pattern objects. Built-in patterns are pre-registered;
+/// domains register their own (extensibility).
+class PatternRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<Pattern>(const std::vector<PatternArg>&)>;
+
+  /// The process-wide registry with all built-in patterns registered.
+  static PatternRegistry& instance();
+
+  /// Registers a factory; throws std::invalid_argument on duplicate names.
+  void register_pattern(const std::string& name, Factory factory);
+  [[nodiscard]] bool contains(const std::string& name) const { return factories_.count(name) > 0; }
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Creates a pattern; throws std::invalid_argument for unknown names or
+  /// arity/type mismatches (factories validate their own arguments).
+  [[nodiscard]] std::shared_ptr<Pattern> create(const std::string& name,
+                                                const std::vector<PatternArg>& args) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Argument-unpacking helpers shared by pattern factories.
+namespace pattern_detail {
+[[nodiscard]] std::string arg_string(const std::vector<PatternArg>& args, std::size_t i,
+                                     const std::string& pattern);
+[[nodiscard]] double arg_number(const std::vector<PatternArg>& args, std::size_t i,
+                                const std::string& pattern);
+[[nodiscard]] std::string arg_string_or(const std::vector<PatternArg>& args, std::size_t i,
+                                        std::string fallback);
+[[nodiscard]] double arg_number_or(const std::vector<PatternArg>& args, std::size_t i,
+                                   double fallback);
+void check_arity(const std::vector<PatternArg>& args, std::size_t min_args,
+                 std::size_t max_args, const std::string& pattern);
+}  // namespace pattern_detail
+
+}  // namespace archex

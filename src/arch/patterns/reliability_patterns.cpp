@@ -1,0 +1,103 @@
+#include "arch/patterns/reliability_patterns.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "arch/patterns/general.hpp"
+#include "arch/problem.hpp"
+#include "reliability/reliability.hpp"
+
+namespace archex::patterns {
+
+void MinRedundantComponents::emit(Problem& p) const {
+  milp::LinExpr total;
+  for (NodeId j : p.arch_template().select(filter_)) {
+    total += milp::LinExpr(p.instantiated(j));
+  }
+  p.model().add_constraint(std::move(total), milp::Sense::GE, static_cast<double>(n_),
+                           "redundant(" + filter_.to_string() + ")");
+}
+
+std::string MaxFailprobOfConnection::describe() const {
+  std::ostringstream os;
+  os << "max_failprob_of_connection(" << from_.to_string() << ", " << to_.to_string() << ", "
+     << threshold_ << ")";
+  return os.str();
+}
+
+int MaxFailprobOfConnection::required_paths(const Problem& p) const {
+  const double path_p = path_fail_prob_ > 0.0 ? path_fail_prob_ : p.path_fail_prob_estimate();
+  return reliability::required_disjoint_paths(threshold_, path_p);
+}
+
+void MaxFailprobOfConnection::emit(Problem& p) const {
+  const int k = required_paths(p);
+  const std::vector<NodeId> sources = p.arch_template().select(from_);
+  for (NodeId target : p.arch_template().select(to_)) {
+    emit_disjoint_paths(p, sources, target, k, /*disjoint_sources=*/true,
+                        "rel" + std::to_string(k));
+  }
+}
+
+std::string MaxFailprobViaHub::describe() const {
+  std::ostringstream os;
+  os << "max_failprob_of_connection(" << from_.to_string() << ", " << via_.to_string()
+     << ", " << to_.to_string() << ", " << threshold_ << ")";
+  return os.str();
+}
+
+int MaxFailprobViaHub::required_paths(const Problem& p) const {
+  const double path_p = path_fail_prob_ > 0.0 ? path_fail_prob_ : p.path_fail_prob_estimate();
+  return reliability::required_disjoint_paths(threshold_, path_p);
+}
+
+void MaxFailprobViaHub::emit(Problem& p) const {
+  const int k = required_paths(p);
+  const ArchTemplate& t = p.arch_template();
+  const std::vector<NodeId> sources = t.select(from_);
+  for (NodeId hub : t.select(via_)) {
+    // Trigger edges: candidate connections from this hub to matching sinks.
+    std::vector<milp::VarId> triggers;
+    for (std::int32_t idx : p.edges().out_edges(hub)) {
+      const AdjacencyMatrix::Edge& e = p.edges().edge(idx);
+      if (to_.matches(t.node(e.to))) triggers.push_back(e.var);
+    }
+    if (triggers.empty()) continue;
+    // Shared tag: hubs serving several sink classes (critical + sheddable)
+    // reuse one flow commodity; only the conditional demand rows differ.
+    emit_disjoint_paths_conditional(p, sources, hub, k, triggers, /*disjoint_sources=*/true,
+                                    "relh");
+  }
+
+  // Stage cuts over the functional flow: k vertex-disjoint source->hub paths
+  // use k distinct components of *every* stage type between the sources and
+  // the hubs (paths follow the flow chain, same-type ties included). Summing
+  // a sink's hub-assignment edges makes the cut immune to fractional
+  // assignment splitting: sum_d e_{d,sink} is 1 whenever the sink is served.
+  const std::vector<std::string>& flow = p.functional_flow();
+  std::vector<std::string> stage_types;
+  if (!from_.type.empty() && !via_.type.empty()) {
+    const auto s = std::find(flow.begin(), flow.end(), from_.type);
+    const auto h = std::find(flow.begin(), flow.end(), via_.type);
+    if (s != flow.end() && h != flow.end() && s < h) stage_types.assign(s, h);
+  }
+  for (NodeId sink : t.select(to_)) {
+    milp::LinExpr assignment;  // sum over candidate hub edges into this sink
+    for (std::int32_t idx : p.edges().in_edges(sink)) {
+      const AdjacencyMatrix::Edge& e = p.edges().edge(idx);
+      if (via_.matches(t.node(e.from))) assignment += milp::LinExpr(e.var);
+    }
+    if (assignment.size() == 0) continue;
+    for (const std::string& type : stage_types) {
+      milp::LinExpr cut;
+      for (NodeId v : t.select(NodeFilter::of_type(type))) {
+        cut += milp::LinExpr(p.instantiated(v));
+      }
+      cut -= static_cast<double>(k) * assignment;
+      p.model().add_constraint(std::move(cut), milp::Sense::GE, 0.0,
+                               "stage_cut[" + type + "](" + t.node(sink).name + ")");
+    }
+  }
+}
+
+}  // namespace archex::patterns

@@ -1,0 +1,85 @@
+/// \file reliability_patterns.hpp
+/// Reliability patterns of Table 1, using the redundant-path MILP encoding
+/// (after [3]; see DESIGN.md for the substitution rationale).
+#pragma once
+
+#include <string>
+
+#include "arch/arch_template.hpp"
+#include "arch/patterns/pattern.hpp"
+
+namespace archex::patterns {
+
+/// `min_redundant_components(T, N)`: at least N instantiated components of
+/// the given type/subtype — structural redundancy against component loss.
+class MinRedundantComponents final : public Pattern {
+ public:
+  MinRedundantComponents(NodeFilter filter, int n) : filter_(std::move(filter)), n_(n) {}
+
+  [[nodiscard]] std::string name() const override { return "min_redundant_components"; }
+  [[nodiscard]] std::string describe() const override {
+    return "min_redundant_components(" + filter_.to_string() + ", " + std::to_string(n_) + ")";
+  }
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter filter_;
+  int n_;
+};
+
+/// `max_failprob_of_connection(T1, T2, theta)`: the functional link from
+/// nodes matching `from` to every node matching `to` fails with probability
+/// at most theta.
+///
+/// Eager MILP encoding: the threshold is converted into a required number of
+/// end-to-end vertex-disjoint paths k(theta) via the estimated path failure
+/// probability (Problem::path_fail_prob_estimate, overridable), and
+/// translated with the disjoint-path flow encoding. With the paper's EPN
+/// numbers (p = 2e-4, 4 failure-prone stages) this yields k = 2 for
+/// theta = 1e-5 and k = 3 for theta = 1e-9, matching Fig. 3's progression.
+class MaxFailprobOfConnection final : public Pattern {
+ public:
+  MaxFailprobOfConnection(NodeFilter from, NodeFilter to, double threshold,
+                          double path_fail_prob_override = 0.0)
+      : from_(std::move(from)), to_(std::move(to)), threshold_(threshold),
+        path_fail_prob_(path_fail_prob_override) {}
+
+  [[nodiscard]] std::string name() const override { return "max_failprob_of_connection"; }
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+
+  /// The k(theta) this instance resolves to on problem `p`.
+  [[nodiscard]] int required_paths(const Problem& p) const;
+
+ private:
+  NodeFilter from_, to_;
+  double threshold_;
+  double path_fail_prob_;
+};
+
+/// Hub-level variant of max_failprob_of_connection: sinks matching `to`
+/// attach to exactly one hub matching `via` (EPN loads to DC buses), and the
+/// redundancy requirement applies to the hub *conditionally on serving such
+/// a sink*: for every candidate edge (h, s), if e_hs is selected then h must
+/// have k(theta) vertex-disjoint source paths. This reflects the paper's
+/// functional-link semantics where loads and contactors are perfect and the
+/// link is measured up to the serving bus (see DESIGN.md).
+class MaxFailprobViaHub final : public Pattern {
+ public:
+  MaxFailprobViaHub(NodeFilter from, NodeFilter via, NodeFilter to, double threshold,
+                    double path_fail_prob_override = 0.0)
+      : from_(std::move(from)), via_(std::move(via)), to_(std::move(to)),
+        threshold_(threshold), path_fail_prob_(path_fail_prob_override) {}
+
+  [[nodiscard]] std::string name() const override { return "max_failprob_of_connection"; }
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+  [[nodiscard]] int required_paths(const Problem& p) const;
+
+ private:
+  NodeFilter from_, via_, to_;
+  double threshold_;
+  double path_fail_prob_;
+};
+
+}  // namespace archex::patterns

@@ -1,0 +1,156 @@
+#include "arch/patterns/timing.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "arch/component.hpp"
+#include "arch/problem.hpp"
+#include "graph/digraph.hpp"
+
+namespace archex::patterns {
+
+namespace {
+
+/// Conservative big-M for delay propagation: no arrival time can exceed the
+/// sum over all nodes of their largest candidate delay.
+double delay_big_m(const Problem& p) {
+  double total = 1.0;
+  for (std::size_t j = 0; j < p.arch_template().num_nodes(); ++j) {
+    double worst = 0.0;
+    for (const LibraryMapping::Candidate& c :
+         p.mapping().candidates(static_cast<NodeId>(j))) {
+      worst = std::max(worst, p.library().at(c.lib).attr_or(attr::kDelay));
+    }
+    total += worst;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::string MaxCycleTime::describe() const {
+  std::ostringstream os;
+  os << "max_cycle_time(" << sinks_.to_string() << ", " << bound_ << ")";
+  return os.str();
+}
+
+void MaxCycleTime::emit(Problem& p) const {
+  if (p.functional_flow().empty()) {
+    throw std::logic_error("max_cycle_time: set_functional_flow must be called first");
+  }
+  if (encoding_ == CycleTimeEncoding::kArrivalTime) emit_arrival(p);
+  else emit_paths(p);
+}
+
+void MaxCycleTime::emit_arrival(Problem& p) const {
+  const ArchTemplate& t = p.arch_template();
+  const double big_m = delay_big_m(p);
+  const std::vector<NodeId> sources = p.source_nodes();
+
+  // One arrival variable per node (created per pattern instance; multiple
+  // instances with different bounds share nothing, which keeps them
+  // independent).
+  std::vector<milp::VarId> arrival(t.num_nodes());
+  for (std::size_t j = 0; j < t.num_nodes(); ++j) {
+    arrival[j] = p.model().add_continuous(0.0, big_m,
+                                          "arr(" + t.node(static_cast<NodeId>(j)).name + ")");
+  }
+  for (NodeId s : sources) {
+    // a_s == tau_s(m).
+    milp::LinExpr c = milp::LinExpr(arrival[static_cast<std::size_t>(s)]);
+    c -= p.node_attr(s, attr::kDelay);
+    p.model().add_constraint(std::move(c), milp::Sense::EQ, 0.0,
+                             "arr_src(" + t.node(s).name + ")");
+  }
+  for (const AdjacencyMatrix::Edge& e : p.edges().edges()) {
+    // a_to >= a_from + tau_to(m) - M (1 - e).
+    milp::LinExpr c = milp::LinExpr(arrival[static_cast<std::size_t>(e.to)]);
+    c -= milp::LinExpr(arrival[static_cast<std::size_t>(e.from)]);
+    c -= p.node_attr(e.to, attr::kDelay);
+    c.add_term(e.var, -big_m);
+    p.model().add_constraint(std::move(c), milp::Sense::GE, -big_m,
+                             "arr(" + t.node(e.from).name + "->" + t.node(e.to).name + ")");
+  }
+  for (NodeId sink : t.select(sinks_)) {
+    p.model().add_constraint(milp::LinExpr(arrival[static_cast<std::size_t>(sink)]),
+                             milp::Sense::LE, bound_, "cycle_time(" + t.node(sink).name + ")");
+  }
+}
+
+void MaxCycleTime::emit_paths(Problem& p) const {
+  const ArchTemplate& t = p.arch_template();
+  const double big_m = delay_big_m(p) + bound_;
+  const std::vector<NodeId> sources = p.source_nodes();
+
+  // Candidate-edge graph for path enumeration.
+  graph::Digraph g(t.num_nodes());
+  for (const auto& [from, to] : t.candidate_edges()) g.add_edge(from, to);
+
+  for (NodeId sink : t.select(sinks_)) {
+    std::size_t count = 0;
+    graph::enumerate_paths(
+        g, sources, sink,
+        [&](const std::vector<NodeId>& path) {
+          ++count;
+          // sum_{i in pi} tau_i(m) <= N + M * (#edges - sum e): active paths
+          // (all edges selected) enforce the bound, inactive paths are free.
+          milp::LinExpr c;
+          for (NodeId v : path) c += p.node_attr(v, attr::kDelay);
+          double rhs = bound_;
+          for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            const milp::VarId e = p.edges().at(path[i], path[i + 1]);
+            c.add_term(e, big_m);
+            rhs += big_m;
+          }
+          p.model().add_constraint(std::move(c), milp::Sense::LE, rhs,
+                                   "cycle_path(" + t.node(sink).name + "#" +
+                                       std::to_string(count) + ")");
+          return true;
+        },
+        max_paths_);
+    if (count >= max_paths_) {
+      throw std::length_error("max_cycle_time: path enumeration exceeded " +
+                              std::to_string(max_paths_) +
+                              " paths; use the arrival-time encoding");
+    }
+  }
+}
+
+std::string MaxTotalIdleRate::describe() const {
+  std::ostringstream os;
+  os << "max_total_idle_rate(" << filter_.to_string() << ", " << bound_ << ")";
+  return os.str();
+}
+
+void MaxTotalIdleRate::emit(Problem& p) const {
+  std::vector<std::vector<std::string>> groups = groups_;
+  if (groups.empty()) {
+    // Group existing commodities by their "<prefix>:" naming convention.
+    std::map<std::string, std::vector<std::string>> by_prefix;
+    for (const auto& [n, _] : p.flows()) {
+      const std::size_t colon = n.find(':');
+      by_prefix[colon == std::string::npos ? n : n.substr(0, colon)].push_back(n);
+    }
+    for (auto& [_, names] : by_prefix) groups.push_back(std::move(names));
+  }
+
+  milp::LinExpr total;
+  for (NodeId v : p.arch_template().select(filter_)) {
+    const milp::LinExpr mu = p.node_attr(v, attr::kThroughput);  // mu_j(m)
+    for (const auto& group : groups) {
+      total += mu;  // the node's capacity counts once per accounting context
+      for (const std::string& cname : group) {
+        const FlowCommodity* f = p.find_flow(cname);
+        if (f == nullptr) {
+          throw std::invalid_argument("max_total_idle_rate: unknown commodity " + cname);
+        }
+        total -= p.flow_in(*f, v);
+      }
+    }
+  }
+  p.model().add_constraint(std::move(total), milp::Sense::LE, bound_,
+                           "total_idle(" + filter_.to_string() + ")");
+}
+
+}  // namespace archex::patterns

@@ -1,0 +1,75 @@
+/// \file timing.hpp
+/// Timing patterns of Table 1: cycle-time bounds (6) and idle-rate bounds (7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_template.hpp"
+#include "arch/patterns/pattern.hpp"
+
+namespace archex::patterns {
+
+/// How max_cycle_time is encoded.
+enum class CycleTimeEncoding {
+  /// Arrival-time variables with big-M edge activation:
+  ///   a_j >= a_i + tau_j(m) - M (1 - e_ij),  a_sink <= N.
+  /// Polynomial size; requires the active delay-carrying subgraph to be
+  /// acyclic for positive delays (a positive-delay cycle is infeasible,
+  /// which is the physically meaningful reading).
+  kArrivalTime,
+  /// The paper's formulation (6): one constraint per simple candidate path,
+  ///   sum_{i in pi} tau_i(m) <= N + M * (|pi|-1 - sum_{e in pi} e).
+  /// Exponential in the worst case; used for small templates and as the
+  /// cross-check in the timing-encoding ablation bench.
+  kPathEnumeration,
+};
+
+/// `max_cycle_time(T, N)`: every source-to-sink path ending in a node
+/// matching `sinks` has total mapped delay at most N. Sources are the nodes
+/// of the functional flow's first type (Problem::set_functional_flow).
+class MaxCycleTime final : public Pattern {
+ public:
+  MaxCycleTime(NodeFilter sinks, double bound,
+               CycleTimeEncoding encoding = CycleTimeEncoding::kArrivalTime,
+               std::size_t max_paths = 20'000)
+      : sinks_(std::move(sinks)), bound_(bound), encoding_(encoding), max_paths_(max_paths) {}
+
+  [[nodiscard]] std::string name() const override { return "max_cycle_time"; }
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+
+ private:
+  void emit_arrival(Problem& p) const;
+  void emit_paths(Problem& p) const;
+
+  NodeFilter sinks_;
+  double bound_;
+  CycleTimeEncoding encoding_;
+  std::size_t max_paths_;
+};
+
+/// `max_total_idle_rate(T, N)`: the summed idle rate of all nodes matching
+/// the filter is at most N (equation (7)):
+///   sum_groups sum_j ( mu_j(m) - sum_in lambda_j ) <= N.
+/// Each commodity group is one accounting context (e.g. one operation mode
+/// whose products' flows are summed); the node's throughput counts once per
+/// group. Empty groups = commodities grouped by their "<prefix>:" name
+/// (so RPL's O1:A / O1:B / O2:A / O2:B form the two mode groups O1 and O2).
+class MaxTotalIdleRate final : public Pattern {
+ public:
+  MaxTotalIdleRate(NodeFilter filter, double bound,
+                   std::vector<std::vector<std::string>> groups = {})
+      : filter_(std::move(filter)), bound_(bound), groups_(std::move(groups)) {}
+
+  [[nodiscard]] std::string name() const override { return "max_total_idle_rate"; }
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+
+ private:
+  NodeFilter filter_;
+  double bound_;
+  std::vector<std::vector<std::string>> groups_;
+};
+
+}  // namespace archex::patterns

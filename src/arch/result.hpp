@@ -1,0 +1,77 @@
+/// \file result.hpp
+/// Concrete architectures extracted from a solved exploration problem.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/arch_template.hpp"
+#include "arch/library.hpp"
+#include "graph/digraph.hpp"
+#include "milp/model.hpp"
+
+namespace archex {
+
+/// A concrete flow value on a concrete edge.
+struct FlowEdge {
+  NodeId from;
+  NodeId to;
+  double rate;
+};
+
+/// The optimal architecture: topology E*, mapping M*, cost, and any flow
+/// assignments. This is the (E, M) output of Figure 1.
+struct Architecture {
+  struct Node {
+    std::string name;
+    std::string type;
+    std::string subtype;
+    std::vector<std::string> tags;
+    bool used = false;
+    LibIndex impl = -1;        ///< library component chosen by M*, -1 if unused
+    std::string impl_name;     ///< empty if unused
+  };
+
+  std::vector<Node> nodes;
+  std::vector<std::pair<NodeId, NodeId>> edges;  ///< active edges (e_ij = 1)
+  double cost = 0.0;
+  /// Flow commodity name -> active edge flows (only rates above tolerance).
+  std::map<std::string, std::vector<FlowEdge>> flows;
+
+  [[nodiscard]] std::size_t num_used_nodes() const;
+  [[nodiscard]] std::vector<NodeId> used_nodes(const NodeFilter& f = {}) const;
+  [[nodiscard]] bool has_edge(NodeId from, NodeId to) const;
+
+  /// The active topology as a digraph over all template node ids.
+  [[nodiscard]] graph::Digraph to_digraph() const;
+
+  /// Per-node failure probabilities induced by the mapping (0 for unused
+  /// nodes or components without the attribute).
+  [[nodiscard]] std::vector<double> node_fail_probs(const Library& lib) const;
+
+  /// Sum of incoming flow of a commodity at a node.
+  [[nodiscard]] double in_flow(const std::string& commodity, NodeId v) const;
+
+  /// Graphviz DOT rendering (types as shapes, subtypes as colors).
+  [[nodiscard]] std::string to_dot() const;
+  /// Machine-readable JSON rendering (nodes, mapping, edges, flows, cost).
+  [[nodiscard]] std::string to_json() const;
+  /// Layered ASCII summary (used by the examples and benches).
+  void print(std::ostream& os) const;
+};
+
+/// Outcome of one exploration solve, with the statistics the paper reports
+/// (encoding size, solver time, formulation time).
+struct ExplorationResult {
+  milp::Solution solution;
+  Architecture architecture;  ///< valid when solution.has_incumbent
+  milp::ModelStats stats;
+  double formulation_seconds = 0.0;
+  double solver_seconds = 0.0;
+
+  [[nodiscard]] bool feasible() const { return solution.has_incumbent; }
+};
+
+}  // namespace archex

@@ -1,0 +1,111 @@
+/// \file epn.hpp
+/// Aircraft Electrical Power distribution Network case study (Sec. 4.1).
+///
+/// Builds the Table 2 library and template, applies the connectivity /
+/// power / reliability requirement set (the paper's 46-pattern spec), and
+/// provides the domain pattern `has_sufficient_power` plus the bus-level
+/// exact reliability analysis used by the lazy algorithm.
+///
+/// Functional-link semantics (see DESIGN.md): loads and contactors are
+/// perfect; a load's link reliability is measured from the generators up to
+/// the DC bus serving it, with that bus treated as perfect for the link.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/algorithm.hpp"
+#include "arch/patterns/pattern.hpp"
+#include "arch/problem.hpp"
+
+namespace archex::domains::epn {
+
+/// Sizing and requirement knobs. Defaults reproduce Table 2; `scale` knobs
+/// let tests and quick benches shrink the instance.
+struct EpnConfig {
+  int gens_per_side = 2;
+  int apus = 2;
+  int ac_buses_per_side = 4;
+  int rectifiers_per_side = 5;
+  int dc_buses_per_side = 4;
+  int loads_per_side = 8;  ///< first half critical, second half sheddable
+
+  double component_fail_prob = 2e-4;  ///< generators, buses, rectifiers
+  double critical_threshold = 1e-9;   ///< non-sheddable loads
+  double sheddable_threshold = 1e-5;
+  double contactor_cost = 1500.0;  ///< per edge (calibrated; DESIGN.md)
+
+  /// Include the approximate reliability encoding in the MILP (eager /
+  /// monolithic method). Set false when using the lazy algorithm.
+  bool reliability_eager = true;
+};
+
+/// A reduced instance for unit tests and smoke benches.
+[[nodiscard]] EpnConfig small_config();
+
+/// The Table 2 component library.
+[[nodiscard]] Library make_library(const EpnConfig& cfg = {});
+
+/// The Table 2 template with side-aware candidate connections.
+[[nodiscard]] ArchTemplate make_template(const EpnConfig& cfg = {});
+
+/// Complete exploration problem with the requirement set applied.
+[[nodiscard]] std::unique_ptr<Problem> make_problem(const EpnConfig& cfg = {});
+
+/// Domain pattern (Sec. 4.1): per aircraft side, the generators available to
+/// that side (own side + APUs) must jointly cover the side's load demand:
+///   sum g(m) >= sum l(m).
+class HasSufficientPower final : public Pattern {
+ public:
+  HasSufficientPower(std::string side_tag, std::string shared_tag = "MI")
+      : side_(std::move(side_tag)), shared_(std::move(shared_tag)) {}
+
+  [[nodiscard]] std::string name() const override { return "has_sufficient_power"; }
+  [[nodiscard]] std::string describe() const override {
+    return "has_sufficient_power(" + side_ + ")";
+  }
+  void emit(Problem& p) const override;
+
+ private:
+  std::string side_, shared_;
+};
+
+/// Registers `has_sufficient_power` in the global registry (idempotent), so
+/// EPN spec files can use it — the extensibility mechanism of Sec. 3.
+void register_epn_patterns();
+
+/// Exact bus-level link failure probability for every load of `arch`
+/// (key = load name). Unconnected loads report probability 1.
+[[nodiscard]] std::map<std::string, double> link_fail_probs(const Problem& p,
+                                                            const Architecture& arch);
+
+/// One iteration snapshot of the EPN lazy loop (what Fig. 3a-c plots).
+struct EpnLazyIteration {
+  int index = 0;
+  double cost = 0.0;
+  double worst_hv = 0.0;  ///< worst link failure prob over HV loads
+  double worst_lv = 0.0;  ///< worst link failure prob over LV loads
+  int required_paths_max = 0;  ///< strongest learned disjoint-path level
+  milp::ModelStats stats;
+  Architecture architecture;
+  double solve_seconds = 0.0;
+};
+
+struct EpnLazyResult {
+  bool converged = false;
+  std::vector<EpnLazyIteration> iterations;
+  ExplorationResult final_result;
+};
+
+/// The lazy (MILP modulo reliability) algorithm specialized to the EPN:
+/// solve without reliability constraints, measure exact bus-level link
+/// failure probabilities, and learn stronger disjoint-path requirements for
+/// the buses serving violated loads. `p` must be built with
+/// `reliability_eager = false`.
+[[nodiscard]] EpnLazyResult solve_lazy_epn(Problem& p, const EpnConfig& cfg,
+                                           const milp::MilpOptions& milp_options = {},
+                                           int max_iterations = 10);
+
+}  // namespace archex::domains::epn

@@ -1,0 +1,83 @@
+/// \file rpl.hpp
+/// Reconfigurable Production Line case study (Sec. 4.2).
+///
+/// Two product lines (A and B), each Source -> C1 -> M1 -> C2 -> M2 -> C3 ->
+/// Sink, with junction conveyors connecting same-stage conveyors across
+/// lines. Machines are implemented from the Table 3 library: product-specific
+/// (subtypes A / B) or reconfigurable (subtype AB, usable for both).
+///
+/// Operation modes (the domain pattern `has_operation_mode`):
+///   Omega1: A and B produced simultaneously at rates lambda_A / lambda_B,
+///           and no line may be borrowed for the other product;
+///   Omega2: A at double rate, line B stalled — line B *may* be borrowed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "arch/patterns/pattern.hpp"
+#include "arch/problem.hpp"
+
+namespace archex::domains::rpl {
+
+/// Sizing and requirement knobs. Defaults reproduce Table 3.
+struct RplConfig {
+  int machines_per_stage_a = 3;  ///< template slots per stage, line A
+  int machines_per_stage_b = 2;
+  int conveyors_per_stage_a = 3;
+  int conveyors_per_stage_b = 2;
+  double rate_a = 12.0;  ///< lambda_A (parts/min)
+  double rate_b = 10.0;  ///< lambda_B
+  double junction_cost = 1000.0;  ///< cross-line (junction conveyor) edge cost
+  /// <= 0 disables the idle-rate requirement (Fig. 4a); positive values
+  /// reproduce the Fig. 4b experiment (the paper uses 10 parts/min).
+  double max_total_idle = -1.0;
+};
+
+/// The Table 3 component library.
+[[nodiscard]] Library make_library(const RplConfig& cfg = {});
+
+/// The two-line template with junction-conveyor candidate edges.
+[[nodiscard]] ArchTemplate make_template(const RplConfig& cfg = {});
+
+/// Complete exploration problem: connectivity, both operation modes, flow
+/// balance, overload protection, and (optionally) the idle-rate bound.
+[[nodiscard]] std::unique_ptr<Problem> make_problem(const RplConfig& cfg = {});
+
+/// Domain pattern (Sec. 4.2): declares one operation mode. Creates the flow
+/// matrices Lambda^{mode,product} as flow commodities named "<mode>:<prod>",
+/// pins source/sink rates, forbids cross-line flows when borrowing is not
+/// allowed, and restricts machine throughput to implementations capable of
+/// the product (subtype == product or "AB").
+class HasOperationMode final : public Pattern {
+ public:
+  HasOperationMode(std::string mode, std::map<std::string, double> product_rates,
+                   bool allow_borrowing)
+      : mode_(std::move(mode)), rates_(std::move(product_rates)),
+        allow_borrowing_(allow_borrowing) {}
+
+  [[nodiscard]] std::string name() const override { return "has_operation_mode"; }
+  [[nodiscard]] std::string describe() const override;
+  void emit(Problem& p) const override;
+
+  /// Commodity name used for (mode, product).
+  [[nodiscard]] std::string commodity(const std::string& product) const {
+    return mode_ + ":" + product;
+  }
+
+ private:
+  std::string mode_;
+  std::map<std::string, double> rates_;
+  bool allow_borrowing_;
+};
+
+/// Registers `has_operation_mode` for spec files:
+/// has_operation_mode(O1, A, 12, B, 10, no_borrowing).
+void register_rpl_patterns();
+
+/// Total idle rate of `arch` summed over machines and both modes (the
+/// metric of Fig. 4: 28 parts/min without the idle constraint, 8 with it).
+[[nodiscard]] double total_idle_rate(const Problem& p, const Architecture& arch);
+
+}  // namespace archex::domains::rpl

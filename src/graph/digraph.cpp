@@ -1,0 +1,289 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace archex::graph {
+
+bool Digraph::has_edge(std::int32_t u, std::int32_t v) const {
+  const auto& succ = out_[static_cast<std::size_t>(u)];
+  return std::find(succ.begin(), succ.end(), v) != succ.end();
+}
+
+std::vector<bool> reachable_from(const Digraph& g, const std::vector<std::int32_t>& sources) {
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::deque<std::int32_t> queue;
+  for (std::int32_t s : sources) {
+    if (!seen[static_cast<std::size_t>(s)]) {
+      seen[static_cast<std::size_t>(s)] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const std::int32_t u = queue.front();
+    queue.pop_front();
+    for (std::int32_t v : g.successors(u)) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+bool reaches(const Digraph& g, const std::vector<std::int32_t>& sources, std::int32_t target) {
+  return reachable_from(g, sources)[static_cast<std::size_t>(target)];
+}
+
+std::vector<std::int32_t> topological_order(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::size_t> indeg(n, 0);
+  for (std::size_t v = 0; v < n; ++v) indeg[v] = g.in_degree(static_cast<std::int32_t>(v));
+  std::deque<std::int32_t> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push_back(static_cast<std::int32_t>(v));
+  }
+  std::vector<std::int32_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::int32_t u = ready.front();
+    ready.pop_front();
+    order.push_back(u);
+    for (std::int32_t v : g.successors(u)) {
+      if (--indeg[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+  }
+  if (order.size() != n) return {};
+  return order;
+}
+
+bool has_cycle(const Digraph& g) {
+  return g.num_nodes() != 0 && topological_order(g).empty();
+}
+
+namespace {
+
+struct PathEnumerator {
+  const Digraph& g;
+  std::int32_t target;
+  const std::function<bool(const std::vector<std::int32_t>&)>& visit;
+  std::size_t max_paths;
+  std::vector<bool> on_path;
+  std::vector<std::int32_t> path;
+  std::size_t count = 0;
+  bool stopped = false;
+
+  void dfs(std::int32_t u) {
+    if (stopped) return;
+    on_path[static_cast<std::size_t>(u)] = true;
+    path.push_back(u);
+    if (u == target) {
+      ++count;
+      if (!visit(path) || count >= max_paths) stopped = true;
+    } else {
+      for (std::int32_t v : g.successors(u)) {
+        if (!on_path[static_cast<std::size_t>(v)]) dfs(v);
+        if (stopped) break;
+      }
+    }
+    path.pop_back();
+    on_path[static_cast<std::size_t>(u)] = false;
+  }
+};
+
+}  // namespace
+
+std::size_t enumerate_paths(const Digraph& g, const std::vector<std::int32_t>& sources,
+                            std::int32_t target,
+                            const std::function<bool(const std::vector<std::int32_t>&)>& visit,
+                            std::size_t max_paths) {
+  PathEnumerator pe{g, target, visit, max_paths, std::vector<bool>(g.num_nodes(), false), {}, 0,
+                    false};
+  for (std::int32_t s : sources) {
+    if (pe.stopped) break;
+    pe.dfs(s);
+  }
+  return pe.count;
+}
+
+std::vector<std::vector<std::int32_t>> all_paths(const Digraph& g,
+                                                 const std::vector<std::int32_t>& sources,
+                                                 std::int32_t target, std::size_t max_paths) {
+  std::vector<std::vector<std::int32_t>> out;
+  enumerate_paths(
+      g, sources, target,
+      [&](const std::vector<std::int32_t>& p) {
+        out.push_back(p);
+        return true;
+      },
+      max_paths);
+  return out;
+}
+
+namespace {
+
+/// Dense residual-capacity max-flow (Edmonds-Karp) on a transformed graph.
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t n) : n_(n), cap_(n * n, 0), adj_(n) {}
+
+  void add(std::int32_t u, std::int32_t v, int c) {
+    if (cap_[idx(u, v)] == 0 && cap_[idx(v, u)] == 0 && u != v) {
+      adj_[static_cast<std::size_t>(u)].push_back(v);
+      adj_[static_cast<std::size_t>(v)].push_back(u);
+    }
+    cap_[idx(u, v)] += c;
+  }
+
+  /// Residual-reachable set from `s` after run() (min-cut certificate side).
+  [[nodiscard]] std::vector<bool> residual_reachable(std::int32_t s) const {
+    std::vector<bool> seen(n_, false);
+    std::deque<std::int32_t> q{s};
+    seen[static_cast<std::size_t>(s)] = true;
+    while (!q.empty()) {
+      const std::int32_t u = q.front();
+      q.pop_front();
+      for (std::int32_t v : adj_[static_cast<std::size_t>(u)]) {
+        if (!seen[static_cast<std::size_t>(v)] && cap_[idx(u, v)] > 0) {
+          seen[static_cast<std::size_t>(v)] = true;
+          q.push_back(v);
+        }
+      }
+    }
+    return seen;
+  }
+
+  int run(std::int32_t s, std::int32_t t) {
+    int flow = 0;
+    for (;;) {
+      // BFS for a shortest augmenting path.
+      std::vector<std::int32_t> parent(n_, -1);
+      parent[static_cast<std::size_t>(s)] = s;
+      std::deque<std::int32_t> q{s};
+      while (!q.empty() && parent[static_cast<std::size_t>(t)] < 0) {
+        const std::int32_t u = q.front();
+        q.pop_front();
+        for (std::int32_t v : adj_[static_cast<std::size_t>(u)]) {
+          if (parent[static_cast<std::size_t>(v)] < 0 && cap_[idx(u, v)] > 0) {
+            parent[static_cast<std::size_t>(v)] = u;
+            q.push_back(v);
+          }
+        }
+      }
+      if (parent[static_cast<std::size_t>(t)] < 0) return flow;
+      int aug = std::numeric_limits<int>::max();
+      for (std::int32_t v = t; v != s; v = parent[static_cast<std::size_t>(v)]) {
+        aug = std::min(aug, cap_[idx(parent[static_cast<std::size_t>(v)], v)]);
+      }
+      for (std::int32_t v = t; v != s; v = parent[static_cast<std::size_t>(v)]) {
+        const std::int32_t u = parent[static_cast<std::size_t>(v)];
+        cap_[idx(u, v)] -= aug;
+        cap_[idx(v, u)] += aug;
+      }
+      flow += aug;
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(std::int32_t u, std::int32_t v) const {
+    return static_cast<std::size_t>(u) * n_ + static_cast<std::size_t>(v);
+  }
+  std::size_t n_;
+  std::vector<int> cap_;
+  std::vector<std::vector<std::int32_t>> adj_;
+};
+
+constexpr int kBigCapacity = 1'000'000;
+
+}  // namespace
+
+int max_flow_unit_nodes(const Digraph& g, const std::vector<std::int32_t>& sources,
+                        std::int32_t target, const std::vector<int>& node_capacity) {
+  // Split each node v into v_in (2v) and v_out (2v+1) with an internal edge of
+  // the node's capacity; add a super-source.
+  const std::size_t n = g.num_nodes();
+  const std::int32_t super = static_cast<std::int32_t>(2 * n);
+  MaxFlow mf(2 * n + 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    mf.add(static_cast<std::int32_t>(2 * v), static_cast<std::int32_t>(2 * v + 1),
+           node_capacity[v]);
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::int32_t v : g.successors(static_cast<std::int32_t>(u))) {
+      mf.add(static_cast<std::int32_t>(2 * u + 1), 2 * v, kBigCapacity);
+    }
+  }
+  for (std::int32_t s : sources) mf.add(super, 2 * s, kBigCapacity);
+  return mf.run(super, 2 * target + 1);
+}
+
+std::vector<std::int32_t> min_vertex_cut(const Digraph& g,
+                                         const std::vector<std::int32_t>& sources,
+                                         std::int32_t target) {
+  // Same split-node transform as max_flow_unit_nodes with unit intermediate
+  // capacities; after max-flow, a node is in the cut iff its in-half is
+  // residual-reachable from the super-source but its out-half is not (the
+  // internal unit edge is saturated across the cut).
+  const std::size_t n = g.num_nodes();
+  const std::int32_t super = static_cast<std::int32_t>(2 * n);
+  MaxFlow mf(2 * n + 1);
+  std::vector<int> cap(n, 1);
+  for (std::int32_t s : sources) cap[static_cast<std::size_t>(s)] = kBigCapacity;
+  cap[static_cast<std::size_t>(target)] = kBigCapacity;
+  for (std::size_t v = 0; v < n; ++v) {
+    mf.add(static_cast<std::int32_t>(2 * v), static_cast<std::int32_t>(2 * v + 1), cap[v]);
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::int32_t v : g.successors(static_cast<std::int32_t>(u))) {
+      mf.add(static_cast<std::int32_t>(2 * u + 1), 2 * v, kBigCapacity);
+    }
+  }
+  for (std::int32_t s : sources) mf.add(super, 2 * s, kBigCapacity);
+  (void)mf.run(super, 2 * target + 1);
+
+  const std::vector<bool> reach = mf.residual_reachable(super);
+  std::vector<std::int32_t> cut;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<std::int32_t>(v) == target) continue;
+    if (std::find(sources.begin(), sources.end(), static_cast<std::int32_t>(v)) !=
+        sources.end()) {
+      continue;
+    }
+    if (reach[2 * v] && !reach[2 * v + 1]) cut.push_back(static_cast<std::int32_t>(v));
+  }
+  return cut;
+}
+
+int vertex_disjoint_paths(const Digraph& g, const std::vector<std::int32_t>& sources,
+                          std::int32_t target) {
+  std::vector<int> cap(g.num_nodes(), 1);
+  for (std::int32_t s : sources) cap[static_cast<std::size_t>(s)] = kBigCapacity;
+  cap[static_cast<std::size_t>(target)] = kBigCapacity;
+  return max_flow_unit_nodes(g, sources, target, cap);
+}
+
+double longest_path_weight(const Digraph& g, const std::vector<std::int32_t>& sources,
+                           std::int32_t target, const std::vector<double>& node_weight) {
+  const std::vector<std::int32_t> order = topological_order(g);
+  if (order.empty() && g.num_nodes() > 0) {
+    throw std::invalid_argument("longest_path_weight: graph has a cycle");
+  }
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_nodes(), kNegInf);
+  for (std::int32_t s : sources) {
+    dist[static_cast<std::size_t>(s)] = node_weight[static_cast<std::size_t>(s)];
+  }
+  for (std::int32_t u : order) {
+    if (dist[static_cast<std::size_t>(u)] == kNegInf) continue;
+    for (std::int32_t v : g.successors(u)) {
+      const double cand = dist[static_cast<std::size_t>(u)] + node_weight[static_cast<std::size_t>(v)];
+      dist[static_cast<std::size_t>(v)] = std::max(dist[static_cast<std::size_t>(v)], cand);
+    }
+  }
+  return dist[static_cast<std::size_t>(target)];
+}
+
+}  // namespace archex::graph

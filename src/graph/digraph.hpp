@@ -1,0 +1,123 @@
+/// \file digraph.hpp
+/// Directed-graph substrate for architecture analysis.
+///
+/// ArchEx represents an architecture as a directed graph (V, E) (Sec. 2 of
+/// the paper). The MILP side works on decision-variable matrices; this module
+/// is the *concrete* graph used to analyze solved configurations: path
+/// queries, reachability, vertex-disjoint path counts (Menger via max-flow),
+/// and enumeration of simple paths for exact reliability analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace archex::graph {
+
+/// A simple directed graph over nodes 0..n-1 with O(1) amortized edge
+/// insertion and both forward and reverse adjacency.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t num_nodes) { resize(num_nodes); }
+
+  void resize(std::size_t num_nodes) {
+    out_.resize(num_nodes);
+    in_.resize(num_nodes);
+  }
+
+  [[nodiscard]] std::size_t num_nodes() const { return out_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds edge u -> v. Parallel edges are kept (they do not affect the
+  /// analyses in this library but preserve multiplicity information).
+  void add_edge(std::int32_t u, std::int32_t v) {
+    out_[static_cast<std::size_t>(u)].push_back(v);
+    in_[static_cast<std::size_t>(v)].push_back(u);
+    ++num_edges_;
+  }
+
+  [[nodiscard]] bool has_edge(std::int32_t u, std::int32_t v) const;
+  [[nodiscard]] const std::vector<std::int32_t>& successors(std::int32_t u) const {
+    return out_[static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& predecessors(std::int32_t v) const {
+    return in_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::size_t out_degree(std::int32_t u) const {
+    return out_[static_cast<std::size_t>(u)].size();
+  }
+  [[nodiscard]] std::size_t in_degree(std::int32_t v) const {
+    return in_[static_cast<std::size_t>(v)].size();
+  }
+
+ private:
+  std::vector<std::vector<std::int32_t>> out_;
+  std::vector<std::vector<std::int32_t>> in_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Nodes reachable from any node in `sources` (including the sources).
+[[nodiscard]] std::vector<bool> reachable_from(const Digraph& g,
+                                               const std::vector<std::int32_t>& sources);
+
+/// True if `target` is reachable from any node of `sources`.
+[[nodiscard]] bool reaches(const Digraph& g, const std::vector<std::int32_t>& sources,
+                           std::int32_t target);
+
+/// Topological order of the graph; empty if the graph has a cycle.
+[[nodiscard]] std::vector<std::int32_t> topological_order(const Digraph& g);
+
+/// True if the graph contains a directed cycle.
+[[nodiscard]] bool has_cycle(const Digraph& g);
+
+/// Enumerates all simple paths from any source to `target`, invoking `visit`
+/// with each path (sequence of node ids, source first). Stops early if
+/// `visit` returns false or `max_paths` paths were produced. Returns the
+/// number of paths visited.
+std::size_t enumerate_paths(const Digraph& g, const std::vector<std::int32_t>& sources,
+                            std::int32_t target,
+                            const std::function<bool(const std::vector<std::int32_t>&)>& visit,
+                            std::size_t max_paths = 1'000'000);
+
+/// All simple paths as a vector (convenience wrapper over enumerate_paths).
+[[nodiscard]] std::vector<std::vector<std::int32_t>> all_paths(
+    const Digraph& g, const std::vector<std::int32_t>& sources, std::int32_t target,
+    std::size_t max_paths = 1'000'000);
+
+/// Maximum number of *internally vertex-disjoint* paths from the source set
+/// to `target` (Menger's theorem; computed by max-flow with unit node
+/// capacities on a split-node transform). Source and target nodes themselves
+/// are not capacity-limited. `node_capacity` optionally overrides the
+/// per-node capacity (by node id) for intermediate nodes.
+[[nodiscard]] int vertex_disjoint_paths(const Digraph& g,
+                                        const std::vector<std::int32_t>& sources,
+                                        std::int32_t target);
+
+/// Maximum flow from `source` to `sink` with integer edge capacities given by
+/// `capacity(u, v)` per adjacency entry. BFS augmenting paths (Edmonds-Karp).
+/// Used as the reference implementation for the MILP disjoint-path encoding.
+[[nodiscard]] int max_flow_unit_nodes(const Digraph& g,
+                                      const std::vector<std::int32_t>& sources,
+                                      std::int32_t target,
+                                      const std::vector<int>& node_capacity);
+
+/// Nodes forming a minimum *vertex* cut separating `sources` from `target`
+/// (excluding sources and the target themselves): the certificate for why
+/// vertex_disjoint_paths returns its value (Menger). Empty when the target
+/// is unreachable or directly adjacent beyond cutting. Used by the lazy
+/// algorithm's diagnostics to explain which components bottleneck a link.
+[[nodiscard]] std::vector<std::int32_t> min_vertex_cut(const Digraph& g,
+                                                       const std::vector<std::int32_t>& sources,
+                                                       std::int32_t target);
+
+/// Longest path weight (node weights) from any source to `target` in a DAG;
+/// returns -infinity if target unreachable. Used for cycle-time analysis of
+/// solved architectures. Throws std::invalid_argument on cyclic graphs.
+[[nodiscard]] double longest_path_weight(const Digraph& g,
+                                         const std::vector<std::int32_t>& sources,
+                                         std::int32_t target,
+                                         const std::vector<double>& node_weight);
+
+}  // namespace archex::graph

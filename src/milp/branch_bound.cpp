@@ -1,0 +1,308 @@
+#include "milp/branch_bound.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "milp/presolve.hpp"
+
+namespace archex::milp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Granularity of the objective: the largest g such that every objective
+/// coefficient is an integer multiple of g, provided only *integral*
+/// variables carry objective weight. Two integer-feasible objectives then
+/// differ by at least g, so the bound-pruning cutoff can be tightened by
+/// almost g. Returns 0 when no granularity can be exploited.
+double objective_granularity(const Model& m) {
+  double g = 0.0;
+  for (const Term& t : m.objective().terms()) {
+    const Variable& v = m.var(t.var);
+    if (!v.is_integral()) return 0.0;
+    double a = std::abs(t.coef);
+    double b = g;
+    // Euclid on reals with a snap tolerance.
+    while (b > 1e-7) {
+      const double r = std::fmod(a, b);
+      a = b;
+      b = (r < 1e-7 || b - r < 1e-7) ? 0.0 : r;
+    }
+    g = a;
+    if (g < 1e-6) return 0.0;
+  }
+  return g;
+}
+
+/// Search state shared across the DFS.
+struct SearchCtx {
+  const Model& model;  // reduced model
+  const MilpOptions& opts;
+  SimplexSolver lp;
+  std::vector<std::int32_t> int_vars;  // reduced columns with integrality
+  double incumbent_obj = kInf;         // minimize sense
+  std::vector<double> incumbent_x;
+  bool has_incumbent = false;
+  double granularity = 0.0;  ///< objective step size, see objective_granularity
+  double root_bound = -kInf;
+  std::int64_t nodes = 0;
+  Clock::time_point deadline;
+  SolveStatus stop_reason = SolveStatus::Optimal;  // set on limit hits
+  bool stopped = false;
+  bool stop_on_incumbent = false;  ///< first-incumbent probe phase
+  double sense_flip = 1.0;
+
+  SearchCtx(const Model& m, const MilpOptions& o)
+      : model(m), opts(o), lp(m, o.lp) {
+    for (std::size_t j = 0; j < m.num_vars(); ++j) {
+      if (m.vars()[j].is_integral()) int_vars.push_back(static_cast<std::int32_t>(j));
+    }
+    obj_coef.assign(m.num_vars(), 0.0);
+    for (const Term& t : m.objective().terms()) {
+      obj_coef[static_cast<std::size_t>(t.var.index)] = std::abs(t.coef);
+    }
+    sense_flip = m.objective_sense() == ObjectiveSense::Maximize ? -1.0 : 1.0;
+  }
+
+  void try_incumbent(std::vector<double> x, double obj) {
+    // Snap integers and validate against the true model.
+    for (std::int32_t j : int_vars) x[static_cast<std::size_t>(j)] = std::round(x[j]);
+    if (!model.feasible(x, 1e-5)) return;
+    if (obj < incumbent_obj - 1e-12) {
+      incumbent_obj = obj;
+      incumbent_x = std::move(x);
+      has_incumbent = true;
+      if (opts.on_incumbent) opts.on_incumbent(sense_flip * obj);
+      if (stop_on_incumbent) stopped = true;  // probe phase: unwind to root
+    }
+  }
+
+  /// Branch variable: fractional integral variable with the best
+  /// cost-weighted fractionality. Weighting by |objective coefficient|
+  /// resolves the expensive structural decisions (component selection,
+  /// edge/contactor choice) before cheap coupling binaries, which tightens
+  /// the bound much faster on architecture-exploration MILPs.
+  [[nodiscard]] std::int32_t pick_branch_var(const std::vector<double>& x) const {
+    std::int32_t best = -1;
+    double best_score = -1.0;
+    for (std::int32_t j : int_vars) {
+      const double v = x[static_cast<std::size_t>(j)];
+      const double frac = std::abs(v - std::round(v));
+      if (frac <= opts.int_tol) continue;
+      const double balance = 0.5 - std::abs(frac - 0.5);  // in (0, 0.5]
+      const double weight = 1.0 + std::abs(obj_coef[static_cast<std::size_t>(j)]);
+      const double score = balance * weight;
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  std::vector<double> obj_coef;  ///< |objective coefficient| per column
+
+  void dfs() {
+    if (stopped) return;
+    if (nodes >= opts.max_nodes) {
+      stopped = true;
+      stop_reason = SolveStatus::NodeLimit;
+      return;
+    }
+    if (Clock::now() >= deadline) {
+      stopped = true;
+      stop_reason = SolveStatus::TimeLimit;
+      return;
+    }
+
+    SolveStatus st = opts.warm_start ? lp.reoptimize_dual() : lp.solve_primal();
+    ++nodes;
+    if (st == SolveStatus::NumericalError) st = lp.solve_primal();
+    if (st == SolveStatus::Infeasible) return;
+    if (st == SolveStatus::Unbounded) {
+      // Only possible at the root of an MILP with unbounded relaxation; the
+      // caller maps this to an Unbounded result.
+      stopped = true;
+      stop_reason = SolveStatus::Unbounded;
+      return;
+    }
+    if (st != SolveStatus::Optimal) {
+      stopped = true;
+      stop_reason = st;
+      return;
+    }
+
+    const double obj = lp.objective_value();
+    if (has_incumbent) {
+      const double cutoff =
+          incumbent_obj - std::max({opts.gap_abs, opts.gap_rel * std::abs(incumbent_obj),
+                                    granularity - 1e-6});
+      if (obj >= cutoff) return;  // bound pruning
+    }
+
+    const std::vector<double> x = lp.primal_solution();
+    const std::int32_t bv = pick_branch_var(x);
+    if (bv < 0) {
+      try_incumbent(x, obj);
+      return;
+    }
+
+    const double v = x[static_cast<std::size_t>(bv)];
+    const double lb0 = lp.lower_bound(bv);
+    const double ub0 = lp.upper_bound(bv);
+    const double down_ub = std::floor(v + opts.int_tol);
+    const double up_lb = std::ceil(v - opts.int_tol);
+
+    // Dive toward the nearest integer first; while probing for a first
+    // incumbent, lean upward — architecture MILPs are covering-style, and
+    // instantiating components reaches feasibility much faster than pruning
+    // them.
+    const double up_threshold = stop_on_incumbent ? 0.15 : 0.5;
+    const bool down_first = (v - std::floor(v)) < up_threshold;
+    for (int side = 0; side < 2 && !stopped; ++side) {
+      const bool down = (side == 0) == down_first;
+      if (down) {
+        if (down_ub < lb0 - 1e-12) continue;  // empty child
+        lp.set_bounds(bv, lb0, down_ub);
+      } else {
+        if (up_lb > ub0 + 1e-12) continue;
+        lp.set_bounds(bv, up_lb, ub0);
+      }
+      dfs();
+      lp.set_bounds(bv, lb0, ub0);
+    }
+  }
+};
+
+}  // namespace
+
+Solution solve_milp(const Model& model, const MilpOptions& options) {
+  const auto t0 = Clock::now();
+  Solution sol;
+
+  // --- presolve ---
+  PresolveResult pre;
+  const Model* work = &model;
+  if (options.use_presolve) {
+    pre = presolve(model);
+    if (pre.infeasible) {
+      sol.status = SolveStatus::Infeasible;
+      sol.solve_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+      return sol;
+    }
+    work = &pre.reduced;
+  }
+
+  // Guard against duration overflow for "effectively unlimited" budgets.
+  Clock::time_point deadline = Clock::time_point::max();
+  if (options.time_limit_s < 1e9) {
+    deadline = t0 + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(options.time_limit_s));
+  }
+  MilpOptions node_options = options;
+  node_options.lp.deadline = deadline;  // simplex loops honor the wall clock
+  SearchCtx ctx(*work, node_options);
+  ctx.granularity = objective_granularity(*work);
+  ctx.deadline = deadline;
+
+  // --- root solve ---
+  SolveStatus st = ctx.lp.solve_primal();
+  ++ctx.nodes;
+  if (st == SolveStatus::Optimal) {
+    ctx.root_bound = ctx.lp.objective_value();
+    const std::vector<double> x = ctx.lp.primal_solution();
+
+    // Root reduced-cost fixing (applied lazily once an incumbent exists):
+    // a nonbasic integer column whose root reduced cost alone pushes the
+    // root bound past the cutoff can be fixed at its root bound for the
+    // whole search. Root data is captured *now*, before any probe dive
+    // disturbs the basis.
+    const std::vector<double> root_d = ctx.lp.reduced_costs();
+    std::vector<SimplexSolver::BoundStatus> root_status(work->num_vars());
+    for (std::size_t j = 0; j < work->num_vars(); ++j) {
+      root_status[j] = ctx.lp.column_status(static_cast<std::int32_t>(j));
+    }
+    auto fix_by_reduced_cost = [&] {
+      if (!ctx.has_incumbent) return;
+      const double cutoff = ctx.incumbent_obj -
+                            std::max(options.gap_abs, ctx.granularity - 1e-6);
+      for (std::int32_t j : ctx.int_vars) {
+        const double lb = ctx.lp.lower_bound(j);
+        const double ub = ctx.lp.upper_bound(j);
+        if (ub - lb < 0.5) continue;  // already fixed
+        const double dj = root_d[static_cast<std::size_t>(j)];
+        if (root_status[static_cast<std::size_t>(j)] == SimplexSolver::BoundStatus::AtLower &&
+            dj > 0 && ctx.root_bound + dj > cutoff + 1e-9) {
+          ctx.lp.set_bounds(j, lb, lb);
+        } else if (root_status[static_cast<std::size_t>(j)] ==
+                       SimplexSolver::BoundStatus::AtUpper &&
+                   dj < 0 && ctx.root_bound - dj > cutoff + 1e-9) {
+          ctx.lp.set_bounds(j, ub, ub);
+        }
+      }
+    };
+
+    if (ctx.pick_branch_var(x) < 0) {
+      ctx.try_incumbent(x, ctx.lp.objective_value());
+    } else {
+      if (options.rounding_heuristic) {
+        // Root rounding heuristic: snap and test.
+        std::vector<double> xr = x;
+        double obj = work->objective().constant();
+        for (std::int32_t j : ctx.int_vars) {
+          xr[static_cast<std::size_t>(j)] = std::round(xr[j]);
+        }
+        for (const Term& t : work->objective().terms()) {
+          obj += t.coef * xr[static_cast<std::size_t>(t.var.index)];
+        }
+        ctx.try_incumbent(std::move(xr), ctx.sense_flip * obj);  // minimize sense
+      }
+      if (!ctx.has_incumbent) {
+        // Probe dive: find a first incumbent, then unwind so reduced-cost
+        // fixing can prune the full search below.
+        ctx.stop_on_incumbent = true;
+        ctx.dfs();
+        ctx.stop_on_incumbent = false;
+        if (ctx.stopped && ctx.stop_reason == SolveStatus::Optimal) ctx.stopped = false;
+      }
+      fix_by_reduced_cost();
+      ctx.dfs();
+    }
+  } else if (st == SolveStatus::Infeasible) {
+    sol.status = SolveStatus::Infeasible;
+  } else if (st == SolveStatus::Unbounded) {
+    sol.status = SolveStatus::Unbounded;
+  } else {
+    sol.status = st;
+  }
+
+  sol.simplex_iterations = ctx.lp.iterations();
+  sol.nodes_explored = ctx.nodes;
+  sol.solve_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  sol.warm_dual_nodes = ctx.lp.reopt_stats().dual_fast;
+  sol.warm_repair_nodes = ctx.lp.reopt_stats().repaired;
+  sol.cold_nodes = ctx.lp.reopt_stats().cold;
+
+  if (st == SolveStatus::Optimal) {
+    if (ctx.stopped && ctx.stop_reason == SolveStatus::Unbounded) {
+      sol.status = SolveStatus::Unbounded;
+      return sol;
+    }
+    if (ctx.has_incumbent) {
+      sol.status = ctx.stopped ? ctx.stop_reason : SolveStatus::Optimal;
+      sol.has_incumbent = true;
+      sol.objective = ctx.sense_flip * ctx.incumbent_obj;
+      sol.best_bound = ctx.sense_flip * (ctx.stopped ? ctx.root_bound : ctx.incumbent_obj);
+      std::vector<double> x = ctx.incumbent_x;
+      sol.x = options.use_presolve ? pre.postsolve(x) : std::move(x);
+    } else {
+      sol.status = ctx.stopped ? ctx.stop_reason : SolveStatus::Infeasible;
+      sol.best_bound = ctx.sense_flip * ctx.root_bound;
+    }
+  }
+  return sol;
+}
+
+}  // namespace archex::milp

@@ -1,0 +1,183 @@
+#include "milp/expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace archex::milp {
+
+namespace {
+constexpr double kDropTol = 0.0;  // exact zeros only; numeric cleanup is presolve's job
+}  // namespace
+
+LinExpr::LinExpr(std::initializer_list<Term> terms) : terms_(terms) { normalize(); }
+
+void LinExpr::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < terms_.size();) {
+    VarId v = terms_[i].var;
+    double c = 0.0;
+    while (i < terms_.size() && terms_[i].var == v) c += terms_[i++].coef;
+    if (std::abs(c) > kDropTol) terms_[out++] = {v, c};
+  }
+  terms_.resize(out);
+}
+
+double LinExpr::coef_of(VarId v) const {
+  auto it = std::lower_bound(terms_.begin(), terms_.end(), v,
+                             [](const Term& t, VarId id) { return t.var < id; });
+  return (it != terms_.end() && it->var == v) ? it->coef : 0.0;
+}
+
+LinExpr& LinExpr::add_term(VarId v, double coef) {
+  if (coef == 0.0) return *this;
+  auto it = std::lower_bound(terms_.begin(), terms_.end(), v,
+                             [](const Term& t, VarId id) { return t.var < id; });
+  if (it != terms_.end() && it->var == v) {
+    it->coef += coef;
+    if (it->coef == 0.0) terms_.erase(it);
+  } else {
+    terms_.insert(it, {v, coef});
+  }
+  return *this;
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& rhs) {
+  constant_ += rhs.constant_;
+  if (rhs.terms_.empty()) return *this;
+  if (terms_.empty()) {
+    terms_ = rhs.terms_;
+    return *this;
+  }
+  // Merge two sorted term lists.
+  std::vector<Term> merged;
+  merged.reserve(terms_.size() + rhs.terms_.size());
+  auto a = terms_.begin();
+  auto b = rhs.terms_.begin();
+  while (a != terms_.end() || b != rhs.terms_.end()) {
+    if (b == rhs.terms_.end() || (a != terms_.end() && a->var < b->var)) {
+      merged.push_back(*a++);
+    } else if (a == terms_.end() || b->var < a->var) {
+      merged.push_back(*b++);
+    } else {
+      double c = a->coef + b->coef;
+      if (c != 0.0) merged.push_back({a->var, c});
+      ++a;
+      ++b;
+    }
+  }
+  terms_ = std::move(merged);
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& rhs) {
+  LinExpr neg = rhs;
+  neg *= -1.0;
+  return *this += neg;
+}
+
+LinExpr& LinExpr::operator*=(double s) {
+  if (s == 0.0) {
+    terms_.clear();
+    constant_ = 0.0;
+    return *this;
+  }
+  for (Term& t : terms_) t.coef *= s;
+  constant_ *= s;
+  return *this;
+}
+
+double LinExpr::evaluate(const std::vector<double>& x) const {
+  double v = constant_;
+  for (const Term& t : terms_) v += t.coef * x[static_cast<std::size_t>(t.var.index)];
+  return v;
+}
+
+std::string LinExpr::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const Term& t : terms_) {
+    double c = t.coef;
+    if (first) {
+      if (c < 0) os << "-";
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    c = std::abs(c);
+    if (c != 1.0) os << c << "*";
+    os << "x" << t.var.index;
+    first = false;
+  }
+  if (constant_ != 0.0 || first) {
+    if (!first) os << (constant_ < 0 ? " - " : " + ");
+    else if (constant_ < 0) os << "-";
+    os << std::abs(constant_);
+  }
+  return os.str();
+}
+
+LinExpr operator*(VarId v, double s) {
+  LinExpr e(v);
+  e *= s;
+  return e;
+}
+
+LinExpr operator+(VarId a, VarId b) { return LinExpr(a) + LinExpr(b); }
+LinExpr operator-(VarId a, VarId b) { return LinExpr(a) - LinExpr(b); }
+
+const char* to_string(Sense s) {
+  switch (s) {
+    case Sense::LE: return "<=";
+    case Sense::GE: return ">=";
+    case Sense::EQ: return "==";
+  }
+  return "?";
+}
+
+LinConstraint::LinConstraint(LinExpr e, Sense s, double r, std::string n)
+    : expr(std::move(e)), sense(s), rhs(r - expr.constant()), name(std::move(n)) {
+  expr -= expr.constant();
+}
+
+bool LinConstraint::satisfied(const std::vector<double>& x, double tol) const {
+  const double v = expr.evaluate(x);
+  switch (sense) {
+    case Sense::LE: return v <= rhs + tol;
+    case Sense::GE: return v >= rhs - tol;
+    case Sense::EQ: return std::abs(v - rhs) <= tol;
+  }
+  return false;
+}
+
+std::string LinConstraint::to_string() const {
+  std::ostringstream os;
+  if (!name.empty()) os << name << ": ";
+  os << expr.to_string() << " " << milp::to_string(sense) << " " << rhs;
+  return os.str();
+}
+
+LinConstraint operator<=(LinExpr lhs, const LinExpr& rhs) {
+  LinExpr e = std::move(lhs);
+  e -= rhs;
+  return LinConstraint(std::move(e), Sense::LE, 0.0);
+}
+
+LinConstraint operator>=(LinExpr lhs, const LinExpr& rhs) {
+  LinExpr e = std::move(lhs);
+  e -= rhs;
+  return LinConstraint(std::move(e), Sense::GE, 0.0);
+}
+
+LinConstraint operator==(LinExpr lhs, const LinExpr& rhs) {
+  LinExpr e = std::move(lhs);
+  e -= rhs;
+  return LinConstraint(std::move(e), Sense::EQ, 0.0);
+}
+
+std::ostream& operator<<(std::ostream& os, const LinExpr& e) { return os << e.to_string(); }
+std::ostream& operator<<(std::ostream& os, const LinConstraint& c) { return os << c.to_string(); }
+
+}  // namespace archex::milp

@@ -1,0 +1,124 @@
+/// \file expr.hpp
+/// Linear expressions over model variables.
+///
+/// This is the modeling-layer vocabulary (the role YALMIP plays for the
+/// original ArchEx toolbox): variables are lightweight ids, and LinExpr is a
+/// sparse linear form  sum_j coef_j * x_j + constant  with value semantics
+/// and the usual arithmetic operators.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace archex::milp {
+
+/// Strongly-typed index of a variable inside a Model.
+struct VarId {
+  std::int32_t index = -1;
+
+  [[nodiscard]] bool valid() const { return index >= 0; }
+  friend auto operator<=>(const VarId&, const VarId&) = default;
+};
+
+/// One `coef * var` term of a linear expression.
+struct Term {
+  VarId var;
+  double coef = 0.0;
+
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+/// Sparse linear expression with a constant offset.
+///
+/// Terms are kept normalized: sorted by variable index, duplicates merged,
+/// zero coefficients dropped. All arithmetic preserves normalization, so
+/// equality comparison is structural.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(VarId v) { terms_.push_back({v, 1.0}); }
+  LinExpr(std::initializer_list<Term> terms);
+
+  [[nodiscard]] const std::vector<Term>& terms() const { return terms_; }
+  [[nodiscard]] double constant() const { return constant_; }
+  [[nodiscard]] bool is_constant() const { return terms_.empty(); }
+  [[nodiscard]] std::size_t size() const { return terms_.size(); }
+
+  /// Coefficient of `v` (0 if absent). O(log n).
+  [[nodiscard]] double coef_of(VarId v) const;
+
+  /// Adds `coef * v` to this expression.
+  LinExpr& add_term(VarId v, double coef);
+  LinExpr& operator+=(const LinExpr& rhs);
+  LinExpr& operator-=(const LinExpr& rhs);
+  LinExpr& operator+=(double c) { constant_ += c; return *this; }
+  LinExpr& operator-=(double c) { constant_ -= c; return *this; }
+  LinExpr& operator*=(double s);
+
+  friend LinExpr operator+(LinExpr lhs, const LinExpr& rhs) { lhs += rhs; return lhs; }
+  friend LinExpr operator-(LinExpr lhs, const LinExpr& rhs) { lhs -= rhs; return lhs; }
+  friend LinExpr operator*(LinExpr e, double s) { e *= s; return e; }
+  friend LinExpr operator*(double s, LinExpr e) { e *= s; return e; }
+  friend LinExpr operator-(LinExpr e) { e *= -1.0; return e; }
+
+  /// Structural equality (operator== is reserved for constraint building).
+  [[nodiscard]] bool same_as(const LinExpr& o) const {
+    return terms_ == o.terms_ && constant_ == o.constant_;
+  }
+
+  /// Evaluates the expression for the given dense assignment (indexed by
+  /// variable id).
+  [[nodiscard]] double evaluate(const std::vector<double>& x) const;
+
+  /// Renders e.g. "2*x3 - x5 + 1.5" using `name(v)` for variable names.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void normalize();
+
+  std::vector<Term> terms_;
+  double constant_ = 0.0;
+};
+
+LinExpr operator*(VarId v, double s);
+inline LinExpr operator*(double s, VarId v) { return v * s; }
+LinExpr operator+(VarId a, VarId b);
+LinExpr operator-(VarId a, VarId b);
+
+/// Relational sense of a linear constraint.
+enum class Sense : std::uint8_t { LE, GE, EQ };
+
+[[nodiscard]] const char* to_string(Sense s);
+
+/// A linear constraint `expr (<=|>=|==) rhs`.
+///
+/// Normalized so that `expr` carries no constant: the constant is folded
+/// into `rhs` at construction.
+struct LinConstraint {
+  LinExpr expr;
+  Sense sense = Sense::LE;
+  double rhs = 0.0;
+  std::string name;
+
+  LinConstraint() = default;
+  LinConstraint(LinExpr e, Sense s, double r, std::string n = {});
+
+  /// True if the constraint holds for `x` within tolerance `tol`.
+  [[nodiscard]] bool satisfied(const std::vector<double>& x, double tol = 1e-6) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Constraint-building sugar: `x + y <= 3`, `flow == demand`, ...
+LinConstraint operator<=(LinExpr lhs, const LinExpr& rhs);
+LinConstraint operator>=(LinExpr lhs, const LinExpr& rhs);
+LinConstraint operator==(LinExpr lhs, const LinExpr& rhs);
+
+std::ostream& operator<<(std::ostream& os, const LinExpr& e);
+std::ostream& operator<<(std::ostream& os, const LinConstraint& c);
+
+}  // namespace archex::milp

@@ -1,0 +1,302 @@
+#include "milp/lp_format.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace archex::milp {
+
+namespace {
+
+enum class Section { None, Objective, Constraints, Bounds, Binaries, Generals, End };
+
+struct ParsedTerm {
+  double coef;
+  std::string var;
+};
+
+bool is_number_start(char c) { return std::isdigit(static_cast<unsigned char>(c)) || c == '.'; }
+
+/// Tokenizes "2 x + 3.5 y - z" into signed coefficient/variable terms.
+/// Accepts both "2 x" and "2x"-style spacing and a leading sign.
+std::vector<ParsedTerm> parse_terms(const std::string& text, int line) {
+  std::vector<ParsedTerm> out;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  double sign = 1.0;
+  bool expect_term = true;
+  skip_ws();
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '+' || c == '-') {
+      if (expect_term && !out.empty()) {
+        throw std::runtime_error("line " + std::to_string(line) + ": dangling operator");
+      }
+      sign = (c == '-') ? -sign : sign;
+      ++i;
+      expect_term = true;
+      skip_ws();
+      continue;
+    }
+    double coef = 1.0;
+    if (is_number_start(c)) {
+      const char* begin = text.data() + i;
+      char* end = nullptr;
+      coef = std::strtod(begin, &end);
+      if (end == begin) {
+        throw std::runtime_error("line " + std::to_string(line) + ": bad number");
+      }
+      i += static_cast<std::size_t>(end - begin);
+      skip_ws();
+    }
+    // Optional variable name after the coefficient.
+    std::size_t start = i;
+    while (i < text.size() && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                               std::string("_()[]->.,:").find(text[i]) != std::string::npos)) {
+      ++i;
+    }
+    const std::string name = text.substr(start, i - start);
+    out.push_back({sign * coef, name});  // empty name = constant term
+    sign = 1.0;
+    expect_term = false;
+    skip_ws();
+  }
+  return out;
+}
+
+double parse_bound_value(const std::string& tok, int line) {
+  if (tok == "-inf" || tok == "-infinity") return -kInf;
+  if (tok == "+inf" || tok == "inf" || tok == "+infinity") return kInf;
+  double v = 0.0;
+  const char* begin = tok.data();
+  const auto [p, ec] = std::from_chars(begin, begin + tok.size(), v);
+  if (ec != std::errc() || p != begin + tok.size()) {
+    throw std::runtime_error("line " + std::to_string(line) + ": bad bound '" + tok + "'");
+  }
+  return v;
+}
+
+std::string lowercase(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Model parse_lp(std::istream& in) {
+  // First pass: collect raw content per section; variables are created on
+  // first appearance with default bounds [0, +inf) like the LP format
+  // specifies, then bounds/integrality sections adjust them.
+  struct RawConstraint {
+    std::string name;
+    std::vector<ParsedTerm> lhs;
+    Sense sense;
+    double rhs;
+  };
+
+  std::vector<ParsedTerm> objective;
+  bool maximize = false;
+  std::vector<RawConstraint> constraints;
+  struct RawBound {
+    std::string var;
+    double lb, ub;
+  };
+  std::vector<RawBound> bounds;
+  std::vector<std::string> binaries;
+  std::vector<std::string> generals;
+
+  Section section = Section::None;
+  std::string raw;
+  int line_no = 0;
+  std::string pending;  // multi-line statements are joined until complete
+  int pending_line = 0;
+
+  auto flush_statement = [&](const std::string& text, int line) {
+    if (text.empty()) return;
+    if (section == Section::Objective) {
+      std::string body = text;
+      if (const std::size_t colon = body.find(':'); colon != std::string::npos) {
+        body = body.substr(colon + 1);
+      }
+      for (const ParsedTerm& t : parse_terms(body, line)) objective.push_back(t);
+    } else if (section == Section::Constraints) {
+      RawConstraint rc;
+      std::string body = text;
+      if (const std::size_t colon = body.find(':'); colon != std::string::npos) {
+        rc.name = body.substr(0, colon);
+        // Trim the name.
+        while (!rc.name.empty() && std::isspace(static_cast<unsigned char>(rc.name.front()))) {
+          rc.name.erase(rc.name.begin());
+        }
+        body = body.substr(colon + 1);
+      }
+      std::size_t rel = body.find("<=");
+      std::size_t rel_len = 2;
+      if (rel != std::string::npos) {
+        rc.sense = Sense::LE;
+      } else if ((rel = body.find(">=")) != std::string::npos) {
+        rc.sense = Sense::GE;
+      } else if ((rel = body.find('=')) != std::string::npos) {
+        rc.sense = Sense::EQ;
+        rel_len = 1;
+      } else {
+        throw std::runtime_error("line " + std::to_string(line) + ": constraint without relation");
+      }
+      rc.lhs = parse_terms(body.substr(0, rel), line);
+      const auto rhs_terms = parse_terms(body.substr(rel + rel_len), line);
+      rc.rhs = 0.0;
+      for (const ParsedTerm& t : rhs_terms) {
+        if (!t.var.empty()) {
+          // Variable on the right-hand side: move it to the left.
+          rc.lhs.push_back({-t.coef, t.var});
+        } else {
+          rc.rhs += t.coef;
+        }
+      }
+      constraints.push_back(std::move(rc));
+    } else if (section == Section::Bounds) {
+      // Forms: "l <= x <= u", "x <= u", "x >= l", "x = v", "x free".
+      std::istringstream is(text);
+      std::vector<std::string> toks;
+      std::string t;
+      while (is >> t) toks.push_back(t);
+      if (toks.size() == 2 && lowercase(toks[1]) == "free") {
+        bounds.push_back({toks[0], -kInf, kInf});
+      } else if (toks.size() == 5 && toks[1] == "<=" && toks[3] == "<=") {
+        bounds.push_back({toks[2], parse_bound_value(toks[0], line),
+                          parse_bound_value(toks[4], line)});
+      } else if (toks.size() == 3 && toks[1] == "<=") {
+        bounds.push_back({toks[0], -kInf, parse_bound_value(toks[2], line)});
+      } else if (toks.size() == 3 && toks[1] == ">=") {
+        bounds.push_back({toks[0], parse_bound_value(toks[2], line), kInf});
+      } else if (toks.size() == 3 && toks[1] == "=") {
+        const double v = parse_bound_value(toks[2], line);
+        bounds.push_back({toks[0], v, v});
+      } else {
+        throw std::runtime_error("line " + std::to_string(line) + ": bad bound statement");
+      }
+    } else if (section == Section::Binaries || section == Section::Generals) {
+      std::istringstream is(text);
+      std::string name;
+      while (is >> name) {
+        (section == Section::Binaries ? binaries : generals).push_back(name);
+      }
+    }
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments ('\' in LP format; accept '#' too).
+    for (const char c : {'\\', '#'}) {
+      if (const std::size_t pos = raw.find(c); pos != std::string::npos) {
+        raw = raw.substr(0, pos);
+      }
+    }
+    std::string trimmed = raw;
+    while (!trimmed.empty() && std::isspace(static_cast<unsigned char>(trimmed.back()))) {
+      trimmed.pop_back();
+    }
+    std::size_t b = 0;
+    while (b < trimmed.size() && std::isspace(static_cast<unsigned char>(trimmed[b]))) ++b;
+    trimmed = trimmed.substr(b);
+    if (trimmed.empty()) continue;
+
+    const std::string low = lowercase(trimmed);
+    Section new_section = Section::None;
+    if (low == "minimize" || low == "min") new_section = Section::Objective;
+    else if (low == "maximize" || low == "max") new_section = Section::Objective;
+    else if (low == "subject to" || low == "st" || low == "s.t.") new_section = Section::Constraints;
+    else if (low == "bounds") new_section = Section::Bounds;
+    else if (low == "binaries" || low == "binary" || low == "bin") new_section = Section::Binaries;
+    else if (low == "generals" || low == "general" || low == "gen") new_section = Section::Generals;
+    else if (low == "end") new_section = Section::End;
+
+    if (new_section != Section::None) {
+      flush_statement(pending, pending_line);
+      pending.clear();
+      if (new_section == Section::Objective) maximize = (low[0] == 'm' && low[1] == 'a');
+      section = new_section;
+      if (section == Section::End) break;
+      continue;
+    }
+
+    // Statements in the objective/constraint sections may span lines; a new
+    // statement starts when a "name:" prefix appears (or, for bounds and
+    // integrality sections, every line is one statement).
+    if (section == Section::Bounds || section == Section::Binaries ||
+        section == Section::Generals) {
+      flush_statement(trimmed, line_no);
+      continue;
+    }
+    const bool starts_new = trimmed.find(':') != std::string::npos;
+    if (starts_new) {
+      flush_statement(pending, pending_line);
+      pending = trimmed;
+      pending_line = line_no;
+    } else if (pending.empty()) {
+      pending = trimmed;
+      pending_line = line_no;
+    } else {
+      pending += " " + trimmed;
+    }
+  }
+  flush_statement(pending, pending_line);
+
+  // Second pass: build the model.
+  Model model;
+  std::map<std::string, VarId> var_of;
+  const auto var = [&](const std::string& name) {
+    const auto it = var_of.find(name);
+    if (it != var_of.end()) return it->second;
+    const VarId id = model.add_continuous(0.0, kInf, name);
+    var_of.emplace(name, id);
+    return id;
+  };
+
+  LinExpr obj;
+  for (const ParsedTerm& t : objective) {
+    if (t.var.empty()) obj += t.coef;
+    else obj.add_term(var(t.var), t.coef);
+  }
+  for (const RawConstraint& rc : constraints) {
+    LinExpr e;
+    double rhs = rc.rhs;
+    for (const ParsedTerm& t : rc.lhs) {
+      if (t.var.empty()) rhs -= t.coef;
+      else e.add_term(var(t.var), t.coef);
+    }
+    model.add_constraint(std::move(e), rc.sense, rhs, rc.name);
+  }
+  for (const RawBound& rb : bounds) {
+    const VarId v = var(rb.var);
+    model.var(v).lb = rb.lb;
+    model.var(v).ub = rb.ub;
+  }
+  for (const std::string& name : binaries) {
+    const VarId v = var(name);
+    model.var(v).type = VarType::Binary;
+    model.var(v).lb = std::max(model.var(v).lb, 0.0);
+    model.var(v).ub = std::min(model.var(v).ub, 1.0);
+  }
+  for (const std::string& name : generals) {
+    const VarId v = var(name);
+    model.var(v).type = VarType::Integer;
+  }
+  model.set_objective(std::move(obj),
+                      maximize ? ObjectiveSense::Maximize : ObjectiveSense::Minimize);
+  return model;
+}
+
+Model parse_lp_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open LP file: " + path);
+  return parse_lp(in);
+}
+
+}  // namespace archex::milp

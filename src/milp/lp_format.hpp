@@ -1,0 +1,38 @@
+/// \file lp_format.hpp
+/// CPLEX-LP-format reader, the counterpart of Model::write_lp.
+///
+/// Supports the subset of the LP format that the writer emits (which is also
+/// the subset CPLEX/YALMIP exports use for models of this shape):
+///
+///     Minimize            (or Maximize)
+///      obj: 2 x + 3 y
+///     Subject To
+///      c1: x + y <= 10
+///      c2: x - 2 y >= -4
+///     Bounds
+///      0 <= x <= 7
+///      -inf <= y <= +inf
+///     Binaries
+///      b1 b2
+///     Generals
+///      k
+///     End
+///
+/// Round-tripping write_lp -> parse_lp is tested; the reader also powers the
+/// standalone `milp_solve` example so the solver can be used on models
+/// produced by other tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "milp/model.hpp"
+
+namespace archex::milp {
+
+/// Parses an LP-format model. Throws std::runtime_error with a line-prefixed
+/// message on malformed input.
+[[nodiscard]] Model parse_lp(std::istream& in);
+[[nodiscard]] Model parse_lp_file(const std::string& path);
+
+}  // namespace archex::milp

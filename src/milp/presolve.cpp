@@ -1,0 +1,266 @@
+#include "milp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace archex::milp {
+
+namespace {
+
+struct WorkVar {
+  double lb, ub;
+  bool integral;
+};
+
+/// Rounds integer bounds inward; returns false if the domain became empty.
+bool round_integer_bounds(WorkVar& v, double tol) {
+  if (!v.integral) return v.lb <= v.ub + tol;
+  if (v.lb > -kInf) v.lb = std::ceil(v.lb - tol);
+  if (v.ub < kInf) v.ub = std::floor(v.ub + tol);
+  return v.lb <= v.ub + tol;
+}
+
+}  // namespace
+
+std::vector<double> PresolveResult::postsolve(const std::vector<double>& reduced_x) const {
+  std::vector<double> x(fixed.size(), 0.0);
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    if (fixed[i]) x[i] = fixed_value[i];
+  }
+  for (std::size_t j = 0; j < orig_of_reduced.size(); ++j) {
+    x[static_cast<std::size_t>(orig_of_reduced[j])] = reduced_x[j];
+  }
+  return x;
+}
+
+PresolveResult presolve(const Model& model, PresolveOptions opt) {
+  const double tol = opt.tol;
+  const std::size_t n = model.num_vars();
+  const std::size_t m = model.num_constraints();
+
+  PresolveResult res;
+  res.fixed.assign(n, false);
+  res.fixed_value.assign(n, 0.0);
+
+  std::vector<WorkVar> vars(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Variable& v = model.vars()[j];
+    vars[j] = {v.lb, v.ub, v.is_integral()};
+    if (!round_integer_bounds(vars[j], tol)) {
+      res.infeasible = true;
+      return res;
+    }
+  }
+  std::vector<bool> row_dead(m, false);
+
+  // Fixpoint loop over cheap reductions.
+  for (int pass = 0; pass < opt.max_passes; ++pass) {
+    bool changed = false;
+
+    for (std::size_t i = 0; i < m; ++i) {
+      if (row_dead[i]) continue;
+      const LinConstraint& c = model.constraint(i);
+
+      // Row activity bounds over *live* terms (fixed vars contribute their
+      // value to the effective rhs).
+      double rhs = c.rhs;
+      double act_min = 0.0, act_max = 0.0;
+      std::size_t live = 0;
+      const Term* single = nullptr;
+      for (const Term& t : c.expr.terms()) {
+        const std::size_t j = static_cast<std::size_t>(t.var.index);
+        if (res.fixed[j]) {
+          rhs -= t.coef * res.fixed_value[j];
+          continue;
+        }
+        ++live;
+        single = &t;
+        const WorkVar& v = vars[j];
+        if (t.coef > 0) {
+          act_min += (v.lb > -kInf) ? t.coef * v.lb : -kInf;
+          act_max += (v.ub < kInf) ? t.coef * v.ub : kInf;
+        } else {
+          act_min += (v.ub < kInf) ? t.coef * v.ub : -kInf;
+          act_max += (v.lb > -kInf) ? t.coef * v.lb : kInf;
+        }
+      }
+
+      // Empty row: either trivially true or infeasible.
+      if (live == 0) {
+        const bool ok = (c.sense == Sense::LE && 0.0 <= rhs + tol) ||
+                        (c.sense == Sense::GE && 0.0 >= rhs - tol) ||
+                        (c.sense == Sense::EQ && std::abs(rhs) <= tol);
+        if (!ok) {
+          res.infeasible = true;
+          return res;
+        }
+        row_dead[i] = true;
+        ++res.rows_removed;
+        changed = true;
+        continue;
+      }
+
+      // Infeasibility by activity.
+      if ((c.sense != Sense::GE && act_min > rhs + tol) ||
+          (c.sense != Sense::LE && act_max < rhs - tol)) {
+        res.infeasible = true;
+        return res;
+      }
+
+      // Redundant row removal.
+      const bool le_redundant = (c.sense == Sense::LE && act_max <= rhs + tol);
+      const bool ge_redundant = (c.sense == Sense::GE && act_min >= rhs - tol);
+      if (le_redundant || ge_redundant) {
+        row_dead[i] = true;
+        ++res.rows_removed;
+        changed = true;
+        continue;
+      }
+
+      // Singleton row => bound on the single live variable.
+      if (live == 1) {
+        const std::size_t j = static_cast<std::size_t>(single->var.index);
+        WorkVar& v = vars[j];
+        const double bound = rhs / single->coef;
+        const bool coef_pos = single->coef > 0;
+        if (c.sense == Sense::EQ) {
+          v.lb = std::max(v.lb, bound);
+          v.ub = std::min(v.ub, bound);
+        } else {
+          const bool upper = (c.sense == Sense::LE) == coef_pos;
+          if (upper) v.ub = std::min(v.ub, bound);
+          else v.lb = std::max(v.lb, bound);
+        }
+        if (!round_integer_bounds(v, tol) || v.lb > v.ub + tol) {
+          res.infeasible = true;
+          return res;
+        }
+        row_dead[i] = true;
+        ++res.rows_removed;
+        ++res.bounds_tightened;
+        changed = true;
+        continue;
+      }
+
+      // Bound propagation: for each live var, the residual activity of the
+      // others implies a bound.
+      if (c.sense != Sense::GE && act_min > -kInf) {
+        for (const Term& t : c.expr.terms()) {
+          const std::size_t j = static_cast<std::size_t>(t.var.index);
+          if (res.fixed[j]) continue;
+          WorkVar& v = vars[j];
+          const double self_min = (t.coef > 0) ? t.coef * v.lb : t.coef * v.ub;
+          if (!std::isfinite(self_min)) continue;
+          const double others = act_min - self_min;
+          // t.coef * x_j <= rhs - others
+          const double room = rhs - others;
+          if (t.coef > 0) {
+            const double nb = room / t.coef;
+            if (nb < v.ub - tol) { v.ub = nb; changed = true; ++res.bounds_tightened; }
+          } else {
+            const double nb = room / t.coef;
+            if (nb > v.lb + tol) { v.lb = nb; changed = true; ++res.bounds_tightened; }
+          }
+          if (!round_integer_bounds(v, tol)) {
+            res.infeasible = true;
+            return res;
+          }
+        }
+      }
+      if (c.sense != Sense::LE && act_max < kInf) {
+        for (const Term& t : c.expr.terms()) {
+          const std::size_t j = static_cast<std::size_t>(t.var.index);
+          if (res.fixed[j]) continue;
+          WorkVar& v = vars[j];
+          const double self_max = (t.coef > 0) ? t.coef * v.ub : t.coef * v.lb;
+          if (!std::isfinite(self_max)) continue;
+          const double others = act_max - self_max;
+          // t.coef * x_j >= rhs - others
+          const double room = rhs - others;
+          if (t.coef > 0) {
+            const double nb = room / t.coef;
+            if (nb > v.lb + tol) { v.lb = nb; changed = true; ++res.bounds_tightened; }
+          } else {
+            const double nb = room / t.coef;
+            if (nb < v.ub - tol) { v.ub = nb; changed = true; ++res.bounds_tightened; }
+          }
+          if (!round_integer_bounds(v, tol)) {
+            res.infeasible = true;
+            return res;
+          }
+        }
+      }
+    }
+
+    // Fix variables whose domain collapsed.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (res.fixed[j]) continue;
+      if (vars[j].lb > vars[j].ub + tol) {
+        res.infeasible = true;
+        return res;
+      }
+      if (vars[j].ub - vars[j].lb <= tol && vars[j].lb > -kInf) {
+        res.fixed[j] = true;
+        res.fixed_value[j] =
+            vars[j].integral ? std::round(vars[j].lb) : 0.5 * (vars[j].lb + vars[j].ub);
+        ++res.vars_fixed;
+        changed = true;
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  // Build the reduced model.
+  std::vector<std::int32_t> new_index(n, -1);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (res.fixed[j]) continue;
+    const Variable& v = model.vars()[j];
+    const VarId id = res.reduced.add_var(vars[j].lb, vars[j].ub, v.type, v.name);
+    new_index[j] = id.index;
+    res.orig_of_reduced.push_back(static_cast<std::int32_t>(j));
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    if (row_dead[i]) continue;
+    const LinConstraint& c = model.constraint(i);
+    LinExpr e;
+    double rhs = c.rhs;
+    for (const Term& t : c.expr.terms()) {
+      const std::size_t j = static_cast<std::size_t>(t.var.index);
+      if (res.fixed[j]) {
+        rhs -= t.coef * res.fixed_value[j];
+      } else {
+        e.add_term(VarId{new_index[j]}, t.coef);
+      }
+    }
+    if (e.is_constant()) {
+      // Became empty after substitution: verify it holds before dropping.
+      const bool ok = (c.sense == Sense::LE && 0.0 <= rhs + opt.tol) ||
+                      (c.sense == Sense::GE && 0.0 >= rhs - opt.tol) ||
+                      (c.sense == Sense::EQ && std::abs(rhs) <= opt.tol);
+      if (!ok) {
+        res.infeasible = true;
+        return res;
+      }
+      continue;
+    }
+    res.reduced.add_constraint(std::move(e), c.sense, rhs, c.name);
+  }
+
+  LinExpr obj;
+  double obj_const = model.objective().constant();
+  for (const Term& t : model.objective().terms()) {
+    const std::size_t j = static_cast<std::size_t>(t.var.index);
+    if (res.fixed[j]) {
+      obj_const += t.coef * res.fixed_value[j];
+    } else {
+      obj.add_term(VarId{new_index[j]}, t.coef);
+    }
+  }
+  obj += obj_const;
+  res.reduced.set_objective(std::move(obj), model.objective_sense());
+  return res;
+}
+
+}  // namespace archex::milp

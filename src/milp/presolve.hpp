@@ -1,0 +1,48 @@
+/// \file presolve.hpp
+/// MILP presolve: bound propagation, singleton-row elimination, fixed-variable
+/// substitution and redundant-row removal.
+///
+/// The ArchEx pattern encoder deliberately emits constraints in the most
+/// readable form (one pattern instance => one block of rows); presolve is
+/// where trivially-implied structure is stripped before the simplex sees the
+/// matrix. This mirrors how the paper's toolchain relies on CPLEX's presolve.
+#pragma once
+
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace archex::milp {
+
+/// Outcome of presolving a model, with enough information to map a solution
+/// of the reduced model back to the original variable space.
+struct PresolveResult {
+  bool infeasible = false;
+  Model reduced;
+  /// For each reduced variable, the original variable index.
+  std::vector<std::int32_t> orig_of_reduced;
+  /// Value of every original variable that presolve fixed (valid where
+  /// `fixed[i]` is true).
+  std::vector<bool> fixed;
+  std::vector<double> fixed_value;
+  /// Rows of the original model dropped as redundant or converted to bounds.
+  std::size_t rows_removed = 0;
+  std::size_t vars_fixed = 0;
+  std::size_t bounds_tightened = 0;
+
+  /// Expands a reduced-space solution vector to original space.
+  [[nodiscard]] std::vector<double> postsolve(const std::vector<double>& reduced_x) const;
+};
+
+/// Options controlling the presolve fixpoint loop.
+struct PresolveOptions {
+  int max_passes = 10;
+  double tol = 1e-9;
+};
+
+/// Runs presolve on `model`. The reduced model preserves the optimal value
+/// (fixed variables' objective contribution is folded into the reduced
+/// objective constant).
+PresolveResult presolve(const Model& model, PresolveOptions options = {});
+
+}  // namespace archex::milp

@@ -1,0 +1,755 @@
+#include "milp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace archex::milp {
+
+namespace {
+constexpr double kRatioTol = 1e-9;   // rows with |w| below this do not block
+constexpr double kDegenTol = 1e-10;  // step sizes below this count as degenerate
+}  // namespace
+
+SimplexSolver::SimplexSolver(const Model& model, SimplexOptions options) : opts_(options) {
+  build_from_model(model);
+}
+
+void SimplexSolver::build_from_model(const Model& model) {
+  m_ = model.num_constraints();
+  n_ = model.num_vars();
+  total_cols_ = n_ + 2 * m_;  // structural | slacks | artificials
+
+  cols_.assign(total_cols_, {});
+  rhs_.resize(m_);
+  cost_.assign(total_cols_, 0.0);
+  lb_.resize(total_cols_);
+  ub_.resize(total_cols_);
+
+  for (std::size_t j = 0; j < n_; ++j) {
+    const Variable& v = model.vars()[j];
+    lb_[j] = v.lb;
+    ub_[j] = v.ub;
+  }
+
+  for (std::size_t i = 0; i < m_; ++i) {
+    const LinConstraint& c = model.constraint(i);
+    rhs_[i] = c.rhs;
+    for (const Term& t : c.expr.terms()) {
+      cols_[static_cast<std::size_t>(t.var.index)].push_back(
+          {static_cast<std::int32_t>(i), t.coef});
+    }
+    // Slack: a_i x + s_i = b_i.
+    const std::size_t s = n_ + i;
+    cols_[s].push_back({static_cast<std::int32_t>(i), 1.0});
+    switch (c.sense) {
+      case Sense::LE: lb_[s] = 0.0;   ub_[s] = kInf; break;
+      case Sense::GE: lb_[s] = -kInf; ub_[s] = 0.0;  break;
+      case Sense::EQ: lb_[s] = 0.0;   ub_[s] = 0.0;  break;
+    }
+    // Artificial: sign chosen per cold start in initial_basis().
+    const std::size_t a = n_ + m_ + i;
+    cols_[a].push_back({static_cast<std::int32_t>(i), 1.0});
+    lb_[a] = 0.0;
+    ub_[a] = 0.0;  // enabled (un-fixed) only while basic in phase 1
+  }
+
+  maximize_ = model.objective_sense() == ObjectiveSense::Maximize;
+  const double flip = maximize_ ? -1.0 : 1.0;
+  for (const Term& t : model.objective().terms()) {
+    cost_[static_cast<std::size_t>(t.var.index)] = flip * t.coef;
+  }
+  obj_constant_ = flip * model.objective().constant();
+
+  // Perturbation setup: deterministic per-column jitter in (0.5, 1].
+  true_lb_ = lb_;
+  true_ub_ = ub_;
+  pert_.assign(total_cols_, 0.0);
+  pert_cost_ = cost_;
+  if (opts_.perturb) {
+    auto jitter = [](std::size_t j, std::uint64_t salt) {
+      std::uint64_t h = (j + 1) * 0x9E3779B97F4A7C15ull + salt;
+      h ^= h >> 33;
+      h *= 0xFF51AFD7ED558CCDull;
+      h ^= h >> 33;
+      return 0.5 + 0.5 * static_cast<double>(h % 1000003) / 1000003.0;
+    };
+    for (std::size_t j = 0; j < n_ + m_; ++j) {  // structural + slack only
+      pert_[j] = opts_.bound_pert * jitter(j, 0x1234);
+      if (lb_[j] > -kInf) lb_[j] -= pert_[j];
+      if (ub_[j] < kInf) ub_[j] += pert_[j];
+    }
+    for (std::size_t j = 0; j < total_cols_; ++j) {
+      pert_cost_[j] += opts_.cost_pert * (1.0 + std::abs(cost_[j])) * jitter(j, 0x5678);
+    }
+  }
+
+  status_.assign(total_cols_, ColStatus::AtLower);
+  xval_.assign(total_cols_, 0.0);
+  basic_.assign(m_, -1);
+  basis_pos_.assign(total_cols_, -1);
+  binv_.assign(m_ * m_, 0.0);
+  scratch_w_.resize(m_);
+  scratch_y_.resize(m_);
+  scratch_d_.resize(total_cols_);
+  scratch_alpha_.resize(total_cols_);
+}
+
+void SimplexSolver::initial_basis() {
+  std::fill(basis_pos_.begin(), basis_pos_.end(), -1);
+  std::fill(binv_.begin(), binv_.end(), 0.0);
+
+  // Nonbasic structural columns rest at their nearest finite bound.
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    if (lb_[j] > -kInf) {
+      status_[j] = ColStatus::AtLower;
+      xval_[j] = lb_[j];
+    } else if (ub_[j] < kInf) {
+      status_[j] = ColStatus::AtUpper;
+      xval_[j] = ub_[j];
+    } else {
+      status_[j] = ColStatus::Free;
+      xval_[j] = 0.0;
+    }
+  }
+
+  // Residual of each row given the nonbasic resting point.
+  std::vector<double> r = rhs_;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (xval_[j] == 0.0) continue;
+    for (const ColEntry& e : cols_[j]) r[static_cast<std::size_t>(e.row)] -= e.val * xval_[j];
+  }
+
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t s = n_ + i;
+    const std::size_t a = n_ + m_ + i;
+    lb_[a] = true_lb_[a] = 0.0;
+    ub_[a] = true_ub_[a] = 0.0;
+    if (r[i] >= lb_[s] - opts_.feas_tol && r[i] <= ub_[s] + opts_.feas_tol) {
+      // The slack absorbs the residual: no artificial needed for this row.
+      basic_[i] = static_cast<std::int32_t>(s);
+      basis_pos_[s] = static_cast<std::int32_t>(i);
+      status_[s] = ColStatus::Basic;
+      xval_[s] = r[i];
+      binv_[i * m_ + i] = 1.0;
+    } else {
+      cols_[a][0].val = (r[i] >= 0.0) ? 1.0 : -1.0;
+      ub_[a] = true_ub_[a] = kInf;  // live artificial
+      basic_[i] = static_cast<std::int32_t>(a);
+      basis_pos_[a] = static_cast<std::int32_t>(i);
+      status_[a] = ColStatus::Basic;
+      xval_[a] = std::abs(r[i]);
+      binv_[i * m_ + i] = cols_[a][0].val;  // B = diag(sigma) => Binv = diag(sigma)
+    }
+  }
+  pivots_since_refactor_ = 0;
+}
+
+void SimplexSolver::ftran(std::int32_t col, std::vector<double>& w) const {
+  std::fill(w.begin(), w.end(), 0.0);
+  for (const ColEntry& e : cols_[static_cast<std::size_t>(col)]) {
+    const std::size_t k = static_cast<std::size_t>(e.row);
+    const double a = e.val;
+    const double* bk = binv_.data() + k;  // column k of row-major Binv, stride m_
+    for (std::size_t i = 0; i < m_; ++i) w[i] += bk[i * m_] * a;
+  }
+}
+
+void SimplexSolver::btran_row(std::size_t r, std::vector<double>& binv_row) const {
+  const double* row = binv_.data() + r * m_;
+  binv_row.assign(row, row + m_);
+}
+
+bool SimplexSolver::refactorize() {
+  // Gauss-Jordan inversion of the basis matrix with partial pivoting.
+  std::vector<double> work(m_ * m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t col = static_cast<std::size_t>(basic_[i]);
+    for (const ColEntry& e : cols_[col]) {
+      work[static_cast<std::size_t>(e.row) * m_ + i] = e.val;
+    }
+  }
+  std::vector<double>& inv = binv_;
+  std::fill(inv.begin(), inv.end(), 0.0);
+  for (std::size_t i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
+
+  for (std::size_t k = 0; k < m_; ++k) {
+    // Partial pivoting over rows k..m-1 of column k.
+    std::size_t piv = k;
+    double best = std::abs(work[k * m_ + k]);
+    for (std::size_t i = k + 1; i < m_; ++i) {
+      const double v = std::abs(work[i * m_ + k]);
+      if (v > best) { best = v; piv = i; }
+    }
+    if (best < 1e-11) return false;  // singular basis
+    if (piv != k) {
+      // A row swap is just another elementary row operation: the accumulated
+      // sequence R with R*B = I satisfies R = B^-1 exactly, no fix-up needed.
+      for (std::size_t j = 0; j < m_; ++j) {
+        std::swap(work[piv * m_ + j], work[k * m_ + j]);
+        std::swap(inv[piv * m_ + j], inv[k * m_ + j]);
+      }
+    }
+    const double d = 1.0 / work[k * m_ + k];
+    for (std::size_t j = 0; j < m_; ++j) {
+      work[k * m_ + j] *= d;
+      inv[k * m_ + j] *= d;
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == k) continue;
+      const double f = work[i * m_ + k];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < m_; ++j) {
+        work[i * m_ + j] -= f * work[k * m_ + j];
+        inv[i * m_ + j] -= f * inv[k * m_ + j];
+      }
+    }
+  }
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+void SimplexSolver::compute_basic_values() {
+  std::vector<double> r = rhs_;
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    if (status_[j] == ColStatus::Basic || xval_[j] == 0.0) continue;
+    for (const ColEntry& e : cols_[j]) r[static_cast<std::size_t>(e.row)] -= e.val * xval_[j];
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double* row = binv_.data() + i * m_;
+    double v = 0.0;
+    for (std::size_t k = 0; k < m_; ++k) v += row[k] * r[k];
+    xval_[static_cast<std::size_t>(basic_[i])] = v;
+  }
+}
+
+void SimplexSolver::update_binv(const std::vector<double>& w, std::size_t r) {
+  // Product-form update: Binv <- E * Binv with E the elementary matrix that
+  // maps w to e_r.
+  const double piv = w[r];
+  double* rowr = binv_.data() + r * m_;
+  const double inv_piv = 1.0 / piv;
+  for (std::size_t j = 0; j < m_; ++j) rowr[j] *= inv_piv;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (i == r) continue;
+    const double f = w[i];
+    if (f == 0.0) continue;
+    double* rowi = binv_.data() + i * m_;
+    for (std::size_t j = 0; j < m_; ++j) rowi[j] -= f * rowr[j];
+  }
+  ++pivots_since_refactor_;
+}
+
+void SimplexSolver::price(const std::vector<double>& cost, std::vector<double>& d) const {
+  // y = c_B^T * Binv
+  std::vector<double>& y = scratch_y_;
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double cb = cost[static_cast<std::size_t>(basic_[i])];
+    if (cb == 0.0) continue;
+    const double* row = binv_.data() + i * m_;
+    for (std::size_t j = 0; j < m_; ++j) y[j] += cb * row[j];
+  }
+  // d_j = c_j - y * A_j  for nonbasic columns.
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    if (status_[j] == ColStatus::Basic) { d[j] = 0.0; continue; }
+    double v = cost[j];
+    for (const ColEntry& e : cols_[j]) v -= y[static_cast<std::size_t>(e.row)] * e.val;
+    d[j] = v;
+  }
+}
+
+double SimplexSolver::current_objective(const std::vector<double>& cost) const {
+  double v = 0.0;
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    if (cost[j] != 0.0 && xval_[j] != 0.0) v += cost[j] * xval_[j];
+  }
+  return v;
+}
+
+double SimplexSolver::bound_violation(std::int32_t j) const {
+  const double x = xval_[static_cast<std::size_t>(j)];
+  if (x < lb_[j]) return lb_[j] - x;
+  if (x > ub_[j]) return x - ub_[j];
+  return 0.0;
+}
+
+SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool phase_one) {
+  int degen_streak = 0;
+  std::vector<double>& d = scratch_d_;
+  std::vector<double>& w = scratch_w_;
+  std::vector<double> binv_row(m_);
+
+  // Reduced costs are maintained incrementally across pivots via the pivot
+  // row (d' = d - (d_q / alpha_q) * alpha); a full pricing pass happens only
+  // at entry, after refactorization, and periodically to wash out drift.
+  price(cost, d);
+  int prices_stale = 0;
+
+  for (;;) {
+    if (total_iterations_ >= opts_.max_iterations) return SolveStatus::IterationLimit;
+    if ((total_iterations_ & 0xFF) == 0 &&
+        std::chrono::steady_clock::now() >= opts_.deadline) {
+      return SolveStatus::TimeLimit;
+    }
+    if (pivots_since_refactor_ >= opts_.refactor_interval) {
+      if (!refactorize()) return SolveStatus::NumericalError;
+      compute_basic_values();
+      price(cost, d);
+      prices_stale = 0;
+    }
+    if (++prices_stale > 200) {
+      price(cost, d);
+      prices_stale = 0;
+    }
+
+    const bool bland = degen_streak > opts_.bland_threshold;
+    std::int32_t q = -1;
+    double qdir = 0.0;
+    auto select_entering = [&] {
+      q = -1;
+      qdir = 0.0;
+      double best_score = opts_.opt_tol;
+      for (std::size_t j = 0; j < total_cols_; ++j) {
+        if (status_[j] == ColStatus::Basic || is_fixed(static_cast<std::int32_t>(j))) continue;
+        double dir = 0.0;
+        if (status_[j] == ColStatus::AtLower && d[j] < -opts_.opt_tol) dir = 1.0;
+        else if (status_[j] == ColStatus::AtUpper && d[j] > opts_.opt_tol) dir = -1.0;
+        else if (status_[j] == ColStatus::Free && std::abs(d[j]) > opts_.opt_tol)
+          dir = d[j] < 0 ? 1.0 : -1.0;
+        if (dir == 0.0) continue;
+        if (bland) { q = static_cast<std::int32_t>(j); qdir = dir; return; }
+        if (std::abs(d[j]) > best_score) {
+          best_score = std::abs(d[j]);
+          q = static_cast<std::int32_t>(j);
+          qdir = dir;
+        }
+      }
+    };
+    select_entering();
+    if (q < 0 && prices_stale > 0) {
+      // Looks optimal on incrementally-maintained reduced costs: confirm
+      // with a fresh pricing pass before declaring optimality.
+      price(cost, d);
+      prices_stale = 0;
+      select_entering();
+    }
+    if (q < 0) {
+      // Report with the *true* costs (pricing may have used perturbed ones).
+      obj_value_ = phase_one ? current_objective(cost)
+                             : current_objective(cost_) + obj_constant_;
+      return SolveStatus::Optimal;
+    }
+
+    ftran(q, w);
+
+    // Ratio test: how far can the entering variable move?
+    double t_best = kInf;
+    if (lb_[q] > -kInf && ub_[q] < kInf) t_best = ub_[q] - lb_[q];  // own bound flip
+    std::int32_t leave_row = -1;
+    bool leave_to_upper = false;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (std::abs(w[i]) <= kRatioTol) continue;
+      const double rho = -qdir * w[i];  // d x_B(i) / d t
+      const std::int32_t k = basic_[i];
+      double t;
+      bool to_upper;
+      if (rho > 0) {
+        if (ub_[k] >= kInf) continue;
+        t = (ub_[k] - xval_[k]) / rho;
+        to_upper = true;
+      } else {
+        if (lb_[k] <= -kInf) continue;
+        t = (xval_[k] - lb_[k]) / (-rho);
+        to_upper = false;
+      }
+      if (t < 0) t = 0;  // tiny infeasibilities clamp to a degenerate step
+      const bool better =
+          t < t_best - 1e-12 ||
+          (t <= t_best + 1e-12 && leave_row >= 0 &&
+           std::abs(w[i]) > std::abs(w[static_cast<std::size_t>(leave_row)]));
+      if (better) {
+        t_best = t;
+        leave_row = static_cast<std::int32_t>(i);
+        leave_to_upper = to_upper;
+      }
+    }
+
+    if (t_best >= kInf) return SolveStatus::Unbounded;
+
+    degen_streak = (t_best <= kDegenTol) ? degen_streak + 1 : 0;
+    ++reopt_stats_.total_pivots;
+    if (t_best <= kDegenTol) ++reopt_stats_.degen_pivots;
+
+    const double delta = qdir * t_best;
+    xval_[q] += delta;
+    if (delta != 0.0) {
+      for (std::size_t i = 0; i < m_; ++i) {
+        xval_[static_cast<std::size_t>(basic_[i])] -= w[i] * delta;
+      }
+    }
+
+    if (leave_row < 0) {
+      // Bound flip: entering moved to its opposite bound, basis unchanged.
+      status_[q] = (status_[q] == ColStatus::AtLower) ? ColStatus::AtUpper : ColStatus::AtLower;
+      xval_[q] = (status_[q] == ColStatus::AtLower) ? lb_[q] : ub_[q];
+    } else {
+      const std::size_t r = static_cast<std::size_t>(leave_row);
+      if (std::abs(w[r]) < opts_.pivot_tol) {
+        // Numerically unsafe pivot: rebuild and retry this iteration.
+        if (!refactorize()) return SolveStatus::NumericalError;
+        compute_basic_values();
+        continue;
+      }
+      const std::int32_t k = basic_[r];
+      // Incremental reduced-cost update via the pivot row (computed against
+      // the *old* basis inverse, before update_binv).
+      const double dq = d[static_cast<std::size_t>(q)];
+      if (dq != 0.0) {
+        btran_row(r, binv_row);
+        const double ratio = dq / w[r];
+        for (std::size_t j = 0; j < total_cols_; ++j) {
+          if (status_[j] == ColStatus::Basic) continue;
+          double alpha = 0.0;
+          for (const ColEntry& en : cols_[j]) {
+            alpha += binv_row[static_cast<std::size_t>(en.row)] * en.val;
+          }
+          if (alpha != 0.0) d[j] -= ratio * alpha;
+        }
+        d[static_cast<std::size_t>(k)] = -ratio;  // leaving column (alpha = 1)
+      } else {
+        d[static_cast<std::size_t>(k)] = 0.0;
+      }
+      d[static_cast<std::size_t>(q)] = 0.0;
+
+      status_[k] = leave_to_upper ? ColStatus::AtUpper : ColStatus::AtLower;
+      xval_[k] = leave_to_upper ? ub_[k] : lb_[k];
+      basis_pos_[k] = -1;
+      basic_[r] = q;
+      basis_pos_[q] = static_cast<std::int32_t>(r);
+      status_[q] = ColStatus::Basic;
+      update_binv(w, r);
+    }
+    ++total_iterations_;
+  }
+}
+
+SolveStatus SimplexSolver::solve_primal() {
+  basis_valid_ = false;
+  if (m_ == 0) {
+    // No constraints: every variable rests at its cost-optimal bound.
+    obj_value_ = obj_constant_;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (cost_[j] > 0) {
+        if (true_lb_[j] <= -kInf) return SolveStatus::Unbounded;
+        xval_[j] = true_lb_[j];
+      } else if (cost_[j] < 0) {
+        if (true_ub_[j] >= kInf) return SolveStatus::Unbounded;
+        xval_[j] = true_ub_[j];
+      } else {
+        xval_[j] = std::clamp(0.0, true_lb_[j], true_ub_[j]);
+      }
+      obj_value_ += cost_[j] * xval_[j];
+    }
+    basis_valid_ = true;
+    return SolveStatus::Optimal;
+  }
+
+  initial_basis();
+
+  // Phase 1: minimize the sum of the live artificials.
+  bool any_artificial = false;
+  std::vector<double> phase1_cost(total_cols_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t a = n_ + m_ + i;
+    if (ub_[a] > 0.0) {
+      phase1_cost[a] = 1.0;
+      any_artificial = true;
+    }
+  }
+  if (any_artificial) {
+    const SolveStatus st = primal_loop(phase1_cost, /*phase_one=*/true);
+    if (st != SolveStatus::Optimal) return st;
+    double infeas = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) infeas += xval_[n_ + m_ + i];
+    if (infeas > 1e-6) return SolveStatus::Infeasible;
+    // Freeze artificials at zero for phase 2 (basic ones stay, degenerate).
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t a = n_ + m_ + i;
+      ub_[a] = true_ub_[a] = 0.0;
+      if (status_[a] != ColStatus::Basic) {
+        status_[a] = ColStatus::AtLower;
+        xval_[a] = 0.0;
+      } else {
+        xval_[a] = 0.0;  // clamp residual noise
+      }
+    }
+  }
+
+  const SolveStatus st = primal_loop(pert_cost_, /*phase_one=*/false);
+  basis_valid_ = (st == SolveStatus::Optimal);
+  return st;
+}
+
+bool SimplexSolver::dual_feasible() {
+  price(pert_cost_, scratch_d_);
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    if (status_[j] == ColStatus::Basic || is_fixed(static_cast<std::int32_t>(j))) continue;
+    const double d = scratch_d_[j];
+    if (status_[j] == ColStatus::AtLower && d < -opts_.opt_tol) return false;
+    if (status_[j] == ColStatus::AtUpper && d > opts_.opt_tol) return false;
+    if (status_[j] == ColStatus::Free && std::abs(d) > opts_.opt_tol) return false;
+  }
+  return true;
+}
+
+SolveStatus SimplexSolver::reoptimize_dual() {
+  if (!basis_valid_ || m_ == 0) return solve_primal();
+
+  // Bound *tightenings* preserve dual feasibility of the last basis; bound
+  // *relaxations* (branch backtracking) can break it, because a nonbasic
+  // variable fixed at a bound may carry a wrong-sign reduced cost. The dual
+  // simplex is only sound from a dual-feasible basis, so pick the repair
+  // direction accordingly.
+  SolveStatus st;
+  if (dual_feasible()) {
+    ++reopt_stats_.dual_fast;
+    st = dual_loop();
+  } else {
+    ++reopt_stats_.repaired;
+    // Dual-infeasible warm basis (we backtracked past the point where this
+    // basis was optimal). The dual loop is still a valid *primal repair*
+    // procedure — its pivots are algebraically sound, only its optimality
+    // and infeasibility verdicts lose meaning — so run it to regain primal
+    // feasibility, then let the primal simplex restore optimality. Spurious
+    // "infeasible" verdicts are confirmed with a cold solve.
+    st = dual_loop();
+    if (st == SolveStatus::Optimal) {
+      st = primal_loop(pert_cost_, /*phase_one=*/false);
+    } else if (st == SolveStatus::Infeasible) {
+      ++reopt_stats_.cold;
+      st = solve_primal();
+    }
+  }
+  if (st == SolveStatus::NumericalError) {
+    // Decayed basis: fall back to a cold start.
+    return solve_primal();
+  }
+  basis_valid_ = (st == SolveStatus::Optimal);
+  return st;
+}
+
+SolveStatus SimplexSolver::dual_loop() {
+  if (m_ == 0) return solve_primal();
+  compute_basic_values();
+
+  std::vector<double>& d = scratch_d_;
+  std::vector<double>& w = scratch_w_;
+  std::vector<double> binv_row(m_);
+  int degen_streak = 0;
+
+  // Reduced costs are maintained incrementally across pivots (same pivot-row
+  // update as the primal loop); full pricing only at entry, after
+  // refactorization, and periodically against drift.
+  price(pert_cost_, d);
+  int prices_stale = 0;
+
+  for (;;) {
+    if (total_iterations_ >= opts_.max_iterations) return SolveStatus::IterationLimit;
+    if ((total_iterations_ & 0xFF) == 0 &&
+        std::chrono::steady_clock::now() >= opts_.deadline) {
+      return SolveStatus::TimeLimit;
+    }
+    if (pivots_since_refactor_ >= opts_.refactor_interval) {
+      if (!refactorize()) return SolveStatus::NumericalError;
+      compute_basic_values();
+      price(pert_cost_, d);
+      prices_stale = 0;
+    }
+    if (++prices_stale > 200) {
+      price(pert_cost_, d);
+      prices_stale = 0;
+    }
+
+    // Leaving row: largest primal bound violation among basic variables.
+    std::int32_t leave_row = -1;
+    double worst = opts_.feas_tol;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double v = bound_violation(basic_[i]);
+      if (v > worst) { worst = v; leave_row = static_cast<std::int32_t>(i); }
+    }
+    if (leave_row < 0) {
+      obj_value_ = current_objective(cost_) + obj_constant_;
+      return SolveStatus::Optimal;
+    }
+
+    const std::size_t r = static_cast<std::size_t>(leave_row);
+    const std::int32_t kleave = basic_[r];
+    const bool above = xval_[kleave] > ub_[kleave];
+    const double e = above ? 1.0 : -1.0;
+
+    btran_row(r, binv_row);
+
+    // Dual ratio test over nonbasic columns (alphas cached for the
+    // incremental reduced-cost update below).
+    std::vector<double>& alphas = scratch_alpha_;
+    std::int32_t q = -1;
+    double best_theta = kInf;
+    double alpha_q = 0.0;
+    for (std::size_t j = 0; j < total_cols_; ++j) {
+      alphas[j] = 0.0;
+      if (status_[j] == ColStatus::Basic || is_fixed(static_cast<std::int32_t>(j))) continue;
+      double alpha = 0.0;
+      for (const ColEntry& en : cols_[j]) {
+        alpha += binv_row[static_cast<std::size_t>(en.row)] * en.val;
+      }
+      alphas[j] = alpha;
+      if (std::abs(alpha) <= opts_.pivot_tol) continue;
+      const double abar = e * alpha;
+      bool eligible = false;
+      if (status_[j] == ColStatus::AtLower && abar > 0) eligible = true;
+      else if (status_[j] == ColStatus::AtUpper && abar < 0) eligible = true;
+      else if (status_[j] == ColStatus::Free) eligible = true;
+      if (!eligible) continue;
+      const double theta = std::abs(d[j]) / std::abs(abar);
+      const bool better =
+          theta < best_theta - 1e-12 ||
+          (theta <= best_theta + 1e-12 && q >= 0 && std::abs(alpha) > std::abs(alpha_q));
+      if (better) {
+        best_theta = theta;
+        q = static_cast<std::int32_t>(j);
+        alpha_q = alpha;
+      }
+    }
+    if (q < 0) return SolveStatus::Infeasible;  // dual unbounded
+
+    ftran(q, w);
+    if (std::abs(w[r]) < opts_.pivot_tol) {
+      if (!refactorize()) return SolveStatus::NumericalError;
+      compute_basic_values();
+      continue;
+    }
+
+    // Entering step: drive the leaving basic variable exactly to its violated
+    // bound. x_B(r) changes by -w[r] * delta.
+    const double target = above ? ub_[kleave] : lb_[kleave];
+    const double delta = (xval_[kleave] - target) / w[r];
+    degen_streak = (std::abs(delta) <= kDegenTol) ? degen_streak + 1 : 0;
+    ++reopt_stats_.total_pivots;
+    if (std::abs(delta) <= kDegenTol) ++reopt_stats_.degen_pivots;
+    if (degen_streak > 10 * opts_.bland_threshold) return SolveStatus::NumericalError;
+
+    xval_[q] += delta;
+    if (delta != 0.0) {
+      for (std::size_t i = 0; i < m_; ++i) {
+        xval_[static_cast<std::size_t>(basic_[i])] -= w[i] * delta;
+      }
+    }
+
+    // Incremental reduced-cost update from the cached pivot row.
+    const double dq = d[static_cast<std::size_t>(q)];
+    if (dq != 0.0) {
+      const double ratio = dq / alpha_q;
+      for (std::size_t j = 0; j < total_cols_; ++j) {
+        if (status_[j] == ColStatus::Basic || alphas[j] == 0.0) continue;
+        d[j] -= ratio * alphas[j];
+      }
+      d[static_cast<std::size_t>(kleave)] = -ratio;  // leaving column (alpha = 1)
+    } else {
+      d[static_cast<std::size_t>(kleave)] = 0.0;
+    }
+    d[static_cast<std::size_t>(q)] = 0.0;
+
+    status_[kleave] = above ? ColStatus::AtUpper : ColStatus::AtLower;
+    xval_[kleave] = target;
+    basis_pos_[kleave] = -1;
+    basic_[r] = q;
+    basis_pos_[q] = static_cast<std::int32_t>(r);
+    status_[q] = ColStatus::Basic;
+    update_binv(w, r);
+    ++total_iterations_;
+  }
+}
+
+void SimplexSolver::set_bounds(std::int32_t col, double lb, double ub) {
+  assert(col >= 0 && static_cast<std::size_t>(col) < n_);
+  true_lb_[col] = lb;
+  true_ub_[col] = ub;
+  lb_[col] = (lb > -kInf) ? lb - pert_[col] : lb;
+  ub_[col] = (ub < kInf) ? ub + pert_[col] : ub;
+  if (status_[col] == ColStatus::Basic) return;
+  // Keep the nonbasic resting point consistent with the new bounds.
+  if (status_[col] == ColStatus::AtLower) {
+    if (lb > -kInf) {
+      xval_[col] = lb;
+    } else if (ub < kInf) {
+      status_[col] = ColStatus::AtUpper;
+      xval_[col] = ub;
+    } else {
+      status_[col] = ColStatus::Free;
+      xval_[col] = 0.0;
+    }
+  } else if (status_[col] == ColStatus::AtUpper) {
+    if (ub < kInf) {
+      xval_[col] = ub;
+    } else if (lb > -kInf) {
+      status_[col] = ColStatus::AtLower;
+      xval_[col] = lb;
+    } else {
+      status_[col] = ColStatus::Free;
+      xval_[col] = 0.0;
+    }
+  }
+}
+
+std::vector<double> SimplexSolver::dual_values() const {
+  std::vector<double> y(m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double cb = cost_[static_cast<std::size_t>(basic_[i])];
+    if (cb == 0.0) continue;
+    const double* row = binv_.data() + i * m_;
+    for (std::size_t j = 0; j < m_; ++j) y[j] += cb * row[j];
+  }
+  return y;
+}
+
+std::vector<double> SimplexSolver::reduced_costs() const {
+  price(cost_, scratch_d_);
+  return {scratch_d_.begin(), scratch_d_.begin() + static_cast<std::ptrdiff_t>(n_)};
+}
+
+SimplexSolver::BoundStatus SimplexSolver::column_status(std::int32_t col) const {
+  switch (status_[static_cast<std::size_t>(col)]) {
+    case ColStatus::Basic: return BoundStatus::Basic;
+    case ColStatus::AtLower: return BoundStatus::AtLower;
+    case ColStatus::AtUpper: return BoundStatus::AtUpper;
+    case ColStatus::Free: return BoundStatus::Free;
+  }
+  return BoundStatus::Free;
+}
+
+std::vector<double> SimplexSolver::primal_solution() const {
+  std::vector<double> x(xval_.begin(), xval_.begin() + static_cast<std::ptrdiff_t>(n_));
+  // Clamp perturbation slack back into the true bounds.
+  for (std::size_t j = 0; j < n_; ++j) {
+    x[j] = std::clamp(x[j], true_lb_[j], true_ub_[j]);
+  }
+  return x;
+}
+
+Solution solve_lp_relaxation(const Model& model, SimplexOptions options) {
+  SimplexSolver lp(model, options);
+  Solution sol;
+  sol.status = lp.solve_primal();
+  sol.simplex_iterations = lp.iterations();
+  if (sol.status == SolveStatus::Optimal) {
+    sol.x = lp.primal_solution();
+    const double flip = model.objective_sense() == ObjectiveSense::Maximize ? -1.0 : 1.0;
+    sol.objective = flip * lp.objective_value();
+    sol.has_incumbent = true;
+    sol.best_bound = sol.objective;
+  }
+  return sol;
+}
+
+}  // namespace archex::milp

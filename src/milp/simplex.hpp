@@ -1,0 +1,181 @@
+/// \file simplex.hpp
+/// Bounded-variable revised simplex with an explicit basis inverse.
+///
+/// This is the LP engine underneath the branch-and-bound MILP solver (the
+/// role CPLEX plays for the original ArchEx toolbox). It implements:
+///   * two-phase primal simplex (phase 1 via artificial variables),
+///   * dual simplex reoptimization after variable-bound changes, which is
+///     what makes warm-started branch & bound cheap: branching only changes
+///     bounds, and bound changes preserve dual feasibility of the basis,
+///   * product-form updates of an explicit dense basis inverse with periodic
+///     refactorization and residual-based accuracy checks.
+///
+/// The engine works on the standard computational form: every row
+/// `a_i x (<=|>=|==) b_i` becomes `a_i x + s_i = b_i` with a bounded slack
+/// s_i, and all columns (structural, slack, artificial) are treated
+/// uniformly as bounded variables.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace archex::milp {
+
+/// Simplex configuration knobs.
+struct SimplexOptions {
+  double feas_tol = 1e-7;    ///< primal feasibility tolerance
+  double opt_tol = 1e-7;     ///< dual feasibility (reduced cost) tolerance
+  double pivot_tol = 1e-8;   ///< minimum acceptable pivot magnitude
+  std::int64_t max_iterations = 50'000'000;
+  int refactor_interval = 400;  ///< pivots between basis refactorizations
+  int bland_threshold = 300;    ///< degenerate pivots before Bland's rule kicks in
+  /// Anti-degeneracy perturbation. Architecture MILPs are massively
+  /// degenerate (symmetric costs, unit-capacity flows); tiny deterministic
+  /// *relaxing* bound shifts and cost jitter break the ties. Bounds are only
+  /// ever widened, so LP objective values remain valid lower bounds; reported
+  /// objectives always use the true costs and solutions are clamped back to
+  /// the true bounds.
+  bool perturb = false;
+  double bound_pert = 1e-8;  ///< bound widening magnitude
+  double cost_pert = 1e-10;  ///< relative cost jitter magnitude
+  /// Hard wall-clock deadline; simplex loops return TimeLimit when passed.
+  /// Defaults to "never". Checked every few hundred iterations.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// LP engine over a fixed constraint matrix with mutable variable bounds.
+///
+/// Usage:
+///   SimplexSolver lp(model);
+///   SolveStatus st = lp.solve_primal();        // cold start, two-phase
+///   ...
+///   lp.set_bounds(col, 1.0, 1.0);              // branch: fix a binary
+///   st = lp.reoptimize_dual();                 // warm-started node solve
+///   lp.set_bounds(col, 0.0, 1.0);              // backtrack
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(const Model& model, SimplexOptions options = {});
+
+  /// Solves from a fresh slack/artificial basis (two-phase primal).
+  SolveStatus solve_primal();
+
+  /// Reoptimizes with the dual simplex after bound changes. Requires a prior
+  /// successful solve (which left a dual-feasible basis). Falls back to a
+  /// cold primal solve if the basis has decayed numerically.
+  SolveStatus reoptimize_dual();
+
+  /// Changes the bounds of structural column `col` (0-based model index).
+  /// Getters return the *true* (unperturbed) bounds.
+  void set_bounds(std::int32_t col, double lb, double ub);
+  [[nodiscard]] double lower_bound(std::int32_t col) const { return true_lb_[col]; }
+  [[nodiscard]] double upper_bound(std::int32_t col) const { return true_ub_[col]; }
+
+  /// Objective value of the last solve, in *minimization* sense.
+  [[nodiscard]] double objective_value() const { return obj_value_; }
+
+  /// Values of the structural variables after the last solve.
+  [[nodiscard]] std::vector<double> primal_solution() const;
+
+  /// Reduced costs of the structural columns w.r.t. the true objective and
+  /// the current basis (minimization sense). Used for root reduced-cost
+  /// fixing in the branch & bound.
+  [[nodiscard]] std::vector<double> reduced_costs() const;
+
+  /// Dual values (shadow prices) of the rows w.r.t. the true objective and
+  /// the current basis, minimization sense: y = c_B^T B^-1. The sensitivity
+  /// interface architects use to see which requirement is driving cost.
+  [[nodiscard]] std::vector<double> dual_values() const;
+  /// Status of a structural column in the current basis.
+  enum class BoundStatus : std::uint8_t { Basic, AtLower, AtUpper, Free };
+  [[nodiscard]] BoundStatus column_status(std::int32_t col) const;
+
+  [[nodiscard]] std::int64_t iterations() const { return total_iterations_; }
+  [[nodiscard]] std::size_t num_rows() const { return m_; }
+  [[nodiscard]] std::size_t num_structural() const { return n_; }
+
+  /// Warm-start behaviour counters (reoptimize_dual path taken).
+  struct ReoptStats {
+    std::int64_t dual_fast = 0;   ///< dual-feasible warm dual solves
+    std::int64_t repaired = 0;    ///< dual repair + primal cleanup
+    std::int64_t cold = 0;        ///< fell back to a cold primal solve
+    std::int64_t degen_pivots = 0;  ///< pivots with (near-)zero step
+    std::int64_t total_pivots = 0;
+  };
+  [[nodiscard]] const ReoptStats& reopt_stats() const { return reopt_stats_; }
+
+ private:
+  enum class ColStatus : std::uint8_t { Basic, AtLower, AtUpper, Free };
+
+  // --- setup ---
+  void build_from_model(const Model& model);
+  void initial_basis();
+
+  // --- linear algebra ---
+  /// w = Binv * A_col (dense result, sparse column input).
+  void ftran(std::int32_t col, std::vector<double>& w) const;
+  /// alpha = (row r of Binv) * A  restricted to nonbasic columns;
+  /// also returns binv_row (row r of Binv) for the pivot update.
+  void btran_row(std::size_t r, std::vector<double>& binv_row) const;
+  /// Recomputes Binv from the current basis by Gauss-Jordan elimination.
+  /// Returns false if the basis is (numerically) singular.
+  bool refactorize();
+  /// Recomputes the values of basic variables from nonbasic values.
+  void compute_basic_values();
+  /// Rank-1 product-form update of Binv for a pivot (entering column's
+  /// ftran result `w`, pivot row `r`).
+  void update_binv(const std::vector<double>& w, std::size_t r);
+
+  // --- simplex cores ---
+  SolveStatus primal_loop(const std::vector<double>& cost, bool phase_one);
+  SolveStatus dual_loop();
+  /// True if the current basis satisfies the reduced-cost sign conditions.
+  bool dual_feasible();
+  void price(const std::vector<double>& cost, std::vector<double>& d) const;
+  double current_objective(const std::vector<double>& cost) const;
+
+  [[nodiscard]] bool is_fixed(std::int32_t j) const { return true_lb_[j] == true_ub_[j]; }
+  [[nodiscard]] double bound_violation(std::int32_t j) const;
+
+  // --- data ---
+  SimplexOptions opts_;
+  std::size_t m_ = 0;  ///< rows
+  std::size_t n_ = 0;  ///< structural columns
+  std::size_t total_cols_ = 0;  ///< n + m slacks + m artificials
+
+  // Sparse columns of [A | I_slack | I_artificial]; entry list per column.
+  struct ColEntry { std::int32_t row; double val; };
+  std::vector<std::vector<ColEntry>> cols_;
+  std::vector<double> rhs_;
+  std::vector<double> cost_;       ///< true phase-2 cost (minimize), size total_cols_
+  std::vector<double> pert_cost_;  ///< perturbed cost used for pricing decisions
+  std::vector<double> lb_, ub_;    ///< working (perturbation-widened) bounds
+  std::vector<double> true_lb_, true_ub_;  ///< unperturbed bounds
+  std::vector<double> pert_;       ///< per-column bound widening (0 for artificials)
+  std::vector<ColStatus> status_;
+  std::vector<double> xval_;       ///< current value per column
+  std::vector<std::int32_t> basic_;    ///< column basic in row i
+  std::vector<std::int32_t> basis_pos_;  ///< row of a basic column, -1 otherwise
+  std::vector<double> binv_;       ///< dense m x m, row-major
+  double obj_value_ = 0.0;
+  double obj_constant_ = 0.0;      ///< constant of the (minimize-sense) objective
+  bool maximize_ = false;          ///< model was a maximization (cost_ is negated)
+  std::int64_t total_iterations_ = 0;
+  int pivots_since_refactor_ = 0;
+  bool basis_valid_ = false;       ///< a successful solve happened
+  ReoptStats reopt_stats_;
+  // scratch buffers
+  mutable std::vector<double> scratch_w_;
+  mutable std::vector<double> scratch_y_;
+  mutable std::vector<double> scratch_d_;
+  mutable std::vector<double> scratch_alpha_;
+};
+
+/// Convenience: solves the LP relaxation of `model` (integrality dropped).
+/// Returns objective in the model's own sense.
+Solution solve_lp_relaxation(const Model& model, SimplexOptions options = {});
+
+}  // namespace archex::milp

@@ -1,0 +1,199 @@
+#include "reliability/reliability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace archex::reliability {
+
+namespace {
+
+/// Relevant nodes: on some source->sink path = reachable from sources AND
+/// co-reachable from the sink.
+std::vector<bool> relevant_nodes(const graph::Digraph& g,
+                                 const std::vector<std::int32_t>& sources, std::int32_t sink) {
+  const std::vector<bool> fwd = graph::reachable_from(g, sources);
+  // Reverse reachability from the sink.
+  graph::Digraph rev(g.num_nodes());
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    for (std::int32_t v : g.successors(static_cast<std::int32_t>(u))) {
+      rev.add_edge(v, static_cast<std::int32_t>(u));
+    }
+  }
+  const std::vector<bool> bwd = graph::reachable_from(rev, {sink});
+  std::vector<bool> rel(g.num_nodes(), false);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) rel[v] = fwd[v] && bwd[v];
+  return rel;
+}
+
+/// Connectivity check under a node-alive mask.
+bool connected_given(const graph::Digraph& g, const std::vector<std::int32_t>& sources,
+                     std::int32_t sink, const std::vector<std::int8_t>& alive) {
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<std::int32_t> stack;
+  for (std::int32_t s : sources) {
+    if (alive[static_cast<std::size_t>(s)]) {
+      if (s == sink) return true;
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  while (!stack.empty()) {
+    const std::int32_t u = stack.back();
+    stack.pop_back();
+    for (std::int32_t v : g.successors(u)) {
+      if (v == sink) return true;
+      if (!alive[static_cast<std::size_t>(v)] || seen[static_cast<std::size_t>(v)]) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      stack.push_back(v);
+    }
+  }
+  return false;
+}
+
+struct Factoring {
+  const graph::Digraph& g;
+  const std::vector<std::int32_t>& sources;
+  std::int32_t sink;
+  const std::vector<double>& p;
+  std::vector<std::int32_t> prob_nodes;  // failure-prone relevant nodes
+  std::vector<std::int8_t> alive;        // current conditioning (1 = alive)
+
+  /// P(sink disconnected) given the conditioning so far; `next` indexes into
+  /// prob_nodes.
+  double solve(std::size_t next) {
+    // Prune: if already disconnected with all undecided nodes alive, failure
+    // probability is 1; if connected with all undecided nodes *dead*, it is 0.
+    if (!connected_given(g, sources, sink, alive)) return 1.0;
+    // (alive[] currently has undecided nodes alive, so the check above is the
+    // optimistic one.)
+    if (next >= prob_nodes.size()) return 0.0;  // connected, all decided
+
+    const std::int32_t v = prob_nodes[next];
+    const double pv = p[static_cast<std::size_t>(v)];
+
+    // Condition on node v failing...
+    alive[static_cast<std::size_t>(v)] = 0;
+    const double fail_branch = solve(next + 1);
+    // ... and on v staying up.
+    alive[static_cast<std::size_t>(v)] = 1;
+    const double up_branch = solve(next + 1);
+
+    return pv * fail_branch + (1.0 - pv) * up_branch;
+  }
+};
+
+}  // namespace
+
+double link_failure_probability(const graph::Digraph& g,
+                                const std::vector<std::int32_t>& sources, std::int32_t sink,
+                                const std::vector<double>& fail_prob) {
+  if (fail_prob.size() != g.num_nodes()) {
+    throw std::invalid_argument("link_failure_probability: fail_prob size mismatch");
+  }
+  const std::vector<bool> rel = relevant_nodes(g, sources, sink);
+  if (!rel[static_cast<std::size_t>(sink)]) return 1.0;  // no path at all
+
+  Factoring f{g, sources, sink, fail_prob, {}, std::vector<std::int8_t>(g.num_nodes(), 0)};
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    if (!rel[v]) continue;  // irrelevant nodes stay dead: they cannot help
+    f.alive[v] = 1;
+    if (static_cast<std::int32_t>(v) != sink && fail_prob[v] > 0.0) {
+      f.prob_nodes.push_back(static_cast<std::int32_t>(v));
+    }
+  }
+  // Order by descending failure probability: conditioning on likely-failing
+  // nodes first tends to disconnect early and prune deeper recursion.
+  std::sort(f.prob_nodes.begin(), f.prob_nodes.end(), [&](std::int32_t a, std::int32_t b) {
+    return fail_prob[static_cast<std::size_t>(a)] > fail_prob[static_cast<std::size_t>(b)];
+  });
+  return f.solve(0);
+}
+
+double link_failure_probability_bruteforce(const graph::Digraph& g,
+                                           const std::vector<std::int32_t>& sources,
+                                           std::int32_t sink,
+                                           const std::vector<double>& fail_prob) {
+  const std::vector<bool> rel = relevant_nodes(g, sources, sink);
+  if (!rel[static_cast<std::size_t>(sink)]) return 1.0;
+
+  std::vector<std::int32_t> prob_nodes;
+  std::vector<std::int8_t> alive(g.num_nodes(), 0);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    if (!rel[v]) continue;
+    alive[v] = 1;
+    if (static_cast<std::int32_t>(v) != sink && fail_prob[v] > 0.0) {
+      prob_nodes.push_back(static_cast<std::int32_t>(v));
+    }
+  }
+  const std::size_t k = prob_nodes.size();
+  if (k > 24) throw std::invalid_argument("bruteforce: too many failure-prone nodes");
+
+  double total = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << k); ++mask) {
+    double prob = 1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t v = static_cast<std::size_t>(prob_nodes[i]);
+      const bool dead = (mask >> i) & 1u;
+      alive[v] = dead ? 0 : 1;
+      prob *= dead ? fail_prob[v] : (1.0 - fail_prob[v]);
+    }
+    if (!connected_given(g, sources, sink, alive)) total += prob;
+  }
+  return total;
+}
+
+double link_failure_probability_monte_carlo(const graph::Digraph& g,
+                                            const std::vector<std::int32_t>& sources,
+                                            std::int32_t sink,
+                                            const std::vector<double>& fail_prob,
+                                            std::size_t samples, std::uint64_t seed) {
+  if (fail_prob.size() != g.num_nodes()) {
+    throw std::invalid_argument("monte_carlo: fail_prob size mismatch");
+  }
+  const std::vector<bool> rel = relevant_nodes(g, sources, sink);
+  if (!rel[static_cast<std::size_t>(sink)]) return 1.0;
+
+  // xorshift64* generator: fast, deterministic across platforms.
+  std::uint64_t state = seed ? seed : 0x9E3779B97F4A7C15ull;
+  auto next_uniform = [&state] {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return static_cast<double>((state * 0x2545F4914F6CDD1Dull) >> 11) /
+           static_cast<double>(1ull << 53);
+  };
+
+  std::vector<std::int32_t> prob_nodes;
+  std::vector<std::int8_t> alive(g.num_nodes(), 0);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    if (!rel[v]) continue;
+    alive[v] = 1;
+    if (static_cast<std::int32_t>(v) != sink && fail_prob[v] > 0.0) {
+      prob_nodes.push_back(static_cast<std::int32_t>(v));
+    }
+  }
+
+  std::size_t disconnected = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::int32_t v : prob_nodes) {
+      alive[static_cast<std::size_t>(v)] =
+          next_uniform() >= fail_prob[static_cast<std::size_t>(v)] ? 1 : 0;
+    }
+    if (!connected_given(g, sources, sink, alive)) ++disconnected;
+    for (std::int32_t v : prob_nodes) alive[static_cast<std::size_t>(v)] = 1;
+  }
+  return static_cast<double>(disconnected) / static_cast<double>(samples);
+}
+
+int required_disjoint_paths(double threshold, double path_fail_prob) {
+  if (threshold >= 1.0) return 1;
+  if (path_fail_prob <= 0.0) return 1;
+  if (path_fail_prob >= 1.0) return 1;
+  const double k = std::log(threshold) / std::log(path_fail_prob);
+  return std::max(1, static_cast<int>(std::ceil(k - 1e-9)));
+}
+
+}  // namespace archex::reliability

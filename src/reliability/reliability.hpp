@@ -1,0 +1,60 @@
+/// \file reliability.hpp
+/// Exact network reliability analysis for functional links.
+///
+/// Semantics (documented in DESIGN.md): the failure probability of a
+/// functional link to sink t is the probability that, after independent node
+/// failures, no directed failure-free path exists from any source to t. The
+/// sink node itself is assumed perfect for the purpose of the link (its own
+/// failure is accounted for separately), matching the paper's EPN case study
+/// where loads and contactors do not fail.
+///
+/// The exact algorithm is pivotal decomposition (factoring) on the relevant
+/// subgraph, with reachability-based pruning; a brute-force state-enumeration
+/// oracle is provided for testing. This module is the "exact analysis" box of
+/// the lazy (MILP modulo reliability) algorithm of Sec. 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace archex::reliability {
+
+/// Exact probability that `sink` is disconnected from all of `sources` under
+/// independent node failures with probabilities `fail_prob` (indexed by node).
+/// The sink is treated as perfect. Edges do not fail (contactors are perfect
+/// in the paper's model); model a failing edge by inserting a failable node.
+///
+/// Complexity is exponential in the number of *relevant* failure-prone nodes
+/// (those lying on some source->sink path); factoring with pruning keeps the
+/// practical cost low for architecture-sized graphs.
+[[nodiscard]] double link_failure_probability(const graph::Digraph& g,
+                                              const std::vector<std::int32_t>& sources,
+                                              std::int32_t sink,
+                                              const std::vector<double>& fail_prob);
+
+/// Brute-force oracle: enumerates all 2^k failure states of the relevant
+/// failure-prone nodes. Only usable for small graphs; used by tests to
+/// validate the factoring implementation.
+[[nodiscard]] double link_failure_probability_bruteforce(
+    const graph::Digraph& g, const std::vector<std::int32_t>& sources, std::int32_t sink,
+    const std::vector<double>& fail_prob);
+
+/// Monte-Carlo estimator of the same probability: samples independent node
+/// failure states. Deterministic for a fixed seed. Complements the exact
+/// factoring analysis for graphs whose relevant failure-prone node count
+/// makes exact analysis expensive; the test suite cross-validates the two.
+[[nodiscard]] double link_failure_probability_monte_carlo(
+    const graph::Digraph& g, const std::vector<std::int32_t>& sources, std::int32_t sink,
+    const std::vector<double>& fail_prob, std::size_t samples = 100'000,
+    std::uint64_t seed = 1);
+
+/// Required number of vertex-disjoint source->sink paths to push the link
+/// failure probability below `threshold`, under the approximation that each
+/// path fails with probability `path_fail_prob` independently (the redundancy
+/// rule-of-thumb the paper's Fig. 3 numbers follow: one path ~1e-3, two
+/// ~1e-6, three ~1e-9 at p = 2e-4). Returns at least 1.
+[[nodiscard]] int required_disjoint_paths(double threshold, double path_fail_prob);
+
+}  // namespace archex::reliability

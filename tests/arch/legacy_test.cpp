@@ -1,0 +1,109 @@
+#include "arch/legacy_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/problem.hpp"
+#include "arch/patterns/connection.hpp"
+#include "milp/branch_bound.hpp"
+
+namespace archex {
+namespace {
+
+/// Instance family used by the encoding-comparison bench: a chain template
+/// where each node has `ell` implementation options.
+struct Chain {
+  Library lib;
+  ArchTemplate tmpl;
+
+  Chain(int nodes_per_stage, int ell) {
+    lib.set_edge_cost(2.0);
+    for (const char* type : {"A", "B", "C"}) {
+      for (int i = 0; i < ell; ++i) {
+        lib.add({std::string(type) + "impl" + std::to_string(i), type, "", {},
+                 {{attr::kCost, 10.0 + i}}});
+      }
+    }
+    tmpl.add_nodes(nodes_per_stage, "a", "A");
+    tmpl.add_nodes(nodes_per_stage, "b", "B");
+    tmpl.add_nodes(nodes_per_stage, "c", "C");
+    tmpl.allow_connection(NodeFilter::of_type("A"), NodeFilter::of_type("B"));
+    tmpl.allow_connection(NodeFilter::of_type("B"), NodeFilter::of_type("C"));
+  }
+};
+
+TEST(LegacyEncoderTest, VariableCountQuadraticInLibrarySize) {
+  // The paper's Sec. 2 claim: legacy decision variables scale quadratically
+  // in the number of library options l, the new encoding linearly.
+  const Chain small(2, 2);
+  const Chain big(2, 4);
+
+  LegacyEncoding legacy_small(small.lib, small.tmpl);
+  LegacyEncoding legacy_big(big.lib, big.tmpl);
+  Problem new_small(small.lib, small.tmpl);
+  Problem new_big(big.lib, big.tmpl);
+
+  const double legacy_growth =
+      static_cast<double>(legacy_big.model().num_vars()) /
+      static_cast<double>(legacy_small.model().num_vars());
+  const double new_growth = static_cast<double>(new_big.model().num_vars()) /
+                            static_cast<double>(new_small.model().num_vars());
+  // l doubled: legacy z-variables grow ~4x, new mapping variables ~<2x.
+  EXPECT_GT(legacy_growth, 2.5);
+  EXPECT_LT(new_growth, 2.0);
+}
+
+TEST(LegacyEncoderTest, SameOptimalCostAsNewEncoding) {
+  const Chain inst(2, 3);
+
+  // Legacy: every 'c' node gets exactly one incoming connection; 'b' nodes
+  // at most 2 outgoing.
+  LegacyEncoding legacy(inst.lib, inst.tmpl);
+  for (NodeId c : inst.tmpl.select(NodeFilter::of_type("C"))) {
+    milp::LinExpr in;
+    for (NodeId b : inst.tmpl.select(NodeFilter::of_type("B"))) in += legacy.edge_expr(b, c);
+    legacy.model().add_constraint(std::move(in), milp::Sense::EQ, 1.0);
+  }
+  for (NodeId b : inst.tmpl.select(NodeFilter::of_type("B"))) {
+    milp::LinExpr in;
+    for (NodeId a : inst.tmpl.select(NodeFilter::of_type("A"))) in += legacy.edge_expr(a, b);
+    milp::LinExpr used = legacy.used_expr(b);
+    milp::LinExpr c = used - in;
+    legacy.model().add_constraint(std::move(c), milp::Sense::LE, 0.0);
+  }
+  legacy.finalize_objective(inst.lib.edge_cost());
+  milp::Solution legacy_sol = milp::solve_milp(legacy.model());
+  ASSERT_TRUE(legacy_sol.optimal());
+
+  // New encoding with the same requirements.
+  Problem p(inst.lib, inst.tmpl);
+  p.apply(patterns::NConnections(NodeFilter::of_type("B"), NodeFilter::of_type("C"), 1,
+                                 milp::Sense::EQ, false, patterns::CountSide::kTo));
+  p.apply(patterns::NConnections(NodeFilter::of_type("A"), NodeFilter::of_type("B"), 1,
+                                 milp::Sense::GE, true, patterns::CountSide::kTo));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+
+  EXPECT_NEAR(legacy_sol.objective, res.architecture.cost, 1e-6);
+}
+
+TEST(LegacyEncoderTest, RequireConnectionsHelper) {
+  const Chain inst(2, 2);
+  LegacyEncoding legacy(inst.lib, inst.tmpl);
+  legacy.require_connections(NodeFilter::of_type("A"), NodeFilter::of_type("B"), 1,
+                             milp::Sense::GE);
+  legacy.finalize_objective(inst.lib.edge_cost());
+  milp::Solution sol = milp::solve_milp(legacy.model());
+  ASSERT_TRUE(sol.optimal());
+  // Two A nodes each with >= 1 connection: at least 2 z edges + impls.
+  EXPECT_GT(sol.objective, 0.0);
+}
+
+TEST(LegacyEncoderTest, ImplVarLookup) {
+  const Chain inst(1, 2);
+  LegacyEncoding legacy(inst.lib, inst.tmpl);
+  EXPECT_TRUE(legacy.impl_var(0, 0).valid());
+  EXPECT_FALSE(legacy.impl_var(0, 99).valid());
+}
+
+}  // namespace
+}  // namespace archex

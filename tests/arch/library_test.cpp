@@ -1,0 +1,100 @@
+#include "arch/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace archex {
+namespace {
+
+Component comp(const std::string& name, const std::string& type, const std::string& sub = {},
+               double cost = 1.0) {
+  Component c;
+  c.name = name;
+  c.type = type;
+  c.subtype = sub;
+  c.attrs[attr::kCost] = cost;
+  return c;
+}
+
+TEST(ComponentTest, AttrLookupWithDefault) {
+  Component c = comp("X", "T");
+  EXPECT_EQ(c.attr_or(attr::kCost), 1.0);
+  EXPECT_EQ(c.attr_or("missing", 7.0), 7.0);
+  EXPECT_TRUE(c.has_attr(attr::kCost));
+  EXPECT_FALSE(c.has_attr("missing"));
+  EXPECT_EQ(c.cost(), 1.0);
+  EXPECT_EQ(c.fail_prob(), 0.0);
+}
+
+TEST(ComponentTest, Tags) {
+  Component c = comp("X", "T");
+  c.tags = {"LE", "critical"};
+  EXPECT_TRUE(c.has_tag("LE"));
+  EXPECT_FALSE(c.has_tag("RI"));
+}
+
+TEST(LibraryTest, AddAndQueryByType) {
+  Library lib;
+  lib.add(comp("G1", "Gen", "HV"));
+  lib.add(comp("G2", "Gen", "LV"));
+  lib.add(comp("B1", "Bus", "HV"));
+  EXPECT_EQ(lib.size(), 3u);
+  EXPECT_EQ(lib.of_type("Gen").size(), 2u);
+  EXPECT_EQ(lib.of_type("Gen", "HV").size(), 1u);
+  EXPECT_EQ(lib.of_type("Nope").size(), 0u);
+}
+
+TEST(LibraryTest, RejectsDuplicatesAndInvalid) {
+  Library lib;
+  lib.add(comp("G1", "Gen"));
+  EXPECT_THROW(lib.add(comp("G1", "Gen")), std::invalid_argument);
+  EXPECT_THROW(lib.add(comp("", "Gen")), std::invalid_argument);
+  EXPECT_THROW(lib.add(comp("X", "")), std::invalid_argument);
+}
+
+TEST(LibraryTest, FindByName) {
+  Library lib;
+  const LibIndex g = lib.add(comp("G1", "Gen"));
+  EXPECT_EQ(lib.find("G1"), std::optional<LibIndex>(g));
+  EXPECT_FALSE(lib.find("nope").has_value());
+}
+
+TEST(LibraryTest, TypesAndSubtypesInFirstAppearanceOrder) {
+  Library lib;
+  lib.add(comp("A", "T2"));
+  lib.add(comp("B", "T1", "s1"));
+  lib.add(comp("C", "T1", "s2"));
+  lib.add(comp("D", "T1", "s1"));
+  EXPECT_EQ(lib.types(), (std::vector<std::string>{"T2", "T1"}));
+  EXPECT_EQ(lib.subtypes_of("T1"), (std::vector<std::string>{"s1", "s2"}));
+  EXPECT_TRUE(lib.subtypes_of("T2").empty());
+}
+
+TEST(LibraryTest, MaxAttr) {
+  Library lib;
+  lib.add(comp("A", "T", "", 5.0));
+  lib.add(comp("B", "T", "", 9.0));
+  lib.add(comp("C", "U", "", 100.0));
+  EXPECT_EQ(lib.max_attr("T", attr::kCost), 9.0);
+  EXPECT_EQ(lib.max_attr("T", "missing"), 0.0);
+}
+
+TEST(LibraryTest, EdgeCost) {
+  Library lib;
+  EXPECT_EQ(lib.edge_cost(), 0.0);
+  lib.set_edge_cost(123.0);
+  EXPECT_EQ(lib.edge_cost(), 123.0);
+}
+
+TEST(LibraryTest, StreamOutputListsComponents) {
+  Library lib;
+  lib.add(comp("G1", "Gen", "HV", 2.5));
+  std::ostringstream os;
+  os << lib;
+  EXPECT_NE(os.str().find("G1"), std::string::npos);
+  EXPECT_NE(os.str().find("Gen/HV"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace archex

@@ -1,0 +1,159 @@
+#include "arch/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace archex {
+namespace {
+
+TEST(ParsePatternCallTest, NameAndMixedArgs) {
+  auto [name, args] = parse_pattern_call("at_least_n_connections(Gen, Bus/HV, 2)");
+  EXPECT_EQ(name, "at_least_n_connections");
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(args[0]), "Gen");
+  EXPECT_EQ(std::get<std::string>(args[1]), "Bus/HV");
+  EXPECT_EQ(std::get<double>(args[2]), 2.0);
+}
+
+TEST(ParsePatternCallTest, NoArguments) {
+  auto [name, args] = parse_pattern_call("foo()");
+  EXPECT_EQ(name, "foo");
+  EXPECT_TRUE(args.empty());
+}
+
+TEST(ParsePatternCallTest, ScientificNumbers) {
+  auto [name, args] = parse_pattern_call("max_failprob_of_connection(G, L, 1e-9)");
+  EXPECT_EQ(std::get<double>(args[2]), 1e-9);
+}
+
+TEST(ParsePatternCallTest, RejectsMalformed) {
+  EXPECT_THROW((void)parse_pattern_call("no_parens"), std::invalid_argument);
+  EXPECT_THROW((void)parse_pattern_call("missing(paren"), std::invalid_argument);
+}
+
+TEST(LibraryLoaderTest, ParsesComponentsAndEdgeCost) {
+  std::istringstream in(R"(
+# comment line
+edge_cost 150
+
+component GenHV type=Gen subtype=HV cost=6 power=60 failprob=2e-4
+component Bus1  type=Bus tags=LE,spare cost=2000
+)");
+  Library lib = load_library(in);
+  EXPECT_EQ(lib.edge_cost(), 150.0);
+  ASSERT_EQ(lib.size(), 2u);
+  const Component& g = lib.at(*lib.find("GenHV"));
+  EXPECT_EQ(g.type, "Gen");
+  EXPECT_EQ(g.subtype, "HV");
+  EXPECT_EQ(g.attr_or("power"), 60.0);
+  EXPECT_EQ(g.attr_or("failprob"), 2e-4);
+  const Component& b = lib.at(*lib.find("Bus1"));
+  EXPECT_TRUE(b.has_tag("LE"));
+  EXPECT_TRUE(b.has_tag("spare"));
+}
+
+TEST(LibraryLoaderTest, ErrorsCarryLineNumbers) {
+  std::istringstream in("component X type=T\nbogus_directive 1\n");
+  try {
+    (void)load_library(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(LibraryLoaderTest, RejectsNonNumericAttr) {
+  std::istringstream in("component X type=T cost=abc\n");
+  EXPECT_THROW((void)load_library(in), ParseError);
+}
+
+TEST(LibraryLoaderTest, RejectsMissingType) {
+  std::istringstream in("component X cost=1\n");
+  EXPECT_THROW((void)load_library(in), ParseError);
+}
+
+TEST(ProblemSpecLoaderTest, FullSpecRoundTrip) {
+  std::istringstream in(R"(
+functional_flow Gen,Bus,Load
+
+node  G1 type=Gen subtype=HV tags=LE
+nodes B 2 type=Bus
+node  L1 type=Load impl=LoadSmall
+
+allow Gen -> Bus
+allow Bus -> Load
+
+pattern exactly_n_connections(Bus, Load, 1, per_to)
+pattern at_most_n_connections(Gen, Bus, 2)
+)");
+  ProblemSpec spec = load_problem_spec(in);
+  EXPECT_EQ(spec.functional_flow, (std::vector<std::string>{"Gen", "Bus", "Load"}));
+  EXPECT_EQ(spec.tmpl.num_nodes(), 4u);
+  EXPECT_EQ(spec.tmpl.node(spec.tmpl.find("L1")).impl, "LoadSmall");
+  EXPECT_EQ(spec.tmpl.candidate_edges().size(), 2u + 2u);
+  ASSERT_EQ(spec.patterns.size(), 2u);
+  EXPECT_EQ(spec.patterns[0].first, "exactly_n_connections");
+  EXPECT_EQ(spec.spec_lines, 8);
+}
+
+TEST(ProblemSpecLoaderTest, InstantiateAppliesPatterns) {
+  std::istringstream libin(R"(
+edge_cost 1
+component GenX  type=Gen cost=10
+component BusX  type=Bus cost=5
+component LoadS type=Load cost=0 power=3
+)");
+  Library lib = load_library(libin);
+
+  std::istringstream spec_in(R"(
+functional_flow Gen,Bus,Load
+node G1 type=Gen
+nodes B 2 type=Bus
+node L1 type=Load impl=LoadS
+allow Gen -> Bus
+allow Bus -> Load
+pattern exactly_n_connections(Bus, Load, 1, per_to)
+pattern at_least_n_connections(Gen, Bus, 1, if_used, per_to)
+)");
+  ProblemSpec spec = load_problem_spec(spec_in);
+  std::unique_ptr<Problem> p = instantiate(spec, lib);
+  EXPECT_EQ(p->num_patterns_applied(), 2u);
+  ExplorationResult res = p->solve();
+  ASSERT_TRUE(res.feasible());
+  // L1 connected to exactly one bus, bus fed by the generator.
+  EXPECT_EQ(res.architecture.num_used_nodes(), 3u);
+  EXPECT_NEAR(res.architecture.cost, 10 + 5 + 0 + 2, 1e-6);
+}
+
+TEST(ProblemSpecLoaderTest, UnknownDirectiveErrors) {
+  std::istringstream in("frobnicate yes\n");
+  EXPECT_THROW((void)load_problem_spec(in), ParseError);
+}
+
+TEST(ProblemSpecLoaderTest, AllowRequiresArrow) {
+  std::istringstream in("allow Gen Bus\n");
+  EXPECT_THROW((void)load_problem_spec(in), ParseError);
+}
+
+TEST(ProblemSpecLoaderTest, NodesCountValidation) {
+  std::istringstream in("nodes B zero type=Bus\n");
+  EXPECT_THROW((void)load_problem_spec(in), ParseError);
+}
+
+TEST(ProblemSpecLoaderTest, UnknownPatternSurfacesAtInstantiate) {
+  std::istringstream in("node G1 type=Gen\npattern unknown_pattern(G, 1)\n");
+  ProblemSpec spec = load_problem_spec(in);
+  Library lib;
+  lib.add({"GenX", "Gen", "", {}, {}});
+  EXPECT_THROW((void)instantiate(spec, lib), std::invalid_argument);
+}
+
+TEST(ProblemSpecLoaderTest, SpecLineCountExcludesCommentsAndBlanks) {
+  std::istringstream in("# only comments\n\n   \n# more\nnode G1 type=Gen\n");
+  ProblemSpec spec = load_problem_spec(in);
+  EXPECT_EQ(spec.spec_lines, 1);
+}
+
+}  // namespace
+}  // namespace archex

@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include "arch/patterns/connection.hpp"
+#include "arch/patterns/flow.hpp"
+#include "arch/patterns/general.hpp"
+#include "arch/patterns/pattern.hpp"
+#include "arch/patterns/reliability_patterns.hpp"
+#include "arch/patterns/timing.hpp"
+#include "arch/problem.hpp"
+#include "graph/digraph.hpp"
+
+namespace archex {
+namespace {
+
+using namespace patterns;
+
+/// Fixture: Src -> Mid -> Snk pipeline with parallel mids and mid-mid ties.
+struct Net {
+  Library lib;
+  ArchTemplate tmpl;
+
+  explicit Net(int mids = 3) {
+    lib.set_edge_cost(1.0);
+    lib.add({"SrcX", "Src", "", {}, {{attr::kCost, 10}, {attr::kFlowRate, 6}, {attr::kDelay, 1}, {attr::kFailProb, 0.01}}});
+    lib.add({"MidSlow", "Mid", "slow", {}, {{attr::kCost, 5}, {attr::kThroughput, 4}, {attr::kDelay, 3}, {attr::kFailProb, 0.01}}});
+    lib.add({"MidQuick", "Mid", "fast", {}, {{attr::kCost, 9}, {attr::kThroughput, 10}, {attr::kDelay, 1}, {attr::kFailProb, 0.01}}});
+    lib.add({"SnkX", "Snk", "", {}, {{attr::kCost, 0}}});
+
+    tmpl.add_nodes(2, "S", "Src");
+    tmpl.add_nodes(mids, "M", "Mid");
+    tmpl.add_node({"T", "Snk", "", {}, {}});
+    tmpl.allow_connection(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"));
+    tmpl.allow_connection(NodeFilter::of_type("Mid"), NodeFilter::of_type("Snk"));
+  }
+
+  [[nodiscard]] Problem make() const {
+    Problem p(lib, tmpl);
+    p.set_functional_flow({"Src", "Mid", "Snk"});
+    return p;
+  }
+};
+
+TEST(PatternTest, AtLeastNComponents) {
+  Net net;
+  Problem p = net.make();
+  p.apply(AtLeastNComponents(NodeFilter::of_type("Mid"), 2));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  EXPECT_GE(res.architecture.used_nodes(NodeFilter::of_type("Mid")).size(), 2u);
+}
+
+TEST(PatternTest, AtLeastNComponentsInfeasibleBeyondTemplate) {
+  Net net(2);
+  Problem p = net.make();
+  p.apply(AtLeastNComponents(NodeFilter::of_type("Mid"), 3));
+  ExplorationResult res = p.solve();
+  EXPECT_FALSE(res.feasible());
+}
+
+TEST(PatternTest, ExactlyNConnectionsPerTarget) {
+  Net net;
+  Problem p = net.make();
+  p.apply(NConnections(NodeFilter::of_type("Mid"), NodeFilter::of_type("Snk"), 1,
+                       milp::Sense::EQ, false, CountSide::kTo));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  const graph::Digraph g = res.architecture.to_digraph();
+  EXPECT_EQ(g.in_degree(res.architecture.to_digraph().num_nodes() - 1), 1u);
+}
+
+TEST(PatternTest, AtMostNConnections) {
+  Net net;
+  Problem p = net.make();
+  // Force 3 mids used but each source feeds at most 2.
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                       milp::Sense::GE, false, CountSide::kTo));  // each mid fed
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 2,
+                       milp::Sense::LE, false, CountSide::kFrom));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  const graph::Digraph g = res.architecture.to_digraph();
+  for (NodeId s : net.tmpl.select(NodeFilter::of_type("Src"))) {
+    EXPECT_LE(g.out_degree(s), 2u);
+  }
+}
+
+TEST(PatternTest, ConnectionsOnlyIfUsed) {
+  Net net;
+  Problem p = net.make();
+  // Used mids need an input, but unused mids stay unconstrained (the whole
+  // problem may pick the empty architecture).
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                       milp::Sense::GE, true, CountSide::kTo));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  EXPECT_EQ(res.architecture.num_used_nodes(), 0u);
+}
+
+TEST(PatternTest, InConnImpliesOutConn) {
+  Net net;
+  Problem p = net.make();
+  // Sinks must be fed by exactly one mid.
+  p.apply(NConnections(NodeFilter::of_type("Mid"), NodeFilter::of_type("Snk"), 1,
+                       milp::Sense::EQ, false, CountSide::kTo));
+  // Every mid fed by a source must feed the sink.
+  p.apply(InConnImpliesOutConn(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"),
+                               NodeFilter::of_type("Snk")));
+  // Make one source feed two mids: only one mid may reach the sink, so this
+  // must be infeasible (two fed mids would both need sink edges, violating
+  // the exactly-one).
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 2,
+                       milp::Sense::GE, false, CountSide::kFrom));
+  ExplorationResult res = p.solve();
+  EXPECT_FALSE(res.feasible());
+}
+
+TEST(PatternTest, BidirectionalConnection) {
+  Library lib;
+  lib.set_edge_cost(1.0);
+  lib.add({"BusX", "Bus", "", {}, {{attr::kCost, 2}}});
+  ArchTemplate t;
+  t.add_nodes(2, "B", "Bus");
+  t.allow_connection(NodeFilter::of_type("Bus"), NodeFilter::of_type("Bus"));
+  Problem p(lib, t);
+  p.apply(BidirectionalConnection(NodeFilter::of_type("Bus"), NodeFilter::of_type("Bus")));
+  // Force one direction: the other must follow.
+  p.model().add_constraint(milp::LinExpr(p.edges().at(0, 1)), milp::Sense::EQ, 1.0, "force");
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  EXPECT_TRUE(res.architecture.has_edge(0, 1));
+  EXPECT_TRUE(res.architecture.has_edge(1, 0));
+}
+
+TEST(PatternTest, CannotConnectStaticSubtype) {
+  Net net;
+  ArchTemplate t = net.tmpl;
+  Problem p(net.lib, t);
+  // Mids restricted per-subtype cannot receive from source S2 (by index).
+  p.apply(CannotConnect({"Src", "", ""}, {"Mid", "slow", ""}));
+  // Force every mid fed.
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                       milp::Sense::GE, false, CountSide::kTo));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  // All mids must be implemented with the fast subtype: feeding a slow one
+  // would violate cannot_connect.
+  for (NodeId m : res.architecture.used_nodes(NodeFilter::of_type("Mid"))) {
+    EXPECT_EQ(res.architecture.nodes[static_cast<std::size_t>(m)].impl_name, "MidQuick");
+  }
+}
+
+TEST(PatternTest, CannotConnectMappedSubtypesBothSides) {
+  // HV->LV forbidden through the mapping: with only HV sources and only LV
+  // mids available, feeding any mid is infeasible.
+  Library lib;
+  lib.set_edge_cost(1.0);
+  lib.add({"SrcHV", "Src", "HV", {}, {{attr::kCost, 1}}});
+  lib.add({"MidLV", "Mid", "LV", {}, {{attr::kCost, 1}}});
+  ArchTemplate t;
+  t.add_node({"S", "Src", "", {}, {}});
+  t.add_node({"M", "Mid", "", {}, {}});
+  t.allow_edge(0, 1);
+  Problem p(lib, t);
+  p.apply(CannotConnect({"Src", "HV", ""}, {"Mid", "LV", ""}));
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                       milp::Sense::GE, false, CountSide::kTo));
+  ExplorationResult res = p.solve();
+  EXPECT_FALSE(res.feasible());
+}
+
+TEST(PatternTest, NoSelfLoopsIsInert) {
+  Net net;
+  Problem p = net.make();
+  const std::size_t rows = p.model().num_constraints();
+  p.apply(NoSelfLoops(NodeFilter::of_type("Mid")));
+  EXPECT_EQ(p.model().num_constraints(), rows);
+  EXPECT_EQ(p.num_patterns_applied(), 1u);
+}
+
+TEST(PatternTest, AtLeastNPathsProducesDisjointPaths) {
+  Net net;
+  Problem p = net.make();
+  p.apply(AtLeastNPaths(NodeFilter::of_type("Src"), NodeFilter::of_type("Snk"), 2));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  const graph::Digraph g = res.architecture.to_digraph();
+  const NodeId sink = net.tmpl.find("T");
+  std::vector<int> cap(g.num_nodes(), 1);
+  cap[static_cast<std::size_t>(sink)] = 1000;
+  EXPECT_GE(graph::max_flow_unit_nodes(g, net.tmpl.select(NodeFilter::of_type("Src")), sink,
+                                       cap),
+            2);
+}
+
+TEST(PatternTest, AtLeastNPathsInfeasibleWhenTooFew) {
+  Net net(1);  // single mid: at most 1 vertex-disjoint path
+  Problem p = net.make();
+  p.apply(AtLeastNPaths(NodeFilter::of_type("Src"), NodeFilter::of_type("Snk"), 2));
+  ExplorationResult res = p.solve();
+  EXPECT_FALSE(res.feasible());
+}
+
+TEST(PatternTest, FlowBalanceAndSourceSinkRates) {
+  Net net;
+  Problem p = net.make();
+  p.flow("goods", 16.0);
+  p.apply(SourceRate("goods", {"Src", "", ""}, 3.0));
+  p.apply(SinkDemand("goods", {"Snk", "", ""}, 6.0));
+  p.apply(FlowBalance(NodeFilter::of_type("Mid"), {"goods"}));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  EXPECT_NEAR(res.architecture.in_flow("goods", net.tmpl.find("T")), 6.0, 1e-6);
+}
+
+TEST(PatternTest, NoOverloadsRespectsMappedThroughput) {
+  Net net;
+  Problem p = net.make();
+  p.flow("goods", 16.0);
+  p.apply(SourceRate("goods", {"Src", "", ""}, 3.0));
+  p.apply(SinkDemand("goods", {"Snk", "", ""}, 6.0));
+  p.apply(FlowBalance(NodeFilter::of_type("Mid"), {"goods"}));
+  p.apply(NoOverloads(NodeFilter::of_type("Mid"), {{"goods"}}));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  // Post-check: every mid's inflow is at most its implementation's mu.
+  for (NodeId m : res.architecture.used_nodes(NodeFilter::of_type("Mid"))) {
+    const auto& node = res.architecture.nodes[static_cast<std::size_t>(m)];
+    const double mu = p.library().at(node.impl).attr_or(attr::kThroughput);
+    EXPECT_LE(res.architecture.in_flow("goods", m), mu + 1e-6);
+  }
+}
+
+TEST(PatternTest, NoOverloadsForcesFastImplementation) {
+  Net net(1);
+  Problem p = net.make();
+  p.flow("goods", 16.0);
+  p.apply(SourceRate("goods", {"Src", "", ""}, 3.0));
+  p.apply(SinkDemand("goods", {"Snk", "", ""}, 6.0));
+  p.apply(FlowBalance(NodeFilter::of_type("Mid"), {"goods"}));
+  p.apply(NoOverloads(NodeFilter::of_type("Mid"), {{"goods"}}));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  // 6 units through a single mid exceeds the slow mu=4: must pick MidQuick.
+  const auto mids = res.architecture.used_nodes(NodeFilter::of_type("Mid"));
+  ASSERT_EQ(mids.size(), 1u);
+  EXPECT_EQ(res.architecture.nodes[static_cast<std::size_t>(mids[0])].impl_name, "MidQuick");
+}
+
+TEST(PatternTest, CapacityLimitOnArbitraryAttribute) {
+  // Mid nodes have no "power" attribute in the fixture library, so add a
+  // dedicated fixture: capacity attribute "power" on the mids.
+  Library lib;
+  lib.set_edge_cost(1.0);
+  lib.add({"S0", "Src", "", {}, {{attr::kCost, 1}}});
+  lib.add({"BusSmall", "Bus", "", {}, {{attr::kCost, 2}, {attr::kPower, 3}}});
+  lib.add({"BusBig", "Bus", "", {}, {{attr::kCost, 6}, {attr::kPower, 10}}});
+  lib.add({"T0", "Snk", "", {}, {{attr::kCost, 0}}});
+  ArchTemplate t;
+  t.add_node({"S", "Src", "", {}, {}});
+  t.add_node({"B", "Bus", "", {}, {}});
+  t.add_node({"T", "Snk", "", {}, {}});
+  t.allow_edge(0, 1);
+  t.allow_edge(1, 2);
+  Problem p(lib, t);
+  p.flow("power", 16.0);
+  p.apply(SourceRate("power", {"Src", "", ""}, 5.0));
+  p.apply(FlowBalance(NodeFilter::of_type("Bus"), {"power"}));
+  p.apply(SinkDemand("power", {"Snk", "", ""}, 5.0));
+  p.apply(CapacityLimit(NodeFilter::of_type("Bus"), attr::kPower, {"power"}));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  // 5 units through the bus exceed the small bus's capacity 3.
+  EXPECT_EQ(res.architecture.nodes[1].impl_name, "BusBig");
+}
+
+TEST(PatternTest, MaxCycleTimeArrivalEncoding) {
+  Net net;
+  Problem p = net.make();
+  // Sink must be connected; bound forces the fast mid (1+1+0) over slow
+  // (1+3+0).
+  p.apply(NConnections(NodeFilter::of_type("Mid"), NodeFilter::of_type("Snk"), 1,
+                       milp::Sense::GE, false, CountSide::kTo));
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                       milp::Sense::GE, true, CountSide::kTo));
+  p.apply(MaxCycleTime(NodeFilter::of_type("Snk"), 2.5));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  for (NodeId m : res.architecture.used_nodes(NodeFilter::of_type("Mid"))) {
+    EXPECT_EQ(res.architecture.nodes[static_cast<std::size_t>(m)].impl_name, "MidQuick");
+  }
+  // Post-check with the graph longest-path analysis.
+  const graph::Digraph g = res.architecture.to_digraph();
+  std::vector<double> tau(g.num_nodes(), 0.0);
+  for (std::size_t j = 0; j < g.num_nodes(); ++j) {
+    const auto& n = res.architecture.nodes[j];
+    if (n.used) tau[j] = p.library().at(n.impl).attr_or(attr::kDelay);
+  }
+  EXPECT_LE(graph::longest_path_weight(g, net.tmpl.select(NodeFilter::of_type("Src")),
+                                       net.tmpl.find("T"), tau),
+            2.5 + 1e-6);
+}
+
+TEST(PatternTest, MaxCycleTimePathEncodingAgrees) {
+  for (CycleTimeEncoding enc :
+       {CycleTimeEncoding::kArrivalTime, CycleTimeEncoding::kPathEnumeration}) {
+    Net net;
+    Problem p = net.make();
+    p.apply(NConnections(NodeFilter::of_type("Mid"), NodeFilter::of_type("Snk"), 1,
+                         milp::Sense::GE, false, CountSide::kTo));
+    p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                         milp::Sense::GE, true, CountSide::kTo));
+    p.apply(MaxCycleTime(NodeFilter::of_type("Snk"), 2.5, enc));
+    ExplorationResult res = p.solve();
+    ASSERT_TRUE(res.feasible());
+    // Both encodings admit only the fast mid; identical optimal cost.
+    EXPECT_NEAR(res.architecture.cost, 10 + 9 + 2, 1e-6);
+  }
+}
+
+TEST(PatternTest, MaxCycleTimeInfeasibleWhenTooTight) {
+  Net net;
+  Problem p = net.make();
+  p.apply(NConnections(NodeFilter::of_type("Mid"), NodeFilter::of_type("Snk"), 1,
+                       milp::Sense::GE, false, CountSide::kTo));
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                       milp::Sense::GE, true, CountSide::kTo));
+  p.apply(MaxCycleTime(NodeFilter::of_type("Snk"), 1.5));  // < 1 + 1
+  ExplorationResult res = p.solve();
+  EXPECT_FALSE(res.feasible());
+}
+
+TEST(PatternTest, MaxCycleTimeRequiresFunctionalFlow) {
+  Net net;
+  Problem p(net.lib, net.tmpl);  // no functional flow set
+  EXPECT_THROW(p.apply(MaxCycleTime(NodeFilter::of_type("Snk"), 2.0)), std::logic_error);
+}
+
+TEST(PatternTest, MaxTotalIdleRate) {
+  Net net;
+  Problem p = net.make();
+  p.flow("goods", 16.0);
+  p.apply(SourceRate("goods", {"Src", "", ""}, 3.0));
+  p.apply(SinkDemand("goods", {"Snk", "", ""}, 6.0));
+  p.apply(FlowBalance(NodeFilter::of_type("Mid"), {"goods"}));
+  p.apply(NoOverloads(NodeFilter::of_type("Mid"), {{"goods"}}));
+  p.apply(MaxTotalIdleRate(NodeFilter::of_type("Mid"), 2.0, {{"goods"}}));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  double idle = 0.0;
+  for (NodeId m : res.architecture.used_nodes(NodeFilter::of_type("Mid"))) {
+    const auto& n = res.architecture.nodes[static_cast<std::size_t>(m)];
+    idle += p.library().at(n.impl).attr_or(attr::kThroughput) -
+            res.architecture.in_flow("goods", m);
+  }
+  EXPECT_LE(idle, 2.0 + 1e-6);
+}
+
+TEST(PatternTest, MinRedundantComponents) {
+  Net net;
+  Problem p = net.make();
+  p.apply(MinRedundantComponents(NodeFilter::of_type("Src"), 2));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  EXPECT_GE(res.architecture.used_nodes(NodeFilter::of_type("Src")).size(), 2u);
+}
+
+TEST(PatternTest, MaxFailprobRequiredPathsComputation) {
+  Net net;
+  Problem p = net.make();
+  // path fail prob estimate = 0.01 (Src) + 0.01 (Mid) + 0 (Snk) = 0.02.
+  MaxFailprobOfConnection pat(NodeFilter::of_type("Src"), NodeFilter::of_type("Snk"), 1e-5);
+  EXPECT_NEAR(p.path_fail_prob_estimate(), 0.02, 1e-12);
+  EXPECT_EQ(pat.required_paths(p), 3);  // 0.02^3 = 8e-6 <= 1e-5
+  MaxFailprobOfConnection pat2(NodeFilter::of_type("Src"), NodeFilter::of_type("Snk"), 1e-3);
+  EXPECT_EQ(pat2.required_paths(p), 2);
+}
+
+TEST(PatternTest, MaxFailprobOfConnectionEnforcesRedundancy) {
+  Net net;
+  Problem p = net.make();
+  p.apply(MaxFailprobOfConnection(NodeFilter::of_type("Src"), NodeFilter::of_type("Snk"),
+                                  1e-3));  // 2 disjoint paths
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  const graph::Digraph g = res.architecture.to_digraph();
+  const NodeId sink = net.tmpl.find("T");
+  std::vector<int> cap(g.num_nodes(), 1);
+  cap[static_cast<std::size_t>(sink)] = 1000;
+  EXPECT_GE(graph::max_flow_unit_nodes(g, net.tmpl.select(NodeFilter::of_type("Src")), sink,
+                                       cap),
+            2);
+}
+
+TEST(PatternRegistryTest, BuiltinsRegistered) {
+  const PatternRegistry& reg = PatternRegistry::instance();
+  for (const char* name :
+       {"at_least_n_components", "at_least_n_paths", "at_least_n_connections",
+        "at_most_n_connections", "exactly_n_connections", "in_conn_implies_out_conn",
+        "bidirectional_connection", "no_self_loops", "cannot_connect", "flow_balance",
+        "no_overloads", "max_cycle_time", "max_total_idle_rate", "min_redundant_components",
+        "max_failprob_of_connection"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+}
+
+TEST(PatternRegistryTest, CreateValidatesArguments) {
+  const PatternRegistry& reg = PatternRegistry::instance();
+  EXPECT_THROW((void)reg.create("no_such_pattern", {}), std::invalid_argument);
+  EXPECT_THROW((void)reg.create("at_least_n_connections", {std::string("A")}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg.create("at_least_n_connections",
+                                {std::string("A"), std::string("B"), std::string("C")}),
+               std::invalid_argument);
+  auto pat = reg.create("at_least_n_connections", {std::string("A"), std::string("B"), 2.0});
+  EXPECT_EQ(pat->name(), "at_least_n_connections");
+  EXPECT_NE(pat->describe().find("A"), std::string::npos);
+}
+
+TEST(PatternRegistryTest, DuplicateRegistrationThrows) {
+  PatternRegistry reg;
+  reg.register_pattern("p", [](const std::vector<PatternArg>&) {
+    return std::shared_ptr<Pattern>();
+  });
+  EXPECT_THROW(reg.register_pattern("p",
+                                    [](const std::vector<PatternArg>&) {
+                                      return std::shared_ptr<Pattern>();
+                                    }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace archex

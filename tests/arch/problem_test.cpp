@@ -1,0 +1,218 @@
+#include "arch/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/patterns/connection.hpp"
+#include "milp/branch_bound.hpp"
+
+namespace archex {
+namespace {
+
+using patterns::CountSide;
+using patterns::NConnections;
+
+/// Tiny Src -> Mid -> Snk fixture shared by the structural tests.
+struct ChainFixture {
+  Library lib;
+  ArchTemplate tmpl;
+
+  ChainFixture() {
+    lib.set_edge_cost(1.0);
+    lib.add({"Src1", "Src", "", {}, {{attr::kCost, 10}}});
+    lib.add({"MidCheap", "Mid", "slow", {}, {{attr::kCost, 5}, {attr::kThroughput, 4}, {attr::kDelay, 2}}});
+    lib.add({"MidFast", "Mid", "fast", {}, {{attr::kCost, 9}, {attr::kThroughput, 10}, {attr::kDelay, 1}}});
+    lib.add({"Snk1", "Snk", "", {}, {{attr::kCost, 0}}});
+
+    tmpl.add_node({"S", "Src", "", {}, {}});
+    tmpl.add_nodes(2, "M", "Mid");
+    tmpl.add_node({"T", "Snk", "", {}, {}});
+    tmpl.allow_connection(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"));
+    tmpl.allow_connection(NodeFilter::of_type("Mid"), NodeFilter::of_type("Snk"));
+  }
+
+  [[nodiscard]] Problem make() const { return Problem(lib, tmpl); }
+};
+
+TEST(ProblemTest, CreatesDecisionVariables) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  // 4 candidate edges + mapping (S:1, M1:2, M2:2, T:1) + 4 deltas.
+  EXPECT_EQ(p.edges().num_edges(), 4u);
+  EXPECT_EQ(p.mapping().candidates(1).size(), 2u);
+  EXPECT_TRUE(p.instantiated(0).valid());
+  EXPECT_GE(p.model().num_vars(), 4u + 6u + 4u);
+}
+
+TEST(ProblemTest, UnusedArchitectureIsFeasibleAndFree) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  EXPECT_EQ(res.architecture.num_used_nodes(), 0u);
+  EXPECT_NEAR(res.architecture.cost, 0.0, 1e-9);
+}
+
+TEST(ProblemTest, InstantiationTracksEdges) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  // Force the sink connected: T needs one incoming edge.
+  p.apply(NConnections(NodeFilter::of_type("Mid"), NodeFilter::of_type("Snk"), 1,
+                       milp::Sense::EQ, false, CountSide::kTo));
+  // And a connected Mid must have an input from Src.
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                       milp::Sense::GE, true, CountSide::kTo));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  const Architecture& a = res.architecture;
+  // Chain instantiated: S, one Mid, T used; used nodes have implementations.
+  EXPECT_EQ(a.num_used_nodes(), 3u);
+  for (const auto& n : a.nodes) {
+    if (n.used) {
+      EXPECT_GE(n.impl, 0);
+      EXPECT_FALSE(n.impl_name.empty());
+    } else {
+      EXPECT_EQ(n.impl, -1);
+    }
+  }
+  // Cost = Src 10 + cheapest Mid 5 + Snk 0 + 2 edges = 17.
+  EXPECT_NEAR(a.cost, 17.0, 1e-6);
+}
+
+TEST(ProblemTest, MappingRespectsSubtypeRestriction) {
+  ChainFixture fx;
+  ArchTemplate t2 = fx.tmpl;
+  // A new mid restricted to the fast implementation only.
+  t2.add_node({"MF", "Mid", "fast", {}, {}});
+  t2.allow_edge(t2.find("S"), t2.find("MF"));
+  t2.allow_edge(t2.find("MF"), t2.find("T"));
+  Problem p(fx.lib, t2);
+  EXPECT_EQ(p.mapping().candidates(t2.find("MF")).size(), 1u);
+  EXPECT_EQ(p.library().at(p.mapping().candidates(t2.find("MF"))[0].lib).name, "MidFast");
+}
+
+TEST(ProblemTest, FixedImplPinsMapping) {
+  ChainFixture fx;
+  ArchTemplate t2 = fx.tmpl;
+  NodeSpec pinned{"MP", "Mid", "", {}, "MidCheap"};
+  t2.add_node(std::move(pinned));
+  Problem p(fx.lib, t2);
+  const auto& cands = p.mapping().candidates(t2.find("MP"));
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(p.library().at(cands[0].lib).name, "MidCheap");
+}
+
+TEST(ProblemTest, NodeAttrExpressionUsesMapping) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  const milp::LinExpr mu = p.node_attr(1, attr::kThroughput);
+  // Two candidates with throughputs 4 and 10.
+  EXPECT_EQ(mu.size(), 2u);
+  double sum = 0;
+  for (const auto& term : mu.terms()) sum += term.coef;
+  EXPECT_EQ(sum, 14.0);
+}
+
+TEST(ProblemTest, SubtypeIndicator) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  EXPECT_EQ(p.subtype_indicator(1, "fast").size(), 1u);
+  EXPECT_EQ(p.subtype_indicator(1, "nope").size(), 0u);
+}
+
+TEST(ProblemTest, EdgeCostOverride) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  p.set_edge_cost(0, 1, 50.0);  // S -> M1
+  EXPECT_THROW(p.set_edge_cost(3, 0, 1.0), std::invalid_argument);  // not a candidate
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 2,
+                       milp::Sense::EQ, false, CountSide::kFrom));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  // Both S->M edges used: 50 + 1 (plus Src 10) plus deltas of mids (5+5).
+  EXPECT_NEAR(res.architecture.cost, 50 + 1 + 10 + 5 + 5, 1e-6);
+}
+
+TEST(ProblemTest, ExtraCostTermWeighted) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  // Penalize using M2 heavily; force exactly one Src->Mid edge.
+  p.add_cost_term(milp::LinExpr(p.instantiated(2)), 1000.0);
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                       milp::Sense::EQ, false, CountSide::kFrom));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  EXPECT_TRUE(res.architecture.nodes[1].used);
+  EXPECT_FALSE(res.architecture.nodes[2].used);
+}
+
+TEST(ProblemTest, AppliedPatternsAreRecorded) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  EXPECT_EQ(p.num_patterns_applied(), 0u);
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                       milp::Sense::GE));
+  EXPECT_EQ(p.num_patterns_applied(), 1u);
+  EXPECT_NE(p.applied_patterns()[0].find("at_least_n_connections"), std::string::npos);
+}
+
+TEST(ProblemTest, FlowCommodityCreatesCoupledVars) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  const std::size_t rows_before = p.model().num_constraints();
+  FlowCommodity& f = p.flow("power", 8.0);
+  EXPECT_EQ(f.edge_vars.size(), p.edges().num_edges());
+  // One coupling row per edge.
+  EXPECT_EQ(p.model().num_constraints(), rows_before + p.edges().num_edges());
+  // Same name returns the same commodity, no new rows.
+  FlowCommodity& again = p.flow("power", 99.0);
+  EXPECT_EQ(&f, &again);
+  EXPECT_EQ(f.capacity, 8.0);
+}
+
+TEST(ProblemTest, SymmetryBreakingOrdersInterchangeableNodes) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  const std::size_t pairs = p.add_symmetry_breaking();
+  EXPECT_EQ(pairs, 1u);  // M1 >= M2
+  // With symmetry broken, an architecture using only M2 is excluded, but one
+  // using only M1 is still available at identical cost.
+  p.apply(NConnections(NodeFilter::of_type("Mid"), NodeFilter::of_type("Snk"), 1,
+                       milp::Sense::EQ, false, CountSide::kTo));
+  p.apply(NConnections(NodeFilter::of_type("Src"), NodeFilter::of_type("Mid"), 1,
+                       milp::Sense::GE, true, CountSide::kTo));
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  EXPECT_TRUE(res.architecture.nodes[1].used);   // M1
+  EXPECT_FALSE(res.architecture.nodes[2].used);  // M2
+  EXPECT_NEAR(res.architecture.cost, 17.0, 1e-6);
+}
+
+TEST(ProblemTest, ExtractReportsActiveFlows) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  FlowCommodity& f = p.flow("power", 8.0);
+  // Demand one unit at the sink, supplied by the source.
+  milp::LinExpr demand = p.flow_in(f, 3);
+  p.model().add_constraint(std::move(demand), milp::Sense::GE, 1.0, "demand");
+  milp::LinExpr bal1 = p.flow_in(f, 1) - p.flow_out(f, 1);
+  p.model().add_constraint(std::move(bal1), milp::Sense::EQ, 0.0);
+  milp::LinExpr bal2 = p.flow_in(f, 2) - p.flow_out(f, 2);
+  p.model().add_constraint(std::move(bal2), milp::Sense::EQ, 0.0);
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  ASSERT_EQ(res.architecture.flows.count("power"), 1u);
+  double into_sink = res.architecture.in_flow("power", 3);
+  EXPECT_NEAR(into_sink, 1.0, 1e-6);
+}
+
+TEST(ProblemTest, CostExpressionMatchesDefinition) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  const milp::LinExpr cost = p.cost_expression();
+  // Every mapping var and every edge var carries a cost coefficient (loads
+  // with zero cost drop out of the normalized expression).
+  EXPECT_GE(cost.size(), 4u);
+}
+
+}  // namespace
+}  // namespace archex

@@ -1,0 +1,114 @@
+/// Integration tests over the *shipped* specification files (data/): they
+/// must parse, resolve every pattern through the registry, and instantiate
+/// into well-formed problems. Guards the repository's own inputs against
+/// drift. (No solving here — the benches exercise that.)
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "arch/parser.hpp"
+#include "domains/epn.hpp"
+#include "domains/rpl.hpp"
+
+namespace archex {
+namespace {
+
+std::string locate(const std::string& file) {
+  for (const std::string& dir : {std::string("data"), std::string("../data"),
+                                 std::string("../../data"), std::string("/root/repo/data")}) {
+    const std::string path = dir + "/" + file;
+    if (std::ifstream(path).good()) return path;
+  }
+  return {};
+}
+
+class ShippedSpecs : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    domains::epn::register_epn_patterns();
+    domains::rpl::register_rpl_patterns();
+  }
+};
+
+TEST_F(ShippedSpecs, EpnSpecParsesAndInstantiates) {
+  const std::string spec_path = locate("epn.spec");
+  const std::string lib_path = locate("epn.lib");
+  if (spec_path.empty() || lib_path.empty()) GTEST_SKIP() << "data files not found";
+
+  const ProblemSpec spec = load_problem_spec_file(spec_path);
+  Library lib = load_library_file(lib_path);
+
+  // Paper Table 2 template shape.
+  EXPECT_EQ(spec.tmpl.select(NodeFilter::of_type("Generator")).size(), 6u);
+  EXPECT_EQ(spec.tmpl.select(NodeFilter::of_type("ACBus")).size(), 8u);
+  EXPECT_EQ(spec.tmpl.select(NodeFilter::of_type("Rectifier")).size(), 10u);
+  EXPECT_EQ(spec.tmpl.select(NodeFilter::of_type("DCBus")).size(), 8u);
+  EXPECT_EQ(spec.tmpl.select(NodeFilter::of_type("Load")).size(), 16u);
+  EXPECT_EQ(spec.functional_flow.size(), 5u);
+  // In the spirit of the paper's "46 patterns / 90 LoC" specification.
+  EXPECT_GE(spec.patterns.size(), 25u);
+  EXPECT_LE(spec.spec_lines, 100);
+  EXPECT_EQ(lib.edge_cost(), 1500.0);
+
+  std::unique_ptr<Problem> p = instantiate(spec, std::move(lib));
+  EXPECT_EQ(p->num_patterns_applied(), spec.patterns.size());
+  // Every load is pinned to its fixed implementation.
+  for (NodeId l : p->arch_template().select(NodeFilter::of_type("Load"))) {
+    EXPECT_EQ(p->mapping().candidates(l).size(), 1u)
+        << p->arch_template().node(l).name;
+  }
+  // The generated MILP is orders of magnitude larger than the spec.
+  const milp::ModelStats st = p->model().stats();
+  EXPECT_GT(st.standard_form_lines, 100u * static_cast<std::size_t>(spec.spec_lines));
+}
+
+TEST_F(ShippedSpecs, RplSpecParsesAndInstantiates) {
+  const std::string spec_path = locate("rpl.spec");
+  const std::string lib_path = locate("rpl.lib");
+  if (spec_path.empty() || lib_path.empty()) GTEST_SKIP() << "data files not found";
+
+  const ProblemSpec spec = load_problem_spec_file(spec_path);
+  Library lib = load_library_file(lib_path);
+
+  // Paper Table 3 template shape.
+  EXPECT_EQ(spec.tmpl.select(NodeFilter::of_type("Machine")).size(), 10u);
+  EXPECT_EQ(spec.tmpl.select(NodeFilter::of_type("Conveyor")).size(), 15u);
+  EXPECT_EQ(spec.tmpl.select(NodeFilter::of_type("Source")).size(), 2u);
+  EXPECT_EQ(spec.tmpl.select(NodeFilter::of_type("Sink")).size(), 2u);
+  // Junction conveyor edges carry the higher cost.
+  EXPECT_EQ(spec.edge_costs.size(), 6u);
+  for (const auto& o : spec.edge_costs) EXPECT_EQ(o.cost, 1000.0);
+
+  std::unique_ptr<Problem> p = instantiate(spec, std::move(lib));
+  // Line-B machines admit only B or AB implementations.
+  const NodeId m1b1 = p->arch_template().find("M1B1");
+  ASSERT_GE(m1b1, 0);
+  for (const auto& c : p->mapping().candidates(m1b1)) {
+    const std::string& sub = p->library().at(c.lib).subtype;
+    EXPECT_TRUE(sub == "B" || sub == "AB") << sub;
+  }
+  // Operation modes created the four flow matrices Lambda^{mode,product}.
+  EXPECT_NE(p->find_flow("O1:A"), nullptr);
+  EXPECT_NE(p->find_flow("O1:B"), nullptr);
+  EXPECT_NE(p->find_flow("O2:A"), nullptr);
+  EXPECT_NE(p->find_flow("O2:B"), nullptr);
+}
+
+TEST_F(ShippedSpecs, EpnLibraryMatchesProgrammaticLibrary) {
+  const std::string lib_path = locate("epn.lib");
+  if (lib_path.empty()) GTEST_SKIP() << "data files not found";
+  const Library from_file = load_library_file(lib_path);
+  const Library built = domains::epn::make_library();
+  // Same component names with matching costs and types.
+  for (const Component& c : built.components()) {
+    const auto idx = from_file.find(c.name);
+    ASSERT_TRUE(idx.has_value()) << c.name;
+    const Component& other = from_file.at(*idx);
+    EXPECT_EQ(other.type, c.type) << c.name;
+    EXPECT_EQ(other.subtype, c.subtype) << c.name;
+    EXPECT_DOUBLE_EQ(other.cost(), c.cost()) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace archex

@@ -1,0 +1,110 @@
+#include "arch/arch_template.hpp"
+
+#include <gtest/gtest.h>
+
+namespace archex {
+namespace {
+
+TEST(NodeFilterTest, ParseForms) {
+  NodeFilter f = NodeFilter::parse("Gen");
+  EXPECT_EQ(f.type, "Gen");
+  EXPECT_TRUE(f.subtype.empty());
+  EXPECT_TRUE(f.tag.empty());
+
+  f = NodeFilter::parse("Gen/HV");
+  EXPECT_EQ(f.type, "Gen");
+  EXPECT_EQ(f.subtype, "HV");
+
+  f = NodeFilter::parse("Gen#LE");
+  EXPECT_EQ(f.type, "Gen");
+  EXPECT_EQ(f.tag, "LE");
+
+  f = NodeFilter::parse("Gen/HV#LE");
+  EXPECT_EQ(f.type, "Gen");
+  EXPECT_EQ(f.subtype, "HV");
+  EXPECT_EQ(f.tag, "LE");
+
+  f = NodeFilter::parse("*");
+  EXPECT_TRUE(f.type.empty());
+}
+
+TEST(NodeFilterTest, RoundTripToString) {
+  EXPECT_EQ(NodeFilter::parse("Gen/HV#LE").to_string(), "Gen/HV#LE");
+  EXPECT_EQ(NodeFilter::parse("Gen").to_string(), "Gen");
+  EXPECT_EQ(NodeFilter{}.to_string(), "*");
+}
+
+TEST(NodeSpecTest, SubtypeAlternation) {
+  NodeSpec n{"M1", "Machine", "B|AB", {}, {}};
+  EXPECT_TRUE(n.allows_subtype("B"));
+  EXPECT_TRUE(n.allows_subtype("AB"));
+  EXPECT_FALSE(n.allows_subtype("A"));
+  NodeSpec any{"M2", "Machine", "", {}, {}};
+  EXPECT_TRUE(any.allows_subtype("anything"));
+}
+
+TEST(NodeFilterTest, MatchesSubtypeAlternation) {
+  NodeSpec n{"M1", "Machine", "B|AB", {"B"}, {}};
+  EXPECT_TRUE((NodeFilter{"Machine", "AB", ""}).matches(n));
+  EXPECT_FALSE((NodeFilter{"Machine", "A", ""}).matches(n));
+  EXPECT_TRUE((NodeFilter{"Machine", "", "B"}).matches(n));
+  EXPECT_FALSE((NodeFilter{"Machine", "", "A"}).matches(n));
+}
+
+TEST(ArchTemplateTest, AddNodesAndSelect) {
+  ArchTemplate t;
+  t.add_nodes(3, "LA", "Bus", "", {"LE"});
+  t.add_nodes(2, "RA", "Bus", "", {"RI"});
+  t.add_node({"G1", "Gen", "HV", {"LE"}, {}});
+  EXPECT_EQ(t.num_nodes(), 6u);
+  EXPECT_EQ(t.select(NodeFilter::of_type("Bus")).size(), 5u);
+  EXPECT_EQ(t.select({"Bus", "", "LE"}).size(), 3u);
+  EXPECT_EQ(t.find("LA2"), 1);
+  EXPECT_EQ(t.find("nope"), -1);
+}
+
+TEST(ArchTemplateTest, RejectsDuplicatesAndInvalid) {
+  ArchTemplate t;
+  t.add_node({"X", "T", "", {}, {}});
+  EXPECT_THROW(t.add_node({"X", "T", "", {}, {}}), std::invalid_argument);
+  EXPECT_THROW(t.add_node({"", "T", "", {}, {}}), std::invalid_argument);
+  EXPECT_THROW(t.add_node({"Y", "", "", {}, {}}), std::invalid_argument);
+}
+
+TEST(ArchTemplateTest, AllowConnectionCreatesOrderedPairs) {
+  ArchTemplate t;
+  t.add_nodes(2, "G", "Gen");
+  t.add_nodes(2, "B", "Bus");
+  t.allow_connection(NodeFilter::of_type("Gen"), NodeFilter::of_type("Bus"));
+  EXPECT_EQ(t.candidate_edges().size(), 4u);
+  EXPECT_TRUE(t.edge_allowed(0, 2));
+  EXPECT_FALSE(t.edge_allowed(2, 0));
+}
+
+TEST(ArchTemplateTest, SelfLoopsNeverAllowed) {
+  ArchTemplate t;
+  t.add_nodes(2, "B", "Bus");
+  t.allow_connection(NodeFilter::of_type("Bus"), NodeFilter::of_type("Bus"));
+  EXPECT_EQ(t.candidate_edges().size(), 2u);  // both directions, no loops
+  EXPECT_FALSE(t.edge_allowed(0, 0));
+}
+
+TEST(ArchTemplateTest, AllowEdgeIdempotent) {
+  ArchTemplate t;
+  t.add_nodes(2, "B", "Bus");
+  t.allow_edge(0, 1);
+  t.allow_edge(0, 1);
+  EXPECT_EQ(t.candidate_edges().size(), 1u);
+  EXPECT_THROW(t.allow_edge(0, 9), std::invalid_argument);
+}
+
+TEST(ArchTemplateTest, TypesInFirstAppearanceOrder) {
+  ArchTemplate t;
+  t.add_node({"S", "Snk", "", {}, {}});
+  t.add_node({"G", "Gen", "", {}, {}});
+  t.add_node({"S2", "Snk", "", {}, {}});
+  EXPECT_EQ(t.types(), (std::vector<std::string>{"Snk", "Gen"}));
+}
+
+}  // namespace
+}  // namespace archex

@@ -1,0 +1,182 @@
+#include "milp/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "milp/model.hpp"
+
+namespace archex::milp {
+namespace {
+
+TEST(LinExprTest, DefaultIsZero) {
+  LinExpr e;
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant(), 0.0);
+  EXPECT_EQ(e.size(), 0u);
+}
+
+TEST(LinExprTest, SingleVariable) {
+  LinExpr e = VarId{3};
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e.terms()[0].var.index, 3);
+  EXPECT_EQ(e.terms()[0].coef, 1.0);
+}
+
+TEST(LinExprTest, MergesDuplicateTerms) {
+  LinExpr e{{VarId{1}, 2.0}, {VarId{0}, 1.0}, {VarId{1}, 3.0}};
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.coef_of(VarId{0}), 1.0);
+  EXPECT_EQ(e.coef_of(VarId{1}), 5.0);
+}
+
+TEST(LinExprTest, DropsZeroCoefficients) {
+  LinExpr e{{VarId{0}, 2.0}, {VarId{0}, -2.0}};
+  EXPECT_TRUE(e.is_constant());
+}
+
+TEST(LinExprTest, AdditionMergesSortedLists) {
+  LinExpr a{{VarId{0}, 1.0}, {VarId{2}, 2.0}};
+  LinExpr b{{VarId{1}, 3.0}, {VarId{2}, -2.0}};
+  LinExpr c = a + b;
+  EXPECT_EQ(c.coef_of(VarId{0}), 1.0);
+  EXPECT_EQ(c.coef_of(VarId{1}), 3.0);
+  EXPECT_EQ(c.coef_of(VarId{2}), 0.0);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(LinExprTest, ScalarArithmetic) {
+  LinExpr e = 2.0 * VarId{0} + LinExpr(1.5);
+  e *= 2.0;
+  EXPECT_EQ(e.coef_of(VarId{0}), 4.0);
+  EXPECT_EQ(e.constant(), 3.0);
+  LinExpr neg = -e;
+  EXPECT_EQ(neg.coef_of(VarId{0}), -4.0);
+  EXPECT_EQ(neg.constant(), -3.0);
+}
+
+TEST(LinExprTest, SubtractionOfSelfIsZero) {
+  LinExpr a{{VarId{0}, 1.0}, {VarId{5}, -2.5}};
+  LinExpr z = a - a;
+  EXPECT_TRUE(z.is_constant());
+  EXPECT_EQ(z.constant(), 0.0);
+}
+
+TEST(LinExprTest, Evaluate) {
+  LinExpr e = 2.0 * VarId{0} - 1.0 * VarId{1} + LinExpr(4.0);
+  std::vector<double> x = {3.0, 5.0};
+  EXPECT_DOUBLE_EQ(e.evaluate(x), 2 * 3 - 5 + 4);
+}
+
+TEST(LinExprTest, MultiplyByZeroClears) {
+  LinExpr e = 2.0 * VarId{0} + LinExpr(7.0);
+  e *= 0.0;
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant(), 0.0);
+}
+
+TEST(LinConstraintTest, ConstantFoldedIntoRhs) {
+  LinExpr e = 1.0 * VarId{0} + LinExpr(2.0);
+  LinConstraint c(e, Sense::LE, 5.0);
+  EXPECT_EQ(c.rhs, 3.0);
+  EXPECT_EQ(c.expr.constant(), 0.0);
+}
+
+TEST(LinConstraintTest, ComparisonOperators) {
+  LinConstraint c = LinExpr(VarId{0}) + LinExpr(VarId{1}) <= LinExpr(3.0);
+  EXPECT_EQ(c.sense, Sense::LE);
+  EXPECT_EQ(c.rhs, 3.0);
+  EXPECT_EQ(c.expr.size(), 2u);
+
+  LinConstraint g = 2.0 * VarId{0} >= LinExpr(VarId{1}) + LinExpr(1.0);
+  EXPECT_EQ(g.sense, Sense::GE);
+  EXPECT_EQ(g.rhs, 1.0);
+  EXPECT_EQ(g.expr.coef_of(VarId{1}), -1.0);
+
+  LinConstraint q = LinExpr(VarId{2}) == LinExpr(4.0);
+  EXPECT_EQ(q.sense, Sense::EQ);
+  EXPECT_EQ(q.rhs, 4.0);
+}
+
+TEST(LinConstraintTest, SatisfiedChecksSense) {
+  LinConstraint le = LinExpr(VarId{0}) <= LinExpr(2.0);
+  std::vector<double> x = {2.0};
+  EXPECT_TRUE(le.satisfied(x));
+  x[0] = 2.1;
+  EXPECT_FALSE(le.satisfied(x, 1e-3));
+
+  LinConstraint eq = LinExpr(VarId{0}) == LinExpr(2.0);
+  x[0] = 2.0;
+  EXPECT_TRUE(eq.satisfied(x));
+  x[0] = 1.9;
+  EXPECT_FALSE(eq.satisfied(x, 1e-3));
+}
+
+TEST(ModelTest, AddVarValidatesBounds) {
+  Model m;
+  EXPECT_THROW(m.add_continuous(2.0, 1.0), std::invalid_argument);
+  VarId v = m.add_binary("b");
+  EXPECT_EQ(m.var(v).lb, 0.0);
+  EXPECT_EQ(m.var(v).ub, 1.0);
+  EXPECT_TRUE(m.var(v).is_integral());
+}
+
+TEST(ModelTest, RejectsUnknownVariableInConstraint) {
+  Model m;
+  (void)m.add_binary();
+  EXPECT_THROW(m.add_constraint(LinExpr(VarId{7}) <= LinExpr(1.0)), std::invalid_argument);
+}
+
+TEST(ModelTest, StatsCountEverything) {
+  Model m;
+  VarId a = m.add_binary("a");
+  VarId b = m.add_continuous(0, 10, "b");
+  VarId c = m.add_integer(0, 5, "c");
+  m.add_constraint(LinExpr(a) + LinExpr(b) <= LinExpr(3.0));
+  m.add_constraint(LinExpr(b) + LinExpr(c) >= LinExpr(1.0));
+  m.set_objective(LinExpr(a) + LinExpr(c));
+  ModelStats s = m.stats();
+  EXPECT_EQ(s.num_vars, 3u);
+  EXPECT_EQ(s.num_binary, 1u);
+  EXPECT_EQ(s.num_integer, 1u);
+  EXPECT_EQ(s.num_continuous, 1u);
+  EXPECT_EQ(s.num_constraints, 2u);
+  EXPECT_EQ(s.num_nonzeros, 4u);
+  EXPECT_EQ(s.standard_form_lines, 4u + 2u + 3u);
+}
+
+TEST(ModelTest, FeasibleChecksBoundsIntegralityAndRows) {
+  Model m;
+  VarId a = m.add_binary("a");
+  VarId b = m.add_continuous(0, 10, "b");
+  m.add_constraint(LinExpr(a) + LinExpr(b) <= LinExpr(5.0));
+  EXPECT_TRUE(m.feasible({1.0, 4.0}));
+  EXPECT_FALSE(m.feasible({0.5, 4.0}));   // fractional binary
+  EXPECT_FALSE(m.feasible({1.0, 11.0}));  // bound violation
+  EXPECT_FALSE(m.feasible({1.0, 4.5}));   // row violation
+}
+
+TEST(ModelTest, WriteLpProducesSections) {
+  Model m;
+  VarId a = m.add_binary("pick");
+  m.add_constraint(LinExpr(a) <= LinExpr(1.0), "cap");
+  m.set_objective(LinExpr(a));
+  std::ostringstream os;
+  m.write_lp(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Minimize"), std::string::npos);
+  EXPECT_NE(text.find("Subject To"), std::string::npos);
+  EXPECT_NE(text.find("pick"), std::string::npos);
+  EXPECT_NE(text.find("Binaries"), std::string::npos);
+}
+
+TEST(ModelTest, TightenBoundsIntersects) {
+  Model m;
+  VarId v = m.add_continuous(0, 10);
+  m.tighten_bounds(v, 2, 12);
+  EXPECT_EQ(m.var(v).lb, 2.0);
+  EXPECT_EQ(m.var(v).ub, 10.0);
+}
+
+}  // namespace
+}  // namespace archex::milp

@@ -1,0 +1,154 @@
+#include "milp/lp_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "milp/branch_bound.hpp"
+
+namespace archex::milp {
+namespace {
+
+TEST(LpFormatTest, ParsesMinimalModel) {
+  std::istringstream in(R"(Minimize
+ obj: 2 x + 3 y
+Subject To
+ c1: x + y >= 4
+Bounds
+ 0 <= x <= 10
+ 0 <= y <= 10
+End
+)");
+  const Model m = parse_lp(in);
+  EXPECT_EQ(m.num_vars(), 2u);
+  EXPECT_EQ(m.num_constraints(), 1u);
+  const Solution s = solve_milp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 8.0, 1e-7);  // x = 4, y = 0
+}
+
+TEST(LpFormatTest, MaximizeAndIntegrality) {
+  std::istringstream in(R"(Maximize
+ obj: x + y
+Subject To
+ cap: 2 x + 2 y <= 7
+Bounds
+ 0 <= x <= 10
+ 0 <= y <= 10
+Generals
+ x y
+End
+)");
+  const Model m = parse_lp(in);
+  const Solution s = solve_milp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+}
+
+TEST(LpFormatTest, BinariesSection) {
+  std::istringstream in(R"(Maximize
+ obj: 5 a + 4 b + 3 c
+Subject To
+ w: 2 a + 3 b + c <= 5
+Binaries
+ a b c
+End
+)");
+  const Model m = parse_lp(in);
+  EXPECT_EQ(m.stats().num_binary, 3u);
+  const Solution s = solve_milp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 9.0, 1e-7);
+}
+
+TEST(LpFormatTest, NegativeAndFreeBounds) {
+  std::istringstream in(R"(Minimize
+ obj: x + y
+Subject To
+ c: x - y = 1
+Bounds
+ -inf <= x <= +inf
+ y free
+End
+)");
+  const Model m = parse_lp(in);
+  EXPECT_EQ(m.vars()[0].lb, -kInf);
+  EXPECT_EQ(m.vars()[1].ub, kInf);
+  const Solution s = solve_milp(m);
+  EXPECT_EQ(s.status, SolveStatus::Unbounded);
+}
+
+TEST(LpFormatTest, ConstantsAndRhsVariables) {
+  // "x + 1 <= y + 4" must normalize to x - y <= 3.
+  std::istringstream in(R"(Minimize
+ obj: x
+Subject To
+ c: x + 1 <= y + 4
+Bounds
+ 0 <= x <= 10
+ 0 <= y <= 0
+End
+)");
+  const Model m = parse_lp(in);
+  ASSERT_EQ(m.num_constraints(), 1u);
+  EXPECT_NEAR(m.constraint(0).rhs, 3.0, 1e-12);
+}
+
+TEST(LpFormatTest, MultiLineStatements) {
+  std::istringstream in(R"(Minimize
+ obj: x
+    + 2 y
+Subject To
+ c1: x + y
+     >= 3
+End
+)");
+  const Model m = parse_lp(in);
+  EXPECT_EQ(m.num_vars(), 2u);
+  const Solution s = solve_milp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+}
+
+TEST(LpFormatTest, RejectsGarbage) {
+  std::istringstream in("Minimize\n obj: x\nSubject To\n c1: x ? 3\nEnd\n");
+  EXPECT_THROW((void)parse_lp(in), std::runtime_error);
+}
+
+// Round-trip property: write_lp -> parse_lp preserves the optimal value on
+// random MILPs (names, bounds, integrality, senses all survive).
+class LpRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpRoundTrip, PreservesOptimum) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 2663u + 5u);
+  std::uniform_real_distribution<double> coef(-4.0, 4.0);
+
+  Model m;
+  std::vector<VarId> v;
+  for (int j = 0; j < 4; ++j) v.push_back(m.add_binary("b" + std::to_string(j)));
+  v.push_back(m.add_continuous(-2, 5, "z"));
+  for (int i = 0; i < 3; ++i) {
+    LinExpr e;
+    for (const VarId x : v) e += std::round(coef(rng)) * x;
+    m.add_constraint(std::move(e), i % 2 ? Sense::GE : Sense::LE, std::round(coef(rng)));
+  }
+  LinExpr obj;
+  for (const VarId x : v) obj += std::round(coef(rng)) * x;
+  m.set_objective(obj, GetParam() % 2 ? ObjectiveSense::Maximize : ObjectiveSense::Minimize);
+
+  std::ostringstream out;
+  m.write_lp(out);
+  std::istringstream in(out.str());
+  const Model parsed = parse_lp(in);
+
+  const Solution a = solve_milp(m);
+  const Solution b = solve_milp(parsed);
+  ASSERT_EQ(a.status, b.status) << out.str();
+  if (a.optimal()) EXPECT_NEAR(a.objective, b.objective, 1e-6) << out.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRoundTrip, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace archex::milp

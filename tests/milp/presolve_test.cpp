@@ -1,0 +1,147 @@
+#include "milp/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "milp/branch_bound.hpp"
+
+namespace archex::milp {
+namespace {
+
+TEST(PresolveTest, SingletonRowBecomesBound) {
+  Model m;
+  VarId x = m.add_continuous(0, 10, "x");
+  VarId y = m.add_continuous(0, 10, "y");
+  m.add_constraint(2.0 * x <= LinExpr(6.0));  // x <= 3
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(8.0));
+  m.set_objective(LinExpr(x) + LinExpr(y));
+  PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.reduced.num_constraints(), 1u);
+  // x kept as a variable with tightened upper bound 3.
+  bool found = false;
+  for (std::size_t j = 0; j < r.reduced.num_vars(); ++j) {
+    if (r.reduced.vars()[j].name == "x") {
+      EXPECT_NEAR(r.reduced.vars()[j].ub, 3.0, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PresolveTest, EqualitySingletonFixesVariable) {
+  Model m;
+  VarId x = m.add_continuous(0, 10, "x");
+  VarId y = m.add_continuous(0, 10, "y");
+  m.add_constraint(LinExpr(x) == LinExpr(4.0));
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(6.0));
+  m.set_objective(-1.0 * y);
+  PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.vars_fixed, 1u);
+  ASSERT_EQ(r.orig_of_reduced.size(), 1u);
+  // Substitution: y <= 2.
+  std::vector<double> xr = {2.0};
+  std::vector<double> full = r.postsolve(xr);
+  EXPECT_NEAR(full[static_cast<std::size_t>(x.index)], 4.0, 1e-9);
+  EXPECT_NEAR(full[static_cast<std::size_t>(y.index)], 2.0, 1e-9);
+}
+
+TEST(PresolveTest, DetectsInfeasibleBounds) {
+  Model m;
+  VarId x = m.add_continuous(0, 1);
+  m.add_constraint(LinExpr(x) >= LinExpr(5.0));
+  m.set_objective(LinExpr(x));
+  PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.infeasible);
+}
+
+TEST(PresolveTest, DetectsActivityInfeasibility) {
+  Model m;
+  VarId x = m.add_continuous(0, 1);
+  VarId y = m.add_continuous(0, 1);
+  m.add_constraint(LinExpr(x) + LinExpr(y) >= LinExpr(3.0));
+  m.set_objective(LinExpr(x));
+  PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.infeasible);
+}
+
+TEST(PresolveTest, RemovesRedundantRows) {
+  Model m;
+  VarId x = m.add_continuous(0, 1);
+  VarId y = m.add_continuous(0, 1);
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(5.0));  // always true
+  m.set_objective(LinExpr(x));
+  PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.reduced.num_constraints(), 0u);
+  EXPECT_EQ(r.rows_removed, 1u);
+}
+
+TEST(PresolveTest, IntegerBoundsRoundedInward) {
+  Model m;
+  VarId x = m.add_integer(0, 10, "x");
+  VarId y = m.add_continuous(0, 10, "y");
+  m.add_constraint(2.0 * x <= LinExpr(7.0));  // x <= 3.5 -> 3
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(12.0));
+  m.set_objective(-1.0 * x);
+  PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  for (std::size_t j = 0; j < r.reduced.num_vars(); ++j) {
+    if (r.reduced.vars()[j].name == "x") EXPECT_NEAR(r.reduced.vars()[j].ub, 3.0, 1e-9);
+  }
+}
+
+TEST(PresolveTest, BinaryImplicationChainPropagates) {
+  // a <= 0 fixes a; row a + b >= 1 then forces b = 1.
+  Model m;
+  VarId a = m.add_binary("a");
+  VarId b = m.add_binary("b");
+  m.add_constraint(LinExpr(a) <= LinExpr(0.0));
+  m.add_constraint(LinExpr(a) + LinExpr(b) >= LinExpr(1.0));
+  m.set_objective(LinExpr(a) + LinExpr(b));
+  PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.vars_fixed, 2u);
+  EXPECT_TRUE(r.fixed[static_cast<std::size_t>(a.index)]);
+  EXPECT_TRUE(r.fixed[static_cast<std::size_t>(b.index)]);
+  EXPECT_EQ(r.fixed_value[static_cast<std::size_t>(a.index)], 0.0);
+  EXPECT_EQ(r.fixed_value[static_cast<std::size_t>(b.index)], 1.0);
+}
+
+TEST(PresolveTest, ObjectiveConstantFromFixedVars) {
+  Model m;
+  VarId a = m.add_binary("a");
+  VarId b = m.add_continuous(0, 4, "b");
+  m.add_constraint(LinExpr(a) >= LinExpr(1.0));  // fixes a = 1
+  m.add_constraint(LinExpr(a) + LinExpr(b) <= LinExpr(3.0));
+  m.set_objective(5.0 * a + 1.0 * b);
+  PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_NEAR(r.reduced.objective().constant(), 5.0, 1e-9);
+  // Solving the reduced model must give the same optimum as the original.
+  Solution orig = solve_milp(m, {.use_presolve = false});
+  Solution red = solve_milp(r.reduced, {.use_presolve = false});
+  ASSERT_TRUE(orig.optimal());
+  ASSERT_TRUE(red.optimal());
+  EXPECT_NEAR(orig.objective, red.objective, 1e-7);
+}
+
+TEST(PresolveTest, PreservesOptimalValueOnMixedModel) {
+  Model m;
+  VarId a = m.add_binary("a");
+  VarId b = m.add_binary("b");
+  VarId z = m.add_continuous(0, 10, "z");
+  m.add_constraint(LinExpr(a) + LinExpr(b) >= LinExpr(1.0));
+  m.add_constraint(LinExpr(z) >= 2.0 * a);
+  m.add_constraint(LinExpr(z) >= 3.0 * b);
+  m.set_objective(LinExpr(z) + LinExpr(a) + LinExpr(b));
+  Solution with = solve_milp(m, {.use_presolve = true});
+  Solution without = solve_milp(m, {.use_presolve = false});
+  ASSERT_TRUE(with.optimal());
+  ASSERT_TRUE(without.optimal());
+  EXPECT_NEAR(with.objective, without.objective, 1e-7);
+  EXPECT_TRUE(m.feasible(with.x, 1e-6));
+}
+
+}  // namespace
+}  // namespace archex::milp

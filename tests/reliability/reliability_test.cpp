@@ -1,0 +1,170 @@
+#include "reliability/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace archex::reliability {
+namespace {
+
+using graph::Digraph;
+
+TEST(ReliabilityTest, SingleSeriesPath) {
+  // 0 -> 1 -> 2, p1 = 0.1 on the middle node, endpoints perfect.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const double p = link_failure_probability(g, {0}, 2, {0.0, 0.1, 0.0});
+  EXPECT_NEAR(p, 0.1, 1e-12);
+}
+
+TEST(ReliabilityTest, SourceFailureCounts) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_NEAR(link_failure_probability(g, {0}, 1, {0.2, 0.0}), 0.2, 1e-12);
+}
+
+TEST(ReliabilityTest, SinkAssumedPerfect) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  // The sink's own failure probability must not affect the link measure.
+  EXPECT_NEAR(link_failure_probability(g, {0}, 1, {0.0, 0.9}), 0.0, 1e-12);
+}
+
+TEST(ReliabilityTest, ParallelRedundancy) {
+  // Two parallel middle nodes: fails only if both fail.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const double p = link_failure_probability(g, {0}, 3, {0.0, 0.1, 0.2, 0.0});
+  EXPECT_NEAR(p, 0.1 * 0.2, 1e-12);
+}
+
+TEST(ReliabilityTest, SeriesOfTwo) {
+  // 0 -> 1 -> 2 -> 3: survival = (1-p1)(1-p2).
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const double p = link_failure_probability(g, {0}, 3, {0.0, 0.1, 0.2, 0.0});
+  EXPECT_NEAR(p, 1.0 - 0.9 * 0.8, 1e-12);
+}
+
+TEST(ReliabilityTest, DisconnectedSinkIsCertainFailure) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(link_failure_probability(g, {0}, 2, {0.0, 0.0, 0.0}), 1.0);
+}
+
+TEST(ReliabilityTest, TwoSourcesRedundancy) {
+  // Sources fail independently; sink reachable from either.
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const double p = link_failure_probability(g, {0, 1}, 2, {0.1, 0.3, 0.0});
+  EXPECT_NEAR(p, 0.1 * 0.3, 1e-12);
+}
+
+TEST(ReliabilityTest, EpnLikeMagnitudes) {
+  // Three disjoint generator->bus chains of 3 failing stages at p = 2e-4
+  // should land near the paper's 1e-9 decade.
+  const double p = 2e-4;
+  Digraph g(10);
+  std::vector<double> fp(10, p);
+  fp[9] = 0.0;  // sink bus measured as perfect
+  for (int k = 0; k < 3; ++k) {
+    const int gen = k * 3;
+    g.add_edge(gen, gen + 1);
+    g.add_edge(gen + 1, gen + 2);
+    g.add_edge(gen + 2, 9);
+  }
+  const double fail = link_failure_probability(g, {0, 3, 6}, 9, fp);
+  const double one_path = 1.0 - std::pow(1.0 - p, 3);  // ~6e-4
+  EXPECT_NEAR(fail, std::pow(one_path, 3), 1e-12);
+  EXPECT_LT(fail, 1e-9);
+  EXPECT_GT(fail, 1e-11);
+}
+
+TEST(RequiredDisjointPathsTest, MatchesPaperProgression) {
+  // p_path ~ 8e-4 (4 failing stages at 2e-4): 1e-5 -> 2 paths, 1e-9 -> 3.
+  const double path_p = 8e-4;
+  EXPECT_EQ(required_disjoint_paths(1e-2, path_p), 1);
+  EXPECT_EQ(required_disjoint_paths(1e-5, path_p), 2);
+  EXPECT_EQ(required_disjoint_paths(1e-9, path_p), 3);
+  EXPECT_EQ(required_disjoint_paths(1e-13, path_p), 5);
+}
+
+TEST(RequiredDisjointPathsTest, EdgeCases) {
+  EXPECT_EQ(required_disjoint_paths(1.0, 0.5), 1);
+  EXPECT_EQ(required_disjoint_paths(0.5, 0.0), 1);
+  EXPECT_EQ(required_disjoint_paths(1e-9, 1.0), 1);
+  // Exact power boundary: 1e-6 with p=1e-3 needs exactly 2.
+  EXPECT_EQ(required_disjoint_paths(1e-6, 1e-3), 2);
+}
+
+TEST(ReliabilityTest, FailProbSizeMismatchThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)link_failure_probability(g, {0}, 1, {0.1}), std::invalid_argument);
+}
+
+TEST(MonteCarloTest, AgreesWithExactOnModerateProbabilities) {
+  // Two parallel chains, p = 0.2/0.3: exact failure = (1-(0.8))... computed
+  // by the factoring engine; Monte Carlo must land within sampling noise.
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 5);
+  g.add_edge(0, 2);
+  g.add_edge(2, 5);
+  const std::vector<double> fp = {0.1, 0.2, 0.3, 0.0, 0.0, 0.0};
+  const double exact = link_failure_probability(g, {0}, 5, fp);
+  const double mc = link_failure_probability_monte_carlo(g, {0}, 5, fp, 200000, 7);
+  EXPECT_NEAR(mc, exact, 0.01);
+}
+
+TEST(MonteCarloTest, DeterministicForFixedSeed) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const std::vector<double> fp = {0.1, 0.4, 0.0};
+  const double a = link_failure_probability_monte_carlo(g, {0}, 2, fp, 5000, 42);
+  const double b = link_failure_probability_monte_carlo(g, {0}, 2, fp, 5000, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MonteCarloTest, DisconnectedIsCertain) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(link_failure_probability_monte_carlo(g, {0}, 2, {0, 0, 0}, 10), 1.0);
+}
+
+// Property sweep: factoring equals brute-force enumeration on random DAGs.
+class FactoringProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactoringProperty, MatchesBruteForce) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 997u + 3u);
+  std::uniform_real_distribution<double> prob(0.0, 0.5);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  const int n = 9;  // <= 2^7 relevant states for brute force
+  Digraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (coin(rng) && coin(rng)) g.add_edge(u, v);  // sparse-ish DAG
+    }
+  }
+  std::vector<double> fp(n);
+  for (double& p : fp) p = prob(rng);
+
+  const double exact = link_failure_probability(g, {0, 1}, n - 1, fp);
+  const double brute = link_failure_probability_bruteforce(g, {0, 1}, n - 1, fp);
+  EXPECT_NEAR(exact, brute, 1e-10) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactoringProperty, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace archex::reliability
