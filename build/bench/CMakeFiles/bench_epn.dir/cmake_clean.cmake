@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epn.dir/bench_epn.cpp.o"
+  "CMakeFiles/bench_epn.dir/bench_epn.cpp.o.d"
+  "bench_epn"
+  "bench_epn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

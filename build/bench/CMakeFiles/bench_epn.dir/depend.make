@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_epn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpl.dir/bench_rpl.cpp.o"
+  "CMakeFiles/bench_rpl.dir/bench_rpl.cpp.o.d"
+  "bench_rpl"
+  "bench_rpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec_size.dir/bench_spec_size.cpp.o"
+  "CMakeFiles/bench_spec_size.dir/bench_spec_size.cpp.o.d"
+  "bench_spec_size"
+  "bench_spec_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

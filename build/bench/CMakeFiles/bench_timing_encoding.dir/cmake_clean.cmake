@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing_encoding.dir/bench_timing_encoding.cpp.o"
+  "CMakeFiles/bench_timing_encoding.dir/bench_timing_encoding.cpp.o.d"
+  "bench_timing_encoding"
+  "bench_timing_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

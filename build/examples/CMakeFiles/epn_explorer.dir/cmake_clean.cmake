@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epn_explorer.dir/epn_explorer.cpp.o"
+  "CMakeFiles/epn_explorer.dir/epn_explorer.cpp.o.d"
+  "epn_explorer"
+  "epn_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epn_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milp_solve.dir/milp_solve.cpp.o"
+  "CMakeFiles/milp_solve.dir/milp_solve.cpp.o.d"
+  "milp_solve"
+  "milp_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milp_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpl_explorer.dir/rpl_explorer.cpp.o"
+  "CMakeFiles/rpl_explorer.dir/rpl_explorer.cpp.o.d"
+  "rpl_explorer"
+  "rpl_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpl_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_topology.dir/wsn_topology.cpp.o"
+  "CMakeFiles/wsn_topology.dir/wsn_topology.cpp.o.d"
+  "wsn_topology"
+  "wsn_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/algorithm.cpp" "src/CMakeFiles/archex_core.dir/arch/algorithm.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/algorithm.cpp.o.d"
+  "/root/repo/src/arch/arch_template.cpp" "src/CMakeFiles/archex_core.dir/arch/arch_template.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/arch_template.cpp.o.d"
+  "/root/repo/src/arch/decision_vars.cpp" "src/CMakeFiles/archex_core.dir/arch/decision_vars.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/decision_vars.cpp.o.d"
+  "/root/repo/src/arch/legacy_encoder.cpp" "src/CMakeFiles/archex_core.dir/arch/legacy_encoder.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/legacy_encoder.cpp.o.d"
+  "/root/repo/src/arch/library.cpp" "src/CMakeFiles/archex_core.dir/arch/library.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/library.cpp.o.d"
+  "/root/repo/src/arch/parser.cpp" "src/CMakeFiles/archex_core.dir/arch/parser.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/parser.cpp.o.d"
+  "/root/repo/src/arch/patterns/builtin.cpp" "src/CMakeFiles/archex_core.dir/arch/patterns/builtin.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/patterns/builtin.cpp.o.d"
+  "/root/repo/src/arch/patterns/connection.cpp" "src/CMakeFiles/archex_core.dir/arch/patterns/connection.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/patterns/connection.cpp.o.d"
+  "/root/repo/src/arch/patterns/flow.cpp" "src/CMakeFiles/archex_core.dir/arch/patterns/flow.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/patterns/flow.cpp.o.d"
+  "/root/repo/src/arch/patterns/general.cpp" "src/CMakeFiles/archex_core.dir/arch/patterns/general.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/patterns/general.cpp.o.d"
+  "/root/repo/src/arch/patterns/pattern.cpp" "src/CMakeFiles/archex_core.dir/arch/patterns/pattern.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/patterns/pattern.cpp.o.d"
+  "/root/repo/src/arch/patterns/reliability_patterns.cpp" "src/CMakeFiles/archex_core.dir/arch/patterns/reliability_patterns.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/patterns/reliability_patterns.cpp.o.d"
+  "/root/repo/src/arch/patterns/timing.cpp" "src/CMakeFiles/archex_core.dir/arch/patterns/timing.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/patterns/timing.cpp.o.d"
+  "/root/repo/src/arch/problem.cpp" "src/CMakeFiles/archex_core.dir/arch/problem.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/problem.cpp.o.d"
+  "/root/repo/src/arch/result.cpp" "src/CMakeFiles/archex_core.dir/arch/result.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/arch/result.cpp.o.d"
+  "/root/repo/src/domains/epn.cpp" "src/CMakeFiles/archex_core.dir/domains/epn.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/domains/epn.cpp.o.d"
+  "/root/repo/src/domains/rpl.cpp" "src/CMakeFiles/archex_core.dir/domains/rpl.cpp.o" "gcc" "src/CMakeFiles/archex_core.dir/domains/rpl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archex_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archex_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

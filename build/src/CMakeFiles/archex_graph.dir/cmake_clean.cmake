@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archex_graph.dir/graph/digraph.cpp.o"
+  "CMakeFiles/archex_graph.dir/graph/digraph.cpp.o.d"
+  "libarchex_graph.a"
+  "libarchex_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archex_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archex_milp.dir/milp/branch_bound.cpp.o"
+  "CMakeFiles/archex_milp.dir/milp/branch_bound.cpp.o.d"
+  "CMakeFiles/archex_milp.dir/milp/expr.cpp.o"
+  "CMakeFiles/archex_milp.dir/milp/expr.cpp.o.d"
+  "CMakeFiles/archex_milp.dir/milp/lp_format.cpp.o"
+  "CMakeFiles/archex_milp.dir/milp/lp_format.cpp.o.d"
+  "CMakeFiles/archex_milp.dir/milp/model.cpp.o"
+  "CMakeFiles/archex_milp.dir/milp/model.cpp.o.d"
+  "CMakeFiles/archex_milp.dir/milp/presolve.cpp.o"
+  "CMakeFiles/archex_milp.dir/milp/presolve.cpp.o.d"
+  "CMakeFiles/archex_milp.dir/milp/simplex.cpp.o"
+  "CMakeFiles/archex_milp.dir/milp/simplex.cpp.o.d"
+  "libarchex_milp.a"
+  "libarchex_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archex_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarchex_milp.a"
+)

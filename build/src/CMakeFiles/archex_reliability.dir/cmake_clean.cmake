@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archex_reliability.dir/reliability/reliability.cpp.o"
+  "CMakeFiles/archex_reliability.dir/reliability/reliability.cpp.o.d"
+  "libarchex_reliability.a"
+  "libarchex_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archex_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

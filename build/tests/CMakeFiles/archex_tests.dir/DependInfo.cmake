@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/algorithm_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/algorithm_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/algorithm_test.cpp.o.d"
+  "/root/repo/tests/arch/iterative_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/iterative_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/iterative_test.cpp.o.d"
+  "/root/repo/tests/arch/legacy_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/legacy_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/legacy_test.cpp.o.d"
+  "/root/repo/tests/arch/library_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/library_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/library_test.cpp.o.d"
+  "/root/repo/tests/arch/parser_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/parser_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/parser_test.cpp.o.d"
+  "/root/repo/tests/arch/patterns_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/patterns_test.cpp.o.d"
+  "/root/repo/tests/arch/problem_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/problem_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/problem_test.cpp.o.d"
+  "/root/repo/tests/arch/random_exploration_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/random_exploration_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/random_exploration_test.cpp.o.d"
+  "/root/repo/tests/arch/result_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/result_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/result_test.cpp.o.d"
+  "/root/repo/tests/arch/spec_files_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/spec_files_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/spec_files_test.cpp.o.d"
+  "/root/repo/tests/arch/template_test.cpp" "tests/CMakeFiles/archex_tests.dir/arch/template_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/arch/template_test.cpp.o.d"
+  "/root/repo/tests/domains/epn_test.cpp" "tests/CMakeFiles/archex_tests.dir/domains/epn_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/domains/epn_test.cpp.o.d"
+  "/root/repo/tests/domains/rpl_test.cpp" "tests/CMakeFiles/archex_tests.dir/domains/rpl_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/domains/rpl_test.cpp.o.d"
+  "/root/repo/tests/graph/digraph_test.cpp" "tests/CMakeFiles/archex_tests.dir/graph/digraph_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/graph/digraph_test.cpp.o.d"
+  "/root/repo/tests/milp/branch_bound_test.cpp" "tests/CMakeFiles/archex_tests.dir/milp/branch_bound_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/milp/branch_bound_test.cpp.o.d"
+  "/root/repo/tests/milp/expr_test.cpp" "tests/CMakeFiles/archex_tests.dir/milp/expr_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/milp/expr_test.cpp.o.d"
+  "/root/repo/tests/milp/lp_format_test.cpp" "tests/CMakeFiles/archex_tests.dir/milp/lp_format_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/milp/lp_format_test.cpp.o.d"
+  "/root/repo/tests/milp/presolve_test.cpp" "tests/CMakeFiles/archex_tests.dir/milp/presolve_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/milp/presolve_test.cpp.o.d"
+  "/root/repo/tests/milp/simplex_test.cpp" "tests/CMakeFiles/archex_tests.dir/milp/simplex_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/milp/simplex_test.cpp.o.d"
+  "/root/repo/tests/milp/solver_features_test.cpp" "tests/CMakeFiles/archex_tests.dir/milp/solver_features_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/milp/solver_features_test.cpp.o.d"
+  "/root/repo/tests/reliability/reliability_test.cpp" "tests/CMakeFiles/archex_tests.dir/reliability/reliability_test.cpp.o" "gcc" "tests/CMakeFiles/archex_tests.dir/reliability/reliability_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archex_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archex_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
