@@ -115,6 +115,57 @@ BENCHMARK(BM_MilpWarmVsCold)
     ->Args({24, 0})
     ->Unit(benchmark::kMillisecond);
 
+/// Strongly correlated knapsack with fractional values: the objective has no
+/// usable granularity, so the tree reaches hundreds of thousands of nodes —
+/// large enough for the work-stealing pool to matter.
+Model hard_knapsack(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> w(10, 30);
+  Model m;
+  LinExpr tw, tv;
+  double cap = 0.0;
+  for (int j = 0; j < n; ++j) {
+    VarId v = m.add_binary();
+    const int wj = w(rng);
+    tw += static_cast<double>(wj) * v;
+    tv += (static_cast<double>(wj) + 5.0 + 0.1 * (j % 7)) * v;
+    cap += wj;
+  }
+  m.add_constraint(tw <= LinExpr(0.5 * cap));
+  m.set_objective(tv, ObjectiveSense::Maximize);
+  return m;
+}
+
+void BM_MilpThreads(benchmark::State& state) {
+  // Thread-count sweep of solve_milp on a fixed >10k-node instance. The
+  // speedup ratio between threads=1 and threads=N is the headline number;
+  // nodes/steals expose the tree inflation and work-redistribution rate.
+  const Model m = hard_knapsack(50, 42);
+  MilpOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  std::int64_t nodes = 0, steals = 0;
+  double cpu = 0.0;
+  for (auto _ : state) {
+    Solution s = solve_milp(m, opts);
+    nodes = s.nodes_explored;
+    steals = s.steals;
+    cpu = s.cpu_seconds;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  state.counters["threads"] = static_cast<double>(opts.num_threads);
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["cpu_s"] = cpu;
+}
+BENCHMARK(BM_MilpThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 void BM_Presolve(benchmark::State& state) {
   const Model m = random_milp(static_cast<int>(state.range(0)), 8, 3);
   for (auto _ : state) {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: release build + full test suite, then a ThreadSanitizer
+# build running the concurrency-focused suites (the parallel branch & bound
+# pool, basis transplants, and reoptimization repair paths).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== release: configure + build ==="
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+
+echo "=== release: ctest (full suite) ==="
+ctest --preset release -j "$(nproc)"
+
+echo "=== tsan: configure + build ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+
+echo "=== tsan: ctest (parallel suites) ==="
+ctest --preset tsan
+
+echo "=== ci: all green ==="

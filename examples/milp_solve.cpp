@@ -3,7 +3,7 @@
 /// format file, solves it, prints status / objective / nonzero assignment.
 /// The "Solver" box of Figure 1 as a reusable tool.
 ///
-/// Usage: milp_solve <model.lp> [--time-limit=S] [--lp-relaxation]
+/// Usage: milp_solve <model.lp> [--time-limit=S] [--threads=N] [--lp-relaxation]
 #include <cstdio>
 #include <string>
 
@@ -15,17 +15,26 @@ using namespace archex::milp;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: milp_solve <model.lp> [--time-limit=S] [--lp-relaxation]\n");
+    std::fprintf(stderr,
+                 "usage: milp_solve <model.lp> [--time-limit=S] [--threads=N]"
+                 " [--lp-relaxation]\n");
     return 2;
   }
   double time_limit = 300.0;
+  int threads = 0;  // 0 = hardware concurrency
   bool relaxation = false;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--time-limit=", 0) == 0) time_limit = std::stod(a.substr(13));
-    else if (a == "--lp-relaxation") relaxation = true;
-    else {
-      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+    try {
+      if (a.rfind("--time-limit=", 0) == 0) time_limit = std::stod(a.substr(13));
+      else if (a.rfind("--threads=", 0) == 0) threads = std::stoi(a.substr(10));
+      else if (a == "--lp-relaxation") relaxation = true;
+      else {
+        std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value in argument: %s\n", a.c_str());
       return 2;
     }
   }
@@ -43,6 +52,7 @@ int main(int argc, char** argv) {
     } else {
       MilpOptions opts;
       opts.time_limit_s = time_limit;
+      opts.num_threads = threads;
       sol = solve_milp(model, opts);
     }
     std::printf("status: %s\n", to_string(sol.status));
@@ -51,6 +61,10 @@ int main(int argc, char** argv) {
       std::printf("nodes: %lld, simplex iterations: %lld, time: %.3fs\n",
                   static_cast<long long>(sol.nodes_explored),
                   static_cast<long long>(sol.simplex_iterations), sol.solve_seconds);
+      if (sol.threads_used > 1) {
+        std::printf("threads: %d, steals: %lld, cpu time: %.3fs\n", sol.threads_used,
+                    static_cast<long long>(sol.steals), sol.cpu_seconds);
+      }
       for (std::size_t j = 0; j < sol.x.size(); ++j) {
         if (std::abs(sol.x[j]) > 1e-9) {
           const std::string& name = model.vars()[j].name;

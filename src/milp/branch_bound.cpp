@@ -1,7 +1,16 @@
 #include "milp/branch_bound.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <ctime>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "milp/presolve.hpp"
@@ -11,6 +20,39 @@ namespace archex::milp {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Branch variable: fractional integral variable with the best cost-weighted
+/// fractionality. Weighting by |objective coefficient| resolves the expensive
+/// structural decisions (component selection, edge/contactor choice) before
+/// cheap coupling binaries, which tightens the bound much faster on
+/// architecture-exploration MILPs. Shared by the sequential dive and the
+/// parallel workers so both searches branch identically.
+[[nodiscard]] std::int32_t select_branch_var(const std::vector<double>& x,
+                                             const std::vector<std::int32_t>& int_vars,
+                                             const std::vector<double>& obj_coef,
+                                             double int_tol) {
+  std::int32_t best = -1;
+  double best_score = -1.0;
+  for (std::int32_t j : int_vars) {
+    const double v = x[static_cast<std::size_t>(j)];
+    const double frac = std::abs(v - std::round(v));
+    if (frac <= int_tol) continue;
+    const double balance = 0.5 - std::abs(frac - 0.5);  // in (0, 0.5]
+    const double weight = 1.0 + std::abs(obj_coef[static_cast<std::size_t>(j)]);
+    const double score = balance * weight;
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
 
 /// Granularity of the objective: the largest g such that every objective
 /// coefficient is an integer multiple of g, provided only *integral*
@@ -79,27 +121,8 @@ struct SearchCtx {
     }
   }
 
-  /// Branch variable: fractional integral variable with the best
-  /// cost-weighted fractionality. Weighting by |objective coefficient|
-  /// resolves the expensive structural decisions (component selection,
-  /// edge/contactor choice) before cheap coupling binaries, which tightens
-  /// the bound much faster on architecture-exploration MILPs.
   [[nodiscard]] std::int32_t pick_branch_var(const std::vector<double>& x) const {
-    std::int32_t best = -1;
-    double best_score = -1.0;
-    for (std::int32_t j : int_vars) {
-      const double v = x[static_cast<std::size_t>(j)];
-      const double frac = std::abs(v - std::round(v));
-      if (frac <= opts.int_tol) continue;
-      const double balance = 0.5 - std::abs(frac - 0.5);  // in (0, 0.5]
-      const double weight = 1.0 + std::abs(obj_coef[static_cast<std::size_t>(j)]);
-      const double score = balance * weight;
-      if (score > best_score) {
-        best_score = score;
-        best = j;
-      }
-    }
-    return best;
+    return select_branch_var(x, int_vars, obj_coef, opts.int_tol);
   }
 
   std::vector<double> obj_coef;  ///< |objective coefficient| per column
@@ -176,6 +199,439 @@ struct SearchCtx {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Parallel search (num_threads >= 2): explicit open-node pool + N workers.
+// ---------------------------------------------------------------------------
+
+/// One bound tightening along the path from the (post-fixing) root.
+struct BoundChange {
+  std::int32_t col;
+  double lb, ub;
+};
+
+/// An open branch & bound node: the bound deltas that define its subproblem,
+/// the parent's LP objective (a valid lower bound for the whole subtree, used
+/// for pre-solve pruning and best-bound stealing), and the parent's exported
+/// simplex basis for dual warm starts. Both children of a branching share one
+/// basis snapshot.
+struct BBNode {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;
+  double bound = -kInf;           ///< parent LP objective, minimize sense
+  std::vector<BoundChange> path;  ///< from the fixed root
+  std::shared_ptr<const SimplexSolver::Basis> basis;  ///< parent basis
+};
+
+/// Lock-guarded open-node pool plus the shared incumbent.
+///
+/// Pop policy is the work-stealing compromise: a worker whose last solved
+/// node is the parent of the deque's back continues its own dive (LIFO, keeps
+/// the warm-start chain intact, no basis reinstall); otherwise it *steals*
+/// the best-bound open node, paying one basis refactorization. The incumbent
+/// objective is mirrored into an atomic so the pruning cutoff is readable
+/// without the lock.
+class NodePool {
+ public:
+  NodePool(const Model& model, const MilpOptions& opts, double granularity,
+           const std::vector<std::int32_t>& int_vars, double sense_flip,
+           int num_workers)
+      : model_(model), opts_(opts), granularity_(granularity),
+        int_vars_(int_vars), sense_flip_(sense_flip),
+        queues_(static_cast<std::size_t>(num_workers)) {}
+
+  /// Seeds the incumbent from the sequential root phase.
+  void seed_incumbent(double obj, std::vector<double> x) {
+    incumbent_obj_.store(obj, std::memory_order_relaxed);
+    incumbent_x_ = std::move(x);
+    has_incumbent_ = obj < kInf;
+  }
+
+  /// Appends a node to `worker`'s own deque. Sleeping peers are only woken
+  /// when someone is actually waiting, so an uncontested dive (push two
+  /// children, immediately pop one back) stays wakeup-free.
+  void push(int worker, std::shared_ptr<BBNode> node) {
+    bool wake;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      node->id = ++next_id_;
+      queues_[static_cast<std::size_t>(worker)].push_back(std::move(node));
+      ++queued_;
+      wake = waiters_ > 0;
+    }
+    if (wake) cv_.notify_one();
+  }
+
+  /// Blocks until a node is available, the tree is exhausted, or a stop was
+  /// requested. Returns nullptr on termination. The caller's own deque is
+  /// popped LIFO (continuing its dive); when it is empty, the front — oldest,
+  /// closest to the root, so typically the best bound and the largest
+  /// subtree — of the most promising peer deque is stolen instead. `stole`
+  /// reports a cross-worker take.
+  std::shared_ptr<BBNode> pop(int worker, bool& stole) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++waiters_;
+    cv_.wait(lk, [&] {
+      return stop_.load(std::memory_order_relaxed) || queued_ > 0 || in_flight_ == 0;
+    });
+    --waiters_;
+    if (stop_.load(std::memory_order_relaxed) || queued_ == 0) {
+      lk.unlock();
+      cv_.notify_all();  // release any peer still waiting
+      return nullptr;
+    }
+    std::shared_ptr<BBNode> node;
+    auto& own = queues_[static_cast<std::size_t>(worker)];
+    if (!own.empty()) {
+      stole = false;
+      node = std::move(own.back());
+      own.pop_back();
+    } else {
+      stole = true;
+      std::deque<std::shared_ptr<BBNode>>* victim = nullptr;
+      for (auto& q : queues_) {
+        if (q.empty()) continue;
+        if (victim == nullptr || q.front()->bound < (*victim).front()->bound) {
+          victim = &q;
+        }
+      }
+      node = std::move(victim->front());
+      victim->pop_front();
+    }
+    --queued_;
+    ++in_flight_;
+    return node;
+  }
+
+  /// Marks the caller's current node finished; wakes waiters when the last
+  /// in-flight node drains with empty deques (termination detection).
+  void done() {
+    bool finished;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --in_flight_;
+      finished = queued_ == 0 && in_flight_ == 0;
+    }
+    if (finished) cv_.notify_all();
+  }
+
+  void request_stop(SolveStatus reason) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!stop_.load(std::memory_order_relaxed)) {
+        stop_.store(true, std::memory_order_relaxed);
+        stop_reason_ = reason;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+  [[nodiscard]] SolveStatus stop_reason() const {
+    return stop_reason_;  // read after join: workers are quiescent
+  }
+
+  /// Current incumbent objective (minimize sense, kInf if none). Lock-free.
+  [[nodiscard]] double incumbent() const {
+    return incumbent_obj_.load(std::memory_order_relaxed);
+  }
+
+  /// Bound-pruning cutoff against the current incumbent (kInf if none).
+  [[nodiscard]] double cutoff() const {
+    const double inc = incumbent();
+    if (inc >= kInf) return kInf;
+    return inc - std::max({opts_.gap_abs, opts_.gap_rel * std::abs(inc),
+                           granularity_ - 1e-6});
+  }
+
+  /// Integer-snap, validate against the true model, and install if better.
+  void try_incumbent(std::vector<double> x, double obj) {
+    for (std::int32_t j : int_vars_) {
+      x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
+    }
+    if (!model_.feasible(x, 1e-5)) return;
+    std::lock_guard<std::mutex> lk(incumbent_mu_);
+    if (obj < incumbent_obj_.load(std::memory_order_relaxed) - 1e-12) {
+      incumbent_obj_.store(obj, std::memory_order_relaxed);
+      incumbent_x_ = std::move(x);
+      has_incumbent_ = true;
+      if (opts_.on_incumbent) opts_.on_incumbent(sense_flip_ * obj);
+    }
+  }
+
+  /// Atomically counts one solved node against the global budget; returns
+  /// false when the budget is already spent (caller requests NodeLimit).
+  [[nodiscard]] bool count_node() {
+    return nodes_.fetch_add(1, std::memory_order_relaxed) < max_pool_nodes_;
+  }
+  void set_node_budget(std::int64_t n) { max_pool_nodes_ = n; }
+  [[nodiscard]] std::int64_t nodes() const {
+    return nodes_.load(std::memory_order_relaxed);
+  }
+
+  // Read after join (workers quiescent).
+  [[nodiscard]] bool has_incumbent() const { return has_incumbent_; }
+  [[nodiscard]] std::vector<double>& incumbent_x() { return incumbent_x_; }
+
+ private:
+  const Model& model_;
+  const MilpOptions& opts_;
+  const double granularity_;
+  const std::vector<std::int32_t>& int_vars_;
+  const double sense_flip_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<std::shared_ptr<BBNode>>> queues_;  ///< one per worker
+  std::int64_t queued_ = 0;  ///< total nodes across all deques
+  int in_flight_ = 0;
+  int waiters_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::atomic<bool> stop_{false};
+  SolveStatus stop_reason_ = SolveStatus::Optimal;
+
+  std::mutex incumbent_mu_;
+  std::atomic<double> incumbent_obj_{kInf};
+  std::vector<double> incumbent_x_;
+  bool has_incumbent_ = false;
+
+  std::atomic<std::int64_t> nodes_{0};
+  std::int64_t max_pool_nodes_ = std::numeric_limits<std::int64_t>::max();
+};
+
+/// A worker thread of the parallel search: private SimplexSolver, dive-local
+/// bookkeeping, and per-worker statistics.
+class Worker {
+ public:
+  Worker(int id, const Model& model, const MilpOptions& opts, NodePool& pool,
+         const std::vector<std::int32_t>& int_vars,
+         const std::vector<double>& obj_coef,
+         const std::vector<BoundChange>& root_fixes, Clock::time_point deadline)
+      : id_(id), opts_(opts), pool_(pool), int_vars_(int_vars),
+        obj_coef_(obj_coef), deadline_(deadline), lp_(model, opts.lp) {
+    // Replay the root reduced-cost fixes so this solver's "root" bounds match
+    // the pool's reference frame.
+    for (const BoundChange& f : root_fixes) lp_.set_bounds(f.col, f.lb, f.ub);
+    for (std::size_t j = 0; j < model.num_vars(); ++j) {
+      root_lb_.push_back(lp_.lower_bound(static_cast<std::int32_t>(j)));
+      root_ub_.push_back(lp_.upper_bound(static_cast<std::int32_t>(j)));
+    }
+  }
+
+  /// CPU time consumed by the calling thread (waits in pop() don't count —
+  /// the condition variable sleeps). Falls back to 0 where the POSIX
+  /// per-thread clock is unavailable.
+  static double thread_cpu_seconds() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+    }
+#endif
+    return 0.0;
+  }
+
+  void run() {
+    const double cpu0 = thread_cpu_seconds();
+    bool stole = false;
+    while (std::shared_ptr<BBNode> node = pool_.pop(id_, stole)) {
+      if (stole) ++steals_;
+      process(*node);
+      pool_.done();
+    }
+    busy_seconds_ = thread_cpu_seconds() - cpu0;
+  }
+
+  [[nodiscard]] std::int64_t nodes() const { return nodes_; }
+  [[nodiscard]] std::int64_t steals() const { return steals_; }
+  [[nodiscard]] double busy_seconds() const { return busy_seconds_; }
+  [[nodiscard]] std::int64_t iterations() const { return lp_.iterations(); }
+  [[nodiscard]] const SimplexSolver::ReoptStats& reopt_stats() const {
+    return lp_.reopt_stats();
+  }
+
+ private:
+  /// Installs `node`'s subproblem in the private solver. A dive continuation
+  /// (the node's parent is the basis already held) applies only the newest
+  /// bound delta; a stolen node rewinds to root bounds, replays the node's
+  /// path, and transplants the parent basis.
+  void rebase(const BBNode& node) {
+    if (node.parent_id == held_id_ && node.path.size() == cur_path_.size() + 1) {
+      const BoundChange& d = node.path.back();
+      lp_.set_bounds(d.col, d.lb, d.ub);
+      cur_path_.push_back(d);
+    } else {
+      for (const BoundChange& d : cur_path_) {
+        lp_.set_bounds(d.col, root_lb_[static_cast<std::size_t>(d.col)],
+                       root_ub_[static_cast<std::size_t>(d.col)]);
+      }
+      cur_path_ = node.path;
+      for (const BoundChange& d : cur_path_) lp_.set_bounds(d.col, d.lb, d.ub);
+      if (node.basis) {
+        lp_.load_basis(*node.basis);  // on failure reoptimize_dual cold-starts
+      }
+    }
+    held_id_ = node.id;
+  }
+
+  void process(const BBNode& node) {
+    if (pool_.stopped()) return;
+    const double cut = pool_.cutoff();
+    if (node.bound >= cut) return;  // pruned by a newer incumbent, no LP
+    if (Clock::now() >= deadline_) {
+      pool_.request_stop(SolveStatus::TimeLimit);
+      return;
+    }
+    if (!pool_.count_node()) {
+      pool_.request_stop(SolveStatus::NodeLimit);
+      return;
+    }
+
+    rebase(node);
+    ++nodes_;
+    SolveStatus st = opts_.warm_start ? lp_.reoptimize_dual() : lp_.solve_primal();
+    if (st == SolveStatus::NumericalError) st = lp_.solve_primal();
+    if (st == SolveStatus::Infeasible) return;
+    if (st != SolveStatus::Optimal) {
+      // Time/iteration limits surface here; Unbounded cannot, because bounds
+      // only ever tighten below the (bounded) root relaxation.
+      pool_.request_stop(st);
+      return;
+    }
+
+    const double obj = lp_.objective_value();
+    if (obj >= pool_.cutoff()) return;  // bound pruning
+
+    const std::vector<double> x = lp_.primal_solution();
+    const std::int32_t bv = select_branch_var(x, int_vars_, obj_coef_, opts_.int_tol);
+    if (bv < 0) {
+      pool_.try_incumbent(x, obj);
+      return;
+    }
+
+    const double v = x[static_cast<std::size_t>(bv)];
+    const double lb0 = lp_.lower_bound(bv);
+    const double ub0 = lp_.upper_bound(bv);
+    const double down_ub = std::floor(v + opts_.int_tol);
+    const double up_lb = std::ceil(v - opts_.int_tol);
+    const bool down_first = (v - std::floor(v)) < 0.5;
+
+    std::shared_ptr<const SimplexSolver::Basis> basis;
+    if (opts_.warm_start) {
+      basis = std::make_shared<const SimplexSolver::Basis>(lp_.export_basis());
+    }
+    auto make_child = [&](double clb, double cub) {
+      auto child = std::make_shared<BBNode>();
+      child->parent_id = node.id;
+      child->bound = obj;
+      child->path = cur_path_;
+      child->path.push_back({bv, clb, cub});
+      child->basis = basis;
+      return child;
+    };
+    const bool down_ok = down_ub >= lb0 - 1e-12;
+    const bool up_ok = up_lb <= ub0 + 1e-12;
+    // Push the dive-preferred child last: the LIFO pop continues this
+    // worker's dive with it, while the sibling is exposed for stealing.
+    if (down_first) {
+      if (up_ok) pool_.push(id_, make_child(up_lb, ub0));
+      if (down_ok) pool_.push(id_, make_child(lb0, down_ub));
+    } else {
+      if (down_ok) pool_.push(id_, make_child(lb0, down_ub));
+      if (up_ok) pool_.push(id_, make_child(up_lb, ub0));
+    }
+  }
+
+  const int id_;
+  const MilpOptions& opts_;
+  NodePool& pool_;
+  const std::vector<std::int32_t>& int_vars_;
+  const std::vector<double>& obj_coef_;
+  const Clock::time_point deadline_;
+  SimplexSolver lp_;
+  std::vector<double> root_lb_, root_ub_;
+  std::vector<BoundChange> cur_path_;
+  std::uint64_t held_id_ = 0;  ///< node whose basis the solver holds
+  std::int64_t nodes_ = 0;
+  std::int64_t steals_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+/// Runs the pool phase: seeds the root node from `ctx` (whose solver holds a
+/// re-solved optimal basis for the post-fixing root), spawns `threads`
+/// workers (the calling thread acts as worker 0), joins, and folds the
+/// results back into `ctx` so the sequential epilogue of solve_milp applies
+/// unchanged.
+void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
+                        Solution& sol) {
+  NodePool pool(work, ctx.opts, ctx.granularity, ctx.int_vars, ctx.sense_flip,
+                threads);
+  if (ctx.has_incumbent) pool.seed_incumbent(ctx.incumbent_obj, ctx.incumbent_x);
+  pool.set_node_budget(ctx.opts.max_nodes - ctx.nodes);
+
+  // Reference frame: the root solver's current bounds already include the
+  // reduced-cost fixes, so workers replay them and node paths stay relative
+  // to the fixed root.
+  std::vector<BoundChange> root_fixes;
+  for (std::size_t j = 0; j < work.num_vars(); ++j) {
+    const auto col = static_cast<std::int32_t>(j);
+    const double lb = ctx.lp.lower_bound(col);
+    const double ub = ctx.lp.upper_bound(col);
+    if (lb != work.vars()[j].lb || ub != work.vars()[j].ub) {
+      root_fixes.push_back({col, lb, ub});
+    }
+  }
+
+  auto root = std::make_shared<BBNode>();
+  root->bound = ctx.lp.objective_value();
+  if (ctx.opts.warm_start) {
+    root->basis =
+        std::make_shared<const SimplexSolver::Basis>(ctx.lp.export_basis());
+  }
+  pool.push(0, std::move(root));
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.push_back(std::make_unique<Worker>(t, work, ctx.opts, pool,
+                                               ctx.int_vars, ctx.obj_coef,
+                                               root_fixes, ctx.deadline));
+  }
+  std::vector<std::thread> pool_threads;
+  pool_threads.reserve(workers.size() - 1);
+  for (std::size_t t = 1; t < workers.size(); ++t) {
+    pool_threads.emplace_back([&w = *workers[t]] { w.run(); });
+  }
+  workers[0]->run();
+  for (std::thread& th : pool_threads) th.join();
+
+  // Fold results back into the sequential context. Node counts come from the
+  // workers (the pool's atomic budget counter can overshoot by one racing
+  // increment per worker at the node limit).
+  for (const auto& w : workers) ctx.nodes += w->nodes();
+  if (pool.stopped()) {
+    ctx.stopped = true;
+    ctx.stop_reason = pool.stop_reason();
+  }
+  if (pool.has_incumbent()) {
+    ctx.has_incumbent = true;
+    ctx.incumbent_obj = pool.incumbent();
+    ctx.incumbent_x = std::move(pool.incumbent_x());
+  }
+
+  sol.threads_used = threads;
+  sol.nodes_per_worker.resize(workers.size());
+  for (std::size_t t = 0; t < workers.size(); ++t) {
+    const Worker& w = *workers[t];
+    sol.nodes_per_worker[t] = w.nodes();
+    sol.steals += w.steals();
+    sol.cpu_seconds += w.busy_seconds();
+    sol.simplex_iterations += w.iterations();
+    sol.warm_dual_nodes += w.reopt_stats().dual_fast;
+    sol.warm_repair_nodes += w.reopt_stats().repaired;
+    sol.cold_nodes += w.reopt_stats().cold;
+  }
+}
+
 }  // namespace
 
 Solution solve_milp(const Model& model, const MilpOptions& options) {
@@ -232,7 +688,9 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
         const double lb = ctx.lp.lower_bound(j);
         const double ub = ctx.lp.upper_bound(j);
         if (ub - lb < 0.5) continue;  // already fixed
-        const double dj = root_d[static_cast<std::size_t>(j)];
+        // reduced_costs() reports model sense; the fixing math is in the
+        // engine's minimize sense.
+        const double dj = ctx.sense_flip * root_d[static_cast<std::size_t>(j)];
         if (root_status[static_cast<std::size_t>(j)] == SimplexSolver::BoundStatus::AtLower &&
             dj > 0 && ctx.root_bound + dj > cutoff + 1e-9) {
           ctx.lp.set_bounds(j, lb, lb);
@@ -268,7 +726,26 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
         if (ctx.stopped && ctx.stop_reason == SolveStatus::Optimal) ctx.stopped = false;
       }
       fix_by_reduced_cost();
-      ctx.dfs();
+      const int threads = resolve_threads(options.num_threads);
+      if (threads <= 1 || ctx.stopped) {
+        ctx.dfs();
+      } else {
+        // Re-solve the fixed root so the pool seed carries an optimal basis
+        // (reduced-cost fixing may have left the probe-era basis primal
+        // infeasible; the fixes are tightenings, so the dual repair is warm).
+        SolveStatus rst =
+            options.warm_start ? ctx.lp.reoptimize_dual() : ctx.lp.solve_primal();
+        ++ctx.nodes;
+        if (rst == SolveStatus::NumericalError) rst = ctx.lp.solve_primal();
+        if (rst == SolveStatus::Optimal) {
+          run_parallel_phase(ctx, *work, threads, sol);
+        } else if (rst != SolveStatus::Infeasible) {
+          ctx.stopped = true;
+          ctx.stop_reason = rst;
+        }
+        // Infeasible after fixing means no solution beats the incumbent: the
+        // sequential epilogue below then reports the incumbent as optimal.
+      }
     }
   } else if (st == SolveStatus::Infeasible) {
     sol.status = SolveStatus::Infeasible;
@@ -278,12 +755,18 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     sol.status = st;
   }
 
-  sol.simplex_iterations = ctx.lp.iterations();
+  // Parallel solves already accumulated per-worker contributions into `sol`;
+  // add the root/sequential solver's share on top.
+  sol.simplex_iterations += ctx.lp.iterations();
   sol.nodes_explored = ctx.nodes;
   sol.solve_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-  sol.warm_dual_nodes = ctx.lp.reopt_stats().dual_fast;
-  sol.warm_repair_nodes = ctx.lp.reopt_stats().repaired;
-  sol.cold_nodes = ctx.lp.reopt_stats().cold;
+  sol.warm_dual_nodes += ctx.lp.reopt_stats().dual_fast;
+  sol.warm_repair_nodes += ctx.lp.reopt_stats().repaired;
+  sol.cold_nodes += ctx.lp.reopt_stats().cold;
+  if (sol.threads_used == 1) {
+    sol.nodes_per_worker.assign(1, ctx.nodes);
+    sol.cpu_seconds = sol.solve_seconds;
+  }
 
   if (st == SolveStatus::Optimal) {
     if (ctx.stopped && ctx.stop_reason == SolveStatus::Unbounded) {

@@ -29,8 +29,19 @@ struct MilpOptions {
   bool warm_start = true;
   /// Use the root rounding heuristic to seed the incumbent.
   bool rounding_heuristic = true;
+  /// Worker threads for the tree search. 0 = auto
+  /// (std::thread::hardware_concurrency). 1 runs the original sequential
+  /// depth-first dive — bit-identical node order, counts and incumbents,
+  /// fully deterministic. >= 2 switches to the work-stealing open-node pool:
+  /// the root phase (root LP, rounding heuristic, probe dive, reduced-cost
+  /// fixing) stays sequential, then N workers with private SimplexSolvers
+  /// consume the pool, warm-starting each stolen node via dual simplex from
+  /// the basis snapshot exported when its parent was branched.
+  int num_threads = 0;
   SimplexOptions lp;
   /// Optional per-improvement callback (incumbent objective in model sense).
+  /// With num_threads >= 2 it may fire from worker threads; calls are
+  /// serialized under the incumbent lock.
   std::function<void(double)> on_incumbent;
 };
 

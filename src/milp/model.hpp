@@ -141,6 +141,13 @@ struct Solution {
   std::int64_t warm_dual_nodes = 0;
   std::int64_t warm_repair_nodes = 0;
   std::int64_t cold_nodes = 0;
+  /// Parallel-search statistics (MILP only). Sequential solves report one
+  /// worker and zero steals; `cpu_seconds` sums worker busy time, so
+  /// cpu_seconds / solve_seconds approximates the parallel efficiency.
+  int threads_used = 1;
+  std::vector<std::int64_t> nodes_per_worker;  ///< pool nodes per worker
+  std::int64_t steals = 0;  ///< nodes taken from another worker's dive
+  double cpu_seconds = 0.0;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
   [[nodiscard]] double value(VarId v) const { return x[static_cast<std::size_t>(v.index)]; }

@@ -710,12 +710,96 @@ std::vector<double> SimplexSolver::dual_values() const {
     const double* row = binv_.data() + i * m_;
     for (std::size_t j = 0; j < m_; ++j) y[j] += cb * row[j];
   }
+  // cost_ is negated for Maximize models; flip back to the model's sense.
+  if (maximize_) {
+    for (double& v : y) v = -v;
+  }
   return y;
 }
 
 std::vector<double> SimplexSolver::reduced_costs() const {
   price(cost_, scratch_d_);
-  return {scratch_d_.begin(), scratch_d_.begin() + static_cast<std::ptrdiff_t>(n_)};
+  std::vector<double> d(scratch_d_.begin(),
+                        scratch_d_.begin() + static_cast<std::ptrdiff_t>(n_));
+  if (maximize_) {
+    for (double& v : d) v = -v;
+  }
+  return d;
+}
+
+SimplexSolver::Basis SimplexSolver::export_basis() const {
+  Basis b;
+  b.status.resize(total_cols_);
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    b.status[j] = static_cast<std::uint8_t>(status_[j]);
+  }
+  b.basic.assign(basic_.begin(), basic_.end());
+  b.art_sign.resize(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    b.art_sign[i] = cols_[n_ + m_ + i][0].val;
+  }
+  return b;
+}
+
+bool SimplexSolver::load_basis(const Basis& basis) {
+  if (basis.status.size() != total_cols_ || basis.basic.size() != m_ ||
+      basis.art_sign.size() != m_) {
+    basis_valid_ = false;
+    return false;
+  }
+  if (m_ == 0) {
+    basis_valid_ = true;
+    return true;
+  }
+
+  // Artificials: reinstall the exporter's matrix signs, frozen at zero (the
+  // post-phase-1 state every exported basis was taken in).
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t a = n_ + m_ + i;
+    cols_[a][0].val = basis.art_sign[i];
+    lb_[a] = true_lb_[a] = 0.0;
+    ub_[a] = true_ub_[a] = 0.0;
+  }
+
+  std::fill(basis_pos_.begin(), basis_pos_.end(), -1);
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    status_[j] = static_cast<ColStatus>(basis.status[j]);
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::int32_t col = basis.basic[i];
+    if (col < 0 || static_cast<std::size_t>(col) >= total_cols_ ||
+        basis_pos_[col] >= 0) {
+      basis_valid_ = false;
+      return false;  // out of range or duplicated basic column
+    }
+    basic_[i] = col;
+    basis_pos_[col] = static_cast<std::int32_t>(i);
+    status_[col] = ColStatus::Basic;
+  }
+
+  // Nonbasic columns rest at a bound consistent with the *current* bounds
+  // (which may differ from the exporter's: branching only changes bounds).
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    if (status_[j] == ColStatus::Basic) continue;
+    if (status_[j] == ColStatus::AtLower && lb_[j] <= -kInf) {
+      status_[j] = (ub_[j] < kInf) ? ColStatus::AtUpper : ColStatus::Free;
+    } else if (status_[j] == ColStatus::AtUpper && ub_[j] >= kInf) {
+      status_[j] = (lb_[j] > -kInf) ? ColStatus::AtLower : ColStatus::Free;
+    }
+    switch (status_[j]) {
+      case ColStatus::AtLower: xval_[j] = lb_[j]; break;
+      case ColStatus::AtUpper: xval_[j] = ub_[j]; break;
+      default: xval_[j] = 0.0; break;
+    }
+  }
+
+  if (!refactorize()) {
+    basis_valid_ = false;
+    return false;
+  }
+  compute_basic_values();
+  basis_valid_ = true;
+  return true;
 }
 
 SimplexSolver::BoundStatus SimplexSolver::column_status(std::int32_t col) const {

@@ -81,13 +81,15 @@ class SimplexSolver {
   [[nodiscard]] std::vector<double> primal_solution() const;
 
   /// Reduced costs of the structural columns w.r.t. the true objective and
-  /// the current basis (minimization sense). Used for root reduced-cost
-  /// fixing in the branch & bound.
+  /// the current basis, reported in the *model's own sense* (the internal
+  /// minimize-sense values are flipped back for Maximize models). Used for
+  /// root reduced-cost fixing in the branch & bound.
   [[nodiscard]] std::vector<double> reduced_costs() const;
 
   /// Dual values (shadow prices) of the rows w.r.t. the true objective and
-  /// the current basis, minimization sense: y = c_B^T B^-1. The sensitivity
-  /// interface architects use to see which requirement is driving cost.
+  /// the current basis: y = c_B^T B^-1, reported in the *model's own sense*
+  /// (flipped back for Maximize models). The sensitivity interface
+  /// architects use to see which requirement is driving cost.
   [[nodiscard]] std::vector<double> dual_values() const;
   /// Status of a structural column in the current basis.
   enum class BoundStatus : std::uint8_t { Basic, AtLower, AtUpper, Free };
@@ -96,6 +98,33 @@ class SimplexSolver {
   [[nodiscard]] std::int64_t iterations() const { return total_iterations_; }
   [[nodiscard]] std::size_t num_rows() const { return m_; }
   [[nodiscard]] std::size_t num_structural() const { return n_; }
+
+  /// Compact snapshot of a simplex basis: the column status vector plus the
+  /// basic column of every row. Bounds and values are *not* part of a basis;
+  /// they are reconstructed on install from the receiving solver's current
+  /// bounds. `art_sign` records the sign each artificial column was given by
+  /// the exporting solver's cold start (the matrix entry, not a status), so
+  /// the importer rebuilds the exact same basis matrix.
+  ///
+  /// This is the hand-off unit of the parallel branch & bound: a worker
+  /// exports its basis when branching, and whichever worker later steals the
+  /// child node installs it with load_basis() and warm-starts the dual
+  /// simplex from it.
+  struct Basis {
+    std::vector<std::uint8_t> status;   ///< ColStatus per column (total_cols)
+    std::vector<std::int32_t> basic;    ///< basic column per row (m)
+    std::vector<double> art_sign;       ///< artificial column sign per row (m)
+  };
+
+  /// Exports the current basis. Only meaningful after a successful solve.
+  [[nodiscard]] Basis export_basis() const;
+
+  /// Installs a basis exported from a solver over the *same model*:
+  /// refactorizes the basis matrix, recomputes basic values against the
+  /// current bounds, and revalidates. Returns false (leaving the solver in
+  /// a cold-start state) if the snapshot is inconsistent or the basis is
+  /// numerically singular; callers then fall back to solve_primal().
+  bool load_basis(const Basis& basis);
 
   /// Warm-start behaviour counters (reoptimize_dual path taken).
   struct ReoptStats {

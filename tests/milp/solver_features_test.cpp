@@ -120,16 +120,52 @@ TEST(SolverFeatureTest, DualValuesAtOptimum) {
   m.set_objective(3.0 * x + 5.0 * y, ObjectiveSense::Maximize);
   SimplexSolver lp(m);
   ASSERT_EQ(lp.solve_primal(), SolveStatus::Optimal);
-  // The engine works in minimize sense (costs negated), so the duals carry
-  // the opposite sign of the textbook maximization duals.
+  // Duals are reported in the model's own sense: these are the textbook
+  // maximization shadow prices (the engine's internal minimize-sense values
+  // are flipped back on the way out).
   const std::vector<double> duals = lp.dual_values();
   ASSERT_EQ(duals.size(), 3u);
   EXPECT_NEAR(duals[0], 0.0, 1e-7);
-  EXPECT_NEAR(duals[1], -1.5, 1e-7);
-  EXPECT_NEAR(duals[2], -1.0, 1e-7);
-  // Strong duality: b^T y == optimal objective (minimize sense).
+  EXPECT_NEAR(duals[1], 1.5, 1e-7);
+  EXPECT_NEAR(duals[2], 1.0, 1e-7);
+  // Strong duality: b^T y == optimal objective (model sense).
   const double by = 4 * duals[0] + 12 * duals[1] + 18 * duals[2];
-  EXPECT_NEAR(by, -36.0, 1e-6);
+  EXPECT_NEAR(by, 36.0, 1e-6);
+}
+
+TEST(SolverFeatureTest, ReducedCostsReportedInModelSenseForMaximize) {
+  // max 5x s.t. x <= 4 (bound), y <= 3 with zero profit: at the optimum
+  // x sits at its upper bound with a *positive* profit-sense reduced cost
+  // (raising the bound raises the objective), and a maximize-sense dual of
+  // +5 on the binding constraint.
+  Model m;
+  VarId x = m.add_continuous(0, kInf, "x");
+  VarId y = m.add_continuous(0, 3, "y");
+  m.add_constraint(LinExpr(x) <= LinExpr(4.0));
+  m.set_objective(5.0 * x + 0.0 * y, ObjectiveSense::Maximize);
+  SimplexSolver lp(m);
+  ASSERT_EQ(lp.solve_primal(), SolveStatus::Optimal);
+  EXPECT_NEAR(-lp.objective_value(), 20.0, 1e-7);  // engine is minimize sense
+  const std::vector<double> duals = lp.dual_values();
+  ASSERT_EQ(duals.size(), 1u);
+  EXPECT_NEAR(duals[0], 5.0, 1e-7);
+  // The same model posed as an equivalent minimization must report identical
+  // sensitivity numbers now that both are in model sense.
+  Model mm;
+  VarId mx = mm.add_continuous(0, kInf, "x");
+  VarId my = mm.add_continuous(0, 3, "y");
+  mm.add_constraint(LinExpr(mx) <= LinExpr(4.0));
+  mm.set_objective(-5.0 * mx + 0.0 * my);
+  SimplexSolver mlp(mm);
+  ASSERT_EQ(mlp.solve_primal(), SolveStatus::Optimal);
+  const std::vector<double> dmax = lp.reduced_costs();
+  const std::vector<double> dmin = mlp.reduced_costs();
+  ASSERT_EQ(dmax.size(), 2u);
+  ASSERT_EQ(dmin.size(), 2u);
+  // min sense: d = c - y A; model sense for the max model must be -that.
+  EXPECT_NEAR(dmax[0], -dmin[0], 1e-9);
+  EXPECT_NEAR(dmax[1], -dmin[1], 1e-9);
+  EXPECT_NEAR(mlp.dual_values()[0], -duals[0], 1e-9);
 }
 
 TEST(SolverFeatureTest, SymmetricSelectionSolvesQuickly) {
