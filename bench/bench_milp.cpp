@@ -140,28 +140,41 @@ void BM_MilpThreads(benchmark::State& state) {
   // Thread-count sweep of solve_milp on a fixed >10k-node instance. The
   // speedup ratio between threads=1 and threads=N is the headline number;
   // nodes/steals expose the tree inflation and work-redistribution rate.
+  // The second arg toggles the structured event trace: the traced/untraced
+  // pair at equal thread counts measures the telemetry overhead, which must
+  // stay within run-to-run noise (the rings are single-writer, no locks).
   const Model m = hard_knapsack(50, 42);
+  const bool traced = state.range(1) != 0;
   MilpOptions opts;
   opts.num_threads = static_cast<int>(state.range(0));
-  std::int64_t nodes = 0, steals = 0;
-  double cpu = 0.0;
+  opts.trace = traced;
+  std::int64_t nodes = 0, steals = 0, events = 0;
+  double cpu = 0.0, refactors = 0.0;
   for (auto _ : state) {
     Solution s = solve_milp(m, opts);
     nodes = s.nodes_explored;
     steals = s.steals;
     cpu = s.cpu_seconds;
+    events = static_cast<std::int64_t>(s.trace.events.size()) + s.trace.dropped;
+    const auto it = s.metrics.find("milp.refactors");
+    refactors = it == s.metrics.end() ? 0.0 : it->second;
     benchmark::DoNotOptimize(s.objective);
   }
   state.counters["threads"] = static_cast<double>(opts.num_threads);
   state.counters["nodes"] = static_cast<double>(nodes);
   state.counters["steals"] = static_cast<double>(steals);
   state.counters["cpu_s"] = cpu;
+  state.counters["refactors"] = refactors;
+  state.counters["trace_events"] = static_cast<double>(events);
+  state.SetLabel(traced ? "traced" : "untraced");
 }
 BENCHMARK(BM_MilpThreads)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 1})
+    ->Args({4, 1})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: release build + full test suite, then a ThreadSanitizer
-# build running the concurrency-focused suites (the parallel branch & bound
-# pool, basis transplants, and reoptimization repair paths).
+# CI entry point: release build + full test suite, a traced end-to-end solve
+# whose JSONL event log is validated against the documented schema, then a
+# ThreadSanitizer build running the concurrency-focused suites (the parallel
+# branch & bound pool, basis transplants, and reoptimization repair paths).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,6 +12,17 @@ cmake --build --preset release -j "$(nproc)"
 
 echo "=== release: ctest (full suite) ==="
 ctest --preset release -j "$(nproc)"
+
+echo "=== observability: traced EPN solve + schema validation ==="
+# Export the EPN case-study MILP, solve it with 4 workers and tracing on,
+# then check the emitted JSONL against docs/observability.md: unknown event
+# types, missing keys, unsorted timestamps, or a trace without node /
+# incumbent / steal events from >= 2 workers all fail the build. The trace
+# stays under build/ as a CI artifact.
+build/examples/epn_explorer --write-lp=build/epn_ci_model.lp
+build/examples/milp_solve build/epn_ci_model.lp --threads=4 \
+  --trace-json=build/epn_ci_trace.jsonl --log-interval=5 --timing
+python3 tools/validate_trace.py build/epn_ci_trace.jsonl --min-workers=2
 
 echo "=== tsan: configure + build ==="
 cmake --preset tsan

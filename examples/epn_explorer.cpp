@@ -3,13 +3,16 @@
 ///
 /// Usage:
 ///   epn_explorer [--mode=lazy|monolithic] [--scale=small|paper]
-///                [--time-limit=SECONDS] [--dot]
+///                [--time-limit=SECONDS] [--dot] [--write-lp=FILE]
 ///
 /// `lazy` runs the iterative MILP-modulo-reliability algorithm (Fig. 3);
 /// `monolithic` encodes the reliability requirements eagerly (Fig. 2b).
 /// `--scale=paper` uses the Table 2 template sizes (the monolithic run at
 /// paper scale is expensive by design — the paper reports hours on CPLEX).
+/// `--write-lp=FILE` exports the assembled MILP in CPLEX-LP text instead of
+/// solving (CI feeds the export to `milp_solve --trace-json`).
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -25,6 +28,7 @@ struct Args {
   std::string scale = "small";
   double time_limit = 120.0;
   bool dot = false;
+  std::string write_lp;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -35,6 +39,7 @@ Args parse_args(int argc, char** argv) {
     else if (arg.rfind("--scale=", 0) == 0) a.scale = arg.substr(8);
     else if (arg.rfind("--time-limit=", 0) == 0) a.time_limit = std::stod(arg.substr(13));
     else if (arg == "--dot") a.dot = true;
+    else if (arg.rfind("--write-lp=", 0) == 0) a.write_lp = arg.substr(11);
     else {
       std::cerr << "unknown argument: " << arg << "\n";
       std::exit(2);
@@ -78,6 +83,20 @@ int main(int argc, char** argv) {
   milp::MilpOptions opts;
   opts.time_limit_s = args.time_limit;
 
+  if (!args.write_lp.empty()) {
+    // Export the assembled MILP (objective included) without solving.
+    problem->model().set_objective(problem->cost_expression(),
+                                   milp::ObjectiveSense::Minimize);
+    std::ofstream out(args.write_lp);
+    if (!out) {
+      std::cerr << "cannot write " << args.write_lp << "\n";
+      return 2;
+    }
+    problem->model().write_lp(out);
+    std::cout << "wrote " << args.write_lp << "\n";
+    return 0;
+  }
+
   if (args.mode == "monolithic") {
     ExplorationResult res = problem->solve(opts);
     std::cout << "status: " << milp::to_string(res.solution.status) << ", solver time "
@@ -86,6 +105,7 @@ int main(int argc, char** argv) {
     std::cout << "cost: " << res.architecture.cost << "\n";
     res.architecture.print(std::cout);
     report_links(*problem, res.architecture);
+    res.print_timing(std::cout);
     if (args.dot) std::cout << res.architecture.to_dot();
   } else {
     EpnLazyResult res = solve_lazy_epn(*problem, cfg, opts);
@@ -99,6 +119,7 @@ int main(int argc, char** argv) {
     if (!res.final_result.feasible()) return 1;
     res.final_result.architecture.print(std::cout);
     report_links(*problem, res.final_result.architecture);
+    res.final_result.print_timing(std::cout);
     if (args.dot) std::cout << res.final_result.architecture.to_dot();
   }
   return 0;

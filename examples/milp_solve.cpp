@@ -4,7 +4,14 @@
 /// The "Solver" box of Figure 1 as a reusable tool.
 ///
 /// Usage: milp_solve <model.lp> [--time-limit=S] [--threads=N] [--lp-relaxation]
+///                   [--trace-json=FILE] [--log-interval=S] [--timing]
+///
+/// Exit codes follow the termination reason: 0 optimal, 3 infeasible,
+/// 4 unbounded, 5 node limit, 6 time limit, 7 iteration limit, 8 numerical
+/// failure, 2 usage/parse error.
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "milp/branch_bound.hpp"
@@ -13,22 +20,47 @@
 
 using namespace archex::milp;
 
+namespace {
+
+int exit_code(TermReason r) {
+  switch (r) {
+    case TermReason::Optimal: return 0;
+    case TermReason::Infeasible: return 3;
+    case TermReason::Unbounded: return 4;
+    case TermReason::NodeLimit: return 5;
+    case TermReason::TimeLimit: return 6;
+    case TermReason::IterationLimit: return 7;
+    case TermReason::Numerical: return 8;
+  }
+  return 8;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: milp_solve <model.lp> [--time-limit=S] [--threads=N]"
-                 " [--lp-relaxation]\n");
+                 " [--lp-relaxation]\n"
+                 "                  [--trace-json=FILE] [--log-interval=S]"
+                 " [--timing]\n");
     return 2;
   }
   double time_limit = 300.0;
   int threads = 0;  // 0 = hardware concurrency
   bool relaxation = false;
+  bool timing = false;
+  double log_interval = 0.0;
+  std::string trace_path;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     try {
       if (a.rfind("--time-limit=", 0) == 0) time_limit = std::stod(a.substr(13));
       else if (a.rfind("--threads=", 0) == 0) threads = std::stoi(a.substr(10));
       else if (a == "--lp-relaxation") relaxation = true;
+      else if (a.rfind("--trace-json=", 0) == 0) trace_path = a.substr(13);
+      else if (a.rfind("--log-interval=", 0) == 0) log_interval = std::stod(a.substr(15));
+      else if (a == "--timing") timing = true;
       else {
         std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
         return 2;
@@ -53,6 +85,11 @@ int main(int argc, char** argv) {
       MilpOptions opts;
       opts.time_limit_s = time_limit;
       opts.num_threads = threads;
+      opts.trace = !trace_path.empty();
+      if (log_interval > 0.0) {
+        opts.log_interval = log_interval;
+        opts.log_sink = &std::cout;
+      }
       sol = solve_milp(model, opts);
     }
     std::printf("status: %s\n", to_string(sol.status));
@@ -74,7 +111,24 @@ int main(int argc, char** argv) {
         }
       }
     }
-    return sol.status == SolveStatus::Optimal ? 0 : 1;
+    if (timing) {
+      const SolvePhases& p = sol.phases;
+      std::printf("phases: presolve %.3fs, root LP %.3fs, heuristic %.3fs,"
+                  " tree %.3fs, extract %.3fs\n",
+                  p.presolve, p.root_lp, p.heuristic, p.tree, p.extract);
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n", trace_path.c_str());
+        return 2;
+      }
+      sol.trace.write_jsonl(out);
+      std::fprintf(stderr, "trace: %zu events (%lld dropped) -> %s\n",
+                   sol.trace.events.size(),
+                   static_cast<long long>(sol.trace.dropped), trace_path.c_str());
+    }
+    return exit_code(sol.term_reason);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -74,6 +74,7 @@ int main() {
             << res.solver_seconds << "s (" << res.solution.nodes_explored
             << " branch-and-bound nodes)\n";
   res.architecture.print(std::cout);
+  res.print_timing(std::cout);
   std::cout << "\nGraphviz:\n" << res.architecture.to_dot();
   return 0;
 }

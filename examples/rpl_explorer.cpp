@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "product A processed on line B in Omega2: " << borrowed << " parts/min"
             << (borrowed > 0 ? "  (line B reused, as in Fig. 4a)" : "") << "\n";
+  res.print_timing(std::cout);
   if (dot) std::cout << res.architecture.to_dot();
   return 0;
 }

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
     if (!res.feasible()) return 1;
     std::cout << "cost: " << res.architecture.cost << "\n";
     res.architecture.print(std::cout);
+    res.print_timing(std::cout);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -8,7 +8,9 @@
 namespace archex {
 
 Problem::Problem(Library lib, ArchTemplate tmpl)
-    : lib_(std::move(lib)), tmpl_(std::move(tmpl)) {
+    : lib_(std::move(lib)), tmpl_(std::move(tmpl)),
+      metrics_(std::make_unique<obs::MetricsRegistry>()) {
+  obs::ScopedTimer encode_timer(&metrics_->timer("arch.encode"), &encode_seconds_);
   adj_ = AdjacencyMatrix(tmpl_, model_);
   map_ = LibraryMapping(tmpl_, lib_, model_);
 
@@ -242,19 +244,34 @@ milp::LinExpr Problem::cost_expression() const {
 }
 
 ExplorationResult Problem::solve(const milp::MilpOptions& options) {
-  using Clock = std::chrono::steady_clock;
   ExplorationResult res;
+  res.encode_seconds = encode_seconds_;
 
-  const auto t0 = Clock::now();
-  model_.set_objective(cost_expression(), milp::ObjectiveSense::Minimize);
-  res.stats = model_.stats();
-  res.formulation_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  // The MILP engine reports into this problem's registry unless the caller
+  // routed it elsewhere, so encode / solve / extract share one namespace.
+  milp::MilpOptions opts = options;
+  if (opts.metrics == nullptr) opts.metrics = metrics_.get();
 
-  const auto t1 = Clock::now();
-  res.solution = milp::solve_milp(model_, options);
-  res.solver_seconds = std::chrono::duration<double>(Clock::now() - t1).count();
+  {
+    obs::ScopedTimer formulate_timer(&opts.metrics->timer("arch.formulate"),
+                                     &res.formulation_seconds);
+    model_.set_objective(cost_expression(), milp::ObjectiveSense::Minimize);
+    res.stats = model_.stats();
+  }
 
-  if (res.solution.has_incumbent) res.architecture = extract(res.solution);
+  {
+    obs::ScopedTimer solve_timer(&opts.metrics->timer("arch.solve"),
+                                 &res.solver_seconds);
+    res.solution = milp::solve_milp(model_, opts);
+  }
+
+  if (res.solution.has_incumbent) {
+    obs::ScopedTimer extract_timer(&opts.metrics->timer("arch.extract"),
+                                   &res.extract_seconds);
+    res.architecture = extract(res.solution);
+  }
+  // Re-snapshot so the arch-layer timers land next to the solver's metrics.
+  res.solution.metrics = opts.metrics->snapshot();
   return res;
 }
 

@@ -28,6 +28,7 @@
 #include "arch/result.hpp"
 #include "milp/branch_bound.hpp"
 #include "milp/model.hpp"
+#include "obs/metrics.hpp"
 
 namespace archex {
 
@@ -145,6 +146,12 @@ class Problem {
   /// The assembled cost expression (for inspection and tests).
   [[nodiscard]] milp::LinExpr cost_expression() const;
 
+  /// The problem's metrics registry: encode timing lands here at
+  /// construction, and solve() passes it to the MILP engine (unless the
+  /// caller supplies their own via MilpOptions::metrics), so one registry
+  /// spans encode + solve + extract. Held by pointer to keep Problem movable.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
+
  private:
   Library lib_;
   ArchTemplate tmpl_;
@@ -157,6 +164,8 @@ class Problem {
   std::vector<std::pair<milp::LinExpr, double>> extra_cost_;
   std::map<std::int32_t, double> edge_cost_override_;  ///< by edge index
   std::vector<std::string> patterns_applied_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  double encode_seconds_ = 0.0;  ///< structural-constraint build time (ctor)
 };
 
 }  // namespace archex

@@ -1,6 +1,7 @@
 #include "arch/result.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -170,6 +171,25 @@ void Architecture::print(std::ostream& os) const {
     }
     os << "\n";
   }
+}
+
+void ExplorationResult::print_timing(std::ostream& os) const {
+  char buf[96];
+  auto line = [&](const char* label, double s) {
+    std::snprintf(buf, sizeof(buf), "  %-10s %8.3fs\n", label, s);
+    os << buf;
+  };
+  os << "timing:\n";
+  line("encode", encode_seconds);
+  line("formulate", formulation_seconds);
+  line("solve", solver_seconds);
+  line("extract", extract_seconds);
+  const milp::SolvePhases& p = solution.phases;
+  std::snprintf(buf, sizeof(buf),
+                "  solver phases: presolve %.3fs, root LP %.3fs, heuristic"
+                " %.3fs, tree %.3fs, extract %.3fs\n",
+                p.presolve, p.root_lp, p.heuristic, p.tree, p.extract);
+  os << buf;
 }
 
 }  // namespace archex

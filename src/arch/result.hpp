@@ -68,10 +68,19 @@ struct ExplorationResult {
   milp::Solution solution;
   Architecture architecture;  ///< valid when solution.has_incumbent
   milp::ModelStats stats;
+  /// End-to-end wall-clock breakdown: structural encode (Problem ctor),
+  /// objective assembly (formulation), MILP solve, architecture extraction.
+  double encode_seconds = 0.0;
   double formulation_seconds = 0.0;
   double solver_seconds = 0.0;
+  double extract_seconds = 0.0;
 
   [[nodiscard]] bool feasible() const { return solution.has_incumbent; }
+
+  /// Prints the encode/solve/decode breakdown plus the solver's own phase
+  /// split (presolve, root LP, heuristic, tree, extraction) — the timing
+  /// block the explorer examples show after each run.
+  void print_timing(std::ostream& os) const;
 };
 
 }  // namespace archex

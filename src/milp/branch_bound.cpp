@@ -14,12 +14,17 @@
 #include <vector>
 
 #include "milp/presolve.hpp"
+#include "obs/metrics.hpp"
+#include "obs/node_log.hpp"
+#include "obs/trace.hpp"
 
 namespace archex::milp {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+const double kNan = std::numeric_limits<double>::quiet_NaN();
 
 int resolve_threads(int requested) {
   if (requested > 0) return requested;
@@ -95,6 +100,12 @@ struct SearchCtx {
   bool stopped = false;
   bool stop_on_incumbent = false;  ///< first-incumbent probe phase
   double sense_flip = 1.0;
+  // Telemetry hooks: null when tracing/logging is off, so the default solve
+  // path is untouched (one pointer test per site).
+  obs::TraceBuffer* trace = nullptr;  ///< root-phase / sequential buffer
+  obs::NodeLogger* logger = nullptr;
+  std::int64_t depth = 0;  ///< recursion depth, the sequential "open" count
+  std::int64_t pool_refactors = 0;  ///< refactorizations folded from workers
 
   SearchCtx(const Model& m, const MilpOptions& o)
       : model(m), opts(o), lp(m, o.lp) {
@@ -108,17 +119,19 @@ struct SearchCtx {
     sense_flip = m.objective_sense() == ObjectiveSense::Maximize ? -1.0 : 1.0;
   }
 
-  void try_incumbent(std::vector<double> x, double obj) {
+  bool try_incumbent(std::vector<double> x, double obj) {
     // Snap integers and validate against the true model.
     for (std::int32_t j : int_vars) x[static_cast<std::size_t>(j)] = std::round(x[j]);
-    if (!model.feasible(x, 1e-5)) return;
+    if (!model.feasible(x, 1e-5)) return false;
     if (obj < incumbent_obj - 1e-12) {
       incumbent_obj = obj;
       incumbent_x = std::move(x);
       has_incumbent = true;
       if (opts.on_incumbent) opts.on_incumbent(sense_flip * obj);
       if (stop_on_incumbent) stopped = true;  // probe phase: unwind to root
+      return true;
     }
+    return false;
   }
 
   [[nodiscard]] std::int32_t pick_branch_var(const std::vector<double>& x) const {
@@ -127,7 +140,26 @@ struct SearchCtx {
 
   std::vector<double> obj_coef;  ///< |objective coefficient| per column
 
-  void dfs() {
+  /// Emits NodeClose when tracing; logs a node-log line when one is due.
+  /// Called once per solved node, on every dfs exit path past the LP.
+  void close_node(std::int64_t node_id, obs::NodeOutcome outcome, double bound) {
+    if (trace != nullptr) {
+      trace->emit(obs::EventType::NodeClose, node_id, bound,
+                  static_cast<std::uint8_t>(outcome));
+    }
+    if (logger != nullptr && logger->due()) {
+      obs::NodeLogger::Line line;
+      line.nodes = nodes;
+      line.open = depth;
+      line.has_incumbent = has_incumbent;
+      line.incumbent = sense_flip * incumbent_obj;
+      line.best_bound = sense_flip * root_bound;
+      line.steals = 0;
+      logger->log(line);
+    }
+  }
+
+  void dfs(double parent_bound) {
     if (stopped) return;
     if (nodes >= opts.max_nodes) {
       stopped = true;
@@ -140,20 +172,35 @@ struct SearchCtx {
       return;
     }
 
+    // The id this node gets once counted (sequential search, so nodes + 1).
+    const std::int64_t node_id = nodes + 1;
+    ++depth;
+    struct DepthGuard {
+      std::int64_t& d;
+      ~DepthGuard() { --d; }
+    } depth_guard{depth};
+    if (trace != nullptr)
+      trace->emit(obs::EventType::NodeOpen, node_id, sense_flip * parent_bound);
+
     SolveStatus st = opts.warm_start ? lp.reoptimize_dual() : lp.solve_primal();
     ++nodes;
     if (st == SolveStatus::NumericalError) st = lp.solve_primal();
-    if (st == SolveStatus::Infeasible) return;
+    if (st == SolveStatus::Infeasible) {
+      close_node(node_id, obs::NodeOutcome::Infeasible, kNan);
+      return;
+    }
     if (st == SolveStatus::Unbounded) {
       // Only possible at the root of an MILP with unbounded relaxation; the
       // caller maps this to an Unbounded result.
       stopped = true;
       stop_reason = SolveStatus::Unbounded;
+      close_node(node_id, obs::NodeOutcome::Limit, kNan);
       return;
     }
     if (st != SolveStatus::Optimal) {
       stopped = true;
       stop_reason = st;
+      close_node(node_id, obs::NodeOutcome::Limit, kNan);
       return;
     }
 
@@ -162,15 +209,22 @@ struct SearchCtx {
       const double cutoff =
           incumbent_obj - std::max({opts.gap_abs, opts.gap_rel * std::abs(incumbent_obj),
                                     granularity - 1e-6});
-      if (obj >= cutoff) return;  // bound pruning
+      if (obj >= cutoff) {  // bound pruning
+        close_node(node_id, obs::NodeOutcome::Cutoff, sense_flip * obj);
+        return;
+      }
     }
 
     const std::vector<double> x = lp.primal_solution();
     const std::int32_t bv = pick_branch_var(x);
     if (bv < 0) {
-      try_incumbent(x, obj);
+      if (try_incumbent(x, obj) && trace != nullptr) {
+        trace->emit(obs::EventType::Incumbent, node_id, sense_flip * obj);
+      }
+      close_node(node_id, obs::NodeOutcome::Integer, sense_flip * obj);
       return;
     }
+    close_node(node_id, obs::NodeOutcome::Branched, sense_flip * obj);
 
     const double v = x[static_cast<std::size_t>(bv)];
     const double lb0 = lp.lower_bound(bv);
@@ -193,7 +247,7 @@ struct SearchCtx {
         if (up_lb > ub0 + 1e-12) continue;
         lp.set_bounds(bv, up_lb, ub0);
       }
-      dfs();
+      dfs(obj);
       lp.set_bounds(bv, lb0, ub0);
     }
   }
@@ -237,7 +291,8 @@ class NodePool {
            int num_workers)
       : model_(model), opts_(opts), granularity_(granularity),
         int_vars_(int_vars), sense_flip_(sense_flip),
-        queues_(static_cast<std::size_t>(num_workers)) {}
+        queues_(static_cast<std::size_t>(num_workers)),
+        inflight_bound_(static_cast<std::size_t>(num_workers), kInf) {}
 
   /// Seeds the incumbent from the sequential root phase.
   void seed_incumbent(double obj, std::vector<double> x) {
@@ -266,8 +321,8 @@ class NodePool {
   /// popped LIFO (continuing its dive); when it is empty, the front — oldest,
   /// closest to the root, so typically the best bound and the largest
   /// subtree — of the most promising peer deque is stolen instead. `stole`
-  /// reports a cross-worker take.
-  std::shared_ptr<BBNode> pop(int worker, bool& stole) {
+  /// reports the victim worker id (-1 for an own-deque pop).
+  std::shared_ptr<BBNode> pop(int worker, int& stole_from) {
     std::unique_lock<std::mutex> lk(mu_);
     ++waiters_;
     cv_.wait(lk, [&] {
@@ -282,32 +337,36 @@ class NodePool {
     std::shared_ptr<BBNode> node;
     auto& own = queues_[static_cast<std::size_t>(worker)];
     if (!own.empty()) {
-      stole = false;
+      stole_from = -1;
       node = std::move(own.back());
       own.pop_back();
     } else {
-      stole = true;
-      std::deque<std::shared_ptr<BBNode>>* victim = nullptr;
-      for (auto& q : queues_) {
-        if (q.empty()) continue;
-        if (victim == nullptr || q.front()->bound < (*victim).front()->bound) {
-          victim = &q;
+      std::size_t victim = queues_.size();
+      for (std::size_t v = 0; v < queues_.size(); ++v) {
+        if (queues_[v].empty()) continue;
+        if (victim == queues_.size() ||
+            queues_[v].front()->bound < queues_[victim].front()->bound) {
+          victim = v;
         }
       }
-      node = std::move(victim->front());
-      victim->pop_front();
+      stole_from = static_cast<int>(victim);
+      ++steals_;
+      node = std::move(queues_[victim].front());
+      queues_[victim].pop_front();
     }
     --queued_;
     ++in_flight_;
+    inflight_bound_[static_cast<std::size_t>(worker)] = node->bound;
     return node;
   }
 
   /// Marks the caller's current node finished; wakes waiters when the last
   /// in-flight node drains with empty deques (termination detection).
-  void done() {
+  void done(int worker) {
     bool finished;
     {
       std::lock_guard<std::mutex> lk(mu_);
+      inflight_bound_[static_cast<std::size_t>(worker)] = kInf;
       --in_flight_;
       finished = queued_ == 0 && in_flight_ == 0;
     }
@@ -344,18 +403,21 @@ class NodePool {
   }
 
   /// Integer-snap, validate against the true model, and install if better.
-  void try_incumbent(std::vector<double> x, double obj) {
+  /// Returns true when the incumbent improved (callers emit trace events).
+  bool try_incumbent(std::vector<double> x, double obj) {
     for (std::int32_t j : int_vars_) {
       x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
     }
-    if (!model_.feasible(x, 1e-5)) return;
+    if (!model_.feasible(x, 1e-5)) return false;
     std::lock_guard<std::mutex> lk(incumbent_mu_);
     if (obj < incumbent_obj_.load(std::memory_order_relaxed) - 1e-12) {
       incumbent_obj_.store(obj, std::memory_order_relaxed);
       incumbent_x_ = std::move(x);
       has_incumbent_ = true;
       if (opts_.on_incumbent) opts_.on_incumbent(sense_flip_ * obj);
+      return true;
     }
+    return false;
   }
 
   /// Atomically counts one solved node against the global budget; returns
@@ -371,6 +433,48 @@ class NodePool {
   // Read after join (workers quiescent).
   [[nodiscard]] bool has_incumbent() const { return has_incumbent_; }
   [[nodiscard]] std::vector<double>& incumbent_x() { return incumbent_x_; }
+
+  [[nodiscard]] double sense_flip() const { return sense_flip_; }
+
+  /// Continues the trace node-id sequence after the sequential root phase,
+  /// so pool node ids never collide with root/probe ids.
+  void set_next_id(std::uint64_t n) { next_id_ = n; }
+  /// Nodes already charged by the root phase (node-log display only).
+  void set_base_nodes(std::int64_t n) { base_nodes_ = n; }
+  /// Initial global lower bound (minimize sense), for Bound-event deltas.
+  void set_root_bound(double b) { best_known_bound_ = b; }
+
+  /// Emits one node-log line from the pool's current state, and a Bound
+  /// trace event when the global best-bound estimate improved. The estimate
+  /// is min over open-node parent bounds and in-flight node bounds — an
+  /// estimate, because a worker's in-flight LP may already have lifted its
+  /// node's bound. Called by whichever worker finds the logger due; the
+  /// pool lock makes the snapshot consistent.
+  void log_line(obs::NodeLogger* logger, obs::TraceBuffer* trace) {
+    obs::NodeLogger::Line line;
+    double est = kInf;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      line.nodes = base_nodes_ + nodes_.load(std::memory_order_relaxed);
+      line.open = queued_;
+      line.steals = steals_;
+      for (const auto& q : queues_) {
+        if (!q.empty()) est = std::min(est, q.front()->bound);
+      }
+      for (double b : inflight_bound_) est = std::min(est, b);
+      if (est < kInf && est > best_known_bound_ + 1e-9) {
+        best_known_bound_ = est;
+        if (trace != nullptr)
+          trace->emit(obs::EventType::Bound, -1, sense_flip_ * est);
+      }
+      if (est >= kInf) est = best_known_bound_;
+    }
+    const double inc = incumbent();
+    line.has_incumbent = inc < kInf;
+    line.incumbent = sense_flip_ * inc;
+    line.best_bound = sense_flip_ * est;
+    if (logger != nullptr) logger->log(line);
+  }
 
  private:
   const Model& model_;
@@ -396,18 +500,35 @@ class NodePool {
 
   std::atomic<std::int64_t> nodes_{0};
   std::int64_t max_pool_nodes_ = std::numeric_limits<std::int64_t>::max();
+
+  // Telemetry (all under mu_ except base_nodes_, set before workers start).
+  std::vector<double> inflight_bound_;  ///< bound of each worker's node, kInf idle
+  std::int64_t steals_ = 0;
+  std::int64_t base_nodes_ = 0;
+  double best_known_bound_ = -kInf;
 };
 
 /// A worker thread of the parallel search: private SimplexSolver, dive-local
 /// bookkeeping, and per-worker statistics.
 class Worker {
  public:
+  /// Each worker's SimplexSolver gets a private copy of the LP options with
+  /// its *own* trace buffer, keeping every buffer single-writer.
+  static SimplexOptions worker_lp_options(SimplexOptions lp, obs::TraceBuffer* trace) {
+    lp.trace = (trace != nullptr && trace->enabled()) ? trace : nullptr;
+    return lp;
+  }
+
   Worker(int id, const Model& model, const MilpOptions& opts, NodePool& pool,
          const std::vector<std::int32_t>& int_vars,
          const std::vector<double>& obj_coef,
-         const std::vector<BoundChange>& root_fixes, Clock::time_point deadline)
+         const std::vector<BoundChange>& root_fixes, Clock::time_point deadline,
+         obs::TraceBuffer* trace, obs::NodeLogger* logger)
       : id_(id), opts_(opts), pool_(pool), int_vars_(int_vars),
-        obj_coef_(obj_coef), deadline_(deadline), lp_(model, opts.lp) {
+        obj_coef_(obj_coef), deadline_(deadline),
+        trace_((trace != nullptr && trace->enabled()) ? trace : nullptr),
+        logger_((logger != nullptr && logger->enabled()) ? logger : nullptr),
+        lp_(model, worker_lp_options(opts.lp, trace)) {
     // Replay the root reduced-cost fixes so this solver's "root" bounds match
     // the pool's reference frame.
     for (const BoundChange& f : root_fixes) lp_.set_bounds(f.col, f.lb, f.ub);
@@ -432,11 +553,18 @@ class Worker {
 
   void run() {
     const double cpu0 = thread_cpu_seconds();
-    bool stole = false;
-    while (std::shared_ptr<BBNode> node = pool_.pop(id_, stole)) {
-      if (stole) ++steals_;
+    int stole_from = -1;
+    while (std::shared_ptr<BBNode> node = pool_.pop(id_, stole_from)) {
+      if (stole_from >= 0) {
+        ++steals_;
+        if (trace_ != nullptr) {
+          trace_->emit(obs::EventType::Steal, static_cast<std::int64_t>(node->id),
+                       static_cast<double>(stole_from));
+        }
+      }
       process(*node);
-      pool_.done();
+      pool_.done(id_);
+      if (logger_ != nullptr && logger_->due()) pool_.log_line(logger_, trace_);
     }
     busy_seconds_ = thread_cpu_seconds() - cpu0;
   }
@@ -473,16 +601,35 @@ class Worker {
     held_id_ = node.id;
   }
 
+  void close(std::int64_t node_id, obs::NodeOutcome outcome, double bound) {
+    if (trace_ != nullptr) {
+      trace_->emit(obs::EventType::NodeClose, node_id, bound,
+                   static_cast<std::uint8_t>(outcome));
+    }
+  }
+
   void process(const BBNode& node) {
-    if (pool_.stopped()) return;
+    const auto nid = static_cast<std::int64_t>(node.id);
+    const double flip = pool_.sense_flip();
+    if (trace_ != nullptr)
+      trace_->emit(obs::EventType::NodeOpen, nid, flip * node.bound);
+    if (pool_.stopped()) {
+      close(nid, obs::NodeOutcome::Limit, kNan);
+      return;
+    }
     const double cut = pool_.cutoff();
-    if (node.bound >= cut) return;  // pruned by a newer incumbent, no LP
+    if (node.bound >= cut) {  // pruned by a newer incumbent, no LP
+      close(nid, obs::NodeOutcome::Pruned, flip * node.bound);
+      return;
+    }
     if (Clock::now() >= deadline_) {
       pool_.request_stop(SolveStatus::TimeLimit);
+      close(nid, obs::NodeOutcome::Limit, kNan);
       return;
     }
     if (!pool_.count_node()) {
       pool_.request_stop(SolveStatus::NodeLimit);
+      close(nid, obs::NodeOutcome::Limit, kNan);
       return;
     }
 
@@ -490,23 +637,34 @@ class Worker {
     ++nodes_;
     SolveStatus st = opts_.warm_start ? lp_.reoptimize_dual() : lp_.solve_primal();
     if (st == SolveStatus::NumericalError) st = lp_.solve_primal();
-    if (st == SolveStatus::Infeasible) return;
+    if (st == SolveStatus::Infeasible) {
+      close(nid, obs::NodeOutcome::Infeasible, kNan);
+      return;
+    }
     if (st != SolveStatus::Optimal) {
       // Time/iteration limits surface here; Unbounded cannot, because bounds
       // only ever tighten below the (bounded) root relaxation.
       pool_.request_stop(st);
+      close(nid, obs::NodeOutcome::Limit, kNan);
       return;
     }
 
     const double obj = lp_.objective_value();
-    if (obj >= pool_.cutoff()) return;  // bound pruning
+    if (obj >= pool_.cutoff()) {  // bound pruning
+      close(nid, obs::NodeOutcome::Cutoff, flip * obj);
+      return;
+    }
 
     const std::vector<double> x = lp_.primal_solution();
     const std::int32_t bv = select_branch_var(x, int_vars_, obj_coef_, opts_.int_tol);
     if (bv < 0) {
-      pool_.try_incumbent(x, obj);
+      if (pool_.try_incumbent(x, obj) && trace_ != nullptr) {
+        trace_->emit(obs::EventType::Incumbent, nid, flip * obj);
+      }
+      close(nid, obs::NodeOutcome::Integer, flip * obj);
       return;
     }
+    close(nid, obs::NodeOutcome::Branched, flip * obj);
 
     const double v = x[static_cast<std::size_t>(bv)];
     const double lb0 = lp_.lower_bound(bv);
@@ -547,6 +705,8 @@ class Worker {
   const std::vector<std::int32_t>& int_vars_;
   const std::vector<double>& obj_coef_;
   const Clock::time_point deadline_;
+  obs::TraceBuffer* trace_;
+  obs::NodeLogger* logger_;
   SimplexSolver lp_;
   std::vector<double> root_lb_, root_ub_;
   std::vector<BoundChange> cur_path_;
@@ -562,11 +722,16 @@ class Worker {
 /// results back into `ctx` so the sequential epilogue of solve_milp applies
 /// unchanged.
 void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
-                        Solution& sol) {
+                        Solution& sol, std::vector<obs::TraceBuffer>& buffers) {
   NodePool pool(work, ctx.opts, ctx.granularity, ctx.int_vars, ctx.sense_flip,
                 threads);
   if (ctx.has_incumbent) pool.seed_incumbent(ctx.incumbent_obj, ctx.incumbent_x);
   pool.set_node_budget(ctx.opts.max_nodes - ctx.nodes);
+  // Trace node ids continue the root phase's sequence; node-log totals
+  // include the root-phase nodes.
+  pool.set_next_id(static_cast<std::uint64_t>(ctx.nodes));
+  pool.set_base_nodes(ctx.nodes);
+  pool.set_root_bound(ctx.lp.objective_value());
 
   // Reference frame: the root solver's current bounds already include the
   // reduced-cost fixes, so workers replay them and node paths stay relative
@@ -592,9 +757,12 @@ void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
+    obs::TraceBuffer* buf =
+        buffers.empty() ? nullptr : &buffers[static_cast<std::size_t>(t)];
     workers.push_back(std::make_unique<Worker>(t, work, ctx.opts, pool,
                                                ctx.int_vars, ctx.obj_coef,
-                                               root_fixes, ctx.deadline));
+                                               root_fixes, ctx.deadline, buf,
+                                               ctx.logger));
   }
   std::vector<std::thread> pool_threads;
   pool_threads.reserve(workers.size() - 1);
@@ -629,6 +797,7 @@ void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
     sol.warm_dual_nodes += w.reopt_stats().dual_fast;
     sol.warm_repair_nodes += w.reopt_stats().repaired;
     sol.cold_nodes += w.reopt_stats().cold;
+    ctx.pool_refactors += w.reopt_stats().refactors;
   }
 }
 
@@ -638,14 +807,72 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   const auto t0 = Clock::now();
   Solution sol;
 
+  // --- telemetry setup (all optional; null/disabled hooks cost nothing) ---
+  const int threads_req = resolve_threads(options.num_threads);
+  obs::MetricsRegistry local_registry;
+  obs::MetricsRegistry* reg = options.metrics != nullptr ? options.metrics
+                                                         : &local_registry;
+  std::vector<obs::TraceBuffer> buffers;
+  if (options.trace) {
+    buffers.resize(static_cast<std::size_t>(std::max(threads_req, 1)));
+    for (std::size_t t = 0; t < buffers.size(); ++t) {
+      buffers[t].init(static_cast<std::int32_t>(t), options.trace_capacity, t0);
+    }
+    buffers[0].emit(obs::EventType::SolveStart, -1,
+                    static_cast<double>(threads_req));
+  }
+  obs::TraceBuffer* root_trace = buffers.empty() ? nullptr : &buffers[0];
+  obs::NodeLogger logger(options.log_interval, options.log_sink, t0);
+  auto phase_mark = [&](obs::Phase p) {
+    if (root_trace != nullptr) {
+      root_trace->emit(obs::EventType::Phase, -1, 0.0,
+                       static_cast<std::uint8_t>(p));
+    }
+  };
+  // Final bookkeeping, shared by every return path. Expects `solve_seconds`
+  // (and the threads==1 cpu_seconds mirror) to be set already — finish()
+  // must not move the clock, callers pin cpu_seconds == solve_seconds.
+  auto finish = [&](Solution& s) {
+    s.term_reason = term_reason_from(s.status);
+    reg->counter("milp.nodes").add(s.nodes_explored);
+    reg->counter("milp.simplex_iterations").add(s.simplex_iterations);
+    reg->counter("milp.steals").add(s.steals);
+    reg->counter("milp.warm_dual").add(s.warm_dual_nodes);
+    reg->counter("milp.warm_repair").add(s.warm_repair_nodes);
+    reg->counter("milp.cold_restarts").add(s.cold_nodes);
+    reg->gauge("milp.threads").set(static_cast<double>(s.threads_used));
+    if (s.has_incumbent) {
+      reg->gauge("milp.objective").set(s.objective);
+      reg->gauge("milp.gap_abs").set(std::abs(s.objective - s.best_bound));
+    }
+    if (!buffers.empty()) {
+      buffers[0].emit(obs::EventType::SolveEnd, -1,
+                      s.has_incumbent ? s.objective : kNan);
+      s.trace = obs::merge_buffers(buffers);
+      reg->counter("milp.trace_dropped").add(s.trace.dropped);
+    }
+    s.metrics = reg->snapshot();
+  };
+
   // --- presolve ---
   PresolveResult pre;
   const Model* work = &model;
   if (options.use_presolve) {
+    phase_mark(obs::Phase::Presolve);
+    obs::ScopedTimer presolve_timer(&reg->timer("milp.phase.presolve"),
+                                    &sol.phases.presolve);
     pre = presolve(model);
+    presolve_timer.stop();
+    reg->counter("milp.presolve.rows_removed").add(
+        static_cast<std::int64_t>(pre.rows_removed));
+    reg->counter("milp.presolve.vars_fixed").add(
+        static_cast<std::int64_t>(pre.vars_fixed));
+    reg->counter("milp.presolve.bounds_tightened").add(
+        static_cast<std::int64_t>(pre.bounds_tightened));
     if (pre.infeasible) {
       sol.status = SolveStatus::Infeasible;
       sol.solve_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+      finish(sol);
       return sol;
     }
     work = &pre.reduced;
@@ -659,15 +886,40 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   }
   MilpOptions node_options = options;
   node_options.lp.deadline = deadline;  // simplex loops honor the wall clock
+  node_options.lp.trace = root_trace;   // root/sequential solver's buffer
   SearchCtx ctx(*work, node_options);
   ctx.granularity = objective_granularity(*work);
   ctx.deadline = deadline;
+  ctx.trace = root_trace;
+  ctx.logger = logger.enabled() ? &logger : nullptr;
+
+  // Every incumbent improvement — root heuristic, probe dive, sequential
+  // dive, or pool worker (serialized under the incumbent lock) — lands in
+  // the trajectory before the user callback fires. Installed after the ctx
+  // exists so it can read the current root bound.
+  node_options.on_incumbent = [&](double obj) {
+    sol.incumbent_trajectory.push_back(
+        {std::chrono::duration<double>(Clock::now() - t0).count(), obj,
+         ctx.sense_flip * ctx.root_bound});
+    reg->counter("milp.incumbents").add();
+    if (options.on_incumbent) options.on_incumbent(obj);
+  };
 
   // --- root solve ---
+  phase_mark(obs::Phase::RootLp);
+  obs::ScopedTimer root_timer(&reg->timer("milp.phase.root_lp"),
+                              &sol.phases.root_lp);
+  if (root_trace != nullptr)
+    root_trace->emit(obs::EventType::NodeOpen, 1, kNan);
   SolveStatus st = ctx.lp.solve_primal();
   ++ctx.nodes;
+  root_timer.stop();
   if (st == SolveStatus::Optimal) {
     ctx.root_bound = ctx.lp.objective_value();
+    if (root_trace != nullptr) {
+      root_trace->emit(obs::EventType::Bound, 1, ctx.sense_flip * ctx.root_bound);
+    }
+    reg->gauge("milp.root_bound").set(ctx.sense_flip * ctx.root_bound);
     const std::vector<double> x = ctx.lp.primal_solution();
 
     // Root reduced-cost fixing (applied lazily once an incumbent exists):
@@ -703,32 +955,58 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     };
 
     if (ctx.pick_branch_var(x) < 0) {
-      ctx.try_incumbent(x, ctx.lp.objective_value());
+      const bool improved = ctx.try_incumbent(x, ctx.lp.objective_value());
+      if (root_trace != nullptr) {
+        if (improved) {
+          root_trace->emit(obs::EventType::Incumbent, 1,
+                           ctx.sense_flip * ctx.incumbent_obj);
+        }
+        root_trace->emit(obs::EventType::NodeClose, 1,
+                         ctx.sense_flip * ctx.root_bound,
+                         static_cast<std::uint8_t>(obs::NodeOutcome::Integer));
+      }
     } else {
-      if (options.rounding_heuristic) {
-        // Root rounding heuristic: snap and test.
-        std::vector<double> xr = x;
-        double obj = work->objective().constant();
-        for (std::int32_t j : ctx.int_vars) {
-          xr[static_cast<std::size_t>(j)] = std::round(xr[j]);
-        }
-        for (const Term& t : work->objective().terms()) {
-          obj += t.coef * xr[static_cast<std::size_t>(t.var.index)];
-        }
-        ctx.try_incumbent(std::move(xr), ctx.sense_flip * obj);  // minimize sense
+      if (root_trace != nullptr) {
+        root_trace->emit(obs::EventType::NodeClose, 1,
+                         ctx.sense_flip * ctx.root_bound,
+                         static_cast<std::uint8_t>(obs::NodeOutcome::Branched));
       }
-      if (!ctx.has_incumbent) {
-        // Probe dive: find a first incumbent, then unwind so reduced-cost
-        // fixing can prune the full search below.
-        ctx.stop_on_incumbent = true;
-        ctx.dfs();
-        ctx.stop_on_incumbent = false;
-        if (ctx.stopped && ctx.stop_reason == SolveStatus::Optimal) ctx.stopped = false;
+      {
+        phase_mark(obs::Phase::Heuristic);
+        obs::ScopedTimer heur_timer(&reg->timer("milp.phase.heuristic"),
+                                    &sol.phases.heuristic);
+        if (options.rounding_heuristic) {
+          // Root rounding heuristic: snap and test.
+          std::vector<double> xr = x;
+          double obj = work->objective().constant();
+          for (std::int32_t j : ctx.int_vars) {
+            xr[static_cast<std::size_t>(j)] = std::round(xr[j]);
+          }
+          for (const Term& t : work->objective().terms()) {
+            obj += t.coef * xr[static_cast<std::size_t>(t.var.index)];
+          }
+          const bool improved =
+              ctx.try_incumbent(std::move(xr), ctx.sense_flip * obj);  // minimize sense
+          if (improved && root_trace != nullptr) {
+            root_trace->emit(obs::EventType::Incumbent, -1,
+                             ctx.sense_flip * ctx.incumbent_obj);
+          }
+        }
+        if (!ctx.has_incumbent) {
+          // Probe dive: find a first incumbent, then unwind so reduced-cost
+          // fixing can prune the full search below.
+          ctx.stop_on_incumbent = true;
+          ctx.dfs(ctx.root_bound);
+          ctx.stop_on_incumbent = false;
+          if (ctx.stopped && ctx.stop_reason == SolveStatus::Optimal) ctx.stopped = false;
+        }
       }
+      phase_mark(obs::Phase::Tree);
+      obs::ScopedTimer tree_timer(&reg->timer("milp.phase.tree"),
+                                  &sol.phases.tree);
       fix_by_reduced_cost();
-      const int threads = resolve_threads(options.num_threads);
-      if (threads <= 1 || ctx.stopped) {
-        ctx.dfs();
+      if (threads_req <= 1 || ctx.stopped) {
+        ctx.dfs(ctx.root_bound);
       } else {
         // Re-solve the fixed root so the pool seed carries an optimal basis
         // (reduced-cost fixing may have left the probe-era basis primal
@@ -738,7 +1016,7 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
         ++ctx.nodes;
         if (rst == SolveStatus::NumericalError) rst = ctx.lp.solve_primal();
         if (rst == SolveStatus::Optimal) {
-          run_parallel_phase(ctx, *work, threads, sol);
+          run_parallel_phase(ctx, *work, threads_req, sol, buffers);
         } else if (rst != SolveStatus::Infeasible) {
           ctx.stopped = true;
           ctx.stop_reason = rst;
@@ -746,13 +1024,26 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
         // Infeasible after fixing means no solution beats the incumbent: the
         // sequential epilogue below then reports the incumbent as optimal.
       }
+      tree_timer.stop();
     }
   } else if (st == SolveStatus::Infeasible) {
     sol.status = SolveStatus::Infeasible;
+    if (root_trace != nullptr) {
+      root_trace->emit(obs::EventType::NodeClose, 1, kNan,
+                       static_cast<std::uint8_t>(obs::NodeOutcome::Infeasible));
+    }
   } else if (st == SolveStatus::Unbounded) {
     sol.status = SolveStatus::Unbounded;
+    if (root_trace != nullptr) {
+      root_trace->emit(obs::EventType::NodeClose, 1, kNan,
+                       static_cast<std::uint8_t>(obs::NodeOutcome::Limit));
+    }
   } else {
     sol.status = st;
+    if (root_trace != nullptr) {
+      root_trace->emit(obs::EventType::NodeClose, 1, kNan,
+                       static_cast<std::uint8_t>(obs::NodeOutcome::Limit));
+    }
   }
 
   // Parallel solves already accumulated per-worker contributions into `sol`;
@@ -763,6 +1054,8 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   sol.warm_dual_nodes += ctx.lp.reopt_stats().dual_fast;
   sol.warm_repair_nodes += ctx.lp.reopt_stats().repaired;
   sol.cold_nodes += ctx.lp.reopt_stats().cold;
+  reg->counter("milp.refactors")
+      .add(ctx.pool_refactors + ctx.lp.reopt_stats().refactors);
   if (sol.threads_used == 1) {
     sol.nodes_per_worker.assign(1, ctx.nodes);
     sol.cpu_seconds = sol.solve_seconds;
@@ -771,8 +1064,12 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   if (st == SolveStatus::Optimal) {
     if (ctx.stopped && ctx.stop_reason == SolveStatus::Unbounded) {
       sol.status = SolveStatus::Unbounded;
+      finish(sol);
       return sol;
     }
+    phase_mark(obs::Phase::Extract);
+    obs::ScopedTimer extract_timer(&reg->timer("milp.phase.extract"),
+                                   &sol.phases.extract);
     if (ctx.has_incumbent) {
       sol.status = ctx.stopped ? ctx.stop_reason : SolveStatus::Optimal;
       sol.has_incumbent = true;
@@ -784,7 +1081,19 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
       sol.status = ctx.stopped ? ctx.stop_reason : SolveStatus::Infeasible;
       sol.best_bound = ctx.sense_flip * ctx.root_bound;
     }
+    extract_timer.stop();
   }
+  if (logger.enabled()) {
+    obs::NodeLogger::Line line;
+    line.nodes = sol.nodes_explored;
+    line.open = 0;
+    line.has_incumbent = sol.has_incumbent;
+    line.incumbent = sol.objective;
+    line.best_bound = sol.best_bound;
+    line.steals = sol.steals;
+    logger.log_final(line);
+  }
+  finish(sol);
   return sol;
 }
 

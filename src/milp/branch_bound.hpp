@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 
 #include "milp/model.hpp"
 #include "milp/simplex.hpp"
+#include "obs/metrics.hpp"
 
 namespace archex::milp {
 
@@ -43,6 +45,24 @@ struct MilpOptions {
   /// With num_threads >= 2 it may fire from worker threads; calls are
   /// serialized under the incumbent lock.
   std::function<void(double)> on_incumbent;
+  /// Record a structured event trace (node open/close, bounds, incumbents,
+  /// steals, basis events) into per-worker ring buffers, merged into
+  /// `Solution::trace` at solve end. Off by default: the tracing-off solve
+  /// path is untouched (every hook is a null-guarded pointer).
+  bool trace = false;
+  /// Ring capacity per worker; oldest events are overwritten when full and
+  /// counted in `Trace::dropped`.
+  std::size_t trace_capacity = 1 << 16;
+  /// CPLEX-style live node log: a progress line roughly every
+  /// `log_interval` seconds to `log_sink`. Both must be set (interval > 0,
+  /// sink non-null) to enable; off by default.
+  double log_interval = 0.0;
+  std::ostream* log_sink = nullptr;
+  /// Metrics registry to report into (phase timers, node/steal/pivot
+  /// counters; see docs/observability.md for the names). Null = the solve
+  /// uses a private registry, snapshotted into `Solution::metrics` either
+  /// way. The arch `Problem` passes its own so encode and solve share one.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Solves the mixed integer program `model`. The returned solution vector is

@@ -9,11 +9,13 @@
 
 #include <iosfwd>
 #include <limits>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "milp/expr.hpp"
+#include "obs/trace.hpp"
 
 namespace archex::milp {
 
@@ -122,6 +124,43 @@ enum class SolveStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SolveStatus s);
 
+/// Why the solve terminated. Unlike SolveStatus (which folds the LP-engine
+/// statuses in), this is the explicit MILP termination reason — callers no
+/// longer infer it from counters. `milp_solve` maps it to its exit code.
+enum class TermReason : std::uint8_t {
+  Optimal,       ///< proven optimal (or gap closed within tolerances)
+  Infeasible,    ///< proven infeasible
+  Unbounded,     ///< LP relaxation unbounded
+  NodeLimit,     ///< max_nodes hit
+  TimeLimit,     ///< time_limit_s hit
+  IterationLimit,///< simplex iteration cap hit (LP-relaxation solves)
+  Numerical,     ///< numerical failure
+};
+
+[[nodiscard]] const char* to_string(TermReason r);
+
+/// Maps a final SolveStatus to the matching TermReason.
+[[nodiscard]] TermReason term_reason_from(SolveStatus s);
+
+/// Wall-clock breakdown of one MILP solve, in seconds. Phases are disjoint;
+/// their sum is slightly below `solve_seconds` (glue code between phases).
+struct SolvePhases {
+  double presolve = 0.0;
+  double root_lp = 0.0;
+  double heuristic = 0.0;  ///< rounding heuristic + probe dive
+  double tree = 0.0;       ///< main tree search (sequential dive or pool)
+  double extract = 0.0;    ///< postsolve + solution extraction
+};
+
+/// One point of the incumbent trajectory: when (seconds since solve start)
+/// the search found an improved feasible solution, and its objective /
+/// best-bound snapshot (all in model sense).
+struct IncumbentPoint {
+  double t = 0.0;
+  double objective = 0.0;
+  double best_bound = 0.0;
+};
+
 /// Solution of an LP/MILP solve.
 struct Solution {
   SolveStatus status = SolveStatus::NumericalError;
@@ -148,6 +187,19 @@ struct Solution {
   std::vector<std::int64_t> nodes_per_worker;  ///< pool nodes per worker
   std::int64_t steals = 0;  ///< nodes taken from another worker's dive
   double cpu_seconds = 0.0;
+  /// Explicit termination reason (see TermReason); always populated.
+  TermReason term_reason = TermReason::Numerical;
+  /// Wall-clock phase breakdown (MILP only; zeros for plain LP solves).
+  SolvePhases phases;
+  /// Time-stamped incumbent improvements, oldest first (model sense). Fed by
+  /// the same path as MilpOptions::on_incumbent, so it is populated even
+  /// when no callback is installed.
+  std::vector<IncumbentPoint> incumbent_trajectory;
+  /// Merged structured event trace; empty unless MilpOptions::trace was set.
+  obs::Trace trace;
+  /// Snapshot of the solve's metrics registry (name -> value; timers expand
+  /// to `.seconds` / `.count`). Empty for plain LP solves.
+  std::map<std::string, double> metrics;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
   [[nodiscard]] double value(VarId v) const { return x[static_cast<std::size_t>(v.index)]; }

@@ -161,6 +161,8 @@ void SimplexSolver::btran_row(std::size_t r, std::vector<double>& binv_row) cons
 }
 
 bool SimplexSolver::refactorize() {
+  ++reopt_stats_.refactors;
+  if (opts_.trace != nullptr) opts_.trace->emit(obs::EventType::Refactor);
   // Gauss-Jordan inversion of the basis matrix with partial pivoting.
   std::vector<double> work(m_ * m_, 0.0);
   for (std::size_t i = 0; i < m_; ++i) {
@@ -517,6 +519,7 @@ SolveStatus SimplexSolver::reoptimize_dual() {
     st = dual_loop();
   } else {
     ++reopt_stats_.repaired;
+    if (opts_.trace != nullptr) opts_.trace->emit(obs::EventType::DualRepair);
     // Dual-infeasible warm basis (we backtracked past the point where this
     // basis was optimal). The dual loop is still a valid *primal repair*
     // procedure — its pivots are algebraically sound, only its optimality
@@ -528,11 +531,13 @@ SolveStatus SimplexSolver::reoptimize_dual() {
       st = primal_loop(pert_cost_, /*phase_one=*/false);
     } else if (st == SolveStatus::Infeasible) {
       ++reopt_stats_.cold;
+      if (opts_.trace != nullptr) opts_.trace->emit(obs::EventType::ColdRestart);
       st = solve_primal();
     }
   }
   if (st == SolveStatus::NumericalError) {
     // Decayed basis: fall back to a cold start.
+    if (opts_.trace != nullptr) opts_.trace->emit(obs::EventType::ColdRestart);
     return solve_primal();
   }
   basis_valid_ = (st == SolveStatus::Optimal);
@@ -825,6 +830,7 @@ Solution solve_lp_relaxation(const Model& model, SimplexOptions options) {
   SimplexSolver lp(model, options);
   Solution sol;
   sol.status = lp.solve_primal();
+  sol.term_reason = term_reason_from(sol.status);
   sol.simplex_iterations = lp.iterations();
   if (sol.status == SolveStatus::Optimal) {
     sol.x = lp.primal_solution();

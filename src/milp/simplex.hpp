@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "milp/model.hpp"
+#include "obs/trace.hpp"
 
 namespace archex::milp {
 
@@ -45,6 +46,11 @@ struct SimplexOptions {
   /// Defaults to "never". Checked every few hundred iterations.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Optional structured-trace sink (refactorizations, dual-repair and
+  /// cold-restart falls). Must be written by this solver's thread only —
+  /// the branch & bound hands each worker's solver its own buffer. Null or
+  /// disabled buffers cost one pointer test per event site.
+  obs::TraceBuffer* trace = nullptr;
 };
 
 /// LP engine over a fixed constraint matrix with mutable variable bounds.
@@ -133,6 +139,7 @@ class SimplexSolver {
     std::int64_t cold = 0;        ///< fell back to a cold primal solve
     std::int64_t degen_pivots = 0;  ///< pivots with (near-)zero step
     std::int64_t total_pivots = 0;
+    std::int64_t refactors = 0;   ///< basis refactorizations (all causes)
   };
   [[nodiscard]] const ReoptStats& reopt_stats() const { return reopt_stats_; }
 

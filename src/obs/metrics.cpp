@@ -1,0 +1,61 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace archex::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+std::map<std::string, double> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counters_) out[name] = static_cast<double>(c->value());
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  for (const auto& [name, t] : timers_) {
+    out[name + ".seconds"] = t->seconds();
+    out[name + ".count"] = static_cast<double>(t->count());
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const auto snap = snapshot();
+  os << '{';
+  bool first = true;
+  for (const auto& [name, value] : snap) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":";
+    if (std::isfinite(value)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      os << buf;
+    } else {
+      os << "null";
+    }
+  }
+  os << '}';
+}
+
+}  // namespace archex::obs

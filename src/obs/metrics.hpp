@@ -1,0 +1,115 @@
+/// \file metrics.hpp
+/// Lock-free-on-the-hot-path metrics registry for solver instrumentation.
+///
+/// Registration (name lookup) takes a mutex; the returned Counter / Gauge /
+/// Timer handles are plain relaxed atomics, so hot loops (simplex pivots,
+/// branch & bound node processing) record without contention. Handle
+/// references are stable for the registry's lifetime (values live in
+/// node-stable unique_ptr slots). A snapshot flattens everything into a
+/// name -> value map for reporting (`Solution::metrics`, JSON export).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace archex::obs {
+
+/// Monotonically increasing integer metric (events, nodes, pivots).
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-value metric (current gap, open-node count).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulated duration metric with an invocation count; fed by ScopedTimer.
+class Timer {
+ public:
+  void record(std::int64_t nanos) {
+    nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  [[nodiscard]] std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> nanos_{0};
+  std::atomic<std::int64_t> count_{0};
+};
+
+/// RAII monotonic-clock scope feeding a Timer (either may be null — the scope
+/// then measures for the mirror alone, or does nothing at all). `seconds`
+/// optionally mirrors the elapsed time into a plain double (phase fields).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer, double* seconds = nullptr)
+      : timer_(timer), seconds_(seconds) {
+    if (timer_ != nullptr || seconds_ != nullptr)
+      start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Ends the scope early; subsequent destruction records nothing.
+  void stop() {
+    if (timer_ == nullptr && seconds_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    if (timer_ != nullptr) timer_->record(ns);
+    if (seconds_ != nullptr) *seconds_ = static_cast<double>(ns) * 1e-9;
+    timer_ = nullptr;
+    seconds_ = nullptr;
+  }
+
+ private:
+  Timer* timer_;
+  double* seconds_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Named metric store. Thread-safe registration, lock-free recording through
+/// the returned handles. One registry spans one solve (or one arch Problem,
+/// which re-uses it across encode + solve + extract).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  /// Flattens all metrics to name -> value. Timers expand to two entries:
+  /// `<name>.seconds` and `<name>.count`.
+  [[nodiscard]] std::map<std::string, double> snapshot() const;
+
+  /// Writes the snapshot as a single JSON object.
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+}  // namespace archex::obs

@@ -1,0 +1,54 @@
+#include "obs/node_log.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace archex::obs {
+
+void NodeLogger::log(const Line& line) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = elapsed();
+  if (now < next_.load(std::memory_order_relaxed)) return;  // peer just logged
+  // Schedule the next report one full interval from *now*, not from the
+  // nominal grid — a stalled search should not emit a burst of catch-up lines.
+  next_.store(now + interval_, std::memory_order_relaxed);
+  print(line, now);
+}
+
+void NodeLogger::log_final(const Line& line) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  print(line, elapsed());
+}
+
+void NodeLogger::print(const Line& line, double now) {
+  char buf[160];
+  if (!header_printed_) {
+    header_printed_ = true;
+    *sink_ << "    Nodes     Open       Incumbent      Best Bound    Gap%   Steals   Time\n";
+  }
+  char inc[24];
+  if (line.has_incumbent) std::snprintf(inc, sizeof(inc), "%15.6g", line.incumbent);
+  else std::snprintf(inc, sizeof(inc), "%15s", "--");
+  char gap[16];
+  if (line.has_incumbent && std::isfinite(line.best_bound)) {
+    const double g = 100.0 * std::fabs(line.incumbent - line.best_bound) /
+                     std::max(1e-10, std::fabs(line.incumbent));
+    std::snprintf(gap, sizeof(gap), "%6.2f", g);
+  } else {
+    std::snprintf(gap, sizeof(gap), "%6s", "--");
+  }
+  char bb[24];
+  if (std::isfinite(line.best_bound)) std::snprintf(bb, sizeof(bb), "%15.6g", line.best_bound);
+  else std::snprintf(bb, sizeof(bb), "%15s", "--");
+  std::snprintf(buf, sizeof(buf), "%9lld %8lld %s %s  %s %8lld %6.1fs\n",
+                static_cast<long long>(line.nodes), static_cast<long long>(line.open),
+                inc, bb, gap, static_cast<long long>(line.steals), now);
+  *sink_ << buf;
+  sink_->flush();
+}
+
+}  // namespace archex::obs

@@ -1,0 +1,63 @@
+/// \file node_log.hpp
+/// CPLEX-style live node log: periodic one-line progress reports during the
+/// branch & bound search (nodes processed, open nodes, incumbent, best bound,
+/// gap, steals, elapsed time). Off unless constructed with a positive
+/// interval and a sink; the hot-path check (`due`) is one relaxed atomic
+/// load, so a disabled or not-yet-due logger costs nothing measurable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+
+namespace archex::obs {
+
+class NodeLogger {
+ public:
+  /// One report line's worth of search state.
+  struct Line {
+    std::int64_t nodes = 0;
+    std::int64_t open = 0;
+    bool has_incumbent = false;
+    double incumbent = 0.0;   ///< model sense
+    double best_bound = 0.0;  ///< model sense
+    std::int64_t steals = 0;
+  };
+
+  NodeLogger(double interval_s, std::ostream* sink,
+             std::chrono::steady_clock::time_point epoch)
+      : interval_(interval_s), sink_(sink), epoch_(epoch), next_(interval_s) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr && interval_ > 0.0; }
+
+  /// Cheap hot-path check: has the next report time passed?
+  [[nodiscard]] bool due() const {
+    if (!enabled()) return false;
+    return elapsed() >= next_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  }
+
+  /// Prints one line (header first). Serialized; re-checks `due` under the
+  /// lock so racing workers produce one line per interval, not one each.
+  void log(const Line& line);
+
+  /// Unconditional final summary line (solve end), bypassing the interval.
+  void log_final(const Line& line);
+
+ private:
+  void print(const Line& line, double now);
+
+  double interval_;
+  std::ostream* sink_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<double> next_;
+  std::mutex mu_;
+  bool header_printed_ = false;
+};
+
+}  // namespace archex::obs

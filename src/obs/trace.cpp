@@ -1,0 +1,158 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace archex::obs {
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::SolveStart: return "solve_start";
+    case EventType::Phase: return "phase";
+    case EventType::NodeOpen: return "node_open";
+    case EventType::NodeClose: return "node_close";
+    case EventType::Bound: return "bound";
+    case EventType::Incumbent: return "incumbent";
+    case EventType::Steal: return "steal";
+    case EventType::Refactor: return "refactor";
+    case EventType::DualRepair: return "dual_repair";
+    case EventType::ColdRestart: return "cold_restart";
+    case EventType::SolveEnd: return "solve_end";
+  }
+  return "unknown";
+}
+
+const char* to_string(NodeOutcome o) {
+  switch (o) {
+    case NodeOutcome::Branched: return "branched";
+    case NodeOutcome::Integer: return "integer";
+    case NodeOutcome::Infeasible: return "infeasible";
+    case NodeOutcome::Pruned: return "pruned";
+    case NodeOutcome::Cutoff: return "cutoff";
+    case NodeOutcome::Limit: return "limit";
+  }
+  return "unknown";
+}
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::Presolve: return "presolve";
+    case Phase::RootLp: return "root_lp";
+    case Phase::Heuristic: return "heuristic";
+    case Phase::Tree: return "tree";
+    case Phase::Extract: return "extract";
+  }
+  return "unknown";
+}
+
+void TraceBuffer::init(std::int32_t worker, std::size_t capacity,
+                       std::chrono::steady_clock::time_point epoch) {
+  ring_.assign(capacity, TraceEvent{});
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  worker_ = worker;
+  epoch_ = epoch;
+}
+
+std::vector<TraceEvent> TraceBuffer::drain() {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  if (size_ == ring_.size()) {
+    // Full ring: oldest event is at head_ (the next overwrite target).
+    for (std::size_t i = 0; i < size_; ++i)
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+  } else {
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(ring_[i]);
+  }
+  head_ = 0;
+  size_ = 0;
+  return out;
+}
+
+std::size_t Trace::count(EventType t) const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [t](const TraceEvent& e) { return e.type == t; }));
+}
+
+int Trace::num_workers() const {
+  int max_worker = -1;
+  for (const TraceEvent& e : events) max_worker = std::max(max_worker, e.worker);
+  return max_worker + 1;
+}
+
+namespace {
+
+void write_num(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+void Trace::write_jsonl(std::ostream& os) const {
+  for (const TraceEvent& e : events) {
+    os << "{\"t\":";
+    write_num(os, e.t);
+    os << ",\"type\":\"" << to_string(e.type) << "\",\"worker\":" << e.worker;
+    switch (e.type) {
+      case EventType::SolveStart:
+        os << ",\"workers\":" << static_cast<int>(e.value);
+        break;
+      case EventType::Phase:
+        os << ",\"phase\":\"" << to_string(static_cast<Phase>(e.detail)) << '"';
+        break;
+      case EventType::NodeOpen:
+        os << ",\"node\":" << e.id << ",\"parent_bound\":";
+        write_num(os, e.value);
+        break;
+      case EventType::NodeClose:
+        os << ",\"node\":" << e.id << ",\"outcome\":\""
+           << to_string(static_cast<NodeOutcome>(e.detail)) << "\",\"bound\":";
+        write_num(os, e.value);
+        break;
+      case EventType::Bound:
+        os << ",\"bound\":";
+        write_num(os, e.value);
+        break;
+      case EventType::Incumbent:
+        os << ",\"node\":" << e.id << ",\"objective\":";
+        write_num(os, e.value);
+        break;
+      case EventType::Steal:
+        os << ",\"node\":" << e.id << ",\"victim\":" << static_cast<int>(e.value);
+        break;
+      case EventType::Refactor:
+      case EventType::DualRepair:
+      case EventType::ColdRestart:
+        break;
+      case EventType::SolveEnd:
+        os << ",\"objective\":";
+        write_num(os, e.value);
+        break;
+    }
+    os << "}\n";
+  }
+}
+
+Trace merge_buffers(std::vector<TraceBuffer>& buffers) {
+  Trace trace;
+  for (TraceBuffer& b : buffers) {
+    trace.dropped += b.dropped();
+    auto events = b.drain();
+    trace.events.insert(trace.events.end(), events.begin(), events.end());
+  }
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.t < b.t; });
+  return trace;
+}
+
+}  // namespace archex::obs

@@ -1,0 +1,128 @@
+/// \file trace.hpp
+/// Structured event trace for the solver: fixed-size per-worker ring buffers
+/// written by exactly one thread each (no locks, no contention on the hot
+/// path), merged into one time-sorted Trace when the solve ends.
+///
+/// Event semantics and the JSONL export schema are documented in
+/// docs/observability.md; tools/validate_trace.py checks emitted files
+/// against that schema in CI.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace archex::obs {
+
+/// What happened. Values are part of the JSONL schema (exported by name).
+enum class EventType : std::uint8_t {
+  SolveStart,   ///< solve entry; value = number of workers
+  Phase,        ///< phase transition; detail = Phase, value = unused
+  NodeOpen,     ///< node dequeued for processing; value = parent bound
+  NodeClose,    ///< node finished; detail = NodeOutcome, value = node bound
+  Bound,        ///< global best-bound improvement; value = new bound
+  Incumbent,    ///< incumbent improvement; value = new objective
+  Steal,        ///< node stolen; id = node id, value = victim worker id
+  Refactor,     ///< simplex basis refactorization
+  DualRepair,   ///< dual reoptimization fell back to primal repair
+  ColdRestart,  ///< dual reoptimization fell back to a cold solve
+  SolveEnd,     ///< solve exit; value = final objective (or NaN)
+};
+
+/// NodeClose detail: how the node was disposed of.
+enum class NodeOutcome : std::uint8_t {
+  Branched = 0,    ///< fractional, two children created
+  Integer = 1,     ///< LP solution integral (incumbent candidate)
+  Infeasible = 2,  ///< node LP infeasible
+  Pruned = 3,      ///< parent bound already past the cutoff (pre-LP)
+  Cutoff = 4,      ///< node bound past the cutoff (post-LP)
+  Limit = 5,       ///< abandoned by a node/time limit
+};
+
+/// Phase detail for EventType::Phase.
+enum class Phase : std::uint8_t {
+  Presolve = 0,
+  RootLp = 1,
+  Heuristic = 2,
+  Tree = 3,
+  Extract = 4,
+};
+
+[[nodiscard]] const char* to_string(EventType t);
+[[nodiscard]] const char* to_string(NodeOutcome o);
+[[nodiscard]] const char* to_string(Phase p);
+
+/// One trace record. 32 bytes; written by value into the ring.
+struct TraceEvent {
+  double t = 0.0;        ///< seconds since solve start (monotonic clock)
+  double value = 0.0;    ///< event-specific payload (see EventType)
+  std::int64_t id = -1;  ///< node id where meaningful, else -1
+  std::int32_t worker = 0;
+  EventType type = EventType::SolveStart;
+  std::uint8_t detail = 0;  ///< NodeOutcome / Phase discriminant
+};
+
+/// Single-writer ring buffer. One per worker thread; the owning thread is the
+/// only writer, merge happens after the workers have joined, so no member
+/// needs atomicity. When full, the oldest events are overwritten and counted
+/// in `dropped` — a trace is a diagnostic, never a reason to stall a solve.
+class TraceBuffer {
+ public:
+  /// Arms the buffer. capacity == 0 leaves it disabled (emit() is a no-op).
+  void init(std::int32_t worker, std::size_t capacity,
+            std::chrono::steady_clock::time_point epoch);
+
+  [[nodiscard]] bool enabled() const { return !ring_.empty(); }
+  [[nodiscard]] std::int32_t worker() const { return worker_; }
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+
+  /// Seconds since the solve epoch (callers reuse it for node-log lines).
+  [[nodiscard]] double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  }
+
+  void emit(EventType type, std::int64_t id = -1, double value = 0.0,
+            std::uint8_t detail = 0) {
+    if (ring_.empty()) return;
+    TraceEvent& e = ring_[head_];
+    e.t = now();
+    e.value = value;
+    e.id = id;
+    e.worker = worker_;
+    e.type = type;
+    e.detail = detail;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+    else ++dropped_;
+  }
+
+  /// Copies the buffered events (oldest first) and resets the buffer.
+  [[nodiscard]] std::vector<TraceEvent> drain();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::int64_t dropped_ = 0;
+  std::int32_t worker_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// Merged, time-sorted event log of one solve.
+struct Trace {
+  std::vector<TraceEvent> events;
+  std::int64_t dropped = 0;  ///< events lost to ring overwrites, all workers
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+  [[nodiscard]] std::size_t count(EventType t) const;
+  [[nodiscard]] int num_workers() const;
+
+  /// One JSON object per line; schema in docs/observability.md.
+  void write_jsonl(std::ostream& os) const;
+};
+
+/// Drains every buffer and merges into one trace sorted by timestamp.
+[[nodiscard]] Trace merge_buffers(std::vector<TraceBuffer>& buffers);
+
+}  // namespace archex::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "arch/patterns/connection.hpp"
 #include "milp/branch_bound.hpp"
 
@@ -212,6 +214,29 @@ TEST(ProblemTest, CostExpressionMatchesDefinition) {
   // Every mapping var and every edge var carries a cost coefficient (loads
   // with zero cost drop out of the normalized expression).
   EXPECT_GE(cost.size(), 4u);
+}
+
+TEST(ProblemTest, SolveReportsTimingAndMetrics) {
+  ChainFixture fx;
+  Problem p = fx.make();
+  ExplorationResult res = p.solve();
+  ASSERT_TRUE(res.feasible());
+  // End-to-end phase breakdown: encode happened in the constructor, the
+  // remaining phases in solve(); every stage reports a non-negative wall time.
+  EXPECT_GE(res.encode_seconds, 0.0);
+  EXPECT_GE(res.formulation_seconds, 0.0);
+  EXPECT_GT(res.solver_seconds, 0.0);
+  EXPECT_GE(res.extract_seconds, 0.0);
+  // The Problem's registry spans encode + formulate + solve + extract and is
+  // re-snapshotted into the solution after extraction.
+  ASSERT_FALSE(res.solution.metrics.empty());
+  EXPECT_GT(res.solution.metrics.at("arch.encode.seconds"), 0.0);
+  EXPECT_DOUBLE_EQ(res.solution.metrics.at("arch.solve.count"), 1.0);
+  EXPECT_EQ(res.solution.metrics.count("milp.nodes"), 1u);
+  std::ostringstream os;
+  res.print_timing(os);
+  EXPECT_NE(os.str().find("timing:"), std::string::npos);
+  EXPECT_NE(os.str().find("solver phases:"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,253 @@
+/// Unit tests for the observability layer: the metrics registry (concurrent
+/// counters, timer scopes, snapshot flattening), the single-writer trace ring
+/// buffers (overflow, merge ordering, JSONL schema) and the node logger's
+/// interval gating.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/node_log.hpp"
+#include "obs/trace.hpp"
+
+namespace archex::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterSumsConcurrentAdds) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsTest, HandlesAreStableAcrossRegistrations) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("n");
+  Counter& b = reg.counter("n");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3);
+  Gauge& g1 = reg.gauge("v");
+  Gauge& g2 = reg.gauge("v");
+  EXPECT_EQ(&g1, &g2);
+  Timer& t1 = reg.timer("t");
+  Timer& t2 = reg.timer("t");
+  EXPECT_EQ(&t1, &t2);
+}
+
+TEST(MetricsTest, SnapshotFlattensAllKinds) {
+  MetricsRegistry reg;
+  reg.counter("nodes").add(7);
+  reg.gauge("gap").set(0.25);
+  reg.timer("phase").record(1'500'000'000);  // 1.5s
+  const std::map<std::string, double> snap = reg.snapshot();
+  ASSERT_EQ(snap.count("nodes"), 1u);
+  EXPECT_DOUBLE_EQ(snap.at("nodes"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.at("gap"), 0.25);
+  EXPECT_NEAR(snap.at("phase.seconds"), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(snap.at("phase.count"), 1.0);
+}
+
+TEST(MetricsTest, ScopedTimerFeedsTimerAndMirror) {
+  MetricsRegistry reg;
+  Timer& t = reg.timer("scope");
+  double mirror = -1.0;
+  {
+    ScopedTimer scope(&t, &mirror);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    scope.stop();
+    // A stopped scope records nothing further on destruction.
+  }
+  EXPECT_EQ(t.count(), 1);
+  EXPECT_GT(t.seconds(), 0.0);
+  EXPECT_NEAR(mirror, t.seconds(), 1e-12);
+  {
+    ScopedTimer null_scope(nullptr, nullptr);  // must be a no-op
+  }
+  EXPECT_EQ(t.count(), 1);
+}
+
+TEST(MetricsTest, WriteJsonEmitsOneObject) {
+  MetricsRegistry reg;
+  reg.counter("a").add(2);
+  reg.timer("b").record(500'000'000);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"a\":"), std::string::npos);
+  EXPECT_NE(json.find("\"b.seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"b.count\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace buffers
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, DefaultBufferIsDisabled) {
+  TraceBuffer buf;
+  EXPECT_FALSE(buf.enabled());
+  buf.emit(EventType::NodeOpen, 1, 2.0);  // must be a no-op, not a crash
+  EXPECT_TRUE(buf.drain().empty());
+  EXPECT_EQ(buf.dropped(), 0);
+}
+
+TEST(TraceTest, RingOverflowKeepsNewestAndCountsDropped) {
+  TraceBuffer buf;
+  buf.init(0, 4, std::chrono::steady_clock::now());
+  for (std::int64_t i = 0; i < 6; ++i) buf.emit(EventType::NodeOpen, i);
+  EXPECT_EQ(buf.dropped(), 2);
+  const std::vector<TraceEvent> events = buf.drain();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, static_cast<std::int64_t>(i + 2)) << "slot " << i;
+  }
+  // drain() resets the ring: the buffer is immediately reusable.
+  buf.emit(EventType::NodeClose, 9);
+  const std::vector<TraceEvent> again = buf.drain();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].id, 9);
+}
+
+TEST(TraceTest, MergeSortsEventsAcrossBuffers) {
+  const auto epoch = std::chrono::steady_clock::now();
+  std::vector<TraceBuffer> buffers(2);
+  buffers[0].init(0, 16, epoch);
+  buffers[1].init(1, 16, epoch);
+  // Interleave writes so neither buffer alone is globally ordered.
+  buffers[0].emit(EventType::NodeOpen, 1);
+  buffers[1].emit(EventType::NodeOpen, 2);
+  buffers[0].emit(EventType::NodeClose, 1);
+  buffers[1].emit(EventType::NodeClose, 2);
+  const Trace trace = merge_buffers(buffers);
+  ASSERT_EQ(trace.events.size(), 4u);
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].t, trace.events[i].t);
+  }
+  EXPECT_EQ(trace.count(EventType::NodeOpen), 2u);
+  EXPECT_EQ(trace.count(EventType::NodeClose), 2u);
+  EXPECT_EQ(trace.num_workers(), 2);
+  EXPECT_EQ(trace.dropped, 0);
+}
+
+TEST(TraceTest, JsonlUsesDocumentedKeysAndNullForNonFinite) {
+  TraceBuffer buf;
+  buf.init(3, 32, std::chrono::steady_clock::now());
+  buf.emit(EventType::SolveStart, -1, 4.0);
+  buf.emit(EventType::Phase, -1, 0.0, static_cast<std::uint8_t>(Phase::RootLp));
+  buf.emit(EventType::NodeOpen, 1, std::numeric_limits<double>::quiet_NaN());
+  buf.emit(EventType::NodeClose, 1, 12.5, static_cast<std::uint8_t>(NodeOutcome::Branched));
+  buf.emit(EventType::Incumbent, 1, 42.0);
+  buf.emit(EventType::Steal, 7, 2.0);
+  buf.emit(EventType::SolveEnd, -1, 42.0);
+  std::vector<TraceBuffer> buffers;
+  buffers.push_back(std::move(buf));
+  const Trace trace = merge_buffers(buffers);
+  std::ostringstream os;
+  trace.write_jsonl(os);
+  const std::string out = os.str();
+
+  EXPECT_NE(out.find("\"type\":\"solve_start\",\"worker\":3,\"workers\":4"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"type\":\"phase\",\"worker\":3,\"phase\":\"root_lp\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"node\":1,\"parent_bound\":null"), std::string::npos);
+  EXPECT_NE(out.find("\"outcome\":\"branched\",\"bound\":12.5"), std::string::npos);
+  EXPECT_NE(out.find("\"node\":1,\"objective\":42"), std::string::npos);
+  EXPECT_NE(out.find("\"node\":7,\"victim\":2"), std::string::npos);
+  // One object per line, every line closed.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(n, trace.events.size());
+}
+
+// ---------------------------------------------------------------------------
+// Node logger
+// ---------------------------------------------------------------------------
+
+TEST(NodeLogTest, DisabledLoggerWritesNothing) {
+  std::ostringstream os;
+  NodeLogger no_sink(1.0, nullptr, std::chrono::steady_clock::now());
+  EXPECT_FALSE(no_sink.enabled());
+  EXPECT_FALSE(no_sink.due());
+  no_sink.log_final({});
+  NodeLogger no_interval(0.0, &os, std::chrono::steady_clock::now());
+  EXPECT_FALSE(no_interval.enabled());
+  no_interval.log({});
+  no_interval.log_final({});
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(NodeLogTest, FinalLineBypassesIntervalAndPrintsHeader) {
+  std::ostringstream os;
+  NodeLogger logger(3600.0, &os, std::chrono::steady_clock::now());
+  EXPECT_TRUE(logger.enabled());
+  EXPECT_FALSE(logger.due());  // one hour from now
+  NodeLogger::Line line;
+  line.nodes = 120;
+  line.open = 4;
+  line.has_incumbent = true;
+  line.incumbent = 1500.0;
+  line.best_bound = 1450.0;
+  line.steals = 2;
+  logger.log(line);  // not due: must print nothing
+  EXPECT_TRUE(os.str().empty());
+  logger.log_final(line);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Nodes"), std::string::npos);
+  EXPECT_NE(out.find("Best Bound"), std::string::npos);
+  EXPECT_NE(out.find("120"), std::string::npos);
+  EXPECT_NE(out.find("1500"), std::string::npos);
+}
+
+TEST(NodeLogTest, DueLinesAreRateLimited) {
+  std::ostringstream os;
+  NodeLogger logger(0.02, &os, std::chrono::steady_clock::now());
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  ASSERT_TRUE(logger.due());
+  NodeLogger::Line line;
+  line.nodes = 1;
+  logger.log(line);
+  const std::string first = os.str();
+  EXPECT_FALSE(first.empty());
+  // Immediately afterwards the next interval has not elapsed: no second line.
+  logger.log(line);
+  EXPECT_EQ(os.str(), first);
+}
+
+TEST(NodeLogTest, MissingIncumbentRendersDashes) {
+  std::ostringstream os;
+  NodeLogger logger(1.0, &os, std::chrono::steady_clock::now());
+  NodeLogger::Line line;
+  line.nodes = 5;
+  line.best_bound = std::numeric_limits<double>::infinity();
+  logger.log_final(line);
+  EXPECT_NE(os.str().find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace archex::obs

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validates a solver trace (JSONL) against the schema in docs/observability.md.
+
+Usage: validate_trace.py <trace.jsonl> [--min-workers=N]
+
+Checks, in order:
+  * every line is a JSON object with the common keys (t, type, worker);
+  * the event type is one of the documented types — unknown types FAIL, so a
+    new EventType cannot ship without a schema/doc update;
+  * every type-specific required key is present with the right JSON type
+    (numeric payloads may be null, the encoding of non-finite doubles);
+  * timestamps are non-decreasing (the merge sorts) and non-negative;
+  * exactly one solve_start and at most one solve_end;
+  * node, incumbent events are present, and with --min-workers=2 (the CI
+    setting for a parallel solve) steal events and >= N distinct workers.
+
+Exit code 0 on success, 1 on any violation (first violation is reported with
+its line number), 2 on usage errors.
+"""
+import json
+import sys
+
+# type -> {key: allowed JSON types}; every event also carries t/type/worker.
+NUMBER = (int, float)
+NULLABLE_NUMBER = (int, float, type(None))
+SCHEMA = {
+    "solve_start": {"workers": NUMBER},
+    "phase": {"phase": (str,)},
+    "node_open": {"node": (int,), "parent_bound": NULLABLE_NUMBER},
+    "node_close": {"node": (int,), "outcome": (str,), "bound": NULLABLE_NUMBER},
+    "bound": {"bound": NULLABLE_NUMBER},
+    "incumbent": {"node": (int,), "objective": NULLABLE_NUMBER},
+    "steal": {"node": (int,), "victim": (int,)},
+    "refactor": {},
+    "dual_repair": {},
+    "cold_restart": {},
+    "solve_end": {"objective": NULLABLE_NUMBER},
+}
+PHASES = {"presolve", "root_lp", "heuristic", "tree", "extract"}
+OUTCOMES = {"branched", "integer", "infeasible", "pruned", "cutoff", "limit"}
+
+
+def fail(lineno, msg):
+    print(f"FAIL line {lineno}: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(path, min_workers):
+    counts = {}
+    workers = set()
+    prev_t = -1.0
+    lineno = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                e = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                return fail(lineno, f"not valid JSON: {exc}")
+            if not isinstance(e, dict):
+                return fail(lineno, "not a JSON object")
+            for key, kinds in (("t", NUMBER), ("type", (str,)), ("worker", (int,))):
+                if not isinstance(e.get(key), kinds):
+                    return fail(lineno, f"missing or mistyped common key '{key}'")
+            etype = e["type"]
+            if etype not in SCHEMA:
+                return fail(lineno, f"unknown event type '{etype}'")
+            for key, kinds in SCHEMA[etype].items():
+                if key not in e:
+                    return fail(lineno, f"'{etype}' missing key '{key}'")
+                if not isinstance(e[key], kinds):
+                    return fail(lineno, f"'{etype}' key '{key}' has wrong type")
+            extra = set(e) - {"t", "type", "worker"} - set(SCHEMA[etype])
+            if extra:
+                return fail(lineno, f"'{etype}' has undocumented keys {sorted(extra)}")
+            if etype == "phase" and e["phase"] not in PHASES:
+                return fail(lineno, f"unknown phase '{e['phase']}'")
+            if etype == "node_close" and e["outcome"] not in OUTCOMES:
+                return fail(lineno, f"unknown outcome '{e['outcome']}'")
+            if e["t"] < 0:
+                return fail(lineno, "negative timestamp")
+            if e["t"] < prev_t:
+                return fail(lineno, "timestamps not sorted")
+            prev_t = e["t"]
+            counts[etype] = counts.get(etype, 0) + 1
+            workers.add(e["worker"])
+
+    if lineno == 0:
+        return fail(0, "empty trace")
+    if counts.get("solve_start", 0) != 1:
+        return fail(lineno, f"expected exactly 1 solve_start, got {counts.get('solve_start', 0)}")
+    if counts.get("solve_end", 0) > 1:
+        return fail(lineno, f"expected at most 1 solve_end, got {counts['solve_end']}")
+    for required in ("node_open", "node_close", "incumbent"):
+        if counts.get(required, 0) == 0:
+            return fail(lineno, f"no {required} events")
+    if len(workers) < min_workers:
+        return fail(lineno, f"events from {len(workers)} worker(s), need >= {min_workers}")
+    if min_workers >= 2 and counts.get("steal", 0) == 0:
+        return fail(lineno, "parallel trace has no steal events")
+
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"OK {path}: {sum(counts.values())} events, "
+          f"{len(workers)} workers ({summary})")
+    return 0
+
+
+def main(argv):
+    min_workers = 1
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--min-workers="):
+            min_workers = int(arg.split("=", 1)[1])
+        elif arg.startswith("-"):
+            print(f"unknown option: {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return validate(paths[0], min_workers)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
