@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# CI entry point: release build + full test suite, a traced end-to-end solve
-# whose JSONL event log is validated against the documented schema, then a
-# ThreadSanitizer build running the concurrency-focused suites (the parallel
-# branch & bound pool, basis transplants, and reoptimization repair paths).
+# CI entry point, four legs:
+#   1. release: build + full test suite, model-lint fixture gate, and a
+#      traced + certified end-to-end EPN solve whose JSONL event log is
+#      validated against the documented schema.
+#   2. asan: AddressSanitizer + UBSan build (-fno-sanitize-recover, warnings
+#      promoted to errors via ARCHEX_WERROR) running the full suite.
+#   3. tsan: ThreadSanitizer build running the concurrency-focused suites.
+#   4. clang-tidy over src/ + tools/, using the release compile database
+#      (skipped with a notice when clang-tidy is not installed).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,16 +18,46 @@ cmake --build --preset release -j "$(nproc)"
 echo "=== release: ctest (full suite) ==="
 ctest --preset release -j "$(nproc)"
 
-echo "=== observability: traced EPN solve + schema validation ==="
-# Export the EPN case-study MILP, solve it with 4 workers and tracing on,
-# then check the emitted JSONL against docs/observability.md: unknown event
-# types, missing keys, unsorted timestamps, or a trace without node /
-# incumbent / steal events from >= 2 workers all fail the build. The trace
-# stays under build/ as a CI artifact.
+echo "=== static analysis: milp_lint fixture gate ==="
+# Seeded-defect fixtures must fail the lint (each names the rule it seeds),
+# clean fixtures must pass it even with warnings promoted, and the
+# info-severity rules must surface in the report without failing the run.
+for f in data/lint/bad/*.lp; do
+  if build/tools/milp_lint --werror --quiet "$f" > /dev/null; then
+    echo "FAIL: milp_lint did not flag seeded-defect fixture $f" >&2
+    exit 1
+  fi
+done
+build/tools/milp_lint --werror data/lint/clean/*.lp
+lint_info=$(build/tools/milp_lint data/lint/info/notable_structure.lp)
+for rule in redundant-row fixed-column free-column; do
+  if ! grep -q "\[$rule\]" <<< "$lint_info"; then
+    echo "FAIL: info fixture did not surface [$rule]" >&2
+    exit 1
+  fi
+done
+echo "lint gate: $(ls data/lint/bad/*.lp | wc -l) defect fixtures flagged," \
+     "clean + info fixtures as expected"
+
+echo "=== observability: traced + certified EPN solve + schema validation ==="
+# Export the EPN case-study MILP, solve it with 4 workers, tracing on and
+# certification on (--certify: milp_solve exits 9 if the independent
+# certifier finds any residual above tolerance), then check the emitted
+# JSONL against docs/observability.md: unknown event types, missing keys,
+# unsorted timestamps, or a trace without node / incumbent / steal events
+# from >= 2 workers all fail the build. The trace stays under build/ as a
+# CI artifact.
 build/examples/epn_explorer --write-lp=build/epn_ci_model.lp
-build/examples/milp_solve build/epn_ci_model.lp --threads=4 \
+build/examples/milp_solve build/epn_ci_model.lp --threads=4 --certify \
   --trace-json=build/epn_ci_trace.jsonl --log-interval=5 --timing
 python3 tools/validate_trace.py build/epn_ci_trace.jsonl --min-workers=2
+
+echo "=== asan: configure + build (ASan + UBSan, -Werror) ==="
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+
+echo "=== asan: ctest (full suite) ==="
+ctest --preset asan -j "$(nproc)"
 
 echo "=== tsan: configure + build ==="
 cmake --preset tsan
@@ -30,5 +65,16 @@ cmake --build --preset tsan -j "$(nproc)"
 
 echo "=== tsan: ctest (parallel suites) ==="
 ctest --preset tsan
+
+echo "=== clang-tidy: src/ + tools/ ==="
+if command -v clang-tidy > /dev/null 2>&1; then
+  # The release configure exports build/compile_commands.json
+  # (CMAKE_EXPORT_COMPILE_COMMANDS); .clang-tidy at the repo root holds the
+  # check profile.
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build --quiet
+else
+  echo "clang-tidy not installed: skipping the tidy leg (config: .clang-tidy)"
+fi
 
 echo "=== ci: all green ==="

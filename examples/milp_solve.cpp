@@ -5,15 +5,18 @@
 ///
 /// Usage: milp_solve <model.lp> [--time-limit=S] [--threads=N] [--lp-relaxation]
 ///                   [--trace-json=FILE] [--log-interval=S] [--timing]
+///                   [--certify] [--no-certify]
 ///
 /// Exit codes follow the termination reason: 0 optimal, 3 infeasible,
 /// 4 unbounded, 5 node limit, 6 time limit, 7 iteration limit, 8 numerical
-/// failure, 2 usage/parse error.
+/// failure, 9 certificate violation, 2 usage/parse error.
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "check/certify.hpp"
 #include "milp/branch_bound.hpp"
 #include "milp/lp_format.hpp"
 #include "milp/simplex.hpp"
@@ -43,13 +46,14 @@ int main(int argc, char** argv) {
                  "usage: milp_solve <model.lp> [--time-limit=S] [--threads=N]"
                  " [--lp-relaxation]\n"
                  "                  [--trace-json=FILE] [--log-interval=S]"
-                 " [--timing]\n");
+                 " [--timing] [--certify] [--no-certify]\n");
     return 2;
   }
   double time_limit = 300.0;
   int threads = 0;  // 0 = hardware concurrency
   bool relaxation = false;
   bool timing = false;
+  bool certify = true;  // independent certification of the answer (default on)
   double log_interval = 0.0;
   std::string trace_path;
   for (int i = 2; i < argc; ++i) {
@@ -61,6 +65,8 @@ int main(int argc, char** argv) {
       else if (a.rfind("--trace-json=", 0) == 0) trace_path = a.substr(13);
       else if (a.rfind("--log-interval=", 0) == 0) log_interval = std::stod(a.substr(15));
       else if (a == "--timing") timing = true;
+      else if (a == "--certify") certify = true;
+      else if (a == "--no-certify") certify = false;
       else {
         std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
         return 2;
@@ -86,11 +92,26 @@ int main(int argc, char** argv) {
       opts.time_limit_s = time_limit;
       opts.num_threads = threads;
       opts.trace = !trace_path.empty();
+      opts.certify = certify;
       if (log_interval > 0.0) {
         opts.log_interval = log_interval;
         opts.log_sink = &std::cout;
       }
       sol = solve_milp(model, opts);
+    }
+    archex::check::Certificate cert;
+    if (certify && sol.has_incumbent) {
+      if (relaxation) {
+        // The answer solves the relaxation, so certify against it: integrality
+        // of the original columns is not a property the relaxation promises.
+        Model relaxed = model;
+        for (std::size_t j = 0; j < relaxed.num_vars(); ++j) {
+          relaxed.var(VarId{static_cast<std::int32_t>(j)}).type = VarType::Continuous;
+        }
+        cert = archex::check::certify(relaxed, sol);
+      } else {
+        cert = archex::check::certify(model, sol);
+      }
     }
     std::printf("status: %s\n", to_string(sol.status));
     if (sol.has_incumbent || sol.status == SolveStatus::Optimal) {
@@ -117,6 +138,7 @@ int main(int argc, char** argv) {
                   " tree %.3fs, extract %.3fs\n",
                   p.presolve, p.root_lp, p.heuristic, p.tree, p.extract);
     }
+    if (cert.checked) std::printf("%s\n", cert.summary().c_str());
     if (!trace_path.empty()) {
       std::ofstream out(trace_path);
       if (!out) {
@@ -128,6 +150,7 @@ int main(int argc, char** argv) {
                    sol.trace.events.size(),
                    static_cast<long long>(sol.trace.dropped), trace_path.c_str());
     }
+    if (cert.checked && !cert.ok()) return 9;
     return exit_code(sol.term_reason);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

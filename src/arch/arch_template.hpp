@@ -30,7 +30,7 @@ struct NodeSpec {
   /// Optional fixed implementation: restricts the mapping candidates to the
   /// named library component (used for sinks whose characteristics are
   /// givens, e.g. the EPN loads with fixed power demands).
-  std::string impl;
+  std::string impl{};
 
   [[nodiscard]] bool has_tag(const std::string& tag) const {
     for (const std::string& t : tags) {
@@ -48,9 +48,9 @@ struct NodeSpec {
 /// match anything; this is the argument form every pattern takes (the paper's
 /// T, S', and tag parameters).
 struct NodeFilter {
-  std::string type;
-  std::string subtype;
-  std::string tag;
+  std::string type{};
+  std::string subtype{};
+  std::string tag{};
 
   [[nodiscard]] bool matches(const NodeSpec& n) const {
     if (!type.empty() && n.type != type) return false;

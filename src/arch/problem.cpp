@@ -1,5 +1,6 @@
 #include "arch/problem.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -68,6 +69,24 @@ Problem::Problem(Library lib, ArchTemplate tmpl)
                             "map(" + nm + ")");
     }
   }
+  label_new_rows("structural");
+}
+
+void Problem::label_new_rows(const std::string& label) {
+  if (row_origin_.size() >= model_.num_constraints()) return;
+  auto it = std::find(row_labels_.begin(), row_labels_.end(), label);
+  if (it == row_labels_.end()) {
+    row_labels_.push_back(label);
+    it = std::prev(row_labels_.end());
+  }
+  const auto idx = static_cast<std::int32_t>(it - row_labels_.begin());
+  row_origin_.resize(model_.num_constraints(), idx);
+}
+
+const std::string& Problem::origin_of_row(std::size_t row) const {
+  static const std::string kUnknown = "unattributed";
+  if (row >= row_origin_.size()) return kUnknown;
+  return row_labels_[static_cast<std::size_t>(row_origin_[row])];
 }
 
 milp::LinExpr Problem::in_degree(NodeId v, const NodeFilter& from) const {
@@ -113,6 +132,7 @@ FlowCommodity& Problem::flow(const std::string& name, double cap) {
                           "cap[" + name + "](" + vn + ")");
     f.edge_vars.push_back(fv);
   }
+  label_new_rows("flow(" + name + ")");
   return flows_.emplace(name, std::move(f)).first->second;
 }
 
@@ -140,6 +160,9 @@ milp::LinExpr Problem::flow_out(const FlowCommodity& f, NodeId v) const {
 void Problem::apply(const Pattern& pattern) {
   pattern.emit(*this);
   patterns_applied_.push_back(pattern.describe());
+  // Rows emitted during this pattern (minus any flow-coupling rows flow()
+  // already claimed) are attributed to the pattern.
+  label_new_rows(pattern.describe());
 }
 
 void Problem::apply(const std::shared_ptr<Pattern>& pattern) { apply(*pattern); }
@@ -202,6 +225,7 @@ std::size_t Problem::add_symmetry_breaking() {
       ++pairs;
     }
   }
+  label_new_rows("symmetry-breaking");
   return pairs;
 }
 

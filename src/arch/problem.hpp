@@ -126,6 +126,14 @@ class Problem {
   /// excluding any distinct design. Returns the number of ordered pairs.
   std::size_t add_symmetry_breaking();
 
+  // --- row provenance (used by check::lint) ---------------------------------
+  /// Origin label of a model row: "structural" for the constraints the
+  /// constructor emits, the pattern description for rows a pattern emitted,
+  /// "flow(name)" for commodity coupling rows, "symmetry-breaking" for the
+  /// ordering rows. Lets diagnostics report "pattern X produced an
+  /// always-inactive constraint" instead of a bare row index.
+  [[nodiscard]] const std::string& origin_of_row(std::size_t row) const;
+
   /// Extra weighted cost term added to the objective (the "weighted sum of
   /// different concerns" of Sec. 2).
   void add_cost_term(milp::LinExpr term, double weight = 1.0);
@@ -153,6 +161,10 @@ class Problem {
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
 
  private:
+  /// Labels every model row added since the last call with `label`
+  /// (provenance for lint diagnostics). Idempotent for already-labeled rows.
+  void label_new_rows(const std::string& label);
+
   Library lib_;
   ArchTemplate tmpl_;
   milp::Model model_;
@@ -164,6 +176,8 @@ class Problem {
   std::vector<std::pair<milp::LinExpr, double>> extra_cost_;
   std::map<std::int32_t, double> edge_cost_override_;  ///< by edge index
   std::vector<std::string> patterns_applied_;
+  std::vector<std::string> row_labels_;        ///< distinct origin labels
+  std::vector<std::int32_t> row_origin_;       ///< per row: index into row_labels_
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   double encode_seconds_ = 0.0;  ///< structural-constraint build time (ctor)
 };

@@ -174,10 +174,17 @@ void Architecture::print(std::ostream& os) const {
 }
 
 void ExplorationResult::print_timing(std::ostream& os) const {
-  char buf[96];
+  std::ostringstream fmt;
+  fmt.setf(std::ios::fixed);
+  fmt.precision(3);
   auto line = [&](const char* label, double s) {
-    std::snprintf(buf, sizeof(buf), "  %-10s %8.3fs\n", label, s);
-    os << buf;
+    fmt.str("");
+    fmt.width(0);
+    fmt << "  " << label;
+    for (std::size_t i = std::string(label).size(); i < 10; ++i) fmt << ' ';
+    fmt.width(9);
+    fmt << s;
+    os << fmt.str() << "s\n";
   };
   os << "timing:\n";
   line("encode", encode_seconds);
@@ -185,11 +192,11 @@ void ExplorationResult::print_timing(std::ostream& os) const {
   line("solve", solver_seconds);
   line("extract", extract_seconds);
   const milp::SolvePhases& p = solution.phases;
-  std::snprintf(buf, sizeof(buf),
-                "  solver phases: presolve %.3fs, root LP %.3fs, heuristic"
-                " %.3fs, tree %.3fs, extract %.3fs\n",
-                p.presolve, p.root_lp, p.heuristic, p.tree, p.extract);
-  os << buf;
+  fmt.str("");
+  fmt << "  solver phases: presolve " << p.presolve << "s, root LP " << p.root_lp
+      << "s, heuristic " << p.heuristic << "s, tree " << p.tree << "s, extract "
+      << p.extract << "s\n";
+  os << fmt.str();
 }
 
 }  // namespace archex

@@ -1,0 +1,205 @@
+#include "check/certify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace archex::check {
+
+using milp::kInf;
+using milp::LinConstraint;
+using milp::Model;
+using milp::ObjectiveSense;
+using milp::Sense;
+using milp::Term;
+using milp::Variable;
+
+namespace {
+
+/// Row activity with long-double accumulation — deliberately not
+/// LinExpr::evaluate, so the certifier's arithmetic path is its own.
+double row_activity(const LinConstraint& c, const std::vector<double>& x) {
+  long double acc = 0.0L;
+  for (const Term& t : c.expr.terms()) {
+    acc += static_cast<long double>(t.coef) *
+           static_cast<long double>(x[static_cast<std::size_t>(t.var.index)]);
+  }
+  return static_cast<double>(acc);
+}
+
+void record_violation(Certificate& cert, std::size_t cap, std::int32_t row,
+                      double violation) {
+  cert.worst_rows.push_back({row, violation});
+  std::sort(cert.worst_rows.begin(), cert.worst_rows.end(),
+            [](const RowViolation& a, const RowViolation& b) {
+              return a.violation > b.violation;
+            });
+  if (cert.worst_rows.size() > cap) cert.worst_rows.resize(cap);
+}
+
+void append_residual(std::ostringstream& os, const char* label, double v, bool ok) {
+  os << label << " " << v << (ok ? "" : " [FAIL]");
+}
+
+}  // namespace
+
+std::string Certificate::summary() const {
+  std::ostringstream os;
+  if (!checked) return "certificate: not checked (no assignment)";
+  os << "certificate: " << (ok() ? "ok" : "VIOLATED") << " (";
+  append_residual(os, "row", max_row_violation, rows_ok);
+  os << ", ";
+  append_residual(os, "bound", max_bound_violation, bounds_ok);
+  os << ", ";
+  append_residual(os, "int", max_int_violation, integrality_ok);
+  os << ", ";
+  append_residual(os, "obj", objective_error, objective_ok);
+  if (duals_checked) {
+    os << ", ";
+    append_residual(os, "dual", max_dual_violation, dual_feasible);
+    os << ", ";
+    append_residual(os, "slack", max_slackness_violation, complementary);
+  }
+  os << ")";
+  return os.str();
+}
+
+Certificate certify(const Model& model, const std::vector<double>& x,
+                    double objective, const CertifyOptions& options) {
+  Certificate cert;
+  if (x.size() != model.num_vars()) return cert;  // checked stays false
+  cert.checked = true;
+
+  // Bounds and integrality.
+  for (std::size_t j = 0; j < model.num_vars(); ++j) {
+    const Variable& v = model.vars()[j];
+    const double below = v.lb == -kInf ? 0.0 : (v.lb - x[j]) / (1.0 + std::abs(v.lb));
+    const double above = v.ub == kInf ? 0.0 : (x[j] - v.ub) / (1.0 + std::abs(v.ub));
+    const double bviol = std::max({below, above, 0.0});
+    cert.max_bound_violation = std::max(cert.max_bound_violation, bviol);
+    if (bviol > options.feas_tol) cert.bounds_ok = false;
+    if (v.is_integral()) {
+      const double iviol = std::abs(x[j] - std::round(x[j]));
+      cert.max_int_violation = std::max(cert.max_int_violation, iviol);
+      if (iviol > options.int_tol) cert.integrality_ok = false;
+    }
+  }
+
+  // Every row of the original model, re-evaluated from scratch.
+  for (std::size_t i = 0; i < model.num_constraints(); ++i) {
+    const LinConstraint& c = model.constraint(i);
+    const double act = row_activity(c, x);
+    const double scale = 1.0 + std::abs(c.rhs);
+    double viol = 0.0;
+    switch (c.sense) {
+      case Sense::LE: viol = (act - c.rhs) / scale; break;
+      case Sense::GE: viol = (c.rhs - act) / scale; break;
+      case Sense::EQ: viol = std::abs(act - c.rhs) / scale; break;
+    }
+    viol = std::max(viol, 0.0);
+    if (viol > cert.max_row_violation) cert.max_row_violation = viol;
+    if (viol > options.feas_tol) {
+      cert.rows_ok = false;
+      record_violation(cert, options.max_reported, static_cast<std::int32_t>(i), viol);
+    }
+  }
+
+  // Objective agreement: recompute c·x + constant and compare to the claim.
+  long double obj = model.objective().constant();
+  for (const Term& t : model.objective().terms()) {
+    obj += static_cast<long double>(t.coef) *
+           static_cast<long double>(x[static_cast<std::size_t>(t.var.index)]);
+  }
+  cert.objective_error =
+      std::abs(static_cast<double>(obj) - objective) / (1.0 + std::abs(objective));
+  if (cert.objective_error > options.obj_tol) cert.objective_ok = false;
+
+  return cert;
+}
+
+Certificate certify(const Model& model, const milp::Solution& sol,
+                    const CertifyOptions& options) {
+  if (!sol.has_incumbent) return {};
+  return certify(model, sol.x, sol.objective, options);
+}
+
+Certificate certify_lp(const Model& model, const std::vector<double>& x,
+                       double objective, const std::vector<double>& duals,
+                       const std::vector<double>& reduced_costs,
+                       const CertifyOptions& options) {
+  Certificate cert = certify(model, x, objective, options);
+  if (!cert.checked || duals.size() != model.num_constraints() ||
+      reduced_costs.size() != model.num_vars()) {
+    return cert;
+  }
+  cert.duals_checked = true;
+
+  // Work in minimize sense; the engine reports duals/reduced costs in the
+  // model's own sense, so a Maximize model flips both (and the costs).
+  const double flip =
+      model.objective_sense() == ObjectiveSense::Maximize ? -1.0 : 1.0;
+
+  // Reduced costs recomputed from the duals: d_j = c_j - sum_i y_i a_ij.
+  std::vector<long double> dhat(model.num_vars(), 0.0L);
+  for (const Term& t : model.objective().terms()) {
+    dhat[static_cast<std::size_t>(t.var.index)] =
+        flip * static_cast<long double>(t.coef);
+  }
+  for (std::size_t i = 0; i < model.num_constraints(); ++i) {
+    const long double yi = flip * static_cast<long double>(duals[i]);
+    if (yi == 0.0L) continue;
+    for (const Term& t : model.constraint(i).expr.terms()) {
+      dhat[static_cast<std::size_t>(t.var.index)] -=
+          yi * static_cast<long double>(t.coef);
+    }
+  }
+
+  auto flag_dual = [&](double viol) {
+    cert.max_dual_violation = std::max(cert.max_dual_violation, viol);
+    if (viol > options.dual_tol) cert.dual_feasible = false;
+  };
+
+  // Column conditions: the engine's reduced costs must match the recomputed
+  // ones, and the sign must fit where x sits in its box (min sense: at lower
+  // bound d >= 0, at upper d <= 0, interior d == 0).
+  for (std::size_t j = 0; j < model.num_vars(); ++j) {
+    const Variable& v = model.vars()[j];
+    const auto d = static_cast<double>(dhat[j]);
+    const double scale = 1.0 + std::abs(d);
+    flag_dual(std::abs(d - flip * reduced_costs[j]) / scale);
+    if (v.lb == v.ub) continue;  // fixed columns carry any reduced cost
+    const double span = std::min(v.ub - v.lb, 1.0);
+    const bool at_lb = v.lb != -kInf && x[j] <= v.lb + options.feas_tol * span;
+    const bool at_ub = v.ub != kInf && x[j] >= v.ub - options.feas_tol * span;
+    if (at_lb && !at_ub) {
+      flag_dual(std::max(-d, 0.0) / scale);
+    } else if (at_ub && !at_lb) {
+      flag_dual(std::max(d, 0.0) / scale);
+    } else if (!at_lb && !at_ub) {
+      flag_dual(std::abs(d) / scale);
+    }
+  }
+
+  // Row conditions (min sense): LE rows need y <= 0, GE rows y >= 0, and a
+  // slack row (inactive inequality) needs y == 0 — complementary slackness.
+  for (std::size_t i = 0; i < model.num_constraints(); ++i) {
+    const LinConstraint& c = model.constraint(i);
+    if (c.sense == Sense::EQ) continue;
+    const double y = flip * duals[i];
+    const double yscale = 1.0 + std::abs(y);
+    if (c.sense == Sense::LE) {
+      flag_dual(std::max(y, 0.0) / yscale);
+    } else {
+      flag_dual(std::max(-y, 0.0) / yscale);
+    }
+    const double slack = std::abs(row_activity(c, x) - c.rhs);
+    if (slack > options.feas_tol * (1.0 + std::abs(c.rhs))) {
+      const double sviol = std::abs(y) / yscale;
+      cert.max_slackness_violation = std::max(cert.max_slackness_violation, sviol);
+      if (sviol > options.dual_tol) cert.complementary = false;
+    }
+  }
+  return cert;
+}
+
+}  // namespace archex::check

@@ -1,0 +1,96 @@
+/// \file certify.hpp
+/// Independent certification of solver answers.
+///
+/// The in-repo simplex / branch & bound stack (unlike CPLEX) ships without a
+/// second opinion: if a basis update goes numerically wrong, the "optimal"
+/// answer it returns may quietly violate a row. The certifier is that second
+/// opinion — a deliberately separate code path that re-evaluates every row of
+/// the *original pre-presolve* model against the returned assignment with
+/// long-double accumulation, checks bounds, integrality and objective-value
+/// agreement, and (for pure LPs) verifies dual feasibility and complementary
+/// slackness from the engine's `dual_values()` / `reduced_costs()`.
+///
+/// It shares no code with the solver: no LinExpr::evaluate, no simplex
+/// tableau, no presolve mappings. A bug in the solver therefore cannot hide
+/// itself in its own certificate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace archex::check {
+
+/// Certification tolerances. Residuals are compared relatively: a row
+/// violation counts when it exceeds `feas_tol * (1 + |rhs|)`.
+struct CertifyOptions {
+  double feas_tol = 1e-6;  ///< row and bound residual tolerance
+  double int_tol = 1e-6;   ///< integrality residual tolerance
+  double obj_tol = 1e-6;   ///< relative objective agreement tolerance
+  double dual_tol = 1e-6;  ///< dual feasibility / slackness tolerance (LP)
+  std::size_t max_reported = 8;  ///< worst violations kept per category
+};
+
+/// One violated row and by how much (scaled residual).
+struct RowViolation {
+  std::int32_t row = -1;
+  double violation = 0.0;
+};
+
+/// The certificate: per-category verdicts plus the maximum residual of each
+/// category, so telemetry can record how close a passing solve came to the
+/// tolerance.
+struct Certificate {
+  bool checked = false;  ///< false = nothing to certify (no assignment given)
+  bool bounds_ok = true;
+  bool integrality_ok = true;
+  bool rows_ok = true;
+  bool objective_ok = true;
+  /// LP-only duals leg; `duals_checked` stays false for MILP certificates.
+  bool duals_checked = false;
+  bool dual_feasible = true;
+  bool complementary = true;
+
+  double max_bound_violation = 0.0;
+  double max_int_violation = 0.0;
+  double max_row_violation = 0.0;
+  double objective_error = 0.0;  ///< |claimed - recomputed| / (1 + |claimed|)
+  double max_dual_violation = 0.0;
+  double max_slackness_violation = 0.0;
+
+  std::vector<RowViolation> worst_rows;  ///< scaled residuals, largest first
+
+  [[nodiscard]] bool ok() const {
+    return checked && bounds_ok && integrality_ok && rows_ok && objective_ok &&
+           dual_feasible && complementary;
+  }
+  /// One line: "certificate: ok (row 3.2e-12, bound 0, int 1.1e-16, obj 4e-13)"
+  /// or the failing categories with their residuals.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Certifies assignment `x` with claimed objective `objective` (model sense)
+/// against `model`: bounds, integrality, every row, and the recomputed
+/// objective value.
+[[nodiscard]] Certificate certify(const milp::Model& model, const std::vector<double>& x,
+                                  double objective, const CertifyOptions& options = {});
+
+/// Convenience over a Solution: certifies `sol.x` / `sol.objective` when the
+/// solution carries an incumbent; returns an unchecked certificate otherwise.
+[[nodiscard]] Certificate certify(const milp::Model& model, const milp::Solution& sol,
+                                  const CertifyOptions& options = {});
+
+/// LP certification: everything `certify` does, plus dual feasibility and
+/// complementary slackness. `duals` are the row duals and `reduced_costs` the
+/// structural reduced costs, both in the model's own sense (exactly what
+/// `SimplexSolver::dual_values()` / `reduced_costs()` return). The reduced
+/// costs are *recomputed* from the duals (d_j = c_j - y·A_j) and cross-checked
+/// against the engine's values, so a pricing bug cannot certify itself.
+[[nodiscard]] Certificate certify_lp(const milp::Model& model, const std::vector<double>& x,
+                                     double objective, const std::vector<double>& duals,
+                                     const std::vector<double>& reduced_costs,
+                                     const CertifyOptions& options = {});
+
+}  // namespace archex::check

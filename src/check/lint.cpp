@@ -1,0 +1,367 @@
+#include "check/lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace archex::check {
+
+using milp::kInf;
+using milp::LinConstraint;
+using milp::Model;
+using milp::Sense;
+using milp::Term;
+using milp::VarId;
+using milp::Variable;
+using milp::VarType;
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(Rule r) {
+  switch (r) {
+    case Rule::EmptyRow: return "empty-row";
+    case Rule::DuplicateRow: return "duplicate-row";
+    case Rule::ContradictoryRows: return "contradictory-rows";
+    case Rule::InfeasibleRow: return "infeasible-row";
+    case Rule::RedundantRow: return "redundant-row";
+    case Rule::CoefficientRange: return "coefficient-range";
+    case Rule::BigM: return "big-m";
+    case Rule::ContradictoryBounds: return "contradictory-bounds";
+    case Rule::EmptyIntegerDomain: return "empty-integer-domain";
+    case Rule::FractionalIntBounds: return "fractional-integer-bounds";
+    case Rule::FixedColumn: return "fixed-column";
+    case Rule::FreeColumn: return "free-column";
+    case Rule::UnreferencedColumn: return "unreferenced-column";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << check::to_string(severity) << " [" << check::to_string(rule) << "]";
+  if (row >= 0) os << " row " << row;
+  if (col >= 0) os << " col " << col;
+  os << ": " << message;
+  if (!fix_hint.empty()) os << " (hint: " << fix_hint << ")";
+  return os.str();
+}
+
+bool LintReport::clean(Severity at_least) const {
+  return std::none_of(diagnostics.begin(), diagnostics.end(),
+                      [&](const Diagnostic& d) { return d.severity >= at_least; });
+}
+
+std::vector<Diagnostic> LintReport::at_least(Severity s) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity >= s) out.push_back(d);
+  }
+  return out;
+}
+
+void LintReport::print(std::ostream& os) const {
+  for (const Diagnostic& d : diagnostics) os << d.to_string() << "\n";
+  os << num_errors << " error(s), " << num_warnings << " warning(s), "
+     << num_infos << " info(s)\n";
+}
+
+namespace {
+
+/// Collects diagnostics with severity tallies and name helpers.
+class Linter {
+ public:
+  Linter(const Model& m, const LintOptions& opts) : model_(m), opts_(opts) {}
+
+  [[nodiscard]] LintReport take() && {
+    std::stable_sort(report_.diagnostics.begin(), report_.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       if (a.row != b.row) return a.row < b.row;
+                       return a.col < b.col;
+                     });
+    return std::move(report_);
+  }
+
+  void add(Rule rule, Severity sev, std::int32_t row, std::int32_t col,
+           std::string message, std::string hint = {}) {
+    if (sev == Severity::Info && !opts_.report_info) return;
+    switch (sev) {
+      case Severity::Error: ++report_.num_errors; break;
+      case Severity::Warning: ++report_.num_warnings; break;
+      case Severity::Info: ++report_.num_infos; break;
+    }
+    report_.diagnostics.push_back(
+        {rule, sev, row, col, std::move(message), std::move(hint)});
+  }
+
+  [[nodiscard]] std::string row_name(std::size_t i) const {
+    const std::string& n = model_.constraint(i).name;
+    return n.empty() ? "c" + std::to_string(i) : n;
+  }
+
+  [[nodiscard]] std::string col_name(std::size_t j) const {
+    const std::string& n = model_.vars()[j].name;
+    return n.empty() ? "x" + std::to_string(j) : n;
+  }
+
+  void lint_columns();
+  void lint_rows();
+  void lint_duplicates();
+
+ private:
+  const Model& model_;
+  const LintOptions& opts_;
+  LintReport report_;
+};
+
+/// Range [lo, hi] of a row activity a·x over the variable boxes. Infinite
+/// bounds propagate to infinite activity ends.
+struct ActivityRange {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+ActivityRange activity_range(const Model& m, const LinConstraint& c) {
+  ActivityRange r;
+  for (const Term& t : c.expr.terms()) {
+    const Variable& v = m.var(t.var);
+    const double a = t.coef;
+    const double at_lb = a * v.lb;  // may be +-inf
+    const double at_ub = a * v.ub;
+    r.lo += std::min(at_lb, at_ub);
+    r.hi += std::max(at_lb, at_ub);
+  }
+  return r;
+}
+
+void Linter::lint_columns() {
+  const std::size_t n = model_.num_vars();
+  std::vector<std::int32_t> refs(n, 0);
+  for (const LinConstraint& c : model_.constraints()) {
+    for (const Term& t : c.expr.terms()) ++refs[static_cast<std::size_t>(t.var.index)];
+  }
+  std::vector<bool> in_objective(n, false);
+  for (const Term& t : model_.objective().terms()) {
+    in_objective[static_cast<std::size_t>(t.var.index)] = true;
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const Variable& v = model_.vars()[j];
+    const auto col = static_cast<std::int32_t>(j);
+    if (v.lb > v.ub + opts_.tol) {
+      add(Rule::ContradictoryBounds, Severity::Error, -1, col,
+          "bounds of '" + col_name(j) + "' cross: lb=" + std::to_string(v.lb) +
+              " > ub=" + std::to_string(v.ub),
+          "a tighten_bounds/parse produced an empty domain; the model is infeasible");
+      continue;  // the remaining column rules assume a sane interval
+    }
+    if (v.is_integral()) {
+      const double ilb = std::ceil(v.lb - opts_.tol);
+      const double iub = std::floor(v.ub + opts_.tol);
+      if (ilb > iub) {
+        add(Rule::EmptyIntegerDomain, Severity::Error, -1, col,
+            "integer column '" + col_name(j) + "' has no integer in [" +
+                std::to_string(v.lb) + ", " + std::to_string(v.ub) + "]",
+            "widen the bounds or drop integrality");
+      } else {
+        const bool frac_lb =
+            std::isfinite(v.lb) && std::abs(v.lb - std::round(v.lb)) > opts_.tol;
+        const bool frac_ub =
+            std::isfinite(v.ub) && std::abs(v.ub - std::round(v.ub)) > opts_.tol;
+        if (frac_lb || frac_ub) {
+          add(Rule::FractionalIntBounds, Severity::Warning, -1, col,
+              "integer column '" + col_name(j) + "' has fractional bounds [" +
+                  std::to_string(v.lb) + ", " + std::to_string(v.ub) + "]",
+              "tighten to [ceil(lb), floor(ub)] so presolve and branching see "
+              "the true domain");
+        }
+      }
+    }
+    if (v.lb == v.ub) {
+      add(Rule::FixedColumn, Severity::Info, -1, col,
+          "column '" + col_name(j) + "' is fixed at " + std::to_string(v.lb),
+          "substitute the constant if the fix is permanent");
+    } else if (v.lb == -kInf && v.ub == kInf) {
+      add(Rule::FreeColumn, Severity::Info, -1, col,
+          "column '" + col_name(j) + "' is free (no finite bound)");
+    }
+    if (refs[j] == 0) {
+      add(Rule::UnreferencedColumn, Severity::Warning, -1, col,
+          "column '" + col_name(j) + "' appears in no constraint" +
+              (in_objective[j] ? " (objective only: it will peg at a bound)"
+                               : " and not in the objective"),
+          "remove the variable or add the constraints that were meant to "
+          "reference it");
+    }
+  }
+}
+
+void Linter::lint_rows() {
+  for (std::size_t i = 0; i < model_.num_constraints(); ++i) {
+    const LinConstraint& c = model_.constraint(i);
+    const auto row = static_cast<std::int32_t>(i);
+    const double rtol = opts_.tol * (1.0 + std::abs(c.rhs));
+
+    if (c.expr.terms().empty()) {
+      // 0 (<=|>=|=) rhs — either vacuous or a contradiction baked in.
+      const bool sat = (c.sense == Sense::LE && 0.0 <= c.rhs + rtol) ||
+                       (c.sense == Sense::GE && 0.0 >= c.rhs - rtol) ||
+                       (c.sense == Sense::EQ && std::abs(c.rhs) <= rtol);
+      add(Rule::EmptyRow, sat ? Severity::Warning : Severity::Error, row, -1,
+          "row '" + row_name(i) + "' has no terms: 0 " +
+              milp::to_string(c.sense) + " " + std::to_string(c.rhs) +
+              (sat ? " (vacuous)" : " (trivially infeasible)"),
+          sat ? "drop the row; a pattern probably cancelled all coefficients"
+              : "the emitting pattern produced an unsatisfiable constant row");
+      continue;
+    }
+
+    // Activity-interval analysis against the variable boxes.
+    const ActivityRange act = activity_range(model_, c);
+    bool infeasible = false;
+    bool redundant = false;
+    switch (c.sense) {
+      case Sense::LE:
+        infeasible = act.lo > c.rhs + rtol;
+        redundant = act.hi <= c.rhs + rtol;
+        break;
+      case Sense::GE:
+        infeasible = act.hi < c.rhs - rtol;
+        redundant = act.lo >= c.rhs - rtol;
+        break;
+      case Sense::EQ:
+        infeasible = act.lo > c.rhs + rtol || act.hi < c.rhs - rtol;
+        redundant = act.lo >= c.rhs - rtol && act.hi <= c.rhs + rtol;
+        break;
+    }
+    if (infeasible) {
+      add(Rule::InfeasibleRow, Severity::Error, row, -1,
+          "row '" + row_name(i) + "' is infeasible for every point in the "
+          "variable bounds (activity in [" + std::to_string(act.lo) + ", " +
+              std::to_string(act.hi) + "], rhs " + std::to_string(c.rhs) + ")",
+          "the row contradicts the variable bounds; check sign or rhs");
+    } else if (redundant) {
+      add(Rule::RedundantRow, Severity::Info, row, -1,
+          "row '" + row_name(i) + "' is satisfied by every point in the "
+          "variable bounds (always inactive)",
+          "the row never constrains anything; drop it or tighten the rhs");
+    }
+
+    // Coefficient conditioning: dynamic range and big-M scan.
+    double amin = kInf;
+    double amax = 0.0;
+    for (const Term& t : c.expr.terms()) {
+      const double a = std::abs(t.coef);
+      amin = std::min(amin, a);
+      amax = std::max(amax, a);
+      if (a >= opts_.big_m_threshold && model_.var(t.var).is_integral()) {
+        add(Rule::BigM, Severity::Warning, row,
+            static_cast<std::int32_t>(t.var.index),
+            "row '" + row_name(i) + "' uses big-M coefficient " +
+                std::to_string(t.coef) + " on integral column '" +
+                col_name(static_cast<std::size_t>(t.var.index)) + "'",
+            "derive M from the activity bounds of the row instead of a "
+            "universal constant; loose M weakens the LP relaxation");
+      }
+    }
+    if (amax / amin > opts_.coef_range_ratio) {
+      add(Rule::CoefficientRange, Severity::Warning, row, -1,
+          "row '" + row_name(i) + "' has coefficient magnitudes spanning [" +
+              std::to_string(amin) + ", " + std::to_string(amax) +
+              "] — ratio beyond " + std::to_string(opts_.coef_range_ratio),
+          "rescale the row or the offending columns; such spreads breed "
+          "numerical error in the basis factors");
+    }
+  }
+}
+
+void Linter::lint_duplicates() {
+  // Group rows by their (normalized) term vector. Within a group, the senses
+  // and right-hand sides either duplicate each other, dominate each other,
+  // or contradict; all three are worth reporting.
+  struct RowRef {
+    std::size_t row;
+    Sense sense;
+    double rhs;
+  };
+  std::map<std::string, std::vector<RowRef>> groups;
+  for (std::size_t i = 0; i < model_.num_constraints(); ++i) {
+    const LinConstraint& c = model_.constraint(i);
+    if (c.expr.terms().empty()) continue;  // handled by EmptyRow
+    std::ostringstream key;
+    for (const Term& t : c.expr.terms()) key << t.var.index << ":" << t.coef << ";";
+    groups[key.str()].push_back({i, c.sense, c.rhs});
+  }
+
+  for (const auto& [key, rows] : groups) {
+    if (rows.size() < 2) continue;
+    // Implied interval on the shared activity: EQ pins it, GE raises the
+    // floor, LE lowers the ceiling.
+    double lo = -kInf;
+    double hi = kInf;
+    for (const RowRef& r : rows) {
+      switch (r.sense) {
+        case Sense::LE: hi = std::min(hi, r.rhs); break;
+        case Sense::GE: lo = std::max(lo, r.rhs); break;
+        case Sense::EQ:
+          lo = std::max(lo, r.rhs);
+          hi = std::min(hi, r.rhs);
+          break;
+      }
+    }
+    if (lo > hi + opts_.tol * (1.0 + std::abs(lo))) {
+      add(Rule::ContradictoryRows, Severity::Error,
+          static_cast<std::int32_t>(rows.back().row), -1,
+          "rows over identical terms contradict (first is row " +
+              std::to_string(rows.front().row) + " '" +
+              row_name(rows.front().row) + "'): no activity satisfies all of "
+              "them",
+          "two patterns pinned the same expression to incompatible values");
+      continue;
+    }
+    // Within the same sense: equal rhs = exact duplicate, different rhs =
+    // one row dominates the other. Mixed senses over the same terms are a
+    // legitimate range constraint (l <= a·x <= u) and stay silent.
+    for (int s = 0; s < 3; ++s) {
+      const Sense sense = static_cast<Sense>(s);
+      const RowRef* prev = nullptr;
+      for (const RowRef& r : rows) {
+        if (r.sense != sense) continue;
+        if (prev != nullptr) {
+          const bool exact =
+              std::abs(prev->rhs - r.rhs) <= opts_.tol * (1.0 + std::abs(prev->rhs));
+          add(Rule::DuplicateRow, Severity::Warning,
+              static_cast<std::int32_t>(r.row), -1,
+              exact ? "row '" + row_name(r.row) + "' duplicates row " +
+                          std::to_string(prev->row) + " '" + row_name(prev->row) + "'"
+                    : "row '" + row_name(r.row) + "' restates the terms of row " +
+                          std::to_string(prev->row) + " '" + row_name(prev->row) +
+                          "' with a different rhs (one of them is dominated)",
+              "emit the constraint once; duplicated rows slow the simplex and "
+              "hide intent");
+        }
+        prev = &r;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint(const Model& model, const LintOptions& options) {
+  Linter linter(model, options);
+  linter.lint_columns();
+  linter.lint_rows();
+  linter.lint_duplicates();
+  return std::move(linter).take();
+}
+
+}  // namespace archex::check

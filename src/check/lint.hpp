@@ -1,0 +1,95 @@
+/// \file lint.hpp
+/// Static analysis of MILP models before they reach the solver.
+///
+/// ArchEx assembles models mechanically from templates and patterns, which is
+/// exactly where silent modeling bugs hide: a pattern instance that emits an
+/// empty row, a bound tightening that crosses, a big-M constant so loose the
+/// LP relaxation carries no information. The linter walks a finished Model
+/// and reports structural defects with severity, row/column coordinates and a
+/// fix hint — the validation stage between modeling and solving that
+/// commercial toolchains bury inside their presolve logs.
+///
+/// Severities:
+///   * Error   — the model is broken (trivially infeasible row, crossed or
+///               empty-domain bounds). Solving it wastes time or returns
+///               garbage; `milp_lint` exits nonzero.
+///   * Warning — almost certainly a modeling bug (duplicate/contradictory
+///               rows, unreferenced columns, loose big-M, extreme coefficient
+///               range, fractional integer bounds) but the model is solvable.
+///   * Info    — notable structure that is often intentional (fixed columns,
+///               free columns, redundant rows).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace archex::check {
+
+enum class Severity : std::uint8_t { Info, Warning, Error };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+/// Lint rules, one per defect class. docs/diagnostics.md documents each rule
+/// with an example triggering model.
+enum class Rule : std::uint8_t {
+  EmptyRow,             ///< row with no terms left after normalization
+  DuplicateRow,         ///< same terms + sense (+ compatible rhs) as earlier row
+  ContradictoryRows,    ///< same terms, mutually unsatisfiable rhs/senses
+  InfeasibleRow,        ///< unsatisfiable even at best-case variable bounds
+  RedundantRow,         ///< satisfied even at worst-case bounds (never active)
+  CoefficientRange,     ///< |a| spread within one row beyond the ratio cap
+  BigM,                 ///< suspiciously large coefficient on an integer column
+  ContradictoryBounds,  ///< lb > ub
+  EmptyIntegerDomain,   ///< integer column whose [lb, ub] holds no integer
+  FractionalIntBounds,  ///< integer column with non-integral finite bounds
+  FixedColumn,          ///< lb == ub
+  FreeColumn,           ///< both bounds infinite
+  UnreferencedColumn,   ///< column no constraint ever touches
+};
+
+[[nodiscard]] const char* to_string(Rule r);
+
+/// One finding: what, how bad, where, and how to fix it.
+struct Diagnostic {
+  Rule rule = Rule::EmptyRow;
+  Severity severity = Severity::Info;
+  std::int32_t row = -1;  ///< constraint index, -1 when not row-scoped
+  std::int32_t col = -1;  ///< variable index, -1 when not column-scoped
+  std::string message;    ///< human-readable, includes names where known
+  std::string fix_hint;   ///< suggested remedy, may be empty
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thresholds for the numerical rules.
+struct LintOptions {
+  double tol = 1e-9;               ///< feasibility / comparison tolerance
+  double coef_range_ratio = 1e9;   ///< per-row max|a| / min|a| warning cap
+  double big_m_threshold = 1e7;    ///< |a_ij| on an integral column at/above
+                                   ///< this warns about big-M looseness
+  bool report_info = true;         ///< include Info-severity findings
+};
+
+/// The linter's output: diagnostics in (row, col) order plus severity tallies.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t num_errors = 0;
+  std::size_t num_warnings = 0;
+  std::size_t num_infos = 0;
+
+  /// True when no diagnostic is at or above `at_least`.
+  [[nodiscard]] bool clean(Severity at_least = Severity::Error) const;
+  /// Findings at or above a severity, in report order.
+  [[nodiscard]] std::vector<Diagnostic> at_least(Severity s) const;
+  void print(std::ostream& os) const;
+};
+
+/// Lints `model`. Pure function of the model: never modifies it, never
+/// solves anything.
+[[nodiscard]] LintReport lint(const milp::Model& model, const LintOptions& options = {});
+
+}  // namespace archex::check

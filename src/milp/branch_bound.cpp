@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/certify.hpp"
 #include "milp/presolve.hpp"
 #include "obs/metrics.hpp"
 #include "obs/node_log.hpp"
@@ -1082,6 +1083,36 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
       sol.best_bound = ctx.sense_flip * ctx.root_bound;
     }
     extract_timer.stop();
+  }
+
+  // Independent certification of the answer we are about to return: primal
+  // residuals against the original (pre-presolve) model always; dual
+  // feasibility + complementary slackness when this was a pure LP solved
+  // without presolve (row indices then match the engine's duals).
+  if (options.certify && sol.has_incumbent) {
+    check::CertifyOptions copts;
+    copts.feas_tol = options.certify_tol;
+    copts.int_tol = std::max(options.int_tol, options.certify_tol);
+    copts.obj_tol = options.certify_tol;
+    copts.dual_tol = options.certify_tol;
+    check::Certificate cert;
+    if (ctx.int_vars.empty() && !options.use_presolve &&
+        sol.status == SolveStatus::Optimal) {
+      cert = check::certify_lp(model, sol.x, sol.objective, ctx.lp.dual_values(),
+                               ctx.lp.reduced_costs(), copts);
+    } else {
+      cert = check::certify(model, sol.x, sol.objective, copts);
+    }
+    reg->gauge("check.certify.ok").set(cert.ok() ? 1.0 : 0.0);
+    reg->gauge("check.certify.max_row_violation").set(cert.max_row_violation);
+    reg->gauge("check.certify.max_bound_violation").set(cert.max_bound_violation);
+    reg->gauge("check.certify.max_int_violation").set(cert.max_int_violation);
+    reg->gauge("check.certify.objective_error").set(cert.objective_error);
+    if (cert.duals_checked) {
+      reg->gauge("check.certify.max_dual_violation").set(cert.max_dual_violation);
+      reg->gauge("check.certify.max_slackness_violation")
+          .set(cert.max_slackness_violation);
+    }
   }
   if (logger.enabled()) {
     obs::NodeLogger::Line line;

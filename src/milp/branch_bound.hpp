@@ -40,11 +40,11 @@ struct MilpOptions {
   /// consume the pool, warm-starting each stolen node via dual simplex from
   /// the basis snapshot exported when its parent was branched.
   int num_threads = 0;
-  SimplexOptions lp;
+  SimplexOptions lp{};
   /// Optional per-improvement callback (incumbent objective in model sense).
   /// With num_threads >= 2 it may fire from worker threads; calls are
   /// serialized under the incumbent lock.
-  std::function<void(double)> on_incumbent;
+  std::function<void(double)> on_incumbent{};
   /// Record a structured event trace (node open/close, bounds, incumbents,
   /// steals, basis events) into per-worker ring buffers, merged into
   /// `Solution::trace` at solve end. Off by default: the tracing-off solve
@@ -63,6 +63,16 @@ struct MilpOptions {
   /// uses a private registry, snapshotted into `Solution::metrics` either
   /// way. The arch `Problem` passes its own so encode and solve share one.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Run the independent solution certifier (check::certify — a code path
+  /// disjoint from the simplex) on the final incumbent: every row of the
+  /// *original pre-presolve* model, bounds, integrality and the objective
+  /// value are re-verified, and the residuals land in Solution::metrics
+  /// under `check.certify.*` (`check.certify.ok` is 1.0 when the answer
+  /// certifies). Pure-LP solves without presolve additionally certify dual
+  /// feasibility and complementary slackness. On by default — the cost is
+  /// one pass over the matrix per solve; see docs/diagnostics.md.
+  bool certify = true;
+  double certify_tol = 1e-6;  ///< residual tolerance for the certifier
 };
 
 /// Solves the mixed integer program `model`. The returned solution vector is

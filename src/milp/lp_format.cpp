@@ -259,6 +259,13 @@ Model parse_lp(std::istream& in) {
     return id;
   };
 
+  // Register Bounds-section variables first, in declaration order. The
+  // writer emits one Bounds line per variable in column order, so this keeps
+  // write -> parse -> write stable — in particular for variables that are
+  // declared but never referenced by a row or the objective, which would
+  // otherwise be re-created (and re-ordered) on their Bounds line only.
+  for (const RawBound& rb : bounds) var(rb.var);
+
   LinExpr obj;
   for (const ParsedTerm& t : objective) {
     if (t.var.empty()) obj += t.coef;

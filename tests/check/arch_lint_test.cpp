@@ -1,0 +1,148 @@
+#include "check/arch_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "arch/patterns/connection.hpp"
+#include "arch/patterns/flow.hpp"
+#include "arch/patterns/general.hpp"
+#include "arch/patterns/timing.hpp"
+#include "arch/problem.hpp"
+#include "domains/epn.hpp"
+#include "domains/rpl.hpp"
+
+namespace archex::check {
+namespace {
+
+using patterns::AtLeastNComponents;
+using patterns::CountSide;
+using patterns::FlowBalance;
+using patterns::MaxCycleTime;
+using patterns::NConnections;
+using patterns::NoOverloads;
+using patterns::SinkDemand;
+using patterns::SourceRate;
+
+/// The quickstart sensor-processing pipeline (examples/quickstart.cpp),
+/// reproduced so the shipped tutorial model is covered by the lint gate.
+Problem quickstart_problem() {
+  Library lib;
+  lib.set_edge_cost(5.0);
+  lib.add({"SenStd", "Sensor", "", {}, {{attr::kCost, 10}, {attr::kFlowRate, 4}, {attr::kDelay, 1}}});
+  lib.add({"ProcSlow", "Proc", "eco", {}, {{attr::kCost, 40}, {attr::kThroughput, 6}, {attr::kDelay, 5}}});
+  lib.add({"ProcFast", "Proc", "turbo", {}, {{attr::kCost, 90}, {attr::kThroughput, 16}, {attr::kDelay, 2}}});
+  lib.add({"GwStd", "Gateway", "", {}, {{attr::kCost, 25}, {attr::kDelay, 1}}});
+
+  ArchTemplate tmpl;
+  tmpl.add_nodes(3, "Sen", "Sensor");
+  tmpl.add_nodes(3, "Proc", "Proc");
+  tmpl.add_node({"Gw", "Gateway", "", {}, {}});
+  tmpl.allow_connection(NodeFilter::of_type("Sensor"), NodeFilter::of_type("Proc"));
+  tmpl.allow_connection(NodeFilter::of_type("Proc"), NodeFilter::of_type("Gateway"));
+
+  Problem problem(lib, tmpl);
+  problem.set_functional_flow({"Sensor", "Proc", "Gateway"});
+  problem.apply(AtLeastNComponents(NodeFilter::of_type("Sensor"), 3));
+  problem.apply(NConnections(NodeFilter::of_type("Sensor"), NodeFilter::of_type("Proc"), 1,
+                             milp::Sense::EQ, false, CountSide::kFrom));
+  problem.apply(NConnections(NodeFilter::of_type("Proc"), NodeFilter::of_type("Gateway"), 1,
+                             milp::Sense::GE, true, CountSide::kFrom));
+  problem.flow("readings", 16.0);
+  problem.apply(SourceRate("readings", NodeFilter::of_type("Sensor"), 4.0));
+  problem.apply(FlowBalance(NodeFilter::of_type("Proc"), {"readings"}));
+  problem.apply(SinkDemand("readings", NodeFilter::of_type("Gateway"), 12.0));
+  problem.apply(NoOverloads(NodeFilter::of_type("Proc"), {{"readings"}}));
+  problem.apply(MaxCycleTime(NodeFilter::of_type("Gateway"), 8.0));
+  problem.add_symmetry_breaking();
+  return problem;
+}
+
+TEST(ArchLintTest, QuickstartModelLintsCleanAtErrorSeverity) {
+  const Problem p = quickstart_problem();
+  const ArchLintReport r = lint(p);
+  EXPECT_TRUE(r.clean(Severity::Error)) << [&] {
+    std::ostringstream os;
+    r.print(os);
+    return os.str();
+  }();
+  EXPECT_EQ(r.diagnostics.size(), r.base.diagnostics.size());
+}
+
+TEST(ArchLintTest, EpnSmallConfigLintsCleanAtErrorSeverity) {
+  const auto p = domains::epn::make_problem(domains::epn::small_config());
+  const ArchLintReport r = lint(*p);
+  EXPECT_TRUE(r.clean(Severity::Error)) << [&] {
+    std::ostringstream os;
+    r.print(os);
+    return os.str();
+  }();
+}
+
+TEST(ArchLintTest, RplDefaultConfigLintsCleanAtErrorSeverity) {
+  const auto p = domains::rpl::make_problem();
+  const ArchLintReport r = lint(*p);
+  EXPECT_TRUE(r.clean(Severity::Error)) << [&] {
+    std::ostringstream os;
+    r.print(os);
+    return os.str();
+  }();
+}
+
+TEST(ArchLintTest, RowProvenanceNamesStructuralFlowAndPatternOrigins) {
+  const Problem p = quickstart_problem();
+  const std::size_t rows = p.model().num_constraints();
+  ASSERT_GT(rows, 0u);
+  EXPECT_EQ(p.origin_of_row(0), "structural");
+  bool saw_flow = false, saw_pattern = false, saw_symmetry = false;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::string& o = p.origin_of_row(i);
+    EXPECT_NE(o, "unattributed") << "row " << i << " lost its provenance";
+    if (o == "flow(readings)") saw_flow = true;
+    if (o.find("n_connections") != std::string::npos) saw_pattern = true;
+    if (o == "symmetry-breaking") saw_symmetry = true;
+  }
+  EXPECT_TRUE(saw_flow);
+  EXPECT_TRUE(saw_pattern);
+  EXPECT_TRUE(saw_symmetry);
+  EXPECT_EQ(p.origin_of_row(rows + 100), "unattributed");
+}
+
+TEST(ArchLintTest, FindingsAreAttributedToTheirPattern) {
+  // Seed a defect through the pattern pipeline: demanding >= 0 connections
+  // is vacuously true, so the pattern emits always-inactive rows that the
+  // redundant-row rule must flag — attributed to that pattern instance.
+  Problem p = quickstart_problem();
+  p.apply(NConnections(NodeFilter::of_type("Sensor"), NodeFilter::of_type("Proc"), 0,
+                       milp::Sense::GE, false, CountSide::kFrom));
+  LintOptions opts;
+  const ArchLintReport r = lint(p, opts);
+  const auto hit = std::find_if(
+      r.diagnostics.begin(), r.diagnostics.end(), [](const ArchDiagnostic& d) {
+        return d.diag.rule == Rule::RedundantRow &&
+               d.origin.find("at_least_n_connections") != std::string::npos &&
+               d.origin.find(", 0") != std::string::npos;
+      });
+  ASSERT_NE(hit, r.diagnostics.end());
+  EXPECT_FALSE(hit->constraint.empty());
+  EXPECT_NE(hit->to_string().find(hit->origin), std::string::npos);
+}
+
+TEST(ArchLintTest, PrintIncludesOriginAttribution) {
+  Problem p = quickstart_problem();
+  p.model().add_constraint(milp::LinExpr{}, milp::Sense::LE, 1.0, "smuggled");
+  const ArchLintReport r = lint(p);
+  // A row added behind the Problem's back has no recorded origin.
+  const auto hit = std::find_if(
+      r.diagnostics.begin(), r.diagnostics.end(),
+      [](const ArchDiagnostic& d) { return d.diag.rule == Rule::EmptyRow; });
+  ASSERT_NE(hit, r.diagnostics.end());
+  EXPECT_EQ(hit->origin, "unattributed");
+  std::ostringstream os;
+  r.print(os);
+  EXPECT_NE(os.str().find("unattributed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace archex::check

@@ -1,0 +1,210 @@
+#include "check/certify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "milp/branch_bound.hpp"
+#include "milp/model.hpp"
+#include "milp/simplex.hpp"
+
+namespace archex::check {
+namespace {
+
+using milp::kInf;
+using milp::LinExpr;
+using milp::Model;
+using milp::ObjectiveSense;
+using milp::Sense;
+using milp::SimplexSolver;
+using milp::Solution;
+using milp::SolveStatus;
+using milp::VarId;
+
+/// min x + y  s.t.  x + y >= 3, x - y <= 1, x in [0,5], y integer in [0,4].
+Model small_milp() {
+  Model m;
+  const VarId x = m.add_continuous(0.0, 5.0, "x");
+  const VarId y = m.add_integer(0.0, 4.0, "y");
+  m.add_constraint(1.0 * x + 1.0 * y, Sense::GE, 3.0, "demand");
+  m.add_constraint(1.0 * x - 1.0 * y, Sense::LE, 1.0, "skew");
+  m.set_objective(1.0 * x + 1.0 * y, ObjectiveSense::Minimize);
+  return m;
+}
+
+TEST(CertifyTest, AcceptsTrueOptimum) {
+  const Model m = small_milp();
+  const std::vector<double> x = {1.0, 2.0};  // feasible, objective 3
+  const Certificate cert = certify(m, x, 3.0);
+  EXPECT_TRUE(cert.checked);
+  EXPECT_TRUE(cert.ok());
+  EXPECT_TRUE(cert.rows_ok);
+  EXPECT_TRUE(cert.bounds_ok);
+  EXPECT_TRUE(cert.integrality_ok);
+  EXPECT_TRUE(cert.objective_ok);
+  EXPECT_FALSE(cert.duals_checked);
+  EXPECT_TRUE(cert.worst_rows.empty());
+  EXPECT_NE(cert.summary().find("ok"), std::string::npos);
+}
+
+TEST(CertifyTest, SizeMismatchStaysUnchecked) {
+  const Model m = small_milp();
+  const Certificate cert = certify(m, {1.0}, 3.0);
+  EXPECT_FALSE(cert.checked);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_NE(cert.summary().find("not checked"), std::string::npos);
+}
+
+TEST(CertifyTest, RejectsRowViolationJustPastTolerance) {
+  const Model m = small_milp();
+  // demand row x + y >= 3 missed by 1e-4 (scaled residual 2.5e-5): fails at
+  // the 1e-6 default, passes with the tolerance opened up past it.
+  const std::vector<double> x = {0.9999, 2.0};
+  const Certificate tight = certify(m, x, 2.9999);
+  EXPECT_TRUE(tight.checked);
+  EXPECT_FALSE(tight.rows_ok);
+  EXPECT_FALSE(tight.ok());
+  ASSERT_FALSE(tight.worst_rows.empty());
+  EXPECT_EQ(tight.worst_rows.front().row, 0);
+  EXPECT_GT(tight.worst_rows.front().violation, 1e-6);
+  EXPECT_NE(tight.summary().find("FAIL"), std::string::npos);
+
+  CertifyOptions loose;
+  loose.feas_tol = 1e-3;
+  EXPECT_TRUE(certify(m, x, 2.9999, loose).ok());
+}
+
+TEST(CertifyTest, RejectsWrongObjectiveClaim) {
+  const Model m = small_milp();
+  const std::vector<double> x = {1.0, 2.0};
+  const Certificate cert = certify(m, x, 2.0);  // point is fine, claim is not
+  EXPECT_TRUE(cert.rows_ok);
+  EXPECT_FALSE(cert.objective_ok);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_GT(cert.objective_error, 0.1);
+}
+
+TEST(CertifyTest, RejectsBoundAndIntegralityViolations) {
+  const Model m = small_milp();
+  const Certificate bound = certify(m, {6.0, 0.0}, 6.0);  // x above ub=5
+  EXPECT_FALSE(bound.bounds_ok);
+  EXPECT_FALSE(bound.ok());
+
+  const Certificate frac = certify(m, {1.5, 1.5}, 3.0);  // y fractional
+  EXPECT_FALSE(frac.integrality_ok);
+  EXPECT_GT(frac.max_int_violation, 0.4);
+  EXPECT_FALSE(frac.ok());
+}
+
+TEST(CertifyTest, SolutionOverloadRequiresIncumbent) {
+  const Model m = small_milp();
+  Solution none;
+  EXPECT_FALSE(certify(m, none).checked);
+
+  Solution sol = solve_milp(m);
+  ASSERT_TRUE(sol.has_incumbent);
+  const Certificate cert = certify(m, sol);
+  EXPECT_TRUE(cert.checked);
+  EXPECT_TRUE(cert.ok());
+}
+
+TEST(CertifyTest, SolveRecordsCertificateMetricsByDefault) {
+  const Model m = small_milp();
+  milp::MilpOptions opts;
+  EXPECT_TRUE(opts.certify);  // ISSUE: certification is on by default
+  const Solution sol = solve_milp(m, opts);
+  ASSERT_TRUE(sol.has_incumbent);
+  ASSERT_TRUE(sol.metrics.count("check.certify.ok"));
+  EXPECT_EQ(sol.metrics.at("check.certify.ok"), 1.0);
+  EXPECT_LE(sol.metrics.at("check.certify.max_row_violation"), 1e-6);
+  EXPECT_LE(sol.metrics.at("check.certify.objective_error"), 1e-6);
+
+  milp::MilpOptions off;
+  off.certify = false;
+  const Solution bare = solve_milp(m, off);
+  EXPECT_FALSE(bare.metrics.count("check.certify.ok"));
+}
+
+TEST(CertifyTest, LpDualsAcceptedAtOptimum) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (known duals 0, 3/2, 1).
+  Model m;
+  const VarId x = m.add_continuous(0.0, kInf, "x");
+  const VarId y = m.add_continuous(0.0, kInf, "y");
+  m.add_constraint(LinExpr(x), Sense::LE, 4.0, "r1");
+  m.add_constraint(2.0 * y, Sense::LE, 12.0, "r2");
+  m.add_constraint(3.0 * x + 2.0 * y, Sense::LE, 18.0, "r3");
+  m.set_objective(3.0 * x + 5.0 * y, ObjectiveSense::Maximize);
+  SimplexSolver lp(m);
+  ASSERT_EQ(lp.solve_primal(), SolveStatus::Optimal);
+  const std::vector<double> px = lp.primal_solution();
+  const std::vector<double> duals = lp.dual_values();
+  const std::vector<double> rc = lp.reduced_costs();
+
+  // objective_value() is in minimize sense; the claim is in model sense.
+  const Certificate cert = certify_lp(m, px, -lp.objective_value(), duals, rc);
+  EXPECT_TRUE(cert.checked);
+  EXPECT_TRUE(cert.duals_checked);
+  EXPECT_TRUE(cert.dual_feasible);
+  EXPECT_TRUE(cert.complementary);
+  EXPECT_TRUE(cert.ok());
+  EXPECT_LE(cert.max_dual_violation, 1e-6);
+  EXPECT_NE(cert.summary().find("dual"), std::string::npos);
+}
+
+TEST(CertifyTest, LpRejectsCorruptedDuals) {
+  Model m;
+  const VarId x = m.add_continuous(0.0, kInf, "x");
+  const VarId y = m.add_continuous(0.0, kInf, "y");
+  m.add_constraint(LinExpr(x), Sense::LE, 4.0, "r1");
+  m.add_constraint(2.0 * y, Sense::LE, 12.0, "r2");
+  m.add_constraint(3.0 * x + 2.0 * y, Sense::LE, 18.0, "r3");
+  m.set_objective(3.0 * x + 5.0 * y, ObjectiveSense::Maximize);
+  SimplexSolver lp(m);
+  ASSERT_EQ(lp.solve_primal(), SolveStatus::Optimal);
+  const std::vector<double> px = lp.primal_solution();
+  std::vector<double> duals = lp.dual_values();
+  const std::vector<double> rc = lp.reduced_costs();
+
+  // A pricing bug cannot certify itself: flipping the sign of an active
+  // row's dual breaks both the reduced-cost cross-check and the row sign.
+  duals[2] = -duals[2];
+  const Certificate cert = certify_lp(m, px, -lp.objective_value(), duals, rc);
+  EXPECT_TRUE(cert.duals_checked);
+  EXPECT_FALSE(cert.dual_feasible);
+  EXPECT_FALSE(cert.ok());
+}
+
+TEST(CertifyTest, LpRejectsNonzeroDualOnSlackRow) {
+  // min x s.t. x >= 1, x <= 9: the upper row is slack at the optimum, so a
+  // fabricated nonzero dual on it must break complementary slackness.
+  Model m;
+  const VarId x = m.add_continuous(0.0, kInf, "x");
+  m.add_constraint(LinExpr(x), Sense::GE, 1.0, "lo");
+  m.add_constraint(LinExpr(x), Sense::LE, 9.0, "hi");
+  m.set_objective(1.0 * x, ObjectiveSense::Minimize);
+  SimplexSolver lp(m);
+  ASSERT_EQ(lp.solve_primal(), SolveStatus::Optimal);
+  const std::vector<double> px = lp.primal_solution();
+  std::vector<double> duals = lp.dual_values();
+  const std::vector<double> rc = lp.reduced_costs();
+  ASSERT_EQ(duals.size(), 2u);
+
+  duals[1] = -0.5;  // sign-legal for a LE row in min sense, but the row is slack
+  const Certificate cert = certify_lp(m, px, lp.objective_value(), duals, rc);
+  EXPECT_TRUE(cert.duals_checked);
+  EXPECT_FALSE(cert.complementary);
+  EXPECT_FALSE(cert.ok());
+}
+
+TEST(CertifyTest, LpSizeMismatchSkipsDualLeg) {
+  const Model m = small_milp();
+  const std::vector<double> x = {1.0, 2.0};
+  const Certificate cert = certify_lp(m, x, 3.0, {0.0}, {0.0, 0.0});
+  EXPECT_TRUE(cert.checked);       // primal leg still runs
+  EXPECT_FALSE(cert.duals_checked);  // wrong dual vector length: no verdict
+  EXPECT_TRUE(cert.ok());
+}
+
+}  // namespace
+}  // namespace archex::check

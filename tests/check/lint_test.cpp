@@ -1,0 +1,282 @@
+#include "check/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "milp/model.hpp"
+
+namespace archex::check {
+namespace {
+
+using milp::kInf;
+using milp::LinExpr;
+using milp::Model;
+using milp::ObjectiveSense;
+using milp::Sense;
+using milp::VarId;
+
+/// True when the report contains at least one finding of `rule` at `sev`.
+bool has(const LintReport& r, Rule rule, Severity sev) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule && d.severity == sev; });
+}
+
+bool has_rule(const LintReport& r, Rule rule) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+/// A well-formed two-variable model none of the rules should fire on.
+Model clean_model() {
+  Model m;
+  const VarId x = m.add_continuous(0.0, 10.0, "x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint(1.0 * x + 3.0 * y, Sense::LE, 8.0, "cap");
+  m.add_constraint(1.0 * x - 1.0 * y, Sense::GE, 0.5, "link");
+  m.set_objective(1.0 * x + 2.0 * y, ObjectiveSense::Minimize);
+  return m;
+}
+
+TEST(LintTest, CleanModelHasNoFindings) {
+  const LintReport r = lint(clean_model());
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_TRUE(r.clean(Severity::Info));
+  EXPECT_EQ(r.num_errors, 0u);
+  EXPECT_EQ(r.num_warnings, 0u);
+  EXPECT_EQ(r.num_infos, 0u);
+}
+
+TEST(LintTest, EmptyRowVacuousIsWarning) {
+  Model m = clean_model();
+  m.add_constraint(LinExpr{}, Sense::LE, 5.0, "vacuous");
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::EmptyRow, Severity::Warning));
+  EXPECT_TRUE(r.clean(Severity::Error));
+}
+
+TEST(LintTest, EmptyRowUnsatisfiableIsError) {
+  Model m = clean_model();
+  m.add_constraint(LinExpr{}, Sense::GE, 1.0, "impossible");  // 0 >= 1
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::EmptyRow, Severity::Error));
+  EXPECT_FALSE(r.clean(Severity::Error));
+}
+
+TEST(LintTest, CancelledTermsCountAsEmptyRow) {
+  // LinExpr normalization drops exact cancellations, which is precisely the
+  // "pattern cancelled all coefficients" defect the rule is after.
+  Model m = clean_model();
+  LinExpr e = 2.0 * VarId{0} - 2.0 * VarId{0};
+  m.add_constraint(std::move(e), Sense::LE, 1.0, "cancelled");
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has_rule(r, Rule::EmptyRow));
+}
+
+TEST(LintTest, DuplicateRowExactAndDominated) {
+  Model m = clean_model();
+  const LinExpr e = 1.0 * VarId{0} + 3.0 * VarId{1};
+  m.add_constraint(e, Sense::LE, 8.0, "cap_again");   // duplicates "cap"
+  const LintReport dup = lint(m);
+  EXPECT_TRUE(has(dup, Rule::DuplicateRow, Severity::Warning));
+
+  Model m2 = clean_model();
+  m2.add_constraint(e, Sense::LE, 100.0, "cap_loose");  // dominated by "cap"
+  const LintReport dom = lint(m2);
+  EXPECT_TRUE(has(dom, Rule::DuplicateRow, Severity::Warning));
+}
+
+TEST(LintTest, RangePairIsNotADuplicate) {
+  // l <= a.x <= u written as two rows over identical terms must stay silent.
+  Model m = clean_model();
+  m.add_constraint(1.0 * VarId{0} + 3.0 * VarId{1}, Sense::GE, 1.0, "floor");
+  const LintReport r = lint(m);
+  EXPECT_FALSE(has_rule(r, Rule::DuplicateRow));
+  EXPECT_FALSE(has_rule(r, Rule::ContradictoryRows));
+}
+
+TEST(LintTest, ContradictoryRowsOverSameTerms) {
+  Model m = clean_model();
+  const LinExpr e = 1.0 * VarId{0} + 3.0 * VarId{1};
+  m.add_constraint(e, Sense::GE, 9.0, "floor");  // with "cap" (<= 8): empty
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::ContradictoryRows, Severity::Error));
+}
+
+TEST(LintTest, ContradictoryEqualityPins) {
+  Model m = clean_model();
+  const LinExpr e = 1.0 * VarId{0};
+  m.add_constraint(e, Sense::EQ, 1.0, "pin1");
+  m.add_constraint(e, Sense::EQ, 2.0, "pin2");
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::ContradictoryRows, Severity::Error));
+}
+
+TEST(LintTest, InfeasibleRowAgainstBounds) {
+  Model m;
+  const VarId x = m.add_continuous(0.0, 1.0, "x");
+  const VarId y = m.add_continuous(0.0, 1.0, "y");
+  m.add_constraint(1.0 * x + 1.0 * y, Sense::GE, 3.0, "too_much");  // max act 2
+  m.set_objective(1.0 * x + 1.0 * y);
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::InfeasibleRow, Severity::Error));
+}
+
+TEST(LintTest, RedundantRowIsInfoAndSuppressible) {
+  Model m;
+  const VarId x = m.add_continuous(0.0, 1.0, "x");
+  const VarId y = m.add_continuous(0.0, 1.0, "y");
+  m.add_constraint(1.0 * x + 1.0 * y, Sense::LE, 5.0, "never_active");  // max 2
+  m.add_constraint(1.0 * x - 1.0 * y, Sense::LE, 0.5, "real");
+  m.set_objective(1.0 * x + 1.0 * y);
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::RedundantRow, Severity::Info));
+  EXPECT_TRUE(r.clean(Severity::Warning));
+
+  LintOptions quiet;
+  quiet.report_info = false;
+  const LintReport q = lint(m, quiet);
+  EXPECT_FALSE(has_rule(q, Rule::RedundantRow));
+  EXPECT_EQ(q.num_infos, 0u);
+}
+
+TEST(LintTest, InfiniteBoundsBlockRedundancyProof) {
+  // With a free variable the activity interval is (-inf, +inf): the row is
+  // neither provably infeasible nor provably redundant.
+  Model m;
+  const VarId x = m.add_continuous(-kInf, kInf, "x");
+  m.add_constraint(1.0 * x, Sense::LE, 5.0, "c");
+  m.set_objective(1.0 * x);
+  const LintReport r = lint(m);
+  EXPECT_FALSE(has_rule(r, Rule::InfeasibleRow));
+  EXPECT_FALSE(has_rule(r, Rule::RedundantRow));
+}
+
+TEST(LintTest, CoefficientRangeWarnsBeyondRatio) {
+  Model m;
+  const VarId x = m.add_continuous(0.0, 1.0, "x");
+  const VarId y = m.add_continuous(0.0, 1.0, "y");
+  m.add_constraint(1e-6 * x + 1e6 * y, Sense::LE, 1.0, "wild");  // ratio 1e12
+  m.set_objective(1.0 * x);
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::CoefficientRange, Severity::Warning));
+
+  LintOptions loose;
+  loose.coef_range_ratio = 1e13;
+  EXPECT_FALSE(has_rule(lint(m, loose), Rule::CoefficientRange));
+}
+
+TEST(LintTest, BigMOnIntegerColumnWarns) {
+  Model m;
+  const VarId x = m.add_continuous(0.0, 100.0, "x");
+  const VarId b = m.add_binary("b");
+  m.add_constraint(1.0 * x - 1e8 * b, Sense::LE, 0.0, "indicator");
+  m.set_objective(1.0 * x);
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::BigM, Severity::Warning));
+
+  // The same coefficient on a *continuous* column is range trouble at most,
+  // not big-M.
+  Model m2;
+  const VarId u = m2.add_continuous(0.0, 100.0, "u");
+  const VarId v = m2.add_continuous(0.0, 1.0, "v");
+  m2.add_constraint(1.0 * u - 1e8 * v, Sense::LE, 0.0, "scaled");
+  m2.set_objective(1.0 * u);
+  EXPECT_FALSE(has_rule(lint(m2), Rule::BigM));
+}
+
+TEST(LintTest, ContradictoryBoundsIsError) {
+  // add_var rejects lb > ub up front; crossed bounds arise from later
+  // mutation (LP-file bounds sections, bound tightening), so mimic that.
+  Model m = clean_model();
+  const VarId z = m.add_continuous(0.0, 1.0, "z");
+  m.var(z).lb = 2.0;
+  m.add_constraint(1.0 * z, Sense::LE, 5.0, "touch_z");
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::ContradictoryBounds, Severity::Error));
+}
+
+TEST(LintTest, EmptyIntegerDomainIsError) {
+  Model m = clean_model();
+  const VarId k = m.add_integer(0.4, 0.6, "k");  // no integer in [0.4, 0.6]
+  m.add_constraint(1.0 * k, Sense::LE, 5.0, "touch_k");
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::EmptyIntegerDomain, Severity::Error));
+  // The narrower fractional-bounds warning must not also fire for it.
+  EXPECT_FALSE(has_rule(r, Rule::FractionalIntBounds));
+}
+
+TEST(LintTest, FractionalIntegerBoundsWarn) {
+  Model m = clean_model();
+  const VarId k = m.add_integer(0.5, 3.5, "k");
+  m.add_constraint(1.0 * k, Sense::LE, 5.0, "touch_k");
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::FractionalIntBounds, Severity::Warning));
+
+  Model m2 = clean_model();
+  const VarId j = m2.add_integer(0.0, 3.0, "j");
+  m2.add_constraint(1.0 * j, Sense::LE, 5.0, "touch_j");
+  EXPECT_FALSE(has_rule(lint(m2), Rule::FractionalIntBounds));
+}
+
+TEST(LintTest, FixedFreeAndUnreferencedColumns) {
+  Model m = clean_model();
+  const VarId fx = m.add_continuous(4.0, 4.0, "fixed");
+  const VarId fr = m.add_continuous(-kInf, kInf, "free");
+  m.add_continuous(0.0, 1.0, "orphan");  // in no row, not in objective
+  m.add_constraint(1.0 * fx + 1.0 * fr, Sense::LE, 10.0, "touch");
+  const LintReport r = lint(m);
+  EXPECT_TRUE(has(r, Rule::FixedColumn, Severity::Info));
+  EXPECT_TRUE(has(r, Rule::FreeColumn, Severity::Info));
+  EXPECT_TRUE(has(r, Rule::UnreferencedColumn, Severity::Warning));
+}
+
+TEST(LintTest, ObjectiveOnlyColumnStillWarnsUnreferenced) {
+  Model m = clean_model();
+  const VarId loose = m.add_continuous(0.0, 1.0, "loose");
+  m.set_objective(1.0 * VarId{0} + 1.0 * loose, ObjectiveSense::Minimize);
+  const LintReport r = lint(m);
+  const auto found =
+      std::find_if(r.diagnostics.begin(), r.diagnostics.end(), [&](const Diagnostic& d) {
+        return d.rule == Rule::UnreferencedColumn && d.col == loose.index;
+      });
+  ASSERT_NE(found, r.diagnostics.end());
+  EXPECT_NE(found->message.find("objective only"), std::string::npos);
+}
+
+TEST(LintTest, ReportIsSortedAndTalliesMatch) {
+  Model m;
+  const VarId x = m.add_continuous(0.0, 1.0, "x");
+  const VarId bad = m.add_continuous(0.0, 2.0, "bad");
+  m.var(bad).lb = 3.0;  // crossed bounds: error on col 1
+  m.add_constraint(1.0 * x, Sense::GE, 9.0, "hot");  // infeasible, row 0
+  m.add_constraint(LinExpr{}, Sense::LE, 1.0, "vac");  // warning, row 1
+  m.set_objective(1.0 * x);
+  const LintReport r = lint(m);
+  EXPECT_TRUE(std::is_sorted(r.diagnostics.begin(), r.diagnostics.end(),
+                             [](const Diagnostic& a, const Diagnostic& b) {
+                               if (a.row != b.row) return a.row < b.row;
+                               return a.col < b.col;
+                             }));
+  std::size_t e = 0, w = 0, i = 0;
+  for (const Diagnostic& d : r.diagnostics) {
+    e += d.severity == Severity::Error;
+    w += d.severity == Severity::Warning;
+    i += d.severity == Severity::Info;
+  }
+  EXPECT_EQ(r.num_errors, e);
+  EXPECT_EQ(r.num_warnings, w);
+  EXPECT_EQ(r.num_infos, i);
+  EXPECT_EQ(r.at_least(Severity::Warning).size(), e + w);
+
+  std::ostringstream os;
+  r.print(os);
+  EXPECT_NE(os.str().find("error"), std::string::npos);
+  for (const Diagnostic& d : r.diagnostics) {
+    EXPECT_NE(os.str().find(to_string(d.rule)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace archex::check

@@ -91,7 +91,9 @@ TEST(EpnProblemTest, TinyInstanceSolvesAndSatisfiesStructure) {
     if (nf.impl < 0 || nt.impl < 0) continue;
     const std::string& sf = p->library().at(nf.impl).subtype;
     const std::string& st = p->library().at(nt.impl).subtype;
-    if (sf == "HV") EXPECT_NE(st, "LV") << nf.name << "->" << nt.name;
+    if (sf == "HV") {
+      EXPECT_NE(st, "LV") << nf.name << "->" << nt.name;
+    }
     if (sf == "LV") {
       EXPECT_NE(st, "HV") << nf.name << "->" << nt.name;
       EXPECT_NE(st, "TRU") << nf.name << "->" << nt.name;

@@ -124,7 +124,9 @@ TEST(BranchBoundTest, NodeLimitReportsIncumbent) {
   Solution s = solve_milp(m, o);
   // With a tiny node budget we may or may not finish, but the status must be
   // truthful and any reported incumbent must be feasible.
-  if (s.has_incumbent) EXPECT_TRUE(m.feasible(s.x, 1e-5));
+  if (s.has_incumbent) {
+    EXPECT_TRUE(m.feasible(s.x, 1e-5));
+  }
   EXPECT_TRUE(s.status == SolveStatus::Optimal || s.status == SolveStatus::NodeLimit ||
               s.status == SolveStatus::Infeasible);
 }

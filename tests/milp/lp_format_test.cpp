@@ -145,7 +145,9 @@ TEST_P(LpRoundTrip, PreservesOptimum) {
   const Solution a = solve_milp(m);
   const Solution b = solve_milp(parsed);
   ASSERT_EQ(a.status, b.status) << out.str();
-  if (a.optimal()) EXPECT_NEAR(a.objective, b.objective, 1e-6) << out.str();
+  if (a.optimal()) {
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << out.str();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LpRoundTrip, ::testing::Range(0, 25));
@@ -187,6 +189,78 @@ TEST(LpFormatTest, RangedRowMaximizeIntegerRoundTrip) {
   // Integrality survived: both integer columns land on whole numbers.
   EXPECT_NEAR(b.x[0], std::round(b.x[0]), 1e-9);
   EXPECT_NEAR(b.x[1], std::round(b.x[1]), 1e-9);
+}
+
+/// write -> parse -> write must be the identity on the written text. This is
+/// the strongest round-trip property the format supports and is exactly what
+/// broke for the two cases below before the parser registered Bounds-section
+/// variables in declaration order.
+std::string second_write(const Model& m, std::string* first = nullptr) {
+  std::ostringstream out1;
+  m.write_lp(out1);
+  std::istringstream in(out1.str());
+  const Model parsed = parse_lp(in);
+  std::ostringstream out2;
+  parsed.write_lp(out2);
+  if (first != nullptr) *first = out1.str();
+  return out2.str();
+}
+
+TEST(LpFormatTest, UnusedVariableSurvivesRoundTripUnchanged) {
+  // "spare" is declared (it gets a Bounds line) but appears in no row and
+  // not in the objective. It must keep its column, name, type and bounds.
+  Model m;
+  VarId x = m.add_continuous(0.0, 10.0, "x");
+  m.add_integer(-1.0, 6.0, "spare");
+  VarId y = m.add_continuous(0.0, 4.0, "y");
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(8.0), "cap");
+  m.set_objective(1.0 * x + 2.0 * y);
+
+  std::string first;
+  const std::string second = second_write(m, &first);
+  EXPECT_EQ(first, second);
+
+  std::istringstream in(first);
+  const Model parsed = parse_lp(in);
+  ASSERT_EQ(parsed.num_vars(), 3u);
+  EXPECT_EQ(parsed.vars()[1].name, "spare");
+  EXPECT_EQ(parsed.vars()[1].type, VarType::Integer);
+  EXPECT_EQ(parsed.vars()[1].lb, -1.0);
+  EXPECT_EQ(parsed.vars()[1].ub, 6.0);
+}
+
+TEST(LpFormatTest, AllZeroCoefficientRowSurvivesRoundTrip) {
+  // A row whose coefficients all cancelled writes as "name: 0 <= rhs"; it
+  // must parse back as an (empty) row, not vanish or shift later rows.
+  Model m;
+  VarId x = m.add_continuous(0.0, 5.0, "x");
+  m.add_constraint(2.0 * x - 2.0 * x, Sense::LE, 3.0, "ghost");
+  m.add_constraint(LinExpr(x), Sense::GE, 1.0, "real");
+  m.set_objective(1.0 * x);
+
+  std::string first;
+  const std::string second = second_write(m, &first);
+  EXPECT_EQ(first, second);
+
+  std::istringstream in(first);
+  const Model parsed = parse_lp(in);
+  ASSERT_EQ(parsed.num_constraints(), 2u);
+  EXPECT_EQ(parsed.constraint(0).name, "ghost");
+  EXPECT_TRUE(parsed.constraint(0).expr.terms().empty());
+  EXPECT_EQ(parsed.constraint(0).rhs, 3.0);
+  EXPECT_EQ(parsed.constraint(1).name, "real");
+}
+
+TEST(LpFormatTest, FixedAndFreeBoundsRoundTripUnchanged) {
+  Model m;
+  VarId x = m.add_continuous(2.5, 2.5, "pinned");
+  VarId f = m.add_continuous(-kInf, kInf, "free_var");
+  m.add_constraint(LinExpr(x) + LinExpr(f), Sense::LE, 9.0, "c");
+  m.set_objective(1.0 * f);
+
+  std::string first;
+  const std::string second = second_write(m, &first);
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

@@ -176,6 +176,11 @@ TEST(ParallelBBTest, KnapsackSameOptimumAcrossThreadCounts) {
 }
 
 TEST(ParallelBBTest, EpnSameOptimumAcrossThreadCounts) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "60 s solve budget is calibrated for an uninstrumented "
+                  "build; KnapsackSameOptimumAcrossThreadCounts covers the "
+                  "determinism property under sanitizers";
+#endif
   using namespace archex::domains::epn;
   EpnConfig cfg = small_config();
   cfg.loads_per_side = 2;
@@ -297,7 +302,9 @@ TEST(ParallelBBTest, NodeLimitIsHonored) {
   o.num_threads = 4;
   o.max_nodes = 5;
   const Solution s = solve_milp(m, o);
-  if (s.has_incumbent) EXPECT_TRUE(m.feasible(s.x, 1e-5));
+  if (s.has_incumbent) {
+    EXPECT_TRUE(m.feasible(s.x, 1e-5));
+  }
   EXPECT_TRUE(s.status == SolveStatus::Optimal || s.status == SolveStatus::NodeLimit ||
               s.status == SolveStatus::Infeasible)
       << to_string(s.status);

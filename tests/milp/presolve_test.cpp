@@ -87,7 +87,9 @@ TEST(PresolveTest, IntegerBoundsRoundedInward) {
   PresolveResult r = presolve(m);
   ASSERT_FALSE(r.infeasible);
   for (std::size_t j = 0; j < r.reduced.num_vars(); ++j) {
-    if (r.reduced.vars()[j].name == "x") EXPECT_NEAR(r.reduced.vars()[j].ub, 3.0, 1e-9);
+    if (r.reduced.vars()[j].name == "x") {
+      EXPECT_NEAR(r.reduced.vars()[j].ub, 3.0, 1e-9);
+    }
   }
 }
 

@@ -104,8 +104,12 @@ TEST(SolverFeatureTest, ReducedCostsAtOptimum) {
   // blocked by the bound); x is basic: reduced cost 0.
   const auto sx = lp.column_status(0);
   const auto sy = lp.column_status(1);
-  if (sx == SimplexSolver::BoundStatus::Basic) EXPECT_NEAR(d[0], 0.0, 1e-7);
-  if (sy == SimplexSolver::BoundStatus::AtUpper) EXPECT_LE(d[1], 1e-7);
+  if (sx == SimplexSolver::BoundStatus::Basic) {
+    EXPECT_NEAR(d[0], 0.0, 1e-7);
+  }
+  if (sy == SimplexSolver::BoundStatus::AtUpper) {
+    EXPECT_LE(d[1], 1e-7);
+  }
 }
 
 TEST(SolverFeatureTest, DualValuesAtOptimum) {

@@ -1,0 +1,74 @@
+/// \file milp_lint.cpp
+/// Standalone model linter CLI: parses CPLEX-LP files and runs the
+/// check::lint rule set over them. The static-analysis counterpart of
+/// `milp_solve` — run it on any model before burning solver time on it.
+///
+/// Usage: milp_lint <model.lp>... [--quiet] [--no-info] [--werror]
+///                  [--big-m=X] [--coef-range=X]
+///
+/// Exit codes: 0 all models clean (at the failing severity), 1 at least one
+/// finding at error severity (or warning with --werror), 2 usage/parse error.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/lint.hpp"
+#include "milp/lp_format.hpp"
+
+using namespace archex;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  check::LintOptions opts;
+  bool quiet = false;
+  bool werror = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    try {
+      if (a == "--quiet") quiet = true;
+      else if (a == "--no-info") opts.report_info = false;
+      else if (a == "--werror") werror = true;
+      else if (a.rfind("--big-m=", 0) == 0) opts.big_m_threshold = std::stod(a.substr(8));
+      else if (a.rfind("--coef-range=", 0) == 0) {
+        opts.coef_range_ratio = std::stod(a.substr(13));
+      } else if (!a.empty() && a[0] == '-') {
+        std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+        return 2;
+      } else {
+        files.push_back(a);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value in argument: %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: milp_lint <model.lp>... [--quiet] [--no-info]"
+                 " [--werror] [--big-m=X] [--coef-range=X]\n");
+    return 2;
+  }
+
+  const check::Severity fail_at =
+      werror ? check::Severity::Warning : check::Severity::Error;
+  bool failed = false;
+  for (const std::string& file : files) {
+    try {
+      const milp::Model model = milp::parse_lp_file(file);
+      const check::LintReport report = check::lint(model, opts);
+      if (!quiet) {
+        std::cout << "== " << file << " ==\n";
+        report.print(std::cout);
+      } else {
+        std::cout << file << ": " << report.num_errors << " error(s), "
+                  << report.num_warnings << " warning(s)\n";
+      }
+      if (!report.clean(fail_at)) failed = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", file.c_str(), e.what());
+      return 2;
+    }
+  }
+  return failed ? 1 : 0;
+}
