@@ -3,9 +3,11 @@
 /// format file, solves it, prints status / objective / nonzero assignment.
 /// The "Solver" box of Figure 1 as a reusable tool.
 ///
-/// Usage: milp_solve <model.lp> [--time-limit=S] [--threads=N] [--lp-relaxation]
-///                   [--trace-json=FILE] [--log-interval=S] [--timing]
-///                   [--certify] [--no-certify]
+/// Usage: milp_solve <model.lp> [--time-limit=S] [--max-nodes=N] [--threads=N]
+///                   [--lp-relaxation] [--trace-json=FILE] [--log-interval=S]
+///                   [--timing] [--certify] [--no-certify]
+///                   [--inject=site:n[:seed]] [--checkpoint=FILE]
+///                   [--checkpoint-interval=S] [--resume]
 ///
 /// Exit codes follow the termination reason: 0 optimal, 3 infeasible,
 /// 4 unbounded, 5 node limit, 6 time limit, 7 iteration limit, 8 numerical
@@ -18,6 +20,7 @@
 
 #include "check/certify.hpp"
 #include "milp/branch_bound.hpp"
+#include "milp/fault.hpp"
 #include "milp/lp_format.hpp"
 #include "milp/simplex.hpp"
 
@@ -38,43 +41,106 @@ int exit_code(TermReason r) {
   return 8;
 }
 
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: milp_solve <model.lp> [--time-limit=S] [--max-nodes=N]"
+      " [--threads=N] [--lp-relaxation]\n"
+      "                  [--trace-json=FILE] [--log-interval=S] [--timing]"
+      " [--certify] [--no-certify]\n"
+      "                  [--inject=site:n[:seed]] [--checkpoint=FILE]"
+      " [--checkpoint-interval=S] [--resume]\n"
+      "  fault sites: singular, nan-pivot, deadline, stall, bad-alloc"
+      " (see docs/diagnostics.md)\n");
+}
+
+/// Parses the numeric tail of `arg` with `conv` (std::stod / std::stoi /
+/// std::stoll wrappers). A malformed or trailing-garbage value prints the
+/// usage text and exits 2 instead of aborting on an uncaught exception.
+template <typename T, typename Conv>
+bool parse_num(const std::string& arg, std::size_t prefix_len, Conv conv,
+               T& out) {
+  const std::string tail = arg.substr(prefix_len);
+  try {
+    std::size_t pos = 0;
+    out = conv(tail, &pos);
+    if (pos != tail.size() || tail.empty()) throw std::invalid_argument(tail);
+    return true;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "bad value in argument: %s\n", arg.c_str());
+    usage();
+    return false;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: milp_solve <model.lp> [--time-limit=S] [--threads=N]"
-                 " [--lp-relaxation]\n"
-                 "                  [--trace-json=FILE] [--log-interval=S]"
-                 " [--timing] [--certify] [--no-certify]\n");
+    usage();
     return 2;
   }
   double time_limit = 300.0;
-  int threads = 0;  // 0 = hardware concurrency
+  std::int64_t max_nodes = -1;  // -1 = keep the library default
+  int threads = 0;              // 0 = hardware concurrency
   bool relaxation = false;
   bool timing = false;
   bool certify = true;  // independent certification of the answer (default on)
   double log_interval = 0.0;
   std::string trace_path;
+  FaultPlan fault;
+  bool fault_armed = false;
+  std::string checkpoint_file;
+  double checkpoint_interval = 30.0;
+  bool resume = false;
+  auto to_d = [](const std::string& s, std::size_t* pos) { return std::stod(s, pos); };
+  auto to_i = [](const std::string& s, std::size_t* pos) { return std::stoi(s, pos); };
+  auto to_ll = [](const std::string& s, std::size_t* pos) { return std::stoll(s, pos); };
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
-    try {
-      if (a.rfind("--time-limit=", 0) == 0) time_limit = std::stod(a.substr(13));
-      else if (a.rfind("--threads=", 0) == 0) threads = std::stoi(a.substr(10));
-      else if (a == "--lp-relaxation") relaxation = true;
-      else if (a.rfind("--trace-json=", 0) == 0) trace_path = a.substr(13);
-      else if (a.rfind("--log-interval=", 0) == 0) log_interval = std::stod(a.substr(15));
-      else if (a == "--timing") timing = true;
-      else if (a == "--certify") certify = true;
-      else if (a == "--no-certify") certify = false;
-      else {
-        std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+    if (a.rfind("--time-limit=", 0) == 0) {
+      if (!parse_num(a, 13, to_d, time_limit)) return 2;
+    } else if (a.rfind("--max-nodes=", 0) == 0) {
+      long long v = 0;
+      if (!parse_num(a, 12, to_ll, v)) return 2;
+      max_nodes = v;
+    } else if (a.rfind("--threads=", 0) == 0) {
+      if (!parse_num(a, 10, to_i, threads)) return 2;
+    } else if (a == "--lp-relaxation") {
+      relaxation = true;
+    } else if (a.rfind("--trace-json=", 0) == 0) {
+      trace_path = a.substr(13);
+    } else if (a.rfind("--log-interval=", 0) == 0) {
+      if (!parse_num(a, 15, to_d, log_interval)) return 2;
+    } else if (a == "--timing") {
+      timing = true;
+    } else if (a == "--certify") {
+      certify = true;
+    } else if (a == "--no-certify") {
+      certify = false;
+    } else if (a.rfind("--inject=", 0) == 0) {
+      if (!fault.arm_from_spec(a.substr(9))) {
+        std::fprintf(stderr, "bad fault spec: %s\n", a.c_str());
+        usage();
         return 2;
       }
-    } catch (const std::exception&) {
-      std::fprintf(stderr, "bad value in argument: %s\n", a.c_str());
+      fault_armed = true;
+    } else if (a.rfind("--checkpoint=", 0) == 0) {
+      checkpoint_file = a.substr(13);
+    } else if (a.rfind("--checkpoint-interval=", 0) == 0) {
+      if (!parse_num(a, 22, to_d, checkpoint_interval)) return 2;
+    } else if (a == "--resume") {
+      resume = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      usage();
       return 2;
     }
+  }
+  if (resume && checkpoint_file.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint=FILE\n");
+    usage();
+    return 2;
   }
 
   try {
@@ -90,14 +156,26 @@ int main(int argc, char** argv) {
     } else {
       MilpOptions opts;
       opts.time_limit_s = time_limit;
+      if (max_nodes >= 0) opts.max_nodes = max_nodes;
       opts.num_threads = threads;
       opts.trace = !trace_path.empty();
       opts.certify = certify;
+      if (fault_armed) opts.fault = &fault;
+      opts.checkpoint_file = checkpoint_file;
+      opts.checkpoint_interval_s = checkpoint_interval;
+      opts.resume = resume;
       if (log_interval > 0.0) {
         opts.log_interval = log_interval;
         opts.log_sink = &std::cout;
       }
       sol = solve_milp(model, opts);
+      if (resume) {
+        const auto it = sol.metrics.find("milp.checkpoint.loaded");
+        std::printf("resume: %s\n",
+                    it != sol.metrics.end() && it->second > 0.0
+                        ? "checkpoint loaded"
+                        : "checkpoint rejected, fresh solve");
+      }
     }
     archex::check::Certificate cert;
     if (certify && sol.has_incumbent) {
@@ -114,6 +192,11 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("status: %s\n", to_string(sol.status));
+    if (sol.degraded) {
+      std::printf("degraded: %lld subtree(s) abandoned by the recovery ladder;"
+                  " bound stays sound\n",
+                  static_cast<long long>(sol.degraded_nodes));
+    }
     if (sol.has_incumbent || sol.status == SolveStatus::Optimal) {
       std::printf("objective: %.10g\n", sol.objective);
       std::printf("nodes: %lld, simplex iterations: %lld, time: %.3fs\n",

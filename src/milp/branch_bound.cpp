@@ -10,10 +10,13 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
 #include <vector>
 
 #include "check/certify.hpp"
+#include "milp/checkpoint.hpp"
+#include "milp/fault.hpp"
 #include "milp/presolve.hpp"
 #include "obs/metrics.hpp"
 #include "obs/node_log.hpp"
@@ -84,6 +87,45 @@ double objective_granularity(const Model& m) {
   return g;
 }
 
+/// Telemetry context for one run of the numerical-recovery ladder.
+struct RecoverHooks {
+  obs::MetricsRegistry* reg;  ///< never null inside solve_milp
+  obs::TraceBuffer* trace;    ///< nullable
+  std::int64_t node_id;
+};
+
+/// The first two rungs of the bounded numerical-recovery ladder, shared by
+/// the sequential dive, the pool workers, and the pre-pool root re-solve:
+/// (1) tightened-tolerance refactorization + warm reoptimize, (2) cold
+/// primal restart. Returns the first non-NumericalError status; callers
+/// escalate further (quarantine/re-enqueue, then abandon) when both fail.
+SolveStatus run_recovery_ladder(SimplexSolver& lp, const RecoverHooks& h) {
+  h.reg->counter("milp.recover.tighten").add();
+  if (h.trace != nullptr) {
+    h.trace->emit(obs::EventType::Recover, h.node_id, 0.0,
+                  static_cast<std::uint8_t>(obs::RecoverRung::Tighten));
+  }
+  SolveStatus st = SolveStatus::NumericalError;
+  try {
+    st = lp.recover_resolve();
+  } catch (const std::bad_alloc&) {
+    st = SolveStatus::NumericalError;
+  }
+  if (st != SolveStatus::NumericalError) return st;
+
+  h.reg->counter("milp.recover.cold").add();
+  if (h.trace != nullptr) {
+    h.trace->emit(obs::EventType::Recover, h.node_id, 0.0,
+                  static_cast<std::uint8_t>(obs::RecoverRung::Cold));
+  }
+  try {
+    st = lp.solve_primal();
+  } catch (const std::bad_alloc&) {
+    st = SolveStatus::NumericalError;
+  }
+  return st;
+}
+
 /// Search state shared across the DFS.
 struct SearchCtx {
   const Model& model;  // reduced model
@@ -105,8 +147,15 @@ struct SearchCtx {
   // path is untouched (one pointer test per site).
   obs::TraceBuffer* trace = nullptr;  ///< root-phase / sequential buffer
   obs::NodeLogger* logger = nullptr;
+  obs::MetricsRegistry* reg = nullptr;  ///< always set by solve_milp
   std::int64_t depth = 0;  ///< recursion depth, the sequential "open" count
   std::int64_t pool_refactors = 0;  ///< refactorizations folded from workers
+  // Recovery-ladder accounting. `degraded_bound` is the min (minimize sense)
+  // parent bound over every abandoned subtree: folding it into the final
+  // best bound keeps the reported gap sound — an abandoned subtree can hide
+  // solutions no better than its parent LP bound, never better.
+  std::int64_t degraded_nodes = 0;
+  double degraded_bound = kInf;
 
   SearchCtx(const Model& m, const MilpOptions& o)
       : model(m), opts(o), lp(m, o.lp) {
@@ -183,9 +232,48 @@ struct SearchCtx {
     if (trace != nullptr)
       trace->emit(obs::EventType::NodeOpen, node_id, sense_flip * parent_bound);
 
-    SolveStatus st = opts.warm_start ? lp.reoptimize_dual() : lp.solve_primal();
+    SolveStatus st;
+    try {
+      st = opts.warm_start ? lp.reoptimize_dual() : lp.solve_primal();
+      if (st == SolveStatus::Optimal && opts.fault != nullptr &&
+          opts.fault->fire(FaultSite::BadAlloc)) {
+        throw std::bad_alloc{};
+      }
+    } catch (const std::bad_alloc&) {
+      st = SolveStatus::NumericalError;  // recoverable: enter the ladder
+    }
     ++nodes;
-    if (st == SolveStatus::NumericalError) st = lp.solve_primal();
+    if (st == SolveStatus::NumericalError) {
+      st = run_recovery_ladder(lp, {reg, trace, node_id});
+      // Sequential quarantine: there is no queue to re-enqueue into, so the
+      // bounded retries re-solve in place, cold.
+      for (int r = 0; st == SolveStatus::NumericalError &&
+                      r < opts.recover_max_retries; ++r) {
+        reg->counter("milp.recover.requeue").add();
+        if (trace != nullptr) {
+          trace->emit(obs::EventType::Recover, node_id, 0.0,
+                      static_cast<std::uint8_t>(obs::RecoverRung::Requeue));
+        }
+        try {
+          st = lp.solve_primal();
+        } catch (const std::bad_alloc&) {
+          st = SolveStatus::NumericalError;
+        }
+      }
+      if (st == SolveStatus::NumericalError) {
+        // Ladder exhausted: abandon this subtree, conservatively inheriting
+        // the parent bound into the final best bound — never prune unsoundly.
+        ++degraded_nodes;
+        degraded_bound = std::min(degraded_bound, parent_bound);
+        reg->counter("milp.recover.abandoned").add();
+        if (trace != nullptr) {
+          trace->emit(obs::EventType::Recover, node_id, 0.0,
+                      static_cast<std::uint8_t>(obs::RecoverRung::Abandon));
+        }
+        close_node(node_id, obs::NodeOutcome::Abandoned, sense_flip * parent_bound);
+        return;
+      }
+    }
     if (st == SolveStatus::Infeasible) {
       close_node(node_id, obs::NodeOutcome::Infeasible, kNan);
       return;
@@ -258,11 +346,10 @@ struct SearchCtx {
 // Parallel search (num_threads >= 2): explicit open-node pool + N workers.
 // ---------------------------------------------------------------------------
 
-/// One bound tightening along the path from the (post-fixing) root.
-struct BoundChange {
-  std::int32_t col;
-  double lb, ub;
-};
+/// One bound tightening along the path from the (post-fixing) root. The
+/// checkpoint layer serializes exactly this triple, so the pool's node paths
+/// are the on-disk frontier representation too.
+using BoundChange = BoundDelta;
 
 /// An open branch & bound node: the bound deltas that define its subproblem,
 /// the parent's LP objective (a valid lower bound for the whole subtree, used
@@ -273,6 +360,7 @@ struct BBNode {
   std::uint64_t id = 0;
   std::uint64_t parent_id = 0;
   double bound = -kInf;           ///< parent LP objective, minimize sense
+  std::int32_t retries = 0;       ///< recovery-ladder quarantine count
   std::vector<BoundChange> path;  ///< from the fixed root
   std::shared_ptr<const SimplexSolver::Basis> basis;  ///< parent basis
 };
@@ -293,7 +381,8 @@ class NodePool {
       : model_(model), opts_(opts), granularity_(granularity),
         int_vars_(int_vars), sense_flip_(sense_flip),
         queues_(static_cast<std::size_t>(num_workers)),
-        inflight_bound_(static_cast<std::size_t>(num_workers), kInf) {}
+        inflight_bound_(static_cast<std::size_t>(num_workers), kInf),
+        inflight_node_(static_cast<std::size_t>(num_workers)) {}
 
   /// Seeds the incumbent from the sequential root phase.
   void seed_incumbent(double obj, std::vector<double> x) {
@@ -358,6 +447,10 @@ class NodePool {
     --queued_;
     ++in_flight_;
     inflight_bound_[static_cast<std::size_t>(worker)] = node->bound;
+    // Keep the in-flight node reachable for checkpoint snapshots: a snapshot
+    // taken mid-process must include it, or the subtree it roots would be
+    // silently lost on resume.
+    inflight_node_[static_cast<std::size_t>(worker)] = node;
     return node;
   }
 
@@ -368,6 +461,7 @@ class NodePool {
     {
       std::lock_guard<std::mutex> lk(mu_);
       inflight_bound_[static_cast<std::size_t>(worker)] = kInf;
+      inflight_node_[static_cast<std::size_t>(worker)].reset();
       --in_flight_;
       finished = queued_ == 0 && in_flight_ == 0;
     }
@@ -445,6 +539,71 @@ class NodePool {
   /// Initial global lower bound (minimize sense), for Bound-event deltas.
   void set_root_bound(double b) { best_known_bound_ = b; }
 
+  /// Records one subtree abandoned by the recovery ladder. The bound is
+  /// folded into the final best bound by run_parallel_phase.
+  void mark_abandoned(double bound) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++degraded_nodes_;
+    degraded_bound_ = std::min(degraded_bound_, bound);
+  }
+  // Read after join (workers quiescent).
+  [[nodiscard]] std::int64_t degraded_nodes() const { return degraded_nodes_; }
+  [[nodiscard]] double degraded_bound() const { return degraded_bound_; }
+
+  /// Arms periodic checkpointing (empty file = off).
+  void configure_checkpoint(const std::string& file, double interval_s,
+                            std::uint64_t fingerprint,
+                            obs::MetricsRegistry* reg) {
+    ck_file_ = file;
+    ck_fingerprint_ = fingerprint;
+    ck_reg_ = reg;
+    ck_epoch_ = Clock::now();
+    ck_interval_ns_ = interval_s <= 0.0
+                          ? 0
+                          : static_cast<std::int64_t>(interval_s * 1e9);
+    ck_next_ns_.store(ck_interval_ns_, std::memory_order_relaxed);
+  }
+
+  /// Re-enqueues a node a worker popped but could not process (stop already
+  /// requested, deadline, node budget). Only meaningful under checkpointing:
+  /// without it the node's subtree would be missing from the frontier the
+  /// final checkpoint records, and a resume would silently lose it. No-op
+  /// when checkpointing is off (the pool is torn down anyway).
+  void keep_for_checkpoint(int worker, const BBNode& node) {
+    if (ck_file_.empty()) return;
+    auto copy = std::make_shared<BBNode>(node);
+    std::lock_guard<std::mutex> lk(mu_);
+    copy->id = ++next_id_;
+    queues_[static_cast<std::size_t>(worker)].push_back(std::move(copy));
+    ++queued_;
+  }
+
+  /// Writes a checkpoint when one is due. Called by workers between nodes;
+  /// an atomic exchange elects a single writer, and the snapshot is taken
+  /// under the pool lock but written outside it.
+  void maybe_checkpoint(obs::TraceBuffer* trace) {
+    if (ck_file_.empty()) return;
+    const std::int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             ck_epoch_)
+            .count();
+    if (now_ns < ck_next_ns_.load(std::memory_order_relaxed)) return;
+    if (ck_writing_.exchange(true, std::memory_order_acquire)) return;
+    if (now_ns >= ck_next_ns_.load(std::memory_order_relaxed)) {
+      write_checkpoint(trace);
+      ck_next_ns_.store(now_ns + ck_interval_ns_, std::memory_order_relaxed);
+    }
+    ck_writing_.store(false, std::memory_order_release);
+  }
+
+  /// Unconditional checkpoint after the workers joined, so interrupted
+  /// (node/time-limited) solves resume from their final frontier and
+  /// completed solves leave an empty frontier that resumes trivially.
+  void write_final_checkpoint(obs::TraceBuffer* trace) {
+    if (ck_file_.empty()) return;
+    write_checkpoint(trace);
+  }
+
   /// Emits one node-log line from the pool's current state, and a Bound
   /// trace event when the global best-bound estimate improved. The estimate
   /// is min over open-node parent bounds and in-flight node bounds — an
@@ -478,6 +637,51 @@ class NodePool {
   }
 
  private:
+  /// Consistent copy of the resumable search state: frontier (queued plus
+  /// in-flight nodes) under the pool lock, incumbent under its own lock.
+  /// An in-flight node that already pushed its children may be captured
+  /// together with them — the duplicated subtree costs re-exploration on
+  /// resume but never correctness (same cutoffs, same incumbent checks).
+  CheckpointData snapshot() {
+    CheckpointData d;
+    d.fingerprint = ck_fingerprint_;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      d.nodes = base_nodes_ + nodes_.load(std::memory_order_relaxed);
+      d.root_bound = best_known_bound_;
+      for (const auto& q : queues_) {
+        for (const auto& n : q) d.frontier.push_back({n->bound, n->retries, n->path});
+      }
+      for (const auto& n : inflight_node_) {
+        if (n) d.frontier.push_back({n->bound, n->retries, n->path});
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(incumbent_mu_);
+      d.has_incumbent = has_incumbent_;
+      if (has_incumbent_) {
+        d.incumbent_obj = incumbent_obj_.load(std::memory_order_relaxed);
+        d.incumbent_x = incumbent_x_;
+      }
+    }
+    return d;
+  }
+
+  void write_checkpoint(obs::TraceBuffer* trace) {
+    const CheckpointData d = snapshot();
+    const bool ok = save_checkpoint(ck_file_, d);
+    if (ck_reg_ != nullptr) {
+      ck_reg_->counter(ok ? "milp.checkpoint.writes"
+                          : "milp.checkpoint.write_failures").add();
+      ck_reg_->gauge("milp.checkpoint.frontier")
+          .set(static_cast<double>(d.frontier.size()));
+    }
+    if (trace != nullptr) {
+      trace->emit(obs::EventType::Checkpoint, -1,
+                  static_cast<double>(d.frontier.size()));
+    }
+  }
+
   const Model& model_;
   const MilpOptions& opts_;
   const double granularity_;
@@ -504,9 +708,24 @@ class NodePool {
 
   // Telemetry (all under mu_ except base_nodes_, set before workers start).
   std::vector<double> inflight_bound_;  ///< bound of each worker's node, kInf idle
+  std::vector<std::shared_ptr<BBNode>> inflight_node_;  ///< under mu_; for snapshots
   std::int64_t steals_ = 0;
   std::int64_t base_nodes_ = 0;
   double best_known_bound_ = -kInf;
+
+  // Recovery-ladder accounting (under mu_).
+  std::int64_t degraded_nodes_ = 0;
+  double degraded_bound_ = kInf;
+
+  // Checkpointing (configured before workers start; due-time and the
+  // single-writer election are atomics so workers race without the lock).
+  std::string ck_file_;
+  std::uint64_t ck_fingerprint_ = 0;
+  obs::MetricsRegistry* ck_reg_ = nullptr;
+  Clock::time_point ck_epoch_{};
+  std::int64_t ck_interval_ns_ = 0;
+  std::atomic<std::int64_t> ck_next_ns_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<bool> ck_writing_{false};
 };
 
 /// A worker thread of the parallel search: private SimplexSolver, dive-local
@@ -524,12 +743,13 @@ class Worker {
          const std::vector<std::int32_t>& int_vars,
          const std::vector<double>& obj_coef,
          const std::vector<BoundChange>& root_fixes, Clock::time_point deadline,
-         obs::TraceBuffer* trace, obs::NodeLogger* logger)
+         obs::TraceBuffer* trace, obs::NodeLogger* logger,
+         obs::MetricsRegistry* reg)
       : id_(id), opts_(opts), pool_(pool), int_vars_(int_vars),
         obj_coef_(obj_coef), deadline_(deadline),
         trace_((trace != nullptr && trace->enabled()) ? trace : nullptr),
         logger_((logger != nullptr && logger->enabled()) ? logger : nullptr),
-        lp_(model, worker_lp_options(opts.lp, trace)) {
+        reg_(reg), lp_(model, worker_lp_options(opts.lp, trace)) {
     // Replay the root reduced-cost fixes so this solver's "root" bounds match
     // the pool's reference frame.
     for (const BoundChange& f : root_fixes) lp_.set_bounds(f.col, f.lb, f.ub);
@@ -565,6 +785,7 @@ class Worker {
       }
       process(*node);
       pool_.done(id_);
+      pool_.maybe_checkpoint(trace_);
       if (logger_ != nullptr && logger_->due()) pool_.log_line(logger_, trace_);
     }
     busy_seconds_ = thread_cpu_seconds() - cpu0;
@@ -612,9 +833,15 @@ class Worker {
   void process(const BBNode& node) {
     const auto nid = static_cast<std::int64_t>(node.id);
     const double flip = pool_.sense_flip();
+    if (opts_.fault != nullptr && opts_.fault->fire(FaultSite::WorkerStall)) {
+      // Injected stall: models a worker losing its timeslice mid-search, so
+      // tests can exercise steal/termination behaviour under skew.
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
     if (trace_ != nullptr)
       trace_->emit(obs::EventType::NodeOpen, nid, flip * node.bound);
     if (pool_.stopped()) {
+      pool_.keep_for_checkpoint(id_, node);
       close(nid, obs::NodeOutcome::Limit, kNan);
       return;
     }
@@ -625,19 +852,59 @@ class Worker {
     }
     if (Clock::now() >= deadline_) {
       pool_.request_stop(SolveStatus::TimeLimit);
+      pool_.keep_for_checkpoint(id_, node);
       close(nid, obs::NodeOutcome::Limit, kNan);
       return;
     }
     if (!pool_.count_node()) {
       pool_.request_stop(SolveStatus::NodeLimit);
+      pool_.keep_for_checkpoint(id_, node);
       close(nid, obs::NodeOutcome::Limit, kNan);
       return;
     }
 
     rebase(node);
     ++nodes_;
-    SolveStatus st = opts_.warm_start ? lp_.reoptimize_dual() : lp_.solve_primal();
-    if (st == SolveStatus::NumericalError) st = lp_.solve_primal();
+    SolveStatus st = SolveStatus::NumericalError;
+    try {
+      st = opts_.warm_start ? lp_.reoptimize_dual() : lp_.solve_primal();
+      if (st == SolveStatus::Optimal && opts_.fault != nullptr &&
+          opts_.fault->fire(FaultSite::BadAlloc)) {
+        throw std::bad_alloc{};
+      }
+    } catch (const std::bad_alloc&) {
+      st = SolveStatus::NumericalError;  // enter the ladder below
+    }
+    if (st == SolveStatus::NumericalError) {
+      st = run_recovery_ladder(lp_, {reg_, trace_, nid});
+    }
+    if (st == SolveStatus::NumericalError) {
+      // Both in-place rungs failed. Quarantine: re-enqueue the node for a
+      // bounded number of fresh cold attempts (possibly on another worker's
+      // solver, whose numerical state differs), then abandon the subtree —
+      // its parent bound is folded into the global bound, never pruned away.
+      if (node.retries < opts_.recover_max_retries) {
+        auto retry = std::make_shared<BBNode>(node);
+        retry->basis.reset();  // force a cold start on the next attempt
+        retry->retries = node.retries + 1;
+        if (reg_ != nullptr) reg_->counter("milp.recover.requeue").add();
+        if (trace_ != nullptr) {
+          trace_->emit(obs::EventType::Recover, nid, 0.0,
+                       static_cast<std::uint8_t>(obs::RecoverRung::Requeue));
+        }
+        close(nid, obs::NodeOutcome::Requeued, flip * node.bound);
+        pool_.push(id_, std::move(retry));
+        return;
+      }
+      pool_.mark_abandoned(node.bound);
+      if (reg_ != nullptr) reg_->counter("milp.recover.abandoned").add();
+      if (trace_ != nullptr) {
+        trace_->emit(obs::EventType::Recover, nid, 0.0,
+                     static_cast<std::uint8_t>(obs::RecoverRung::Abandon));
+      }
+      close(nid, obs::NodeOutcome::Abandoned, flip * node.bound);
+      return;
+    }
     if (st == SolveStatus::Infeasible) {
       close(nid, obs::NodeOutcome::Infeasible, kNan);
       return;
@@ -708,6 +975,7 @@ class Worker {
   const Clock::time_point deadline_;
   obs::TraceBuffer* trace_;
   obs::NodeLogger* logger_;
+  obs::MetricsRegistry* reg_;
   SimplexSolver lp_;
   std::vector<double> root_lb_, root_ub_;
   std::vector<BoundChange> cur_path_;
@@ -723,16 +991,33 @@ class Worker {
 /// results back into `ctx` so the sequential epilogue of solve_milp applies
 /// unchanged.
 void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
-                        Solution& sol, std::vector<obs::TraceBuffer>& buffers) {
+                        Solution& sol, std::vector<obs::TraceBuffer>& buffers,
+                        obs::MetricsRegistry* reg, std::uint64_t ck_fingerprint,
+                        bool root_basis_ok, const CheckpointData* resume) {
   NodePool pool(work, ctx.opts, ctx.granularity, ctx.int_vars, ctx.sense_flip,
                 threads);
+  if (!ctx.opts.checkpoint_file.empty()) {
+    pool.configure_checkpoint(ctx.opts.checkpoint_file,
+                              ctx.opts.checkpoint_interval_s, ck_fingerprint,
+                              reg);
+  }
   if (ctx.has_incumbent) pool.seed_incumbent(ctx.incumbent_obj, ctx.incumbent_x);
   pool.set_node_budget(ctx.opts.max_nodes - ctx.nodes);
-  // Trace node ids continue the root phase's sequence; node-log totals
-  // include the root-phase nodes.
-  pool.set_next_id(static_cast<std::uint64_t>(ctx.nodes));
-  pool.set_base_nodes(ctx.nodes);
-  pool.set_root_bound(ctx.lp.objective_value());
+  if (resume != nullptr) {
+    // Resumed search: node ids continue past both the checkpointed count and
+    // this run's root-phase nodes; totals restart from the checkpoint.
+    pool.set_next_id(static_cast<std::uint64_t>(
+        std::max(ctx.nodes, resume->nodes)));
+    pool.set_base_nodes(resume->nodes);
+    pool.set_root_bound(resume->root_bound);
+  } else {
+    // Trace node ids continue the root phase's sequence; node-log totals
+    // include the root-phase nodes.
+    pool.set_next_id(static_cast<std::uint64_t>(ctx.nodes));
+    pool.set_base_nodes(ctx.nodes);
+    pool.set_root_bound(root_basis_ok ? ctx.lp.objective_value()
+                                      : ctx.root_bound);
+  }
 
   // Reference frame: the root solver's current bounds already include the
   // reduced-cost fixes, so workers replay them and node paths stay relative
@@ -747,13 +1032,26 @@ void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
     }
   }
 
-  auto root = std::make_shared<BBNode>();
-  root->bound = ctx.lp.objective_value();
-  if (ctx.opts.warm_start) {
-    root->basis =
-        std::make_shared<const SimplexSolver::Basis>(ctx.lp.export_basis());
+  if (resume != nullptr) {
+    // Re-enqueue the checkpointed frontier on worker 0 (steals rebalance it).
+    // No basis snapshots survive serialization: every resumed node cold-starts
+    // (reoptimize_dual falls back to solve_primal when no basis is held).
+    for (const CheckpointNode& cn : resume->frontier) {
+      auto n = std::make_shared<BBNode>();
+      n->bound = cn.bound;
+      n->retries = cn.retries;
+      n->path = cn.path;
+      pool.push(0, std::move(n));
+    }
+  } else {
+    auto root = std::make_shared<BBNode>();
+    root->bound = root_basis_ok ? ctx.lp.objective_value() : ctx.root_bound;
+    if (ctx.opts.warm_start && root_basis_ok) {
+      root->basis =
+          std::make_shared<const SimplexSolver::Basis>(ctx.lp.export_basis());
+    }
+    pool.push(0, std::move(root));
   }
-  pool.push(0, std::move(root));
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(static_cast<std::size_t>(threads));
@@ -763,7 +1061,7 @@ void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
     workers.push_back(std::make_unique<Worker>(t, work, ctx.opts, pool,
                                                ctx.int_vars, ctx.obj_coef,
                                                root_fixes, ctx.deadline, buf,
-                                               ctx.logger));
+                                               ctx.logger, reg));
   }
   std::vector<std::thread> pool_threads;
   pool_threads.reserve(workers.size() - 1);
@@ -773,10 +1071,18 @@ void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
   workers[0]->run();
   for (std::thread& th : pool_threads) th.join();
 
+  // Final snapshot after all workers drained: an interrupted run's last
+  // checkpoint then carries the exact surviving frontier, and a finished
+  // run's carries an empty one (resume returns the incumbent immediately).
+  pool.write_final_checkpoint(buffers.empty() ? nullptr : &buffers[0]);
+
   // Fold results back into the sequential context. Node counts come from the
   // workers (the pool's atomic budget counter can overshoot by one racing
   // increment per worker at the node limit).
+  if (resume != nullptr) ctx.nodes = resume->nodes;
   for (const auto& w : workers) ctx.nodes += w->nodes();
+  ctx.degraded_nodes += pool.degraded_nodes();
+  ctx.degraded_bound = std::min(ctx.degraded_bound, pool.degraded_bound());
   if (pool.stopped()) {
     ctx.stopped = true;
     ctx.stop_reason = pool.stop_reason();
@@ -842,6 +1148,10 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     reg->counter("milp.warm_repair").add(s.warm_repair_nodes);
     reg->counter("milp.cold_restarts").add(s.cold_nodes);
     reg->gauge("milp.threads").set(static_cast<double>(s.threads_used));
+    if (s.degraded_nodes > 0) {
+      reg->gauge("milp.degraded_nodes")
+          .set(static_cast<double>(s.degraded_nodes));
+    }
     if (s.has_incumbent) {
       reg->gauge("milp.objective").set(s.objective);
       reg->gauge("milp.gap_abs").set(std::abs(s.objective - s.best_bound));
@@ -879,20 +1189,74 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     work = &pre.reduced;
   }
 
-  // Guard against duration overflow for "effectively unlimited" budgets.
+  // --- checkpoint / resume ---
+  const bool ck_enabled = !options.checkpoint_file.empty();
+  std::uint64_t ck_fp = 0;
+  CheckpointData ckdata;
+  bool resume_ok = false;
+  if (ck_enabled) {
+    ck_fp = model_fingerprint(*work);
+    if (options.resume) {
+      CheckpointData loaded;
+      bool ok = load_checkpoint(options.checkpoint_file, loaded);
+      if (ok) ok = loaded.fingerprint == ck_fp;
+      if (ok && loaded.has_incumbent) {
+        // Distrust the file: the vector must fit the reduced model and
+        // actually be feasible before it may prune this run's search.
+        ok = loaded.incumbent_x.size() == work->num_vars() &&
+             work->feasible(loaded.incumbent_x);
+      }
+      for (std::size_t i = 0; ok && i < loaded.frontier.size(); ++i) {
+        for (const BoundDelta& d : loaded.frontier[i].path) {
+          if (d.col < 0 ||
+              static_cast<std::size_t>(d.col) >= work->num_vars()) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        resume_ok = true;
+        ckdata = std::move(loaded);
+        reg->gauge("milp.checkpoint.loaded").set(1.0);
+        reg->gauge("milp.checkpoint.frontier_loaded")
+            .set(static_cast<double>(ckdata.frontier.size()));
+      } else {
+        // Missing, corrupt, or from a different model: start fresh.
+        reg->gauge("milp.checkpoint.rejected").set(1.0);
+      }
+    }
+  }
+
+  // Arm the deadline for *any* finite limit; the cast would overflow the
+  // clock's integer representation for huge values, so limits beyond half the
+  // clock's remaining range (~centuries) keep the "never" sentinel instead.
   Clock::time_point deadline = Clock::time_point::max();
-  if (options.time_limit_s < 1e9) {
-    deadline = t0 + std::chrono::duration_cast<Clock::duration>(
-                        std::chrono::duration<double>(options.time_limit_s));
+  if (std::isfinite(options.time_limit_s) && options.time_limit_s >= 0.0) {
+    const double headroom_s =
+        std::chrono::duration<double>(Clock::time_point::max() - t0).count();
+    if (options.time_limit_s < headroom_s * 0.5) {
+      deadline = t0 + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(options.time_limit_s));
+    }
   }
   MilpOptions node_options = options;
   node_options.lp.deadline = deadline;  // simplex loops honor the wall clock
   node_options.lp.trace = root_trace;   // root/sequential solver's buffer
+  if (node_options.lp.fault == nullptr) node_options.lp.fault = options.fault;
   SearchCtx ctx(*work, node_options);
   ctx.granularity = objective_granularity(*work);
   ctx.deadline = deadline;
   ctx.trace = root_trace;
   ctx.logger = logger.enabled() ? &logger : nullptr;
+  ctx.reg = reg;
+  if (resume_ok && ckdata.has_incumbent) {
+    // Seed the checkpointed incumbent (internal minimize sense, like the
+    // pool stores it) without firing on_incumbent — it is not a new find.
+    ctx.has_incumbent = true;
+    ctx.incumbent_obj = ckdata.incumbent_obj;
+    ctx.incumbent_x = ckdata.incumbent_x;
+  }
 
   // Every incumbent improvement — root heuristic, probe dive, sequential
   // dive, or pool worker (serialized under the incumbent lock) — lands in
@@ -1006,7 +1370,11 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
       obs::ScopedTimer tree_timer(&reg->timer("milp.phase.tree"),
                                   &sol.phases.tree);
       fix_by_reduced_cost();
-      if (threads_req <= 1 || ctx.stopped) {
+      // Checkpointing (and resume) route the tree phase through the pool even
+      // at one thread: the single-worker pool is the machinery that snapshots
+      // the frontier. Its LIFO own-pop keeps the search deterministic.
+      const bool pool_route = threads_req > 1 || ck_enabled || resume_ok;
+      if (!pool_route || ctx.stopped) {
         ctx.dfs(ctx.root_bound);
       } else {
         // Re-solve the fixed root so the pool seed carries an optimal basis
@@ -1015,9 +1383,16 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
         SolveStatus rst =
             options.warm_start ? ctx.lp.reoptimize_dual() : ctx.lp.solve_primal();
         ++ctx.nodes;
-        if (rst == SolveStatus::NumericalError) rst = ctx.lp.solve_primal();
-        if (rst == SolveStatus::Optimal) {
-          run_parallel_phase(ctx, *work, threads_req, sol, buffers);
+        if (rst == SolveStatus::NumericalError) {
+          rst = run_recovery_ladder(ctx.lp, {reg, root_trace, -1});
+        }
+        if (rst == SolveStatus::Optimal || rst == SolveStatus::NumericalError) {
+          // A root re-solve that defeats even the ladder does not kill the
+          // search: the pool is seeded cold from the still-valid root bound
+          // (root_basis_ok = false) and every worker starts primal.
+          run_parallel_phase(ctx, *work, threads_req, sol, buffers, reg, ck_fp,
+                             /*root_basis_ok=*/rst == SolveStatus::Optimal,
+                             resume_ok ? &ckdata : nullptr);
         } else if (rst != SolveStatus::Infeasible) {
           ctx.stopped = true;
           ctx.stop_reason = rst;
@@ -1071,16 +1446,28 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     phase_mark(obs::Phase::Extract);
     obs::ScopedTimer extract_timer(&reg->timer("milp.phase.extract"),
                                    &sol.phases.extract);
+    // Abandoned subtrees (ladder exhausted) cap the proven bound at their
+    // parents' bounds — the min below keeps the reported gap sound.
+    sol.degraded_nodes = ctx.degraded_nodes;
+    sol.degraded = ctx.degraded_nodes > 0;
     if (ctx.has_incumbent) {
       sol.status = ctx.stopped ? ctx.stop_reason : SolveStatus::Optimal;
       sol.has_incumbent = true;
       sol.objective = ctx.sense_flip * ctx.incumbent_obj;
-      sol.best_bound = ctx.sense_flip * (ctx.stopped ? ctx.root_bound : ctx.incumbent_obj);
+      sol.best_bound =
+          ctx.sense_flip *
+          std::min(ctx.stopped ? ctx.root_bound : ctx.incumbent_obj,
+                   ctx.degraded_bound);
       std::vector<double> x = ctx.incumbent_x;
       sol.x = options.use_presolve ? pre.postsolve(x) : std::move(x);
     } else {
-      sol.status = ctx.stopped ? ctx.stop_reason : SolveStatus::Infeasible;
-      sol.best_bound = ctx.sense_flip * ctx.root_bound;
+      // Degraded and empty-handed: the abandoned subtrees may hide feasible
+      // points, so "Infeasible" would be an unsound claim.
+      sol.status = ctx.stopped ? ctx.stop_reason
+                   : sol.degraded ? SolveStatus::NumericalError
+                                  : SolveStatus::Infeasible;
+      sol.best_bound =
+          ctx.sense_flip * std::min(ctx.root_bound, ctx.degraded_bound);
     }
     extract_timer.stop();
   }

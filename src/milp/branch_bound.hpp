@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <string>
 
 #include "milp/model.hpp"
 #include "milp/simplex.hpp"
@@ -73,6 +74,30 @@ struct MilpOptions {
   /// one pass over the matrix per solve; see docs/diagnostics.md.
   bool certify = true;
   double certify_tol = 1e-6;  ///< residual tolerance for the certifier
+  /// Deterministic fault-injection plan shared by the root solver and every
+  /// worker (copied into `lp.fault` unless one is already set there). Null —
+  /// the default — is zero-cost. See milp/fault.hpp and docs/diagnostics.md.
+  FaultPlan* fault = nullptr;
+  /// Numerical-recovery ladder: after the tightened-refactorization and
+  /// cold-restart rungs both fail on a node, the node is quarantined and
+  /// re-enqueued for this many fresh cold attempts before its subtree is
+  /// abandoned (the parent bound is then folded into `Solution::best_bound`
+  /// — never an unsound prune — and `Solution::degraded` is set).
+  int recover_max_retries = 2;
+  /// Checkpoint/resume. A non-empty path makes the tree phase periodically
+  /// serialize the incumbent, global bound and open-node frontier to this
+  /// file (write-temp-then-rename; format in docs/solver.md). Checkpointing
+  /// routes the tree phase through the open-node pool even at
+  /// `num_threads = 1`; the single-worker pool pops LIFO from its own deque,
+  /// so the search stays deterministic (same optimum, pool-order node ids).
+  std::string checkpoint_file{};
+  /// Seconds between checkpoint writes; <= 0 checkpoints after every node
+  /// (tests and kill-resume drills).
+  double checkpoint_interval_s = 30.0;
+  /// Resume from `checkpoint_file` when it exists and its model fingerprint
+  /// matches; otherwise (missing/corrupt/mismatched) the solve starts fresh
+  /// and sets the `milp.checkpoint.rejected` metric.
+  bool resume = false;
 };
 
 /// Solves the mixed integer program `model`. The returned solution vector is

@@ -1,0 +1,222 @@
+#include "milp/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace archex::milp {
+
+namespace {
+
+constexpr const char* kMagic = "archex-bb-checkpoint";
+constexpr int kVersion = 1;
+
+void fnv_mix(std::uint64_t& h, const void* bytes, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+}
+
+void fnv_mix_u64(std::uint64_t& h, std::uint64_t v) { fnv_mix(h, &v, sizeof v); }
+
+void fnv_mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  fnv_mix_u64(h, bits);
+}
+
+/// Renders a double as a round-trippable hexfloat token ("%a" — strtod reads
+/// it back bit-exactly, including inf).
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Pull-based token reader over the whole file; every parse failure latches.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& in) : in_(in) {}
+
+  std::string next() {
+    std::string tok;
+    if (!(in_ >> tok)) ok_ = false;
+    return tok;
+  }
+
+  std::int64_t next_int() {
+    const std::string tok = next();
+    if (!ok_) return 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size()) ok_ = false;
+    return static_cast<std::int64_t>(v);
+  }
+
+  std::uint64_t next_hex_u64() {
+    const std::string tok = next();
+    if (!ok_) return 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 16);
+    if (end != tok.c_str() + tok.size()) ok_ = false;
+    return static_cast<std::uint64_t>(v);
+  }
+
+  double next_double() {
+    const std::string tok = next();
+    if (!ok_) return 0.0;
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) ok_ = false;
+    return v;
+  }
+
+  /// Consumes a literal keyword token.
+  void expect(const char* keyword) {
+    if (next() != keyword) ok_ = false;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  std::istream& in_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::uint64_t model_fingerprint(const Model& model) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  fnv_mix_u64(h, model.num_vars());
+  fnv_mix_u64(h, model.num_constraints());
+  fnv_mix_u64(h, static_cast<std::uint64_t>(model.objective_sense()));
+  for (const Variable& v : model.vars()) {
+    fnv_mix_double(h, v.lb);
+    fnv_mix_double(h, v.ub);
+    fnv_mix_u64(h, static_cast<std::uint64_t>(v.type));
+  }
+  for (const LinConstraint& c : model.constraints()) {
+    fnv_mix_u64(h, static_cast<std::uint64_t>(c.sense));
+    fnv_mix_double(h, c.rhs);
+    fnv_mix_u64(h, c.expr.terms().size());
+    for (const Term& t : c.expr.terms()) {
+      fnv_mix_u64(h, static_cast<std::uint64_t>(t.var.index));
+      fnv_mix_double(h, t.coef);
+    }
+  }
+  fnv_mix_double(h, model.objective().constant());
+  fnv_mix_u64(h, model.objective().terms().size());
+  for (const Term& t : model.objective().terms()) {
+    fnv_mix_u64(h, static_cast<std::uint64_t>(t.var.index));
+    fnv_mix_double(h, t.coef);
+  }
+  return h;
+}
+
+bool save_checkpoint(const std::string& path, const CheckpointData& data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+
+  bool ok = true;
+  auto put = [&](const std::string& s) {
+    if (std::fputs(s.c_str(), f) < 0) ok = false;
+  };
+  {
+    char head[128];
+    std::snprintf(head, sizeof head, "%s %d\nfingerprint %016llx\nnodes %lld\n",
+                  kMagic, kVersion,
+                  static_cast<unsigned long long>(data.fingerprint),
+                  static_cast<long long>(data.nodes));
+    put(head);
+  }
+  put("root_bound " + hex_double(data.root_bound) + "\n");
+  put("incumbent " + std::string(data.has_incumbent ? "1 " : "0 ") +
+      hex_double(data.has_incumbent ? data.incumbent_obj : 0.0) + "\n");
+  put("x " + std::to_string(data.incumbent_x.size()));
+  for (double v : data.incumbent_x) put(" " + hex_double(v));
+  put("\nfrontier " + std::to_string(data.frontier.size()) + "\n");
+  for (const CheckpointNode& n : data.frontier) {
+    put("node " + hex_double(n.bound) + " " + std::to_string(n.retries) + " " +
+        std::to_string(n.path.size()));
+    for (const BoundDelta& d : n.path) {
+      put(" " + std::to_string(d.col) + " " + hex_double(d.lb) + " " +
+          hex_double(d.ub));
+    }
+    put("\n");
+  }
+  put("end\n");
+
+  if (std::fflush(f) != 0) ok = false;
+#if defined(__unix__) || defined(__APPLE__)
+  // Make the rename durable: the data must be on disk before the new name
+  // points at it, or a crash could leave a valid-looking truncated file.
+  if (ok && fsync(fileno(f)) != 0) ok = false;
+#endif
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_checkpoint(const std::string& path, CheckpointData& data) {
+  std::ifstream in(path);
+  if (!in) return false;
+  TokenReader r(in);
+
+  r.expect(kMagic);
+  if (r.next_int() != kVersion) return false;
+  r.expect("fingerprint");
+  data.fingerprint = r.next_hex_u64();
+  r.expect("nodes");
+  data.nodes = r.next_int();
+  r.expect("root_bound");
+  data.root_bound = r.next_double();
+  r.expect("incumbent");
+  data.has_incumbent = r.next_int() != 0;
+  data.incumbent_obj = r.next_double();
+  r.expect("x");
+  const std::int64_t nx = r.next_int();
+  if (!r.ok() || nx < 0 || nx > 100'000'000) return false;
+  data.incumbent_x.resize(static_cast<std::size_t>(nx));
+  for (double& v : data.incumbent_x) v = r.next_double();
+  r.expect("frontier");
+  const std::int64_t nf = r.next_int();
+  if (!r.ok() || nf < 0 || nf > 100'000'000) return false;
+  data.frontier.clear();
+  data.frontier.reserve(static_cast<std::size_t>(nf));
+  for (std::int64_t i = 0; i < nf; ++i) {
+    r.expect("node");
+    CheckpointNode n;
+    n.bound = r.next_double();
+    n.retries = static_cast<std::int32_t>(r.next_int());
+    const std::int64_t np = r.next_int();
+    if (!r.ok() || np < 0 || np > 100'000'000) return false;
+    n.path.resize(static_cast<std::size_t>(np));
+    for (BoundDelta& d : n.path) {
+      d.col = static_cast<std::int32_t>(r.next_int());
+      d.lb = r.next_double();
+      d.ub = r.next_double();
+    }
+    if (!r.ok()) return false;
+    data.frontier.push_back(std::move(n));
+  }
+  r.expect("end");
+  return r.ok();
+}
+
+}  // namespace archex::milp

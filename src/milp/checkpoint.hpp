@@ -1,0 +1,65 @@
+/// \file checkpoint.hpp
+/// Branch & bound checkpoint/resume: serialization of the search state —
+/// incumbent, global bound, open-node frontier — so a killed exploration
+/// continues instead of restarting.
+///
+/// The on-disk format is a versioned text file ("archex-bb-checkpoint 1")
+/// with every double rendered as a C99 hexfloat (`%a`), so a resumed
+/// `num_threads = 1` run reproduces the uninterrupted optimum bit for bit.
+/// Files are written to `<path>.tmp` and renamed into place, so a kill
+/// during the write never corrupts the previous checkpoint. A fingerprint of
+/// the (post-presolve) model guards against resuming into a different
+/// problem. Format details in docs/solver.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace archex::milp {
+
+/// One bound tightening along the path from the (reduced-cost-fixed) root.
+/// Mirrors the branch & bound's internal node-path entry.
+struct BoundDelta {
+  std::int32_t col = 0;
+  double lb = 0.0, ub = 0.0;
+};
+
+/// One open node of the frontier: the subtree it roots is fully described by
+/// its bound-change path; `bound` is the parent LP bound (minimize sense) and
+/// `retries` the quarantine count carried by the recovery ladder.
+struct CheckpointNode {
+  double bound = 0.0;
+  std::int32_t retries = 0;
+  std::vector<BoundDelta> path;
+};
+
+/// Everything needed to resume a tree search.
+struct CheckpointData {
+  std::uint64_t fingerprint = 0;  ///< model_fingerprint of the solved model
+  std::int64_t nodes = 0;         ///< nodes explored when the snapshot was taken
+  double root_bound = 0.0;        ///< global best bound, minimize sense
+  bool has_incumbent = false;
+  double incumbent_obj = 0.0;     ///< minimize sense
+  std::vector<double> incumbent_x;  ///< reduced (post-presolve) space
+  std::vector<CheckpointNode> frontier;
+};
+
+/// Order-sensitive FNV-1a hash over the model's dimensions, bounds, types,
+/// constraint matrix and objective (names excluded — they are not semantic).
+/// Doubles are hashed by bit pattern, so any numeric change is detected.
+[[nodiscard]] std::uint64_t model_fingerprint(const Model& model);
+
+/// Writes `data` to `path` atomically (write `<path>.tmp`, fsync, rename).
+/// Returns false on any I/O failure; the previous checkpoint, if any,
+/// survives untouched.
+bool save_checkpoint(const std::string& path, const CheckpointData& data);
+
+/// Reads a checkpoint back. Returns false (leaving `data` unspecified) on a
+/// missing file, version mismatch, or any parse error. Callers must still
+/// compare `data.fingerprint` against their model before trusting it.
+bool load_checkpoint(const std::string& path, CheckpointData& data);
+
+}  // namespace archex::milp

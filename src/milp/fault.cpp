@@ -1,0 +1,111 @@
+#include "milp/fault.hpp"
+
+#include <cstdlib>
+
+namespace archex::milp {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Strict full-token integer parse; returns nullopt on junk or negatives.
+std::optional<std::int64_t> parse_count(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || v < 0) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<std::uint64_t> parse_seed(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+const char* to_string(FaultSite s) {
+  switch (s) {
+    case FaultSite::SingularFactor: return "singular";
+    case FaultSite::NanPivot: return "nan-pivot";
+    case FaultSite::Deadline: return "deadline";
+    case FaultSite::WorkerStall: return "stall";
+    case FaultSite::BadAlloc: return "bad-alloc";
+  }
+  return "unknown";
+}
+
+std::optional<FaultSite> parse_fault_site(const std::string& name) {
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    if (name == to_string(site)) return site;
+  }
+  return std::nullopt;
+}
+
+void FaultPlan::arm(FaultSite site, std::int64_t nth, std::uint64_t seed,
+                    std::int64_t repeat) {
+  Site& s = sites_[static_cast<std::size_t>(site)];
+  s.nth = nth;
+  s.repeat = repeat < 1 ? 1 : repeat;
+  s.seed = seed;
+  s.armed = true;
+}
+
+bool FaultPlan::arm_from_spec(const std::string& spec) {
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos) return false;
+  const std::size_t c2 = spec.find(':', c1 + 1);
+  const std::string site_name = spec.substr(0, c1);
+  const std::string nth_tok = c2 == std::string::npos
+                                  ? spec.substr(c1 + 1)
+                                  : spec.substr(c1 + 1, c2 - c1 - 1);
+  const std::optional<FaultSite> site = parse_fault_site(site_name);
+  const std::optional<std::int64_t> nth = parse_count(nth_tok);
+  if (!site || !nth || *nth < 1) return false;
+  std::uint64_t seed = 0;
+  if (c2 != std::string::npos) {
+    const std::optional<std::uint64_t> s = parse_seed(spec.substr(c2 + 1));
+    if (!s) return false;
+    seed = *s;
+  }
+  arm(*site, *nth, seed);
+  return true;
+}
+
+bool FaultPlan::fire(FaultSite site) {
+  Site& s = sites_[static_cast<std::size_t>(site)];
+  const std::int64_t k = s.count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!s.armed || k < s.nth) return false;
+  bool hit = k - s.nth < s.repeat;  // the [nth, nth + repeat) window
+  if (!hit && s.seed != 0) {
+    hit = (splitmix64(s.seed ^ static_cast<std::uint64_t>(k)) & 7u) == 0;
+  }
+  if (hit) s.fired.fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+std::int64_t FaultPlan::occurrences(FaultSite site) const {
+  return sites_[static_cast<std::size_t>(site)].count.load(std::memory_order_relaxed);
+}
+
+std::int64_t FaultPlan::fired(FaultSite site) const {
+  return sites_[static_cast<std::size_t>(site)].fired.load(std::memory_order_relaxed);
+}
+
+bool FaultPlan::any_fired() const {
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    if (fired(static_cast<FaultSite>(i)) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace archex::milp

@@ -1,0 +1,88 @@
+/// \file fault.hpp
+/// Deterministic fault injection for the solver stack.
+///
+/// A FaultPlan is armed per *site* (singular refactorization, NaN pivot,
+/// mid-solve deadline, worker stall, allocation failure) to fire at the Nth
+/// occurrence of that site, optionally followed by a seeded pseudo-random
+/// tail of further firings. The plan is shared by pointer through
+/// `SimplexOptions::fault` / `MilpOptions::fault`; a null pointer is the
+/// default and costs one pointer test per site. Occurrence counters are
+/// atomic, so one plan serves every worker of a parallel solve and an
+/// *unarmed* plan doubles as a probe that counts how often each site is
+/// reached in a clean run (tests use this to aim the Nth-occurrence trigger
+/// at the middle of a solve).
+///
+/// The CLI spelling (`milp_solve --inject=site:n[:seed]`) and the
+/// site-by-site failure/recovery matrix are documented in
+/// docs/diagnostics.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace archex::milp {
+
+/// Where a fault can be injected. Values index the plan's counter table.
+enum class FaultSite : std::uint8_t {
+  SingularFactor = 0,  ///< basis refactorization reports a singular matrix
+  NanPivot = 1,        ///< a committed simplex pivot is reported poisoned
+  Deadline = 2,        ///< a simplex deadline poll fires early (TimeLimit)
+  WorkerStall = 3,     ///< a pool worker sleeps before processing its node
+  BadAlloc = 4,        ///< a node LP solve throws std::bad_alloc
+};
+
+inline constexpr std::size_t kNumFaultSites = 5;
+
+[[nodiscard]] const char* to_string(FaultSite s);
+
+/// Parses a site name as spelled on the CLI ("singular", "nan-pivot",
+/// "deadline", "stall", "bad-alloc").
+[[nodiscard]] std::optional<FaultSite> parse_fault_site(const std::string& name);
+
+/// A deterministic per-site fault schedule. Not copyable (atomic counters);
+/// arm() is not thread-safe and must happen before the solve starts, fire()
+/// is safe from any number of solver threads.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Arms `site` to fire at occurrences [nth, nth + repeat). With a nonzero
+  /// `seed`, later occurrences additionally fire pseudo-randomly (about one
+  /// in eight, derived from splitmix64(seed ^ occurrence) — deterministic
+  /// for a fixed seed and occurrence index, so single-threaded runs replay
+  /// exactly).
+  void arm(FaultSite site, std::int64_t nth, std::uint64_t seed = 0,
+           std::int64_t repeat = 1);
+
+  /// Arms one site from a CLI spec "site:n[:seed]". Returns false (plan
+  /// unchanged) on a malformed spec.
+  bool arm_from_spec(const std::string& spec);
+
+  /// Counts one occurrence of `site` and reports whether the fault fires
+  /// there. Unarmed sites only count (probe mode).
+  bool fire(FaultSite site);
+
+  /// Occurrences counted so far (armed or not).
+  [[nodiscard]] std::int64_t occurrences(FaultSite site) const;
+  /// Firings delivered so far.
+  [[nodiscard]] std::int64_t fired(FaultSite site) const;
+  /// True when any site fired.
+  [[nodiscard]] bool any_fired() const;
+
+ private:
+  struct Site {
+    std::atomic<std::int64_t> count{0};
+    std::atomic<std::int64_t> fired{0};
+    std::int64_t nth = 0;
+    std::int64_t repeat = 1;
+    std::uint64_t seed = 0;
+    bool armed = false;
+  };
+  Site sites_[kNumFaultSites];
+};
+
+}  // namespace archex::milp

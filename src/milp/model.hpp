@@ -187,6 +187,14 @@ struct Solution {
   std::vector<std::int64_t> nodes_per_worker;  ///< pool nodes per worker
   std::int64_t steals = 0;  ///< nodes taken from another worker's dive
   double cpu_seconds = 0.0;
+  /// Resilience accounting (MILP only). `degraded` is set when at least one
+  /// node exhausted the numerical-recovery ladder and its subtree was
+  /// abandoned: the abandoned subtree's parent bound was folded into
+  /// `best_bound`, so the reported gap stays sound, but an "optimal" status
+  /// then means "optimal modulo the abandoned subtrees" — treat the gap, not
+  /// the status, as the claim. See docs/solver.md ("Resilience").
+  bool degraded = false;
+  std::int64_t degraded_nodes = 0;  ///< subtrees abandoned by the ladder
   /// Explicit termination reason (see TermReason); always populated.
   TermReason term_reason = TermReason::Numerical;
   /// Wall-clock phase breakdown (MILP only; zeros for plain LP solves).

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "milp/fault.hpp"
+
 namespace archex::milp {
 
 namespace {
@@ -163,6 +165,9 @@ void SimplexSolver::btran_row(std::size_t r, std::vector<double>& binv_row) cons
 bool SimplexSolver::refactorize() {
   ++reopt_stats_.refactors;
   if (opts_.trace != nullptr) opts_.trace->emit(obs::EventType::Refactor);
+  if (opts_.fault != nullptr && opts_.fault->fire(FaultSite::SingularFactor)) {
+    return false;  // injected singular factorization
+  }
   // Gauss-Jordan inversion of the basis matrix with partial pivoting.
   std::vector<double> work(m_ * m_, 0.0);
   for (std::size_t i = 0; i < m_; ++i) {
@@ -290,9 +295,13 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
 
   for (;;) {
     if (total_iterations_ >= opts_.max_iterations) return SolveStatus::IterationLimit;
-    if ((total_iterations_ & 0xFF) == 0 &&
-        std::chrono::steady_clock::now() >= opts_.deadline) {
-      return SolveStatus::TimeLimit;
+    if ((total_iterations_ & 0xFF) == 0) {
+      if (opts_.fault != nullptr && opts_.fault->fire(FaultSite::Deadline)) {
+        return SolveStatus::TimeLimit;  // injected mid-solve deadline
+      }
+      if (std::chrono::steady_clock::now() >= opts_.deadline) {
+        return SolveStatus::TimeLimit;
+      }
     }
     if (pivots_since_refactor_ >= opts_.refactor_interval) {
       if (!refactorize()) return SolveStatus::NumericalError;
@@ -378,6 +387,12 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
     }
 
     if (t_best >= kInf) return SolveStatus::Unbounded;
+
+    if (opts_.fault != nullptr && opts_.fault->fire(FaultSite::NanPivot)) {
+      // The injected pivot would poison the basis with NaNs; report the
+      // failure the update guards would raise.
+      return SolveStatus::NumericalError;
+    }
 
     degen_streak = (t_best <= kDegenTol) ? degen_streak + 1 : 0;
     ++reopt_stats_.total_pivots;
@@ -544,6 +559,24 @@ SolveStatus SimplexSolver::reoptimize_dual() {
   return st;
 }
 
+SolveStatus SimplexSolver::recover_resolve() {
+  if (m_ == 0) return solve_primal();
+  // Tightening pivot_tol makes the loops refuse the marginal pivots (and
+  // refactorize instead) that plausibly corrupted the factorization the
+  // first time; the rebuilt inverse gives the reoptimization a clean start.
+  const double saved_pivot_tol = opts_.pivot_tol;
+  opts_.pivot_tol = std::min(1e-6, saved_pivot_tol * 100.0);
+  SolveStatus st = SolveStatus::NumericalError;
+  if (refactorize()) {
+    compute_basic_values();
+    basis_valid_ = true;
+    st = reoptimize_dual();
+  }
+  opts_.pivot_tol = saved_pivot_tol;
+  basis_valid_ = (st == SolveStatus::Optimal);
+  return st;
+}
+
 SolveStatus SimplexSolver::dual_loop() {
   if (m_ == 0) return solve_primal();
   compute_basic_values();
@@ -561,9 +594,13 @@ SolveStatus SimplexSolver::dual_loop() {
 
   for (;;) {
     if (total_iterations_ >= opts_.max_iterations) return SolveStatus::IterationLimit;
-    if ((total_iterations_ & 0xFF) == 0 &&
-        std::chrono::steady_clock::now() >= opts_.deadline) {
-      return SolveStatus::TimeLimit;
+    if ((total_iterations_ & 0xFF) == 0) {
+      if (opts_.fault != nullptr && opts_.fault->fire(FaultSite::Deadline)) {
+        return SolveStatus::TimeLimit;  // injected mid-solve deadline
+      }
+      if (std::chrono::steady_clock::now() >= opts_.deadline) {
+        return SolveStatus::TimeLimit;
+      }
     }
     if (pivots_since_refactor_ >= opts_.refactor_interval) {
       if (!refactorize()) return SolveStatus::NumericalError;
@@ -633,6 +670,9 @@ SolveStatus SimplexSolver::dual_loop() {
       if (!refactorize()) return SolveStatus::NumericalError;
       compute_basic_values();
       continue;
+    }
+    if (opts_.fault != nullptr && opts_.fault->fire(FaultSite::NanPivot)) {
+      return SolveStatus::NumericalError;  // injected poisoned pivot
     }
 
     // Entering step: drive the leaving basic variable exactly to its violated

@@ -25,6 +25,8 @@
 
 namespace archex::milp {
 
+class FaultPlan;
+
 /// Simplex configuration knobs.
 struct SimplexOptions {
   double feas_tol = 1e-7;    ///< primal feasibility tolerance
@@ -51,6 +53,10 @@ struct SimplexOptions {
   /// the branch & bound hands each worker's solver its own buffer. Null or
   /// disabled buffers cost one pointer test per event site.
   obs::TraceBuffer* trace = nullptr;
+  /// Deterministic fault injection (tests, `milp_solve --inject`). Null —
+  /// the default — disables every site at the cost of one pointer test.
+  /// Shared across solvers of one solve; see milp/fault.hpp.
+  FaultPlan* fault = nullptr;
 };
 
 /// LP engine over a fixed constraint matrix with mutable variable bounds.
@@ -73,6 +79,14 @@ class SimplexSolver {
   /// successful solve (which left a dual-feasible basis). Falls back to a
   /// cold primal solve if the basis has decayed numerically.
   SolveStatus reoptimize_dual();
+
+  /// First rung of the branch & bound's numerical-recovery ladder: rebuild
+  /// the basis inverse from scratch and reoptimize under a temporarily
+  /// tightened pivot-acceptance tolerance, so the marginal pivots that
+  /// poisoned the factorization are refused on the retry. Returns
+  /// NumericalError when the rebuilt basis is still singular or the
+  /// reoptimization fails again; callers then escalate to a cold restart.
+  SolveStatus recover_resolve();
 
   /// Changes the bounds of structural column `col` (0-based model index).
   /// Getters return the *true* (unperturbed) bounds.

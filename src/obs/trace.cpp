@@ -19,6 +19,8 @@ const char* to_string(EventType t) {
     case EventType::Refactor: return "refactor";
     case EventType::DualRepair: return "dual_repair";
     case EventType::ColdRestart: return "cold_restart";
+    case EventType::Recover: return "recover";
+    case EventType::Checkpoint: return "checkpoint";
     case EventType::SolveEnd: return "solve_end";
   }
   return "unknown";
@@ -32,6 +34,18 @@ const char* to_string(NodeOutcome o) {
     case NodeOutcome::Pruned: return "pruned";
     case NodeOutcome::Cutoff: return "cutoff";
     case NodeOutcome::Limit: return "limit";
+    case NodeOutcome::Requeued: return "requeued";
+    case NodeOutcome::Abandoned: return "abandoned";
+  }
+  return "unknown";
+}
+
+const char* to_string(RecoverRung r) {
+  switch (r) {
+    case RecoverRung::Tighten: return "tighten";
+    case RecoverRung::Cold: return "cold";
+    case RecoverRung::Requeue: return "requeue";
+    case RecoverRung::Abandon: return "abandon";
   }
   return "unknown";
 }
@@ -133,6 +147,13 @@ void Trace::write_jsonl(std::ostream& os) const {
       case EventType::Refactor:
       case EventType::DualRepair:
       case EventType::ColdRestart:
+        break;
+      case EventType::Recover:
+        os << ",\"node\":" << e.id << ",\"rung\":\""
+           << to_string(static_cast<RecoverRung>(e.detail)) << '"';
+        break;
+      case EventType::Checkpoint:
+        os << ",\"open\":" << static_cast<long long>(e.value);
         break;
       case EventType::SolveEnd:
         os << ",\"objective\":";

@@ -27,6 +27,8 @@ enum class EventType : std::uint8_t {
   Refactor,     ///< simplex basis refactorization
   DualRepair,   ///< dual reoptimization fell back to primal repair
   ColdRestart,  ///< dual reoptimization fell back to a cold solve
+  Recover,      ///< numerical-recovery ladder step; detail = RecoverRung
+  Checkpoint,   ///< search state checkpointed; value = open-node count
   SolveEnd,     ///< solve exit; value = final objective (or NaN)
 };
 
@@ -38,6 +40,16 @@ enum class NodeOutcome : std::uint8_t {
   Pruned = 3,      ///< parent bound already past the cutoff (pre-LP)
   Cutoff = 4,      ///< node bound past the cutoff (post-LP)
   Limit = 5,       ///< abandoned by a node/time limit
+  Requeued = 6,    ///< quarantined after a numerical failure, re-enqueued
+  Abandoned = 7,   ///< recovery ladder exhausted; parent bound inherited
+};
+
+/// Recover detail: which rung of the numerical-recovery ladder ran.
+enum class RecoverRung : std::uint8_t {
+  Tighten = 0,  ///< tightened-tolerance refactorization + warm reoptimize
+  Cold = 1,     ///< cold primal restart
+  Requeue = 2,  ///< node quarantined for a bounded cold retry
+  Abandon = 3,  ///< retries exhausted; bound conservatively inherited
 };
 
 /// Phase detail for EventType::Phase.
@@ -51,6 +63,7 @@ enum class Phase : std::uint8_t {
 
 [[nodiscard]] const char* to_string(EventType t);
 [[nodiscard]] const char* to_string(NodeOutcome o);
+[[nodiscard]] const char* to_string(RecoverRung r);
 [[nodiscard]] const char* to_string(Phase p);
 
 /// One trace record. 32 bytes; written by value into the ring.

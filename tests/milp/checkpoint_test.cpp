@@ -1,0 +1,272 @@
+/// Tests for branch & bound checkpoint/resume (milp/checkpoint.hpp): model
+/// fingerprinting, hexfloat round-tripping of the on-disk format, rejection
+/// of corrupt or mismatched files, and end-to-end interrupt/resume runs that
+/// must land on the uninterrupted optimum exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+
+#include "milp/branch_bound.hpp"
+#include "milp/checkpoint.hpp"
+
+namespace archex::milp {
+namespace {
+
+Model knapsack_fixture(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> w(1, 9);
+  Model m;
+  std::vector<VarId> v;
+  LinExpr tw, tv;
+  for (int j = 0; j < n; ++j) {
+    v.push_back(m.add_binary());
+    tw += static_cast<double>(w(rng)) * v.back();
+    tv += static_cast<double>(w(rng)) * v.back();
+  }
+  m.add_constraint(tw <= LinExpr(2.5 * n));
+  m.set_objective(tv, ObjectiveSense::Maximize);
+  return m;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+double metric(const Solution& s, const std::string& name) {
+  const auto it = s.metrics.find(name);
+  return it == s.metrics.end() ? 0.0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, FingerprintIsStableAndSensitive) {
+  const Model a = knapsack_fixture(12, 5);
+  const Model b = knapsack_fixture(12, 5);
+  EXPECT_EQ(model_fingerprint(a), model_fingerprint(b));  // deterministic
+
+  Model c = knapsack_fixture(12, 5);
+  c.var(VarId{0}).ub = 2.0;  // one bound differs
+  EXPECT_NE(model_fingerprint(a), model_fingerprint(c));
+
+  const Model d = knapsack_fixture(12, 6);  // different coefficients
+  EXPECT_NE(model_fingerprint(a), model_fingerprint(d));
+
+  Model e = knapsack_fixture(12, 5);
+  e.set_objective(e.objective(), ObjectiveSense::Minimize);  // sense flip
+  EXPECT_NE(model_fingerprint(a), model_fingerprint(e));
+}
+
+// ---------------------------------------------------------------------------
+// Save / load round trip
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, SaveLoadRoundTripsBitExactly) {
+  CheckpointData d;
+  d.fingerprint = 0xDEADBEEFCAFEF00DULL;
+  d.nodes = 12345;
+  d.root_bound = -1.0 / 3.0;  // not representable in decimal
+  d.has_incumbent = true;
+  d.incumbent_obj = 1e-17 + 1.0;
+  d.incumbent_x = {0.0, 1.0, 1.0 / 3.0, 5e-324 /* min denormal */, -0.0};
+  d.frontier.push_back({-7.25, 1, {{2, 0.0, 0.0}, {4, 1.0, 1.0}}});
+  d.frontier.push_back({std::nextafter(-7.25, 0.0), 0, {}});
+
+  const std::string path = temp_path("roundtrip.ck");
+  ASSERT_TRUE(save_checkpoint(path, d));
+  // The temp file was renamed away, not left behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  CheckpointData r;
+  ASSERT_TRUE(load_checkpoint(path, r));
+  EXPECT_EQ(r.fingerprint, d.fingerprint);
+  EXPECT_EQ(r.nodes, d.nodes);
+  EXPECT_EQ(r.root_bound, d.root_bound);
+  ASSERT_TRUE(r.has_incumbent);
+  EXPECT_EQ(r.incumbent_obj, d.incumbent_obj);
+  ASSERT_EQ(r.incumbent_x.size(), d.incumbent_x.size());
+  for (std::size_t i = 0; i < d.incumbent_x.size(); ++i) {
+    EXPECT_EQ(r.incumbent_x[i], d.incumbent_x[i]) << "x[" << i << "]";
+  }
+  EXPECT_TRUE(std::signbit(r.incumbent_x[4]));  // -0.0 survives hexfloat
+  ASSERT_EQ(r.frontier.size(), 2u);
+  EXPECT_EQ(r.frontier[0].bound, -7.25);
+  EXPECT_EQ(r.frontier[0].retries, 1);
+  ASSERT_EQ(r.frontier[0].path.size(), 2u);
+  EXPECT_EQ(r.frontier[0].path[1].col, 4);
+  EXPECT_EQ(r.frontier[0].path[1].ub, 1.0);
+  EXPECT_EQ(r.frontier[1].bound, std::nextafter(-7.25, 0.0));  // bit-exact
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsMissingCorruptAndMismatchedVersions) {
+  CheckpointData r;
+  EXPECT_FALSE(load_checkpoint(temp_path("does-not-exist.ck"), r));
+
+  const std::string garbage = temp_path("garbage.ck");
+  {
+    std::ofstream out(garbage);
+    out << "not a checkpoint at all\n";
+  }
+  EXPECT_FALSE(load_checkpoint(garbage, r));
+  std::remove(garbage.c_str());
+
+  // A valid file with only the version bumped must be refused.
+  CheckpointData d;
+  d.fingerprint = 1;
+  const std::string path = temp_path("version.ck");
+  ASSERT_TRUE(save_checkpoint(path, d));
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::getline(in, text);  // "archex-bb-checkpoint 1"
+    std::string rest((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    text = "archex-bb-checkpoint 999\n" + rest;
+  }
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  EXPECT_FALSE(load_checkpoint(path, r));
+
+  // Truncation (a torn copy, not a torn write — rename prevents those) is
+  // also refused.
+  {
+    std::ofstream out(path);
+    out << "archex-bb-checkpoint 1\nfingerprint 0000000000000001\n";
+  }
+  EXPECT_FALSE(load_checkpoint(path, r));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end interrupt / resume
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, InterruptedSolveResumesToTheUninterruptedOptimum) {
+  const Model m = knapsack_fixture(26, 9);
+  const std::string path = temp_path("resume.ck");
+  std::remove(path.c_str());
+
+  // Reference: the same checkpoint-routed (single-worker pool) search, run
+  // to completion.
+  MilpOptions ref_opts;
+  ref_opts.num_threads = 1;
+  ref_opts.checkpoint_file = temp_path("reference.ck");
+  ref_opts.checkpoint_interval_s = 3600.0;  // effectively never mid-run
+  const Solution ref = solve_milp(m, ref_opts);
+  ASSERT_EQ(ref.status, SolveStatus::Optimal);
+  std::remove(ref_opts.checkpoint_file.c_str());
+
+  // Interrupted run: a node budget plays the role of the kill signal. The
+  // final checkpoint written on the way out must capture the live frontier.
+  MilpOptions cut_opts;
+  cut_opts.num_threads = 1;
+  cut_opts.max_nodes = 60;
+  cut_opts.checkpoint_file = path;
+  cut_opts.checkpoint_interval_s = 0.0;  // checkpoint after every node
+  const Solution cut = solve_milp(m, cut_opts);
+  ASSERT_EQ(cut.status, SolveStatus::NodeLimit)
+      << "fixture too easy for the interrupt test";
+  ASSERT_TRUE(std::ifstream(path).good());
+
+  // Resume and finish: the optimum must match the uninterrupted run exactly
+  // (hexfloat serialization keeps every double bit-identical).
+  MilpOptions res_opts;
+  res_opts.num_threads = 1;
+  res_opts.checkpoint_file = path;
+  res_opts.resume = true;
+  const Solution res = solve_milp(m, res_opts);
+  EXPECT_EQ(metric(res, "milp.checkpoint.loaded"), 1.0);
+  ASSERT_EQ(res.status, SolveStatus::Optimal);
+  EXPECT_EQ(res.objective, ref.objective);
+  EXPECT_EQ(metric(res, "check.certify.ok"), 1.0);
+
+  // The search finished, so the final checkpoint has an empty frontier and
+  // resuming *again* just returns the incumbent.
+  MilpOptions again_opts = res_opts;
+  const Solution again = solve_milp(m, again_opts);
+  ASSERT_EQ(again.status, SolveStatus::Optimal);
+  EXPECT_EQ(again.objective, ref.objective);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ResumeIntoADifferentModelIsRejected) {
+  const Model a = knapsack_fixture(18, 9);
+  const Model b = knapsack_fixture(18, 10);
+  const std::string path = temp_path("mismatch.ck");
+  std::remove(path.c_str());
+
+  MilpOptions opts;
+  opts.num_threads = 1;
+  opts.checkpoint_file = path;
+  opts.checkpoint_interval_s = 0.0;
+  ASSERT_EQ(solve_milp(a, opts).status, SolveStatus::Optimal);
+  ASSERT_TRUE(std::ifstream(path).good());
+
+  // Same file, different model: the fingerprint check refuses the state and
+  // the solve falls back to a clean full search of model b.
+  MilpOptions res;
+  res.num_threads = 1;
+  res.checkpoint_file = path;
+  res.resume = true;
+  const Solution sb = solve_milp(b, res);
+  EXPECT_EQ(metric(sb, "milp.checkpoint.rejected"), 1.0);
+  EXPECT_EQ(metric(sb, "milp.checkpoint.loaded"), 0.0);
+  ASSERT_EQ(sb.status, SolveStatus::Optimal);
+
+  MilpOptions clean;
+  clean.num_threads = 1;
+  const Solution sb_clean = solve_milp(b, clean);
+  EXPECT_EQ(sb.objective, sb_clean.objective);
+  std::remove(path.c_str());
+}
+
+/// Strongly correlated knapsack (parallel-BB stress recipe): large tree, so
+/// the tree phase actually runs and checkpoints get written.
+Model hard_knapsack_fixture(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> w(10, 30);
+  Model m;
+  LinExpr tw, tv;
+  double cap = 0.0;
+  for (int j = 0; j < n; ++j) {
+    VarId v = m.add_binary();
+    const int wj = w(rng);
+    tw += static_cast<double>(wj) * v;
+    tv += (static_cast<double>(wj) + 5.0 + 0.1 * (j % 7)) * v;
+    cap += wj;
+  }
+  m.add_constraint(tw <= LinExpr(0.5 * cap));
+  m.set_objective(tv, ObjectiveSense::Maximize);
+  return m;
+}
+
+TEST(CheckpointTest, ParallelSolveWithCheckpointingStaysCorrect) {
+  const Model m = hard_knapsack_fixture(18, 13);
+  MilpOptions clean;
+  clean.num_threads = 1;
+  const Solution ref = solve_milp(m, clean);
+  ASSERT_EQ(ref.status, SolveStatus::Optimal);
+
+  const std::string path = temp_path("parallel.ck");
+  MilpOptions opts;
+  opts.num_threads = 2;
+  opts.checkpoint_file = path;
+  opts.checkpoint_interval_s = 0.0;  // maximal snapshot contention
+  const Solution s = solve_milp(m, opts);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, ref.objective, 1e-6);
+  EXPECT_GE(metric(s, "milp.checkpoint.writes"), 1.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace archex::milp

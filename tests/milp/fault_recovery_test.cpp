@@ -1,0 +1,363 @@
+/// Tests for the deterministic fault injector (milp/fault.hpp) and the
+/// numerical-recovery ladder it exercises: every injectable site must leave
+/// the branch & bound with a *sound* answer — either the clean optimum (the
+/// ladder recovered) or a degraded solve whose reported bound still brackets
+/// the true optimum (the ladder abandoned a subtree but never pruned it).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "milp/branch_bound.hpp"
+#include "milp/fault.hpp"
+#include "milp/simplex.hpp"
+
+namespace archex::milp {
+namespace {
+
+/// Strongly correlated knapsack (same recipe as the parallel-BB stress
+/// suite): granularity pruning never fires, so the tree is deep enough that
+/// a mid-search injection genuinely lands mid-search. n = 20, seed = 7 runs
+/// ~1e3 nodes in milliseconds.
+Model hard_knapsack_fixture(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> w(10, 30);
+  Model m;
+  LinExpr tw, tv;
+  double cap = 0.0;
+  for (int j = 0; j < n; ++j) {
+    VarId v = m.add_binary();
+    const int wj = w(rng);
+    tw += static_cast<double>(wj) * v;
+    tv += (static_cast<double>(wj) + 5.0 + 0.1 * (j % 7)) * v;
+    cap += wj;
+  }
+  m.add_constraint(tw <= LinExpr(0.5 * cap));
+  m.set_objective(tv, ObjectiveSense::Maximize);
+  return m;
+}
+
+double metric(const Solution& s, const std::string& name) {
+  const auto it = s.metrics.find(name);
+  return it == s.metrics.end() ? 0.0 : it->second;
+}
+
+/// Occurrence counts of `site` (a) over a clean full solve and (b) over the
+/// root phase alone (max_nodes = 1 stops before the tree). Aiming between
+/// the two puts the injection mid-tree, where the recovery ladder exists —
+/// a root-LP failure is terminal by design and tested separately.
+struct SiteProfile {
+  std::int64_t total = 0;
+  std::int64_t root = 0;
+  double clean_objective = 0.0;
+  [[nodiscard]] std::int64_t mid_tree() const { return root + (total - root) / 2; }
+};
+
+SiteProfile profile_site(const Model& m, FaultSite site, const MilpOptions& base) {
+  SiteProfile p;
+  FaultPlan full;
+  MilpOptions o = base;
+  o.fault = &full;
+  const Solution s = solve_milp(m, o);
+  EXPECT_EQ(s.status, SolveStatus::Optimal);
+  p.total = full.occurrences(site);
+  p.clean_objective = s.objective;
+
+  FaultPlan root_only;
+  MilpOptions r = base;
+  r.fault = &root_only;
+  r.max_nodes = 1;
+  solve_milp(m, r);
+  p.root = root_only.occurrences(site);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, FiresExactlyAtTheNthOccurrence) {
+  FaultPlan p;
+  p.arm(FaultSite::NanPivot, 3);
+  EXPECT_FALSE(p.fire(FaultSite::NanPivot));  // occurrence 1
+  EXPECT_FALSE(p.fire(FaultSite::NanPivot));  // occurrence 2
+  EXPECT_TRUE(p.fire(FaultSite::NanPivot));   // occurrence 3: fires
+  EXPECT_FALSE(p.fire(FaultSite::NanPivot));  // one-shot without seed/repeat
+  EXPECT_EQ(p.occurrences(FaultSite::NanPivot), 4);
+  EXPECT_EQ(p.fired(FaultSite::NanPivot), 1);
+  EXPECT_TRUE(p.any_fired());
+}
+
+TEST(FaultPlanTest, RepeatWindowFiresContiguously) {
+  FaultPlan p;
+  p.arm(FaultSite::SingularFactor, 2, /*seed=*/0, /*repeat=*/3);
+  int fired = 0;
+  for (int k = 1; k <= 10; ++k) fired += p.fire(FaultSite::SingularFactor);
+  EXPECT_EQ(fired, 3);  // occurrences 2, 3, 4
+  EXPECT_EQ(p.fired(FaultSite::SingularFactor), 3);
+}
+
+TEST(FaultPlanTest, SeededTailIsDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    FaultPlan p;
+    p.arm(FaultSite::Deadline, 5, seed);
+    std::vector<bool> hits;
+    hits.reserve(200);
+    for (int k = 0; k < 200; ++k) hits.push_back(p.fire(FaultSite::Deadline));
+    return hits;
+  };
+  const auto a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b);       // same seed replays exactly
+  EXPECT_NE(a, c);       // different seed, different tail
+  int tail_hits = 0;
+  for (bool h : a) tail_hits += h;
+  EXPECT_GE(tail_hits, 2);  // the ~1/8 tail actually fires sometimes
+}
+
+TEST(FaultPlanTest, UnarmedPlanOnlyCounts) {
+  FaultPlan p;
+  for (int k = 0; k < 7; ++k) EXPECT_FALSE(p.fire(FaultSite::BadAlloc));
+  EXPECT_EQ(p.occurrences(FaultSite::BadAlloc), 7);
+  EXPECT_EQ(p.fired(FaultSite::BadAlloc), 0);
+  EXPECT_FALSE(p.any_fired());
+}
+
+TEST(FaultPlanTest, ParsesCliSpecs) {
+  FaultPlan p;
+  EXPECT_TRUE(p.arm_from_spec("singular:3"));
+  EXPECT_TRUE(p.arm_from_spec("nan-pivot:10:77"));
+  EXPECT_TRUE(p.arm_from_spec("deadline:1"));
+  EXPECT_TRUE(p.arm_from_spec("stall:2"));
+  EXPECT_TRUE(p.arm_from_spec("bad-alloc:4"));
+  EXPECT_FALSE(p.arm_from_spec(""));
+  EXPECT_FALSE(p.arm_from_spec("singular"));        // missing :n
+  EXPECT_FALSE(p.arm_from_spec("warp-core:1"));     // unknown site
+  EXPECT_FALSE(p.arm_from_spec("singular:abc"));    // non-numeric n
+  EXPECT_FALSE(p.arm_from_spec("singular:1:zz"));   // non-numeric seed
+  EXPECT_FALSE(p.arm_from_spec("singular:0"));      // occurrences are 1-based
+}
+
+TEST(FaultPlanTest, SiteNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const auto parsed = parse_fault_site(to_string(site));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, site);
+  }
+  EXPECT_FALSE(parse_fault_site("nonsense").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Recovery ladder: each injectable site, sequential search
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryLadderTest, NanPivotMidSearchRecoversToCleanOptimum) {
+  const Model m = hard_knapsack_fixture(20, 7);
+  MilpOptions base;
+  base.num_threads = 1;
+  const SiteProfile prof = profile_site(m, FaultSite::NanPivot, base);
+  ASSERT_GT(prof.total, prof.root + 8);  // the tree is where most pivots are
+
+  // repeat = 2: a single poisoned pivot is absorbed by reoptimize_dual's own
+  // cold fallback; the second consecutive firing defeats that too, so the
+  // NumericalError reaches the branch & bound and the ladder must engage.
+  FaultPlan plan;
+  plan.arm(FaultSite::NanPivot, prof.mid_tree(), /*seed=*/0, /*repeat=*/2);
+  MilpOptions opts = base;
+  opts.fault = &plan;
+  const Solution s = solve_milp(m, opts);
+  EXPECT_TRUE(plan.any_fired());
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(s.objective, prof.clean_objective);
+  EXPECT_GE(metric(s, "milp.recover.tighten"), 1.0);
+  EXPECT_EQ(metric(s, "check.certify.ok"), 1.0);
+  EXPECT_FALSE(s.degraded);
+}
+
+TEST(RecoveryLadderTest, SingularRefactorizationRecovers) {
+  const Model m = hard_knapsack_fixture(20, 7);
+  // Refactorize every pivot so the singular site is reached at every node.
+  MilpOptions base;
+  base.num_threads = 1;
+  base.lp.refactor_interval = 1;
+  const SiteProfile prof = profile_site(m, FaultSite::SingularFactor, base);
+  ASSERT_GT(prof.total, prof.root + 8);
+
+  FaultPlan plan;
+  plan.arm(FaultSite::SingularFactor, prof.mid_tree());
+  MilpOptions opts = base;
+  opts.fault = &plan;
+  const Solution s = solve_milp(m, opts);
+  EXPECT_TRUE(plan.any_fired());
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(s.objective, prof.clean_objective);
+  EXPECT_EQ(metric(s, "check.certify.ok"), 1.0);
+}
+
+TEST(RecoveryLadderTest, BadAllocDuringNodeSolveRecovers) {
+  const Model m = hard_knapsack_fixture(20, 7);
+  MilpOptions base;
+  base.num_threads = 1;
+  // The bad-alloc site only exists at tree nodes, so no root aiming needed.
+  const SiteProfile prof = profile_site(m, FaultSite::BadAlloc, base);
+  ASSERT_GT(prof.total, 2);
+  ASSERT_EQ(prof.root, 0);
+
+  FaultPlan plan;
+  plan.arm(FaultSite::BadAlloc, prof.total / 2);
+  MilpOptions opts = base;
+  opts.fault = &plan;
+  const Solution s = solve_milp(m, opts);
+  EXPECT_TRUE(plan.any_fired());
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(s.objective, prof.clean_objective);
+  EXPECT_GE(metric(s, "milp.recover.tighten"), 1.0);
+  EXPECT_EQ(metric(s, "check.certify.ok"), 1.0);
+}
+
+TEST(RecoveryLadderTest, InjectedDeadlineTerminatesWithTimeLimit) {
+  const Model m = hard_knapsack_fixture(20, 7);
+  MilpOptions base;
+  base.num_threads = 1;
+  const SiteProfile prof = profile_site(m, FaultSite::Deadline, base);
+  ASSERT_GT(prof.total, 2);  // the poll site is actually reached repeatedly
+
+  FaultPlan plan;
+  plan.arm(FaultSite::Deadline, std::max<std::int64_t>(2, prof.mid_tree()));
+  MilpOptions opts = base;
+  opts.fault = &plan;
+  const Solution s = solve_milp(m, opts);
+  EXPECT_TRUE(plan.any_fired());
+  EXPECT_EQ(s.status, SolveStatus::TimeLimit);
+  EXPECT_EQ(s.term_reason, TermReason::TimeLimit);
+  // An injected deadline is a limit, not a numerical failure: any incumbent
+  // found before it must still be a feasible point with a sound bound.
+  if (s.has_incumbent) {
+    EXPECT_TRUE(m.feasible(s.x, 1e-5));
+    EXPECT_GE(s.best_bound, s.objective - 1e-6);  // Maximize: bound >= incumbent
+  }
+}
+
+TEST(RecoveryLadderTest, RootLpFailureIsTerminalNotSilent) {
+  // Below the first tree node there is no parent bound to inherit, so a
+  // root-LP numerical failure must surface as NumericalError, never as a
+  // bogus Optimal/Infeasible claim.
+  const Model m = hard_knapsack_fixture(20, 7);
+  FaultPlan plan;
+  plan.arm(FaultSite::NanPivot, 2);  // inside the root primal solve
+  MilpOptions opts;
+  opts.num_threads = 1;
+  opts.fault = &plan;
+  const Solution s = solve_milp(m, opts);
+  EXPECT_TRUE(plan.any_fired());
+  EXPECT_EQ(s.status, SolveStatus::NumericalError);
+  EXPECT_EQ(s.term_reason, TermReason::Numerical);
+  EXPECT_FALSE(s.has_incumbent);
+}
+
+TEST(RecoveryLadderTest, ExhaustedLadderDegradesWithSoundBound) {
+  const Model m = hard_knapsack_fixture(20, 7);
+  MilpOptions base;
+  base.num_threads = 1;
+  const SiteProfile prof = profile_site(m, FaultSite::NanPivot, base);
+
+  // Fire the NaN pivot at *every* occurrence past the root phase: every rung
+  // of the ladder (tighten, cold, each retry) re-enters a pivot loop and is
+  // poisoned again, so subtrees must be abandoned.
+  FaultPlan plan;
+  plan.arm(FaultSite::NanPivot, prof.root + 1, /*seed=*/0,
+           /*repeat=*/std::numeric_limits<std::int64_t>::max() / 2);
+  MilpOptions opts = base;
+  opts.fault = &plan;
+  opts.trace = true;
+  const Solution s = solve_milp(m, opts);
+  EXPECT_TRUE(plan.any_fired());
+  EXPECT_TRUE(s.degraded);
+  EXPECT_GT(s.degraded_nodes, 0);
+  EXPECT_GE(metric(s, "milp.recover.abandoned"), 1.0);
+  EXPECT_GE(metric(s, "milp.recover.requeue"), 1.0);
+  EXPECT_GE(metric(s, "milp.degraded_nodes"), 1.0);
+  // Soundness (Maximize sense): whatever incumbent survived cannot beat the
+  // true optimum, and the reported bound must still dominate it — the
+  // abandoned subtrees were folded into best_bound, not pruned.
+  if (s.has_incumbent) {
+    EXPECT_LE(s.objective, prof.clean_objective + 1e-6);
+    EXPECT_GE(s.best_bound, prof.clean_objective - 1e-6);
+    EXPECT_EQ(metric(s, "check.certify.ok"), 1.0);
+  } else {
+    // Never claim infeasibility out of a degraded, empty-handed search.
+    EXPECT_NE(s.status, SolveStatus::Infeasible);
+  }
+  // The trace records the escalation.
+  bool saw_abandon = false;
+  for (const auto& e : s.trace.events) {
+    if (e.type == obs::EventType::Recover &&
+        static_cast<obs::RecoverRung>(e.detail) == obs::RecoverRung::Abandon) {
+      saw_abandon = true;
+    }
+  }
+  EXPECT_TRUE(saw_abandon);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery ladder: pool workers (requeue path) and stall injection
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryLadderTest, ParallelNanPivotStillReachesOptimum) {
+  const Model m = hard_knapsack_fixture(20, 7);
+  MilpOptions base;
+  base.num_threads = 1;
+  const SiteProfile prof = profile_site(m, FaultSite::NanPivot, base);
+  ASSERT_GT(prof.total, prof.root + 16);
+
+  FaultPlan plan;
+  plan.arm(FaultSite::NanPivot, prof.mid_tree(), /*seed=*/0, /*repeat=*/8);
+  MilpOptions opts;
+  opts.num_threads = 2;
+  opts.fault = &plan;
+  const Solution s = solve_milp(m, opts);
+  EXPECT_TRUE(plan.any_fired());
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, prof.clean_objective, 1e-6);
+  EXPECT_EQ(metric(s, "check.certify.ok"), 1.0);
+}
+
+TEST(RecoveryLadderTest, WorkerStallInjectionDoesNotChangeTheOptimum) {
+  const Model m = hard_knapsack_fixture(18, 11);
+  MilpOptions clean;
+  clean.num_threads = 1;
+  const Solution ref = solve_milp(m, clean);
+  ASSERT_EQ(ref.status, SolveStatus::Optimal);
+
+  FaultPlan plan;
+  plan.arm(FaultSite::WorkerStall, 2, /*seed=*/0, /*repeat=*/2);
+  MilpOptions opts;
+  opts.num_threads = 2;
+  opts.fault = &plan;
+  const Solution s = solve_milp(m, opts);
+  EXPECT_TRUE(plan.any_fired());
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, ref.objective, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline arming (the 1e9-seconds sentinel regression)
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineArmingTest, HugeFiniteTimeLimitsStillSolve) {
+  // Pre-fix, any limit >= 1e9 s silently meant "no deadline", and naively
+  // arming it overflowed steady_clock's integer range. Both huge-finite
+  // cases must now solve to optimality.
+  const Model m = hard_knapsack_fixture(16, 3);
+  for (double limit : {1.5e9, 1e18}) {
+    MilpOptions opts;
+    opts.num_threads = 1;
+    opts.time_limit_s = limit;
+    const Solution s = solve_milp(m, opts);
+    EXPECT_EQ(s.status, SolveStatus::Optimal) << "time_limit_s=" << limit;
+  }
+}
+
+}  // namespace
+}  // namespace archex::milp

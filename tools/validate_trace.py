@@ -34,10 +34,14 @@ SCHEMA = {
     "refactor": {},
     "dual_repair": {},
     "cold_restart": {},
+    "recover": {"node": (int,), "rung": (str,)},
+    "checkpoint": {"open": (int,)},
     "solve_end": {"objective": NULLABLE_NUMBER},
 }
 PHASES = {"presolve", "root_lp", "heuristic", "tree", "extract"}
-OUTCOMES = {"branched", "integer", "infeasible", "pruned", "cutoff", "limit"}
+OUTCOMES = {"branched", "integer", "infeasible", "pruned", "cutoff", "limit",
+            "requeued", "abandoned"}
+RUNGS = {"tighten", "cold", "requeue", "abandon"}
 
 
 def fail(lineno, msg):
@@ -79,6 +83,8 @@ def validate(path, min_workers):
                 return fail(lineno, f"unknown phase '{e['phase']}'")
             if etype == "node_close" and e["outcome"] not in OUTCOMES:
                 return fail(lineno, f"unknown outcome '{e['outcome']}'")
+            if etype == "recover" and e["rung"] not in RUNGS:
+                return fail(lineno, f"unknown recover rung '{e['rung']}'")
             if e["t"] < 0:
                 return fail(lineno, "negative timestamp")
             if e["t"] < prev_t:
