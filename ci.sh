@@ -86,6 +86,14 @@ if [ ! -f build/epn_resume.ck ]; then
   echo "FAIL: no checkpoint written before the kill" >&2
   exit 1
 fi
+# The drill is vacuous unless the kill landed mid-search: a finished solve
+# prints its status line, and its final checkpoint has an empty frontier, so
+# the "resume" below would trivially re-report the stored incumbent.
+if grep -q '^status:' build/epn_kill_run.log; then
+  echo "FAIL: kill/resume drill: the solve completed before the kill;" \
+       "no mid-search resume was exercised (see build/epn_kill_run.log)" >&2
+  exit 1
+fi
 build/examples/milp_solve build/epn_ci_model.lp --threads=1 \
   --checkpoint=build/epn_resume.ck --resume > build/epn_resume.log
 grep -q '^resume: checkpoint loaded$' build/epn_resume.log

@@ -546,6 +546,13 @@ class NodePool {
     ++degraded_nodes_;
     degraded_bound_ = std::min(degraded_bound_, bound);
   }
+  /// Seeds the degradation record accumulated before this pool phase (root
+  /// probe dives, a resumed checkpoint), so checkpoint snapshots and the
+  /// fold-back after join carry it forward. Called before workers start.
+  void seed_degraded(std::int64_t nodes, double bound) {
+    degraded_nodes_ = nodes;
+    degraded_bound_ = bound;
+  }
   // Read after join (workers quiescent).
   [[nodiscard]] std::int64_t degraded_nodes() const { return degraded_nodes_; }
   [[nodiscard]] double degraded_bound() const { return degraded_bound_; }
@@ -565,7 +572,8 @@ class NodePool {
   }
 
   /// Re-enqueues a node a worker popped but could not process (stop already
-  /// requested, deadline, node budget). Only meaningful under checkpointing:
+  /// requested, deadline, node budget, or its LP cut short by a time or
+  /// iteration limit). Only meaningful under checkpointing:
   /// without it the node's subtree would be missing from the frontier the
   /// final checkpoint records, and a resume would silently lose it. No-op
   /// when checkpointing is off (the pool is torn down anyway).
@@ -649,6 +657,8 @@ class NodePool {
       std::lock_guard<std::mutex> lk(mu_);
       d.nodes = base_nodes_ + nodes_.load(std::memory_order_relaxed);
       d.root_bound = best_known_bound_;
+      d.degraded_nodes = degraded_nodes_;
+      d.degraded_bound = degraded_bound_;
       for (const auto& q : queues_) {
         for (const auto& n : q) d.frontier.push_back({n->bound, n->retries, n->path});
       }
@@ -911,8 +921,12 @@ class Worker {
     }
     if (st != SolveStatus::Optimal) {
       // Time/iteration limits surface here; Unbounded cannot, because bounds
-      // only ever tighten below the (bounded) root relaxation.
+      // only ever tighten below the (bounded) root relaxation. The node was
+      // not branched, so (like the pre-LP deadline/budget exits above) it
+      // must survive into the final checkpoint or its subtree would be
+      // silently absent from a resumed search.
       pool_.request_stop(st);
+      pool_.keep_for_checkpoint(id_, node);
       close(nid, obs::NodeOutcome::Limit, kNan);
       return;
     }
@@ -1002,7 +1016,14 @@ void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
                               reg);
   }
   if (ctx.has_incumbent) pool.seed_incumbent(ctx.incumbent_obj, ctx.incumbent_x);
-  pool.set_node_budget(ctx.opts.max_nodes - ctx.nodes);
+  // ctx already folded any resumed checkpoint's degradation record; seeding
+  // it here keeps abandoned-subtree accounting in this pool's snapshots.
+  pool.seed_degraded(ctx.degraded_nodes, ctx.degraded_bound);
+  // Nodes charged by a resumed run count against max_nodes too, so the
+  // budget continues across a kill/resume instead of restarting.
+  pool.set_node_budget(ctx.opts.max_nodes -
+                       (resume != nullptr ? std::max(ctx.nodes, resume->nodes)
+                                          : ctx.nodes));
   if (resume != nullptr) {
     // Resumed search: node ids continue past both the checkpointed count and
     // this run's root-phase nodes; totals restart from the checkpoint.
@@ -1081,8 +1102,10 @@ void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
   // increment per worker at the node limit).
   if (resume != nullptr) ctx.nodes = resume->nodes;
   for (const auto& w : workers) ctx.nodes += w->nodes();
-  ctx.degraded_nodes += pool.degraded_nodes();
-  ctx.degraded_bound = std::min(ctx.degraded_bound, pool.degraded_bound());
+  // The pool was seeded with ctx's pre-phase record, so its counters are the
+  // totals — assign, don't accumulate.
+  ctx.degraded_nodes = pool.degraded_nodes();
+  ctx.degraded_bound = pool.degraded_bound();
   if (pool.stopped()) {
     ctx.stopped = true;
     ctx.stop_reason = pool.stop_reason();
@@ -1231,13 +1254,16 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   // Arm the deadline for *any* finite limit; the cast would overflow the
   // clock's integer representation for huge values, so limits beyond half the
   // clock's remaining range (~centuries) keep the "never" sentinel instead.
+  // A negative limit clamps to 0 — an immediate TimeLimit, same as it always
+  // meant — so only +inf (and NaN) disables the deadline.
   Clock::time_point deadline = Clock::time_point::max();
-  if (std::isfinite(options.time_limit_s) && options.time_limit_s >= 0.0) {
+  if (std::isfinite(options.time_limit_s)) {
+    const double limit_s = std::max(options.time_limit_s, 0.0);
     const double headroom_s =
         std::chrono::duration<double>(Clock::time_point::max() - t0).count();
-    if (options.time_limit_s < headroom_s * 0.5) {
+    if (limit_s < headroom_s * 0.5) {
       deadline = t0 + std::chrono::duration_cast<Clock::duration>(
-                          std::chrono::duration<double>(options.time_limit_s));
+                          std::chrono::duration<double>(limit_s));
     }
   }
   MilpOptions node_options = options;
@@ -1250,6 +1276,13 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   ctx.trace = root_trace;
   ctx.logger = logger.enabled() ? &logger : nullptr;
   ctx.reg = reg;
+  if (resume_ok) {
+    // Carry the checkpointed degradation record: subtrees the interrupted
+    // run abandoned stay folded into this run's bound (and Solution flags),
+    // even if the tree phase never starts again.
+    ctx.degraded_nodes = ckdata.degraded_nodes;
+    ctx.degraded_bound = std::min(ctx.degraded_bound, ckdata.degraded_bound);
+  }
   if (resume_ok && ckdata.has_incumbent) {
     // Seed the checkpointed incumbent (internal minimize sense, like the
     // pool stores it) without firing on_incumbent — it is not a new find.

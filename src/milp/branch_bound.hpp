@@ -25,6 +25,8 @@ struct MilpOptions {
   double gap_abs = 1e-9;          ///< absolute optimality gap
   double gap_rel = 1e-9;          ///< relative optimality gap
   std::int64_t max_nodes = 10'000'000;
+  /// Wall-clock limit in seconds. Values ≤ 0 time out immediately; only
+  /// +inf (or a limit beyond the clock's ~centuries of range) disables it.
   double time_limit_s = 1e18;
   bool use_presolve = true;
   /// Warm-start node LPs with the dual simplex (false = cold primal solve at

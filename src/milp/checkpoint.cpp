@@ -15,7 +15,9 @@ namespace archex::milp {
 namespace {
 
 constexpr const char* kMagic = "archex-bb-checkpoint";
-constexpr int kVersion = 1;
+// Version 2 added the "degraded" line (abandoned-subtree count + bound);
+// version-1 files are refused and the solve starts fresh.
+constexpr int kVersion = 2;
 
 void fnv_mix(std::uint64_t& h, const void* bytes, std::size_t len) {
   const auto* p = static_cast<const unsigned char*>(bytes);
@@ -139,6 +141,8 @@ bool save_checkpoint(const std::string& path, const CheckpointData& data) {
     put(head);
   }
   put("root_bound " + hex_double(data.root_bound) + "\n");
+  put("degraded " + std::to_string(data.degraded_nodes) + " " +
+      hex_double(data.degraded_bound) + "\n");
   put("incumbent " + std::string(data.has_incumbent ? "1 " : "0 ") +
       hex_double(data.has_incumbent ? data.incumbent_obj : 0.0) + "\n");
   put("x " + std::to_string(data.incumbent_x.size()));
@@ -186,6 +190,10 @@ bool load_checkpoint(const std::string& path, CheckpointData& data) {
   data.nodes = r.next_int();
   r.expect("root_bound");
   data.root_bound = r.next_double();
+  r.expect("degraded");
+  data.degraded_nodes = r.next_int();
+  data.degraded_bound = r.next_double();
+  if (data.degraded_nodes < 0) return false;
   r.expect("incumbent");
   data.has_incumbent = r.next_int() != 0;
   data.incumbent_obj = r.next_double();

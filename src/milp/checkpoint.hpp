@@ -3,7 +3,7 @@
 /// incumbent, global bound, open-node frontier — so a killed exploration
 /// continues instead of restarting.
 ///
-/// The on-disk format is a versioned text file ("archex-bb-checkpoint 1")
+/// The on-disk format is a versioned text file ("archex-bb-checkpoint 2")
 /// with every double rendered as a C99 hexfloat (`%a`), so a resumed
 /// `num_threads = 1` run reproduces the uninterrupted optimum bit for bit.
 /// Files are written to `<path>.tmp` and renamed into place, so a kill
@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,12 @@ struct CheckpointData {
   std::uint64_t fingerprint = 0;  ///< model_fingerprint of the solved model
   std::int64_t nodes = 0;         ///< nodes explored when the snapshot was taken
   double root_bound = 0.0;        ///< global best bound, minimize sense
+  /// Recovery-ladder degradation record: subtrees abandoned so far and the
+  /// min (minimize sense) of their parent bounds. Persisted so a resumed run
+  /// keeps folding the abandoned bound — without it a resume would report a
+  /// clean Optimal over a search that silently skipped subtrees.
+  std::int64_t degraded_nodes = 0;
+  double degraded_bound = std::numeric_limits<double>::infinity();
   bool has_incumbent = false;
   double incumbent_obj = 0.0;     ///< minimize sense
   std::vector<double> incumbent_x;  ///< reduced (post-presolve) space

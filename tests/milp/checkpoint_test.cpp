@@ -7,11 +7,13 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <random>
 #include <string>
 
 #include "milp/branch_bound.hpp"
 #include "milp/checkpoint.hpp"
+#include "milp/fault.hpp"
 
 namespace archex::milp {
 namespace {
@@ -71,6 +73,8 @@ TEST(CheckpointTest, SaveLoadRoundTripsBitExactly) {
   d.fingerprint = 0xDEADBEEFCAFEF00DULL;
   d.nodes = 12345;
   d.root_bound = -1.0 / 3.0;  // not representable in decimal
+  d.degraded_nodes = 3;
+  d.degraded_bound = -7.0 / 11.0;
   d.has_incumbent = true;
   d.incumbent_obj = 1e-17 + 1.0;
   d.incumbent_x = {0.0, 1.0, 1.0 / 3.0, 5e-324 /* min denormal */, -0.0};
@@ -88,6 +92,8 @@ TEST(CheckpointTest, SaveLoadRoundTripsBitExactly) {
   EXPECT_EQ(r.fingerprint, d.fingerprint);
   EXPECT_EQ(r.nodes, d.nodes);
   EXPECT_EQ(r.root_bound, d.root_bound);
+  EXPECT_EQ(r.degraded_nodes, d.degraded_nodes);
+  EXPECT_EQ(r.degraded_bound, d.degraded_bound);
   ASSERT_TRUE(r.has_incumbent);
   EXPECT_EQ(r.incumbent_obj, d.incumbent_obj);
   ASSERT_EQ(r.incumbent_x.size(), d.incumbent_x.size());
@@ -125,7 +131,7 @@ TEST(CheckpointTest, RejectsMissingCorruptAndMismatchedVersions) {
   std::string text;
   {
     std::ifstream in(path);
-    std::getline(in, text);  // "archex-bb-checkpoint 1"
+    std::getline(in, text);  // "archex-bb-checkpoint 2"
     std::string rest((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
     text = "archex-bb-checkpoint 999\n" + rest;
@@ -140,7 +146,16 @@ TEST(CheckpointTest, RejectsMissingCorruptAndMismatchedVersions) {
   // also refused.
   {
     std::ofstream out(path);
-    out << "archex-bb-checkpoint 1\nfingerprint 0000000000000001\n";
+    out << "archex-bb-checkpoint 2\nfingerprint 0000000000000001\n";
+  }
+  EXPECT_FALSE(load_checkpoint(path, r));
+
+  // A version-1 file (no degradation record) is refused, not misparsed.
+  {
+    std::ofstream out(path);
+    out << "archex-bb-checkpoint 1\nfingerprint 0000000000000001\n"
+        << "nodes 0\nroot_bound 0x0p+0\nincumbent 0 0x0p+0\nx 0\n"
+        << "frontier 0\nend\n";
   }
   EXPECT_FALSE(load_checkpoint(path, r));
   std::remove(path.c_str());
@@ -247,6 +262,154 @@ Model hard_knapsack_fixture(int n, unsigned seed) {
   m.add_constraint(tw <= LinExpr(0.5 * cap));
   m.set_objective(tv, ObjectiveSense::Maximize);
   return m;
+}
+
+TEST(CheckpointTest, LpTimeLimitKeepsInFlightNodeInCheckpoint) {
+  const Model m = hard_knapsack_fixture(18, 13);
+  const std::string ref_path = temp_path("lp_limit_ref.ck");
+  const std::string path = temp_path("lp_limit.ck");
+  std::remove(ref_path.c_str());
+  std::remove(path.c_str());
+
+  // Reference run doubling as a census of the deadline-poll site over the
+  // exact checkpoint-routed search the cut runs below repeat.
+  FaultPlan census;
+  MilpOptions ref_opts;
+  ref_opts.num_threads = 1;
+  ref_opts.checkpoint_file = ref_path;
+  ref_opts.checkpoint_interval_s = 3600.0;
+  ref_opts.fault = &census;
+  const Solution ref = solve_milp(m, ref_opts);
+  ASSERT_EQ(ref.status, SolveStatus::Optimal);
+  const std::int64_t polls = census.occurrences(FaultSite::Deadline);
+  ASSERT_GT(polls, 4) << "fixture too small to aim a mid-search deadline";
+  std::remove(ref_path.c_str());
+
+  // Sweep *every* poll occurrence: wherever the injected deadline lands
+  // inside a node LP, TimeLimit surfaces from the simplex itself (st !=
+  // Optimal after the solve) — the path where the interrupted node used to
+  // be dropped from the final checkpoint. A fault-free resume must always
+  // land exactly on the uninterrupted optimum; with the in-flight subtree
+  // dropped, the resumed search can terminate "Optimal" below it.
+  int interrupted = 0;
+  for (std::int64_t n = 1; n <= polls; ++n) {
+    std::remove(path.c_str());
+    FaultPlan plan;
+    plan.arm(FaultSite::Deadline, n);
+    MilpOptions cut_opts;
+    cut_opts.num_threads = 1;
+    cut_opts.checkpoint_file = path;
+    cut_opts.checkpoint_interval_s = 3600.0;  // only the final checkpoint
+    cut_opts.fault = &plan;
+    const Solution cut = solve_milp(m, cut_opts);
+    EXPECT_TRUE(plan.any_fired());
+    if (cut.status != SolveStatus::TimeLimit) continue;  // fired at root
+    // No checkpoint at all means the firing predated the pool phase (the
+    // resume below would just start fresh) — not the surface under test. An
+    // *empty* frontier after a mid-pool TimeLimit, however, is exactly the
+    // dropped-in-flight-node bug, so it must flow into the comparison.
+    CheckpointData d;
+    if (!load_checkpoint(path, d)) continue;
+    ++interrupted;
+
+    MilpOptions res_opts;
+    res_opts.num_threads = 1;
+    res_opts.checkpoint_file = path;
+    res_opts.resume = true;
+    const Solution res = solve_milp(m, res_opts);
+    EXPECT_EQ(metric(res, "milp.checkpoint.loaded"), 1.0) << "poll " << n;
+    ASSERT_EQ(res.status, SolveStatus::Optimal) << "poll " << n;
+    EXPECT_EQ(res.objective, ref.objective) << "poll " << n;
+  }
+  // The sweep must have exercised genuine mid-search interrupts (checkpoints
+  // with a live frontier), or the assertions above were vacuous.
+  EXPECT_GT(interrupted, 2);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, DegradationRecordSurvivesResume) {
+  const Model m = hard_knapsack_fixture(18, 13);
+  const std::string path = temp_path("degraded.ck");
+  std::remove(path.c_str());
+
+  // Clean optimum + NaN-pivot occurrence census for mid-tree aiming.
+  FaultPlan census;
+  MilpOptions base;
+  base.num_threads = 1;
+  base.fault = &census;
+  const Solution ref = solve_milp(m, base);
+  ASSERT_EQ(ref.status, SolveStatus::Optimal);
+  const std::int64_t total = census.occurrences(FaultSite::NanPivot);
+  FaultPlan root_census;
+  MilpOptions root_opts = base;
+  root_opts.fault = &root_census;
+  root_opts.max_nodes = 1;
+  solve_milp(m, root_opts);
+  const std::int64_t root = root_census.occurrences(FaultSite::NanPivot);
+  ASSERT_GT(total, root + 8);
+
+  // Degraded checkpointed run: every pivot past mid-tree is poisoned, so the
+  // ladder exhausts and abandons the remaining subtrees.
+  FaultPlan plan;
+  plan.arm(FaultSite::NanPivot, root + (total - root) / 2, /*seed=*/0,
+           /*repeat=*/std::numeric_limits<std::int64_t>::max() / 2);
+  MilpOptions cut_opts;
+  cut_opts.num_threads = 1;
+  cut_opts.checkpoint_file = path;
+  cut_opts.checkpoint_interval_s = 0.0;
+  cut_opts.fault = &plan;
+  const Solution cut = solve_milp(m, cut_opts);
+  EXPECT_TRUE(plan.any_fired());
+  ASSERT_TRUE(cut.degraded);
+  ASSERT_GT(cut.degraded_nodes, 0);
+
+  // A fault-free resume must keep reporting the abandonment: before the
+  // degradation record was checkpointed, this came back as a clean
+  // (non-degraded) solve with best_bound == incumbent.
+  MilpOptions res_opts;
+  res_opts.num_threads = 1;
+  res_opts.checkpoint_file = path;
+  res_opts.resume = true;
+  const Solution res = solve_milp(m, res_opts);
+  EXPECT_EQ(metric(res, "milp.checkpoint.loaded"), 1.0);
+  EXPECT_TRUE(res.degraded);
+  EXPECT_EQ(res.degraded_nodes, cut.degraded_nodes);
+  // Soundness (Maximize): the abandoned subtrees stay folded into the bound,
+  // which therefore still brackets the true optimum.
+  if (res.has_incumbent) {
+    EXPECT_LE(res.objective, ref.objective + 1e-6);
+    EXPECT_GE(res.best_bound, ref.objective - 1e-6);
+  } else {
+    EXPECT_NE(res.status, SolveStatus::Infeasible);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, NodeBudgetContinuesAcrossResume) {
+  const Model m = knapsack_fixture(26, 9);
+  const std::string path = temp_path("budget.ck");
+  std::remove(path.c_str());
+
+  MilpOptions cut_opts;
+  cut_opts.num_threads = 1;
+  cut_opts.max_nodes = 60;
+  cut_opts.checkpoint_file = path;
+  cut_opts.checkpoint_interval_s = 0.0;
+  const Solution cut = solve_milp(m, cut_opts);
+  ASSERT_EQ(cut.status, SolveStatus::NodeLimit);
+
+  // Resuming with the same max_nodes continues the budget — the checkpointed
+  // run already spent it, so the resumed run stops (almost) immediately
+  // instead of exploring up to max_nodes *additional* nodes.
+  MilpOptions res_opts = cut_opts;
+  res_opts.resume = true;
+  const Solution res = solve_milp(m, res_opts);
+  EXPECT_EQ(metric(res, "milp.checkpoint.loaded"), 1.0);
+  EXPECT_EQ(res.status, SolveStatus::NodeLimit);
+  // Root-phase re-entry plus one budget-counter overshoot per worker is the
+  // only tolerated slack.
+  EXPECT_LE(res.nodes_explored, cut_opts.max_nodes + 5);
+  std::remove(path.c_str());
 }
 
 TEST(CheckpointTest, ParallelSolveWithCheckpointingStaysCorrect) {

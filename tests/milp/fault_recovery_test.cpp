@@ -345,6 +345,20 @@ TEST(RecoveryLadderTest, WorkerStallInjectionDoesNotChangeTheOptimum) {
 // Deadline arming (the 1e9-seconds sentinel regression)
 // ---------------------------------------------------------------------------
 
+TEST(DeadlineArmingTest, NonPositiveTimeLimitsTimeOutImmediately) {
+  // A negative limit clamps to "already expired" — the historical meaning —
+  // so 0 and -1e-4 behave identically instead of oppositely (pre-fix, any
+  // negative finite limit silently meant *unlimited*).
+  const Model m = hard_knapsack_fixture(16, 3);
+  for (double limit : {0.0, -1e-4, -1.0}) {
+    MilpOptions opts;
+    opts.num_threads = 1;
+    opts.time_limit_s = limit;
+    const Solution s = solve_milp(m, opts);
+    EXPECT_EQ(s.status, SolveStatus::TimeLimit) << "time_limit_s=" << limit;
+  }
+}
+
 TEST(DeadlineArmingTest, HugeFiniteTimeLimitsStillSolve) {
   // Pre-fix, any limit >= 1e9 s silently meant "no deadline", and naively
   // arming it overflowed steady_clock's integer range. Both huge-finite
