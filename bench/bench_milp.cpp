@@ -14,7 +14,12 @@ namespace {
 
 using namespace archex::milp;
 
-/// Random dense-ish LP with n variables and n constraints.
+/// Random sparse LP with n variables and n constraints: a width-5 band plus
+/// one long-range coupling per row (~6 nonzeros/row at every scale). This is
+/// the sparsity class of ArchEx flow/adjacency encodings and keeps the
+/// nonzero count linear in n, so the same generator scales from 25 to 5000
+/// rows; a constant-density generator would make large instances quadratic
+/// in n regardless of kernel.
 Model random_lp(int n, unsigned seed) {
   std::mt19937 rng(seed);
   std::uniform_real_distribution<double> coef(0.1, 3.0);
@@ -24,9 +29,12 @@ Model random_lp(int n, unsigned seed) {
   for (int j = 0; j < n; ++j) v.push_back(m.add_continuous(0, 10));
   for (int i = 0; i < n; ++i) {
     LinExpr e;
-    for (int j = 0; j < n; ++j) {
-      if ((i + j) % 3 == 0) e += coef(rng) * v[static_cast<std::size_t>(j)];
+    for (int k = 0; k < 5; ++k) {
+      const int j = (i + k) % n;
+      e += coef(rng) * v[static_cast<std::size_t>(j)];
     }
+    const int far = (i * 7 + n / 2) % n;
+    e += coef(rng) * v[static_cast<std::size_t>(far)];
     m.add_constraint(std::move(e), Sense::LE, 5.0 * coef(rng));
   }
   LinExpr obj;
@@ -56,13 +64,41 @@ Model random_milp(int n, int rows, unsigned seed) {
 void BM_LpSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const Model m = random_lp(n, 42);
+  std::int64_t iters = 0;
   for (auto _ : state) {
     Solution s = solve_lp_relaxation(m);
+    iters = s.simplex_iterations;
     benchmark::DoNotOptimize(s.objective);
   }
   state.counters["rows"] = n;
+  state.counters["iters"] = static_cast<double>(iters);
 }
-BENCHMARK(BM_LpSolve)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LpSolve)
+    ->Arg(25)->Arg(50)->Arg(100)->Arg(200)
+    ->Arg(1000)->Arg(2000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LpSolveDense(benchmark::State& state) {
+  // The pre-LU explicit-inverse kernel on the same instances: the committed
+  // before/after scaling curve. Capped at 200 rows — beyond that the dense
+  // kernel's O(m^2)-per-pivot cost makes the benchmark itself intractable,
+  // which is the point of the sparse kernel.
+  const int n = static_cast<int>(state.range(0));
+  const Model m = random_lp(n, 42);
+  SimplexOptions opts;
+  opts.kernel = BasisKernel::Dense;
+  std::int64_t iters = 0;
+  for (auto _ : state) {
+    Solution s = solve_lp_relaxation(m, opts);
+    iters = s.simplex_iterations;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  state.counters["rows"] = n;
+  state.counters["iters"] = static_cast<double>(iters);
+}
+BENCHMARK(BM_LpSolveDense)
+    ->Arg(25)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_WarmDualReopt(benchmark::State& state) {
   // One bound change + dual reoptimization, the branch & bound node kernel.
@@ -190,4 +226,28 @@ BENCHMARK(BM_Presolve)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Provenance stamp for tools/run_bench.sh: the stock
+  // `context.library_build_type` describes how the system libbenchmark was
+  // compiled, not this binary, so the guard keys on this field instead.
+  // Sanitized builds are excluded even though the asan/tsan presets define
+  // NDEBUG — their numbers are no more comparable than a debug build's.
+#if !defined(NDEBUG)
+  benchmark::AddCustomContext("archex_build_type", "debug");
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  benchmark::AddCustomContext("archex_build_type", "sanitized");
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  benchmark::AddCustomContext("archex_build_type", "sanitized");
+#else
+  benchmark::AddCustomContext("archex_build_type", "release");
+#endif
+#else
+  benchmark::AddCustomContext("archex_build_type", "release");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

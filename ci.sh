@@ -63,6 +63,27 @@ build/examples/milp_solve build/epn_ci_model.lp --threads=1 \
   --inject=singular:300 --certify > /dev/null
 echo "fault injection: ladder recovered, certificates ok"
 
+echo "=== bench: Release-provenance smoke (BM_LpSolve/1000) ==="
+# One 1000-row LP solve through the guarded bench runner: the runner refuses
+# results from non-Release builds (the BENCH_*.json provenance gate), and the
+# iteration-count sanity bound fails loudly when a kernel regression turns
+# the sparse LU path into a pivot storm (the healthy count is ~600).
+tools/run_bench.sh build/bench/bench_milp build/bench_smoke.json \
+  --benchmark_filter='^BM_LpSolve/1000$' --benchmark_min_time=0.1
+python3 - build/bench_smoke.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+runs = [b for b in data["benchmarks"] if b["name"].startswith("BM_LpSolve/1000")]
+assert runs, "BM_LpSolve/1000 missing from the smoke bench"
+iters = runs[0]["iters"]
+if not 0 < iters <= 20000:
+    print(f"FAIL: BM_LpSolve/1000 took {iters} simplex iterations "
+          "(sanity bound 20000): kernel regression?", file=sys.stderr)
+    sys.exit(1)
+print(f"bench smoke: BM_LpSolve/1000 ok ({int(iters)} simplex iterations)")
+EOF
+
 echo "=== resilience: checkpoint kill/resume drill ==="
 # Reference: the same single-worker pool-routed search, uninterrupted. Then
 # a second run checkpointing every 50 ms is SIGKILLed mid-search and resumed;
@@ -116,7 +137,17 @@ echo "=== asan: focused fault-injection + checkpoint re-run ==="
 # Already part of the full suite above; re-run focused so a sanitizer hit in
 # the resilience machinery is attributed to this leg directly.
 build-asan/tests/archex_tests \
-  --gtest_filter='FaultPlan*:RecoveryLadder*:CheckpointTest*:DeadlineArming*'
+  --gtest_filter='FaultPlan*:RecoveryLadder*:CheckpointTest*:DeadlineArming*:KernelCrossCheck*'
+
+echo "=== asan: fault injection against the sparse LU kernel ==="
+# Drive the singular-refactorization and NaN-pivot sites through the LU
+# path end to end under ASan/UBSan: the recovery ladder must absorb both and
+# the independent certifier must still sign off (--certify gates the exit).
+build-asan/examples/milp_solve build/epn_ci_model.lp --threads=1 \
+  --inject=singular:300 --certify > /dev/null
+build-asan/examples/milp_solve build/epn_ci_model.lp --threads=1 \
+  --inject=nan-pivot:200 --certify > /dev/null
+echo "asan fault injection: LU-path singular + nan-pivot absorbed, certificates ok"
 
 echo "=== tsan: configure + build ==="
 cmake --preset tsan

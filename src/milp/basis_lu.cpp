@@ -1,0 +1,529 @@
+#include "milp/basis_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace archex::milp {
+
+namespace {
+
+constexpr double kSingularTol = 1e-11;  // same floor as the dense Gauss-Jordan
+constexpr int kMarkowitzCandidates = 4;  // columns examined per pivot step
+
+// ---------------------------------------------------------------------------
+// Dense kernel: the original explicit inverse, moved behind BasisRep.
+// ---------------------------------------------------------------------------
+
+class DenseBasis final : public BasisRep {
+ public:
+  explicit DenseBasis(std::size_t m) : m_(m), binv_(m * m, 0.0), scratch_(m, 0.0) {}
+
+  bool factorize(const std::int32_t* col_start, const ColEntry* col_ent,
+                 const std::vector<std::int32_t>& basic) override {
+    // Gauss-Jordan inversion of the basis matrix with partial pivoting.
+    std::vector<double> work(m_ * m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t j = static_cast<std::size_t>(basic[i]);
+      for (std::int32_t t = col_start[j]; t < col_start[j + 1]; ++t) {
+        const ColEntry& e = col_ent[t];
+        work[static_cast<std::size_t>(e.row) * m_ + i] = e.val;
+      }
+    }
+    std::vector<double>& inv = binv_;
+    std::fill(inv.begin(), inv.end(), 0.0);
+    for (std::size_t i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
+
+    for (std::size_t k = 0; k < m_; ++k) {
+      std::size_t piv = k;
+      double best = std::abs(work[k * m_ + k]);
+      for (std::size_t i = k + 1; i < m_; ++i) {
+        const double v = std::abs(work[i * m_ + k]);
+        if (v > best) { best = v; piv = i; }
+      }
+      if (best < kSingularTol) return false;  // singular basis
+      if (piv != k) {
+        // A row swap is just another elementary row operation: the
+        // accumulated sequence R with R*B = I satisfies R = B^-1 exactly.
+        for (std::size_t j = 0; j < m_; ++j) {
+          std::swap(work[piv * m_ + j], work[k * m_ + j]);
+          std::swap(inv[piv * m_ + j], inv[k * m_ + j]);
+        }
+      }
+      const double d = 1.0 / work[k * m_ + k];
+      for (std::size_t j = 0; j < m_; ++j) {
+        work[k * m_ + j] *= d;
+        inv[k * m_ + j] *= d;
+      }
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (i == k) continue;
+        const double f = work[i * m_ + k];
+        if (f == 0.0) continue;
+        for (std::size_t j = 0; j < m_; ++j) {
+          work[i * m_ + j] -= f * work[k * m_ + j];
+          inv[i * m_ + j] -= f * inv[k * m_ + j];
+        }
+      }
+    }
+    return true;
+  }
+
+  void ftran(std::vector<double>& x) const override {
+    std::vector<double>& y = scratch_;
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t k = 0; k < m_; ++k) {
+      const double xk = x[k];
+      if (xk == 0.0) continue;
+      const double* bk = binv_.data() + k;  // column k of row-major Binv
+      for (std::size_t i = 0; i < m_; ++i) y[i] += bk[i * m_] * xk;
+    }
+    std::copy(y.begin(), y.end(), x.begin());
+  }
+
+  void btran(std::vector<double>& x) const override {
+    std::vector<double>& y = scratch_;
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double ci = x[i];
+      if (ci == 0.0) continue;
+      const double* row = binv_.data() + i * m_;
+      for (std::size_t j = 0; j < m_; ++j) y[j] += ci * row[j];
+    }
+    std::copy(y.begin(), y.end(), x.begin());
+  }
+
+  void update(const std::vector<double>& w, std::size_t r,
+              const std::vector<std::int32_t>& wnz) override {
+    // Binv <- E * Binv with E the elementary matrix mapping w to e_r.
+    const double piv = w[r];
+    double* rowr = binv_.data() + r * m_;
+    const double inv_piv = 1.0 / piv;
+    for (std::size_t j = 0; j < m_; ++j) rowr[j] *= inv_piv;
+    for (const std::int32_t i32 : wnz) {
+      const std::size_t i = static_cast<std::size_t>(i32);
+      if (i == r) continue;
+      const double f = w[i];
+      double* rowi = binv_.data() + i * m_;
+      for (std::size_t j = 0; j < m_; ++j) rowi[j] -= f * rowr[j];
+    }
+  }
+
+  [[nodiscard]] bool fill_heavy() const override { return false; }
+  [[nodiscard]] std::shared_ptr<const FactorState> snapshot() const override {
+    return nullptr;
+  }
+  bool adopt(const std::shared_ptr<const FactorState>& /*state*/) override {
+    return false;
+  }
+  [[nodiscard]] const char* name() const override { return "dense"; }
+
+ private:
+  std::size_t m_;
+  std::vector<double> binv_;  ///< dense m x m, row-major
+  mutable std::vector<double> scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// Sparse LU kernel.
+// ---------------------------------------------------------------------------
+
+class SparseLuBasis final : public BasisRep {
+ public:
+  SparseLuBasis(std::size_t m, double markowitz_tol, double eta_fill_factor)
+      : m_(m),
+        markowitz_tol_(markowitz_tol),
+        eta_fill_factor_(eta_fill_factor),
+        lu_(std::make_shared<const LuData>()),
+        solve_scratch_(m, 0.0),
+        tk_scratch_(m, 0.0) {}
+
+  bool factorize(const std::int32_t* col_start, const ColEntry* col_ent,
+                 const std::vector<std::int32_t>& basic) override;
+  void ftran(std::vector<double>& x) const override;
+  void btran(std::vector<double>& x) const override;
+
+  void update(const std::vector<double>& w, std::size_t r,
+              const std::vector<std::int32_t>& wnz) override {
+    etas_.pos.push_back(static_cast<std::int32_t>(r));
+    etas_.pivot.push_back(w[r]);
+    etas_.inv_pivot.push_back(1.0 / w[r]);
+    for (const std::int32_t i : wnz) {
+      if (static_cast<std::size_t>(i) != r) {
+        etas_.ent.push_back({i, w[static_cast<std::size_t>(i)]});
+      }
+    }
+    etas_.start.push_back(static_cast<std::int32_t>(etas_.ent.size()));
+  }
+
+  [[nodiscard]] bool fill_heavy() const override {
+    // Refactorize early once the eta file dwarfs the factors themselves:
+    // each eta is applied to every subsequent ftran/btran, so past this
+    // point replaying updates costs more than a fresh factorization.
+    return etas_.count() > 0 &&
+           static_cast<double>(etas_.nnz()) >
+               eta_fill_factor_ * static_cast<double>(lu_->nnz());
+  }
+
+  [[nodiscard]] std::shared_ptr<const FactorState> snapshot() const override {
+    auto s = std::make_shared<FactorState>();
+    s->lu = lu_;
+    s->etas = etas_;
+    return s;
+  }
+
+  bool adopt(const std::shared_ptr<const FactorState>& state) override {
+    if (state == nullptr || state->lu == nullptr || state->lu->m != m_) {
+      return false;
+    }
+    lu_ = state->lu;
+    etas_ = state->etas;
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const override { return "sparse-lu"; }
+
+ private:
+  std::size_t m_;
+  double markowitz_tol_;
+  double eta_fill_factor_;
+  std::shared_ptr<const LuData> lu_;
+  EtaFile etas_;
+
+  mutable std::vector<double> solve_scratch_;  ///< U-solve / L^T-solve output
+  mutable std::vector<double> tk_scratch_;     ///< per-pivot temporaries
+
+  // Factorization workspace (reused across refactorizations).
+  std::vector<std::vector<ColEntry>> wcols_;      ///< working columns (active rows)
+  std::vector<std::vector<std::int32_t>> rpat_;   ///< positions per row (may go stale)
+  std::vector<std::int32_t> row_count_;           ///< approximate active row counts
+  std::vector<double> wval_;                      ///< dense scatter values
+  std::vector<std::int32_t> wstamp_;              ///< scatter marks
+  std::int32_t stamp_ = 0;
+
+  // Count-bucket lists over the active columns: bucket c chains the
+  // positions whose working column currently holds c entries, so the
+  // Markowitz search finds minimum-count candidates without scanning every
+  // position per pivot step (the scan cost used to dominate factorize).
+  std::vector<std::int32_t> bkt_head_;  ///< size m+1, head per count, -1 empty
+  std::vector<std::int32_t> bkt_next_;
+  std::vector<std::int32_t> bkt_prev_;
+  std::vector<std::int32_t> bkt_cnt_;   ///< bucket a position is linked into
+
+  void bkt_unlink(std::int32_t pos) {
+    const std::int32_t nx = bkt_next_[static_cast<std::size_t>(pos)];
+    const std::int32_t pv = bkt_prev_[static_cast<std::size_t>(pos)];
+    if (pv >= 0) {
+      bkt_next_[static_cast<std::size_t>(pv)] = nx;
+    } else {
+      bkt_head_[static_cast<std::size_t>(bkt_cnt_[static_cast<std::size_t>(pos)])] = nx;
+    }
+    if (nx >= 0) bkt_prev_[static_cast<std::size_t>(nx)] = pv;
+  }
+  void bkt_link(std::int32_t pos, std::int32_t c) {
+    bkt_cnt_[static_cast<std::size_t>(pos)] = c;
+    bkt_prev_[static_cast<std::size_t>(pos)] = -1;
+    const std::int32_t h = bkt_head_[static_cast<std::size_t>(c)];
+    bkt_next_[static_cast<std::size_t>(pos)] = h;
+    if (h >= 0) bkt_prev_[static_cast<std::size_t>(h)] = pos;
+    bkt_head_[static_cast<std::size_t>(c)] = pos;
+  }
+};
+
+bool SparseLuBasis::factorize(const std::int32_t* col_start, const ColEntry* col_ent,
+                              const std::vector<std::int32_t>& basic) {
+  etas_.clear();
+  auto lu = std::make_shared<LuData>();
+  lu->m = m_;
+  if (m_ == 0) {
+    lu_ = std::move(lu);
+    return true;
+  }
+  // Size the fresh factor arrays off the previous factorization so the
+  // push_back growth below rarely reallocates mid-elimination.
+  lu->l_ent.reserve(lu_->l_ent.size() + 16);
+  lu->u_ent.reserve(lu_->u_ent.size() + 16);
+
+  // Working copy of the basis matrix, column-wise by basis position, plus a
+  // row-wise pattern of positions. Invariant: wcols_ holds exactly the
+  // entries over still-active (unpivoted) rows; rpat_ may carry stale
+  // positions (cancellations leave them behind), detected via the scatter.
+  // clear() instead of assign() keeps each inner vector's capacity across
+  // refactorizations — the fill pattern barely changes between them.
+  if (wcols_.size() != m_) {
+    wcols_.resize(m_);
+    rpat_.resize(m_);
+  }
+  for (auto& wc : wcols_) wc.clear();
+  for (auto& rp : rpat_) rp.clear();
+  row_count_.assign(m_, 0);
+  for (std::size_t pos = 0; pos < m_; ++pos) {
+    const std::size_t j = static_cast<std::size_t>(basic[pos]);
+    auto& wc = wcols_[pos];
+    wc.reserve(static_cast<std::size_t>(col_start[j + 1] - col_start[j]));
+    for (std::int32_t t = col_start[j]; t < col_start[j + 1]; ++t) {
+      const ColEntry& e = col_ent[t];
+      if (e.val == 0.0) continue;
+      wc.push_back(e);
+      rpat_[static_cast<std::size_t>(e.row)].push_back(static_cast<std::int32_t>(pos));
+      ++row_count_[static_cast<std::size_t>(e.row)];
+    }
+  }
+  if (wval_.size() != m_) {
+    wval_.assign(m_, 0.0);
+    wstamp_.assign(m_, 0);
+    stamp_ = 0;
+  }
+  bkt_head_.assign(m_ + 1, -1);
+  bkt_next_.assign(m_, -1);
+  bkt_prev_.assign(m_, -1);
+  bkt_cnt_.assign(m_, 0);
+  for (std::size_t pos = 0; pos < m_; ++pos) {
+    bkt_link(static_cast<std::int32_t>(pos),
+             static_cast<std::int32_t>(wcols_[pos].size()));
+  }
+
+  std::vector<char> pos_done(m_, 0);
+  lu->pivot_row.resize(m_);
+  lu->pivot_pos.resize(m_);
+  lu->u_diag.resize(m_);
+  lu->u_diag_inv.resize(m_);
+  lu->l_start.assign(1, 0);
+  lu->u_start.assign(1, 0);
+
+  std::vector<std::int32_t> lrows;
+  std::vector<double> lvals;
+  std::vector<std::int32_t> fills;
+
+  for (std::size_t k = 0; k < m_; ++k) {
+    // --- Markowitz pivot search with threshold partial pivoting ---
+    // The count buckets hand over the minimum-count columns directly;
+    // examine a few of them, and within a column only entries within
+    // markowitz_tol of the column max are acceptable (stability), the
+    // lowest (r-1)(c-1) fill bound among acceptable entries winning.
+    std::size_t minc = 0;
+    while (minc <= m_ && bkt_head_[minc] < 0) ++minc;
+    if (minc == 0 || minc > m_) {
+      return false;  // an active position has an empty column: singular
+    }
+
+    std::int32_t best_pos = -1;
+    std::int32_t best_row = -1;
+    double best_val = 0.0;
+    long best_cost = std::numeric_limits<long>::max();
+    auto consider = [&](std::int32_t pos) {
+      const auto& wc = wcols_[static_cast<std::size_t>(pos)];
+      double cmax = 0.0;
+      for (const ColEntry& e : wc) cmax = std::max(cmax, std::abs(e.val));
+      if (cmax < kSingularTol) return;  // unpivotable for now
+      const double accept = markowitz_tol_ * cmax;
+      for (const ColEntry& e : wc) {
+        const double av = std::abs(e.val);
+        if (av < accept) continue;
+        const long cost =
+            static_cast<long>(row_count_[static_cast<std::size_t>(e.row)] - 1) *
+            static_cast<long>(wc.size() - 1);
+        if (cost < best_cost ||
+            (cost == best_cost && av > std::abs(best_val))) {
+          best_cost = cost;
+          best_pos = pos;
+          best_row = e.row;
+          best_val = e.val;
+        }
+      }
+    };
+    int examined = 0;
+    for (std::int32_t p = bkt_head_[minc];
+         p >= 0 && examined < kMarkowitzCandidates;
+         p = bkt_next_[static_cast<std::size_t>(p)], ++examined) {
+      consider(p);
+    }
+    if (best_pos < 0) {
+      // None of the sampled min-count columns is acceptable: fall back to
+      // every active column, in ascending count order.
+      for (std::size_t c = 1; c <= m_ && best_pos < 0; ++c) {
+        for (std::int32_t p = bkt_head_[c]; p >= 0;
+             p = bkt_next_[static_cast<std::size_t>(p)]) {
+          consider(p);
+        }
+      }
+    }
+    if (best_pos < 0) return false;  // no acceptable pivot anywhere: singular
+
+    const std::size_t ppos = static_cast<std::size_t>(best_pos);
+    const std::size_t prow = static_cast<std::size_t>(best_row);
+    const double pval = best_val;
+
+    // L column: the other entries of the pivot column, divided by the pivot.
+    lrows.clear();
+    lvals.clear();
+    for (const ColEntry& e : wcols_[ppos]) {
+      if (static_cast<std::size_t>(e.row) == prow) continue;
+      lrows.push_back(e.row);
+      lvals.push_back(e.val / pval);
+      --row_count_[static_cast<std::size_t>(e.row)];  // loses its ppos entry
+    }
+
+    // Eliminate the pivot row from every other column that carries it.
+    for (const std::int32_t q32 : rpat_[prow]) {
+      const std::size_t q = static_cast<std::size_t>(q32);
+      if (pos_done[q] || q == ppos) continue;
+      auto& wc = wcols_[q];
+      ++stamp_;
+      for (const ColEntry& e : wc) {
+        wval_[static_cast<std::size_t>(e.row)] = e.val;
+        wstamp_[static_cast<std::size_t>(e.row)] = stamp_;
+      }
+      if (wstamp_[prow] != stamp_) continue;  // stale pattern entry: skip
+      const double uq = wval_[prow];
+      lu->u_ent.push_back({q32, uq});
+      fills.clear();
+      for (std::size_t t = 0; t < lrows.size(); ++t) {
+        const std::size_t i = static_cast<std::size_t>(lrows[t]);
+        const double delta = lvals[t] * uq;
+        if (wstamp_[i] == stamp_) {
+          wval_[i] -= delta;
+        } else {
+          wval_[i] = -delta;
+          wstamp_[i] = stamp_;
+          fills.push_back(lrows[t]);
+        }
+      }
+      // Gather the updated column: surviving old entries (minus the pivot
+      // row and exact cancellations) plus fill-in.
+      std::size_t out = 0;
+      for (std::size_t t = 0; t < wc.size(); ++t) {
+        const std::size_t i = static_cast<std::size_t>(wc[t].row);
+        if (i == prow) continue;
+        const double v = wval_[i];
+        if (v == 0.0) {
+          --row_count_[i];  // cancelled; rpat_ keeps a stale entry
+          continue;
+        }
+        wc[out++] = {wc[t].row, v};
+      }
+      wc.resize(out);
+      for (const std::int32_t f : fills) {
+        const std::size_t i = static_cast<std::size_t>(f);
+        if (wval_[i] == 0.0) continue;
+        wc.push_back({f, wval_[i]});
+        rpat_[i].push_back(q32);
+        ++row_count_[i];
+      }
+      bkt_unlink(q32);
+      bkt_link(q32, static_cast<std::int32_t>(wc.size()));
+    }
+
+    // Retire the pivot.
+    lu->pivot_row[static_cast<std::size_t>(k)] = static_cast<std::int32_t>(prow);
+    lu->pivot_pos[static_cast<std::size_t>(k)] = static_cast<std::int32_t>(ppos);
+    lu->u_diag[static_cast<std::size_t>(k)] = pval;
+    lu->u_diag_inv[static_cast<std::size_t>(k)] = 1.0 / pval;
+    for (std::size_t t = 0; t < lrows.size(); ++t) {
+      lu->l_ent.push_back({lrows[t], lvals[t]});
+    }
+    lu->l_start.push_back(static_cast<std::int32_t>(lu->l_ent.size()));
+    lu->u_start.push_back(static_cast<std::int32_t>(lu->u_ent.size()));
+    pos_done[ppos] = 1;
+    bkt_unlink(best_pos);
+    wcols_[ppos].clear();
+    rpat_[prow].clear();
+  }
+
+  lu_ = std::move(lu);
+  return true;
+}
+
+void SparseLuBasis::ftran(std::vector<double>& x) const {
+  const LuData& lu = *lu_;
+  // L pass, in pivot order, on the row-indexed input.
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double xk = x[static_cast<std::size_t>(lu.pivot_row[k])];
+    if (xk == 0.0) continue;
+    const std::int32_t b = lu.l_start[k];
+    const std::int32_t e = lu.l_start[k + 1];
+    for (std::int32_t t = b; t < e; ++t) {
+      x[static_cast<std::size_t>(lu.l_ent[static_cast<std::size_t>(t)].row)] -=
+          lu.l_ent[static_cast<std::size_t>(t)].val * xk;
+    }
+  }
+  // U back-substitution, producing the position-indexed result.
+  std::vector<double>& y = solve_scratch_;
+  for (std::size_t kk = m_; kk-- > 0;) {
+    double t = x[static_cast<std::size_t>(lu.pivot_row[kk])];
+    const std::int32_t b = lu.u_start[kk];
+    const std::int32_t e = lu.u_start[kk + 1];
+    for (std::int32_t s = b; s < e; ++s) {
+      const ColEntry& en = lu.u_ent[static_cast<std::size_t>(s)];
+      t -= en.val * y[static_cast<std::size_t>(en.row)];  // en.row is a position
+    }
+    y[static_cast<std::size_t>(lu.pivot_pos[kk])] = t * lu.u_diag_inv[kk];
+  }
+  std::copy(y.begin(), y.end(), x.begin());
+  // Eta replay, oldest first: x := E_k^-1 ... E_1^-1 x.
+  const int ne = etas_.count();
+  for (int k = 0; k < ne; ++k) {
+    const std::size_t r = static_cast<std::size_t>(etas_.pos[static_cast<std::size_t>(k)]);
+    const double t = x[r] * etas_.inv_pivot[static_cast<std::size_t>(k)];
+    x[r] = t;
+    if (t == 0.0) continue;
+    const std::int32_t b = etas_.start[static_cast<std::size_t>(k)];
+    const std::int32_t e = etas_.start[static_cast<std::size_t>(k) + 1];
+    for (std::int32_t s = b; s < e; ++s) {
+      const ColEntry& en = etas_.ent[static_cast<std::size_t>(s)];
+      x[static_cast<std::size_t>(en.row)] -= en.val * t;
+    }
+  }
+}
+
+void SparseLuBasis::btran(std::vector<double>& x) const {
+  // Eta transposes, newest first: x := E_1^-T ... E_k^-T x.
+  for (int k = etas_.count(); k-- > 0;) {
+    const std::size_t r = static_cast<std::size_t>(etas_.pos[static_cast<std::size_t>(k)]);
+    double s = x[r];
+    const std::int32_t b = etas_.start[static_cast<std::size_t>(k)];
+    const std::int32_t e = etas_.start[static_cast<std::size_t>(k) + 1];
+    for (std::int32_t t = b; t < e; ++t) {
+      const ColEntry& en = etas_.ent[static_cast<std::size_t>(t)];
+      s -= en.val * x[static_cast<std::size_t>(en.row)];
+    }
+    x[r] = s * etas_.inv_pivot[static_cast<std::size_t>(k)];
+  }
+  const LuData& lu = *lu_;
+  // U^T forward solve on the position-indexed input.
+  std::vector<double>& tk = tk_scratch_;
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double t = x[static_cast<std::size_t>(lu.pivot_pos[k])] * lu.u_diag_inv[k];
+    tk[k] = t;
+    if (t == 0.0) continue;
+    const std::int32_t b = lu.u_start[k];
+    const std::int32_t e = lu.u_start[k + 1];
+    for (std::int32_t s = b; s < e; ++s) {
+      const ColEntry& en = lu.u_ent[static_cast<std::size_t>(s)];
+      x[static_cast<std::size_t>(en.row)] -= en.val * t;  // en.row is a position
+    }
+  }
+  // L^T backward solve, producing the row-indexed result.
+  std::vector<double>& y = solve_scratch_;
+  for (std::size_t kk = m_; kk-- > 0;) {
+    double v = tk[kk];
+    const std::int32_t b = lu.l_start[kk];
+    const std::int32_t e = lu.l_start[kk + 1];
+    for (std::int32_t s = b; s < e; ++s) {
+      const ColEntry& en = lu.l_ent[static_cast<std::size_t>(s)];
+      v -= en.val * y[static_cast<std::size_t>(en.row)];
+    }
+    y[static_cast<std::size_t>(lu.pivot_row[kk])] = v;
+  }
+  std::copy(y.begin(), y.end(), x.begin());
+}
+
+}  // namespace
+
+std::unique_ptr<BasisRep> make_basis_rep(BasisKernel kernel, std::size_t m,
+                                         double markowitz_tol,
+                                         double eta_fill_factor) {
+  if (kernel == BasisKernel::Dense) return std::make_unique<DenseBasis>(m);
+  return std::make_unique<SparseLuBasis>(m, markowitz_tol, eta_fill_factor);
+}
+
+}  // namespace archex::milp

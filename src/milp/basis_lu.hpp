@@ -1,0 +1,146 @@
+/// \file basis_lu.hpp
+/// Basis-representation kernels for the bounded-variable revised simplex.
+///
+/// The simplex loops only ever touch the basis matrix B through four
+/// operations: ftran (x := B^-1 x), btran (x := B^-T x), a product-form
+/// update after a pivot, and a full refactorization. `BasisRep` narrows the
+/// kernel to exactly that surface so the solver can swap representations:
+///
+///   * `SparseLuBasis` (default) — sparse LU factorization with
+///     Markowitz-style pivot selection under threshold partial pivoting,
+///     plus an eta file of product-form updates between refactorizations.
+///     Work per pivot is proportional to the nonzeros touched, which is what
+///     makes 1k-5k row models tractable.
+///   * `DenseBasis` — the original explicit dense inverse (Gauss-Jordan
+///     refactorization, rank-1 product-form updates). O(m^2) per pivot;
+///     kept as the cross-check oracle and for tiny models.
+///
+/// A sparse-LU kernel can additionally snapshot its factorization into an
+/// immutable `FactorState` (shared LU + copied eta file). The parallel
+/// branch & bound ships these snapshots with exported bases so that loading
+/// a transplanted basis costs an eta replay instead of a refactorization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace archex::milp {
+
+/// One entry of a sparse column: row (or basis-position) index plus value.
+struct ColEntry {
+  std::int32_t row;
+  double val;
+};
+
+/// Which basis kernel a SimplexSolver instantiates (SimplexOptions::kernel).
+enum class BasisKernel : std::uint8_t { SparseLu, Dense };
+
+/// Product-form eta file in pooled (flat) storage. Eta k records that basis
+/// position `pos[k]` was repivoted on the ftran'd entering column w:
+/// `pivot[k]` = w[pos[k]], and the other nonzeros of w (position-indexed)
+/// are `ent[start[k] .. start[k+1])`. Appending an eta never allocates per
+/// update (amortized growth of the pooled arrays, whose capacity survives
+/// refactorizations), and replay walks contiguous memory.
+struct EtaFile {
+  std::vector<std::int32_t> start{0};  ///< size count()+1
+  std::vector<std::int32_t> pos;       ///< repivoted basis position per eta
+  std::vector<double> pivot;
+  std::vector<double> inv_pivot;       ///< 1/pivot, precomputed (replay multiplies)
+  std::vector<ColEntry> ent;           ///< pooled off-pivot entries
+
+  [[nodiscard]] int count() const { return static_cast<int>(pos.size()); }
+  [[nodiscard]] std::size_t nnz() const { return ent.size(); }
+  void clear() {
+    start.assign(1, 0);
+    pos.clear();
+    pivot.clear();
+    inv_pivot.clear();
+    ent.clear();
+  }
+};
+
+/// Sparse LU factors of a basis matrix B (with row and position
+/// permutations folded into the pivot order): B = L * U up to permutation.
+/// Immutable once built; shared by snapshots across threads.
+struct LuData {
+  std::size_t m = 0;
+  std::vector<std::int32_t> pivot_row;  ///< original row of pivot k
+  std::vector<std::int32_t> pivot_pos;  ///< basis position of pivot k
+  /// L, column per pivot k (unit diagonal implicit): entries are
+  /// (original row, multiplier).
+  std::vector<std::int32_t> l_start;  ///< size m+1
+  std::vector<ColEntry> l_ent;
+  /// U, row per pivot k (diagonal split out): entries are
+  /// (basis position, value).
+  std::vector<std::int32_t> u_start;  ///< size m+1
+  std::vector<ColEntry> u_ent;
+  std::vector<double> u_diag;      ///< pivot value per k
+  std::vector<double> u_diag_inv;  ///< 1/u_diag, so the solves multiply
+
+  [[nodiscard]] std::size_t nnz() const { return l_ent.size() + u_ent.size() + m; }
+};
+
+/// Immutable snapshot of a sparse-LU kernel's factorization state: the
+/// (shared, never mutated) LU factors plus a copy of the eta file at export
+/// time. Safe to hand across threads; adopting it replays the etas instead
+/// of refactorizing.
+struct FactorState {
+  std::shared_ptr<const LuData> lu;
+  EtaFile etas;
+
+  [[nodiscard]] int eta_count() const { return etas.count(); }
+};
+
+/// Abstract basis representation. Vectors are dense (length m); sparsity is
+/// exploited internally by skipping zeros. "Row-indexed" means indexed by
+/// original constraint row, "position-indexed" by basis position (the row of
+/// `basic_` the column occupies).
+class BasisRep {
+ public:
+  virtual ~BasisRep() = default;
+
+  /// Rebuilds the factorization of B whose column j is the slice
+  /// `col_ent[col_start[basic[j]] .. col_start[basic[j]+1])` of the solver's
+  /// compressed column storage. Returns false when the basis is numerically
+  /// singular (pivot column max below the same 1e-11 floor as the dense
+  /// kernel).
+  virtual bool factorize(const std::int32_t* col_start, const ColEntry* col_ent,
+                         const std::vector<std::int32_t>& basic) = 0;
+
+  /// x := B^-1 x. Input row-indexed, output position-indexed.
+  virtual void ftran(std::vector<double>& x) const = 0;
+
+  /// x := B^-T x. Input position-indexed, output row-indexed.
+  virtual void btran(std::vector<double>& x) const = 0;
+
+  /// Product-form update after a pivot at basis position `r`; `w` is the
+  /// ftran result of the entering column (position-indexed, w[r] != 0) and
+  /// `wnz` lists the positions with w[i] != 0.0 in ascending order (r
+  /// included), so kernels touch only the nonzeros.
+  virtual void update(const std::vector<double>& w, std::size_t r,
+                      const std::vector<std::int32_t>& wnz) = 0;
+
+  /// Advises refactorizing before `refactor_interval` is reached because the
+  /// eta file has outgrown the factors (always false for the dense kernel).
+  [[nodiscard]] virtual bool fill_heavy() const = 0;
+
+  /// Immutable snapshot of the current factorization for basis transplants;
+  /// null when the kernel does not support snapshots (dense).
+  [[nodiscard]] virtual std::shared_ptr<const FactorState> snapshot() const = 0;
+
+  /// Adopts a snapshot taken by a same-shaped kernel over the same basis.
+  /// Returns false (state unchanged) when unsupported or incompatible; the
+  /// caller then falls back to factorize().
+  virtual bool adopt(const std::shared_ptr<const FactorState>& state) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Builds a kernel for an m-row basis. `markowitz_tol` and `eta_fill_factor`
+/// only affect the sparse kernel (see SimplexOptions).
+std::unique_ptr<BasisRep> make_basis_rep(BasisKernel kernel, std::size_t m,
+                                         double markowitz_tol,
+                                         double eta_fill_factor);
+
+}  // namespace archex::milp

@@ -150,6 +150,7 @@ struct SearchCtx {
   obs::MetricsRegistry* reg = nullptr;  ///< always set by solve_milp
   std::int64_t depth = 0;  ///< recursion depth, the sequential "open" count
   std::int64_t pool_refactors = 0;  ///< refactorizations folded from workers
+  std::int64_t pool_transplants = 0;  ///< eta-replay basis loads from workers
   // Recovery-ladder accounting. `degraded_bound` is the min (minimize sense)
   // parent bound over every abandoned subtree: folding it into the final
   // best bound keeps the reported gap sound — an abandoned subtree can hide
@@ -1128,6 +1129,7 @@ void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
     sol.warm_repair_nodes += w.reopt_stats().repaired;
     sol.cold_nodes += w.reopt_stats().cold;
     ctx.pool_refactors += w.reopt_stats().refactors;
+    ctx.pool_transplants += w.reopt_stats().transplants;
   }
 }
 
@@ -1311,6 +1313,12 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     root_trace->emit(obs::EventType::NodeOpen, 1, kNan);
   SolveStatus st = ctx.lp.solve_primal();
   ++ctx.nodes;
+  if (st == SolveStatus::NumericalError) {
+    // The initial root solve gets the same first two ladder rungs as every
+    // node LP; there is no parent bound to abandon into, so if both rungs
+    // fail the error surfaces as the solve status below.
+    st = run_recovery_ladder(ctx.lp, {reg, root_trace, 1});
+  }
   root_timer.stop();
   if (st == SolveStatus::Optimal) {
     ctx.root_bound = ctx.lp.objective_value();
@@ -1465,6 +1473,8 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   sol.cold_nodes += ctx.lp.reopt_stats().cold;
   reg->counter("milp.refactors")
       .add(ctx.pool_refactors + ctx.lp.reopt_stats().refactors);
+  reg->counter("milp.basis_transplants")
+      .add(ctx.pool_transplants + ctx.lp.reopt_stats().transplants);
   if (sol.threads_used == 1) {
     sol.nodes_per_worker.assign(1, ctx.nodes);
     sol.cpu_seconds = sol.solve_seconds;

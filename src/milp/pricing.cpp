@@ -1,0 +1,93 @@
+#include "milp/pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace archex::milp {
+
+namespace {
+
+class DantzigPricer final : public Pricer {
+ public:
+  [[nodiscard]] const char* name() const override { return "dantzig"; }
+  [[nodiscard]] double score(std::int32_t /*j*/, double dj) const override {
+    return std::abs(dj);
+  }
+};
+
+/// Forrest-Goldfarb devex: reference-framework weights w_j approximating
+/// the steepest-edge norms ||B^-1 A_j||^2. All weights start at 1 (the
+/// reference framework is the initial nonbasic set); each pivot propagates
+/// the entering column's weight through the pivot row, and the framework is
+/// reset when weights outgrow the approximation's trust range.
+class DevexPricer final : public Pricer {
+ public:
+  [[nodiscard]] const char* name() const override { return "devex"; }
+
+  void reset(std::size_t total_cols) override {
+    weights_.assign(total_cols, 1.0);
+  }
+
+  [[nodiscard]] double score(std::int32_t j, double dj) const override {
+    return dj * dj / weights_[static_cast<std::size_t>(j)];
+  }
+
+  void on_pivot(std::int32_t q, std::int32_t leave, double alpha_q,
+                const std::vector<double>& alpha,
+                const std::vector<std::int32_t>& alpha_nz) override {
+    if (alpha_q == 0.0) return;
+    const double wq = weights_[static_cast<std::size_t>(q)];
+    const double inv_aq2 = 1.0 / (alpha_q * alpha_q);
+    double wmax = 1.0;
+    for (const std::int32_t j : alpha_nz) {
+      if (j == q) continue;
+      const double aj = alpha[static_cast<std::size_t>(j)];
+      if (aj == 0.0) continue;
+      double& w = weights_[static_cast<std::size_t>(j)];
+      w = std::max(w, aj * aj * inv_aq2 * wq);
+      wmax = std::max(wmax, w);
+    }
+    weights_[static_cast<std::size_t>(leave)] = std::max(wq * inv_aq2, 1.0);
+    wmax = std::max(wmax, weights_[static_cast<std::size_t>(leave)]);
+    if (wmax > kResetThreshold) {
+      std::fill(weights_.begin(), weights_.end(), 1.0);
+    }
+  }
+
+ private:
+  static constexpr double kResetThreshold = 1e7;
+  std::vector<double> weights_;
+};
+
+std::map<std::string, PricerFactory>& registry() {
+  static std::map<std::string, PricerFactory> reg = [] {
+    std::map<std::string, PricerFactory> r;
+    r.emplace("dantzig", [] { return std::make_unique<DantzigPricer>(); });
+    r.emplace("devex", [] { return std::make_unique<DevexPricer>(); });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
+bool register_pricer(const std::string& name, PricerFactory factory) {
+  return registry().emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<Pricer> make_pricer(const std::string& name) {
+  const auto& reg = registry();
+  const auto it = reg.find(name);
+  if (it == reg.end()) return nullptr;
+  return it->second();
+}
+
+std::vector<std::string> pricer_names() {
+  std::vector<std::string> names;
+  for (const auto& kv : registry()) names.push_back(kv.first);
+  return names;
+}
+
+}  // namespace archex::milp

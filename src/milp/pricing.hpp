@@ -1,0 +1,66 @@
+/// \file pricing.hpp
+/// Pluggable pricing (entering-variable selection) for the primal simplex.
+///
+/// Following the microkernel idiom, a pricing rule is a narrow strategy
+/// object behind a name registry rather than a branch in the pivot loop:
+/// the loop computes eligibility (reduced-cost sign vs column status) and
+/// asks the pricer only to *score* eligible candidates; the largest score
+/// enters. After each basis change the pricer sees the pivot row so that
+/// stateful rules can maintain their weights.
+///
+/// Built-ins:
+///   * "dantzig" (default) — score |d_j|; stateless, reproduces the
+///     historical pivot sequence exactly.
+///   * "devex"             — Forrest-Goldfarb reference-framework weights,
+///     score d_j^2 / w_j; approximates steepest edge at eta-update cost.
+///
+/// Register additional rules at static-init time (or before building a
+/// solver) with `register_pricer`; `SimplexOptions::pricing` selects by
+/// name, unknown names fall back to Dantzig.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace archex::milp {
+
+/// Strategy interface. One instance lives per SimplexSolver and is only
+/// called from that solver's thread.
+class Pricer {
+ public:
+  virtual ~Pricer() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// (Re)initialize for a solve over `total_cols` columns.
+  virtual void reset(std::size_t total_cols) { (void)total_cols; }
+
+  /// Score of an eligible nonbasic candidate `j` with reduced cost `dj`
+  /// (never 0 within tolerance). Larger is better.
+  [[nodiscard]] virtual double score(std::int32_t j, double dj) const = 0;
+
+  /// Basis changed: column `q` entered on the pivot row with alphas
+  /// `alpha` (nonzeros listed in `alpha_nz`, pivot element `alpha_q`),
+  /// column `leave` left. Stateless rules ignore this.
+  virtual void on_pivot(std::int32_t q, std::int32_t leave, double alpha_q,
+                        const std::vector<double>& alpha,
+                        const std::vector<std::int32_t>& alpha_nz) {
+    (void)q; (void)leave; (void)alpha_q; (void)alpha; (void)alpha_nz;
+  }
+};
+
+using PricerFactory = std::function<std::unique_ptr<Pricer>()>;
+
+/// Registers `factory` under `name`; returns false (no overwrite) when the
+/// name is taken. Thread-compatible: register before solving starts.
+bool register_pricer(const std::string& name, PricerFactory factory);
+
+/// Builds the pricer registered under `name`, or null when unknown.
+std::unique_ptr<Pricer> make_pricer(const std::string& name);
+
+/// Names of all registered pricing rules, sorted.
+std::vector<std::string> pricer_names();
+
+}  // namespace archex::milp

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string_view>
+#include <utility>
 
 #include "milp/fault.hpp"
 
@@ -13,7 +15,8 @@ constexpr double kRatioTol = 1e-9;   // rows with |w| below this do not block
 constexpr double kDegenTol = 1e-10;  // step sizes below this count as degenerate
 }  // namespace
 
-SimplexSolver::SimplexSolver(const Model& model, SimplexOptions options) : opts_(options) {
+SimplexSolver::SimplexSolver(const Model& model, SimplexOptions options)
+    : opts_(std::move(options)) {
   build_from_model(model);
 }
 
@@ -22,7 +25,6 @@ void SimplexSolver::build_from_model(const Model& model) {
   n_ = model.num_vars();
   total_cols_ = n_ + 2 * m_;  // structural | slacks | artificials
 
-  cols_.assign(total_cols_, {});
   rhs_.resize(m_);
   cost_.assign(total_cols_, 0.0);
   lb_.resize(total_cols_);
@@ -34,16 +36,33 @@ void SimplexSolver::build_from_model(const Model& model) {
     ub_[j] = v.ub;
   }
 
+  // Compressed column storage, two passes: count entries per column, prefix
+  // sum, then fill through a cursor. Processing rows in ascending order keeps
+  // each column's entries row-sorted, exactly as the per-column push_backs
+  // used to.
+  col_start_.assign(total_cols_ + 1, 0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (const Term& t : model.constraint(i).expr.terms()) {
+      ++col_start_[static_cast<std::size_t>(t.var.index) + 1];
+    }
+    ++col_start_[n_ + i + 1];       // slack
+    ++col_start_[n_ + m_ + i + 1];  // artificial
+  }
+  for (std::size_t j = 0; j < total_cols_; ++j) col_start_[j + 1] += col_start_[j];
+  col_ent_.resize(static_cast<std::size_t>(col_start_[total_cols_]));
+  std::vector<std::int32_t> cursor(col_start_.begin(), col_start_.end() - 1);
+
   for (std::size_t i = 0; i < m_; ++i) {
     const LinConstraint& c = model.constraint(i);
     rhs_[i] = c.rhs;
     for (const Term& t : c.expr.terms()) {
-      cols_[static_cast<std::size_t>(t.var.index)].push_back(
-          {static_cast<std::int32_t>(i), t.coef});
+      col_ent_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(t.var.index)]++)] =
+          {static_cast<std::int32_t>(i), t.coef};
     }
     // Slack: a_i x + s_i = b_i.
     const std::size_t s = n_ + i;
-    cols_[s].push_back({static_cast<std::int32_t>(i), 1.0});
+    col_ent_[static_cast<std::size_t>(cursor[s]++)] = {static_cast<std::int32_t>(i), 1.0};
     switch (c.sense) {
       case Sense::LE: lb_[s] = 0.0;   ub_[s] = kInf; break;
       case Sense::GE: lb_[s] = -kInf; ub_[s] = 0.0;  break;
@@ -51,9 +70,30 @@ void SimplexSolver::build_from_model(const Model& model) {
     }
     // Artificial: sign chosen per cold start in initial_basis().
     const std::size_t a = n_ + m_ + i;
-    cols_[a].push_back({static_cast<std::int32_t>(i), 1.0});
+    col_ent_[static_cast<std::size_t>(cursor[a]++)] = {static_cast<std::int32_t>(i), 1.0};
     lb_[a] = 0.0;
     ub_[a] = 0.0;  // enabled (un-fixed) only while basic in phase 1
+  }
+
+  // Row-wise adjacency over the immutable columns (structural + slack) for
+  // sparse pivot-row pricing. Artificial columns are excluded: their matrix
+  // sign mutates per cold start, so price_row handles them directly. Filling
+  // by ascending column keeps each row's entries column-sorted, matching the
+  // historical accumulation order.
+  const std::size_t ns_end = static_cast<std::size_t>(col_start_[n_ + m_]);
+  row_start_.assign(m_ + 1, 0);
+  for (std::size_t t = 0; t < ns_end; ++t) {
+    ++row_start_[static_cast<std::size_t>(col_ent_[t].row) + 1];
+  }
+  for (std::size_t i = 0; i < m_; ++i) row_start_[i + 1] += row_start_[i];
+  row_ent_.resize(ns_end);
+  std::vector<std::int32_t> rcur(row_start_.begin(), row_start_.end() - 1);
+  for (std::size_t j = 0; j < n_ + m_; ++j) {
+    for (std::int32_t t = col_start_[j]; t < col_start_[j + 1]; ++t) {
+      const ColEntry& e = col_ent_[static_cast<std::size_t>(t)];
+      row_ent_[static_cast<std::size_t>(rcur[static_cast<std::size_t>(e.row)]++)] =
+          {static_cast<std::int32_t>(j), e.val};
+    }
   }
 
   maximize_ = model.objective_sense() == ObjectiveSense::Maximize;
@@ -90,16 +130,23 @@ void SimplexSolver::build_from_model(const Model& model) {
   xval_.assign(total_cols_, 0.0);
   basic_.assign(m_, -1);
   basis_pos_.assign(total_cols_, -1);
-  binv_.assign(m_ * m_, 0.0);
+  rep_ = make_basis_rep(opts_.kernel, m_, opts_.markowitz_tol, opts_.eta_fill_factor);
+  pricer_ = make_pricer(opts_.pricing);
+  if (pricer_ == nullptr) pricer_ = make_pricer("dantzig");  // unknown name
+  pricer_->reset(total_cols_);
+  dantzig_pricing_ = std::string_view(pricer_->name()) == "dantzig";
   scratch_w_.resize(m_);
+  scratch_wnz_.reserve(m_);
   scratch_y_.resize(m_);
+  scratch_rho_.resize(m_);
   scratch_d_.resize(total_cols_);
   scratch_alpha_.resize(total_cols_);
+  scratch_alpha_nz_.reserve(total_cols_);
+  scratch_mark_.assign(total_cols_, 0);
 }
 
 void SimplexSolver::initial_basis() {
   std::fill(basis_pos_.begin(), basis_pos_.end(), -1);
-  std::fill(binv_.begin(), binv_.end(), 0.0);
 
   // Nonbasic structural columns rest at their nearest finite bound.
   for (std::size_t j = 0; j < total_cols_; ++j) {
@@ -119,7 +166,7 @@ void SimplexSolver::initial_basis() {
   std::vector<double> r = rhs_;
   for (std::size_t j = 0; j < n_; ++j) {
     if (xval_[j] == 0.0) continue;
-    for (const ColEntry& e : cols_[j]) r[static_cast<std::size_t>(e.row)] -= e.val * xval_[j];
+    for (const ColEntry& e : col(j)) r[static_cast<std::size_t>(e.row)] -= e.val * xval_[j];
   }
 
   for (std::size_t i = 0; i < m_; ++i) {
@@ -133,33 +180,72 @@ void SimplexSolver::initial_basis() {
       basis_pos_[s] = static_cast<std::int32_t>(i);
       status_[s] = ColStatus::Basic;
       xval_[s] = r[i];
-      binv_[i * m_ + i] = 1.0;
     } else {
-      cols_[a][0].val = (r[i] >= 0.0) ? 1.0 : -1.0;
+      art_val(i) = (r[i] >= 0.0) ? 1.0 : -1.0;
       ub_[a] = true_ub_[a] = kInf;  // live artificial
       basic_[i] = static_cast<std::int32_t>(a);
       basis_pos_[a] = static_cast<std::int32_t>(i);
       status_[a] = ColStatus::Basic;
       xval_[a] = std::abs(r[i]);
-      binv_[i * m_ + i] = cols_[a][0].val;  // B = diag(sigma) => Binv = diag(sigma)
     }
   }
+  // The initial basis is diagonal (unit slacks, signed artificials), so this
+  // factorization is trivial and cannot fail; it is not counted or traced as
+  // a refactorization, matching the historical accounting.
+  const bool ok = rep_->factorize(col_start_.data(), col_ent_.data(), basic_);
+  assert(ok);
+  (void)ok;
   pivots_since_refactor_ = 0;
 }
 
 void SimplexSolver::ftran(std::int32_t col, std::vector<double>& w) const {
   std::fill(w.begin(), w.end(), 0.0);
-  for (const ColEntry& e : cols_[static_cast<std::size_t>(col)]) {
-    const std::size_t k = static_cast<std::size_t>(e.row);
-    const double a = e.val;
-    const double* bk = binv_.data() + k;  // column k of row-major Binv, stride m_
-    for (std::size_t i = 0; i < m_; ++i) w[i] += bk[i * m_] * a;
+  for (const ColEntry& e : this->col(static_cast<std::size_t>(col))) {
+    w[static_cast<std::size_t>(e.row)] += e.val;
   }
+  rep_->ftran(w);
 }
 
-void SimplexSolver::btran_row(std::size_t r, std::vector<double>& binv_row) const {
-  const double* row = binv_.data() + r * m_;
-  binv_row.assign(row, row + m_);
+void SimplexSolver::btran_row(std::size_t r, std::vector<double>& rho) const {
+  rho.assign(m_, 0.0);
+  rho[r] = 1.0;
+  rep_->btran(rho);
+}
+
+void SimplexSolver::price_row(const std::vector<double>& rho,
+                              std::vector<double>& alpha,
+                              std::vector<std::int32_t>& alpha_nz) const {
+  // alpha entries outside alpha_nz are stale from earlier calls; consumers
+  // must only read through the nonzero list.
+  alpha_nz.clear();
+  const std::int64_t stamp = ++mark_stamp_;
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double r = rho[i];
+    if (r == 0.0) continue;
+    for (const ColEntry& e : row_adj(i)) {
+      const std::size_t j = static_cast<std::size_t>(e.row);  // a column index
+      if (scratch_mark_[j] != stamp) {
+        scratch_mark_[j] = stamp;
+        alpha[j] = r * e.val;
+        // Basic columns stay out of the nonzero list: every consumer skips
+        // them (their reduced costs are maintained directly at pivots), so
+        // listing them only pads the d-update and dual ratio-test scans.
+        if (basis_pos_[j] < 0) alpha_nz.push_back(e.row);
+      } else {
+        alpha[j] += r * e.val;
+      }
+    }
+    // Artificial of row i: a single entry whose sign is set per cold start.
+    // Fixed artificials (all of them outside phase 1) can never re-enter, so
+    // no consumer reads their reduced cost: skip the bookkeeping entirely
+    // rather than dragging them through alpha_nz and the d-update loops.
+    const std::size_t a = n_ + m_ + i;
+    if (!is_fixed(static_cast<std::int32_t>(a))) {
+      scratch_mark_[a] = stamp;
+      alpha[a] = r * art_val(i);
+      alpha_nz.push_back(static_cast<std::int32_t>(a));
+    }
+  }
 }
 
 bool SimplexSolver::refactorize() {
@@ -168,49 +254,8 @@ bool SimplexSolver::refactorize() {
   if (opts_.fault != nullptr && opts_.fault->fire(FaultSite::SingularFactor)) {
     return false;  // injected singular factorization
   }
-  // Gauss-Jordan inversion of the basis matrix with partial pivoting.
-  std::vector<double> work(m_ * m_, 0.0);
-  for (std::size_t i = 0; i < m_; ++i) {
-    const std::size_t col = static_cast<std::size_t>(basic_[i]);
-    for (const ColEntry& e : cols_[col]) {
-      work[static_cast<std::size_t>(e.row) * m_ + i] = e.val;
-    }
-  }
-  std::vector<double>& inv = binv_;
-  std::fill(inv.begin(), inv.end(), 0.0);
-  for (std::size_t i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
-
-  for (std::size_t k = 0; k < m_; ++k) {
-    // Partial pivoting over rows k..m-1 of column k.
-    std::size_t piv = k;
-    double best = std::abs(work[k * m_ + k]);
-    for (std::size_t i = k + 1; i < m_; ++i) {
-      const double v = std::abs(work[i * m_ + k]);
-      if (v > best) { best = v; piv = i; }
-    }
-    if (best < 1e-11) return false;  // singular basis
-    if (piv != k) {
-      // A row swap is just another elementary row operation: the accumulated
-      // sequence R with R*B = I satisfies R = B^-1 exactly, no fix-up needed.
-      for (std::size_t j = 0; j < m_; ++j) {
-        std::swap(work[piv * m_ + j], work[k * m_ + j]);
-        std::swap(inv[piv * m_ + j], inv[k * m_ + j]);
-      }
-    }
-    const double d = 1.0 / work[k * m_ + k];
-    for (std::size_t j = 0; j < m_; ++j) {
-      work[k * m_ + j] *= d;
-      inv[k * m_ + j] *= d;
-    }
-    for (std::size_t i = 0; i < m_; ++i) {
-      if (i == k) continue;
-      const double f = work[i * m_ + k];
-      if (f == 0.0) continue;
-      for (std::size_t j = 0; j < m_; ++j) {
-        work[i * m_ + j] -= f * work[k * m_ + j];
-        inv[i * m_ + j] -= f * inv[k * m_ + j];
-      }
-    }
+  if (!rep_->factorize(col_start_.data(), col_ent_.data(), basic_)) {
+    return false;  // singular basis
   }
   pivots_since_refactor_ = 0;
   return true;
@@ -220,48 +265,44 @@ void SimplexSolver::compute_basic_values() {
   std::vector<double> r = rhs_;
   for (std::size_t j = 0; j < total_cols_; ++j) {
     if (status_[j] == ColStatus::Basic || xval_[j] == 0.0) continue;
-    for (const ColEntry& e : cols_[j]) r[static_cast<std::size_t>(e.row)] -= e.val * xval_[j];
+    for (const ColEntry& e : col(j)) r[static_cast<std::size_t>(e.row)] -= e.val * xval_[j];
   }
+  rep_->ftran(r);  // r := B^-1 r, position-indexed
   for (std::size_t i = 0; i < m_; ++i) {
-    const double* row = binv_.data() + i * m_;
-    double v = 0.0;
-    for (std::size_t k = 0; k < m_; ++k) v += row[k] * r[k];
-    xval_[static_cast<std::size_t>(basic_[i])] = v;
+    xval_[static_cast<std::size_t>(basic_[i])] = r[i];
   }
 }
 
-void SimplexSolver::update_binv(const std::vector<double>& w, std::size_t r) {
-  // Product-form update: Binv <- E * Binv with E the elementary matrix that
-  // maps w to e_r.
-  const double piv = w[r];
-  double* rowr = binv_.data() + r * m_;
-  const double inv_piv = 1.0 / piv;
-  for (std::size_t j = 0; j < m_; ++j) rowr[j] *= inv_piv;
-  for (std::size_t i = 0; i < m_; ++i) {
-    if (i == r) continue;
-    const double f = w[i];
-    if (f == 0.0) continue;
-    double* rowi = binv_.data() + i * m_;
-    for (std::size_t j = 0; j < m_; ++j) rowi[j] -= f * rowr[j];
-  }
+void SimplexSolver::update_factors(const std::vector<double>& w, std::size_t r,
+                                   const std::vector<std::int32_t>& wnz) {
+  rep_->update(w, r, wnz);
   ++pivots_since_refactor_;
 }
 
-void SimplexSolver::price(const std::vector<double>& cost, std::vector<double>& d) const {
-  // y = c_B^T * Binv
-  std::vector<double>& y = scratch_y_;
-  std::fill(y.begin(), y.end(), 0.0);
-  for (std::size_t i = 0; i < m_; ++i) {
-    const double cb = cost[static_cast<std::size_t>(basic_[i])];
-    if (cb == 0.0) continue;
-    const double* row = binv_.data() + i * m_;
-    for (std::size_t j = 0; j < m_; ++j) y[j] += cb * row[j];
+void SimplexSolver::rebuild_candidates() {
+  cand_.clear();
+  cand_idx_.assign(total_cols_, -1);
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    if (status_[j] == ColStatus::Basic || is_fixed(static_cast<std::int32_t>(j))) {
+      continue;
+    }
+    cand_idx_[j] = static_cast<std::int32_t>(cand_.size());
+    cand_.push_back(static_cast<std::int32_t>(j));
   }
+}
+
+void SimplexSolver::price(const std::vector<double>& cost, std::vector<double>& d) const {
+  // y = c_B^T * B^-1 via btran of the position-indexed basic costs.
+  std::vector<double>& y = scratch_y_;
+  for (std::size_t i = 0; i < m_; ++i) {
+    y[i] = cost[static_cast<std::size_t>(basic_[i])];
+  }
+  rep_->btran(y);
   // d_j = c_j - y * A_j  for nonbasic columns.
   for (std::size_t j = 0; j < total_cols_; ++j) {
     if (status_[j] == ColStatus::Basic) { d[j] = 0.0; continue; }
     double v = cost[j];
-    for (const ColEntry& e : cols_[j]) v -= y[static_cast<std::size_t>(e.row)] * e.val;
+    for (const ColEntry& e : col(j)) v -= y[static_cast<std::size_t>(e.row)] * e.val;
     d[j] = v;
   }
 }
@@ -285,13 +326,22 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
   int degen_streak = 0;
   std::vector<double>& d = scratch_d_;
   std::vector<double>& w = scratch_w_;
-  std::vector<double> binv_row(m_);
+  std::vector<std::int32_t>& wnz = scratch_wnz_;
+  std::vector<double>& rho = scratch_rho_;
+  std::vector<double>& alpha = scratch_alpha_;
+  std::vector<std::int32_t>& alpha_nz = scratch_alpha_nz_;
 
   // Reduced costs are maintained incrementally across pivots via the pivot
   // row (d' = d - (d_q / alpha_q) * alpha); a full pricing pass happens only
   // at entry, after refactorization, and periodically to wash out drift.
+  pricer_->reset(total_cols_);
   price(cost, d);
   int prices_stale = 0;
+  // Entering selection scans this list (nonbasic, non-fixed columns) rather
+  // than all columns; fixedness cannot change inside the loop, so only the
+  // per-pivot basis swaps need maintenance. Bland's rule still does a full
+  // index-ordered scan — its anti-cycling argument needs lowest-index.
+  rebuild_candidates();
 
   for (;;) {
     if (total_iterations_ >= opts_.max_iterations) return SolveStatus::IterationLimit;
@@ -303,11 +353,13 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
         return SolveStatus::TimeLimit;
       }
     }
-    if (pivots_since_refactor_ >= opts_.refactor_interval) {
+    if (pivots_since_refactor_ >= opts_.refactor_interval || rep_->fill_heavy()) {
       if (!refactorize()) return SolveStatus::NumericalError;
       compute_basic_values();
-      price(cost, d);
-      prices_stale = 0;
+      // The reduced costs are *not* re-priced here: refactorization changes
+      // the factors, never the basis, so d is mathematically unchanged. The
+      // 200-pivot stale counter bounds drift, and the optimality exit below
+      // always confirms against a fresh pricing pass.
     }
     if (++prices_stale > 200) {
       price(cost, d);
@@ -320,19 +372,41 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
     auto select_entering = [&] {
       q = -1;
       qdir = 0.0;
-      double best_score = opts_.opt_tol;
-      for (std::size_t j = 0; j < total_cols_; ++j) {
-        if (status_[j] == ColStatus::Basic || is_fixed(static_cast<std::int32_t>(j))) continue;
-        double dir = 0.0;
-        if (status_[j] == ColStatus::AtLower && d[j] < -opts_.opt_tol) dir = 1.0;
-        else if (status_[j] == ColStatus::AtUpper && d[j] > opts_.opt_tol) dir = -1.0;
-        else if (status_[j] == ColStatus::Free && std::abs(d[j]) > opts_.opt_tol)
-          dir = d[j] < 0 ? 1.0 : -1.0;
-        if (dir == 0.0) continue;
-        if (bland) { q = static_cast<std::int32_t>(j); qdir = dir; return; }
-        if (std::abs(d[j]) > best_score) {
-          best_score = std::abs(d[j]);
+      double best_score = 0.0;
+      if (bland) {
+        // Bland's rule: first eligible column in index order.
+        for (std::size_t j = 0; j < total_cols_; ++j) {
+          const ColStatus st = status_[j];
+          if (st == ColStatus::Basic) continue;
+          const double dj = d[j];
+          double dir = 0.0;
+          if (st == ColStatus::AtLower && dj < -opts_.opt_tol) dir = 1.0;
+          else if (st == ColStatus::AtUpper && dj > opts_.opt_tol) dir = -1.0;
+          else if (st == ColStatus::Free && std::abs(dj) > opts_.opt_tol)
+            dir = dj < 0 ? 1.0 : -1.0;
+          if (dir == 0.0 || is_fixed(static_cast<std::int32_t>(j))) continue;
           q = static_cast<std::int32_t>(j);
+          qdir = dir;
+          return;
+        }
+        return;
+      }
+      for (const std::int32_t j32 : cand_) {
+        const std::size_t j = static_cast<std::size_t>(j32);
+        const double dj = d[j];
+        const ColStatus st = status_[j];
+        double dir = 0.0;
+        if (st == ColStatus::AtLower && dj < -opts_.opt_tol) dir = 1.0;
+        else if (st == ColStatus::AtUpper && dj > opts_.opt_tol) dir = -1.0;
+        else if (st == ColStatus::Free && std::abs(dj) > opts_.opt_tol)
+          dir = dj < 0 ? 1.0 : -1.0;
+        if (dir == 0.0) continue;
+        // Devirtualized Dantzig fast path: |d_j|, no indirect call per column.
+        const double score =
+            dantzig_pricing_ ? std::abs(dj) : pricer_->score(j32, dj);
+        if (q < 0 || score > best_score) {
+          best_score = score;
+          q = j32;
           qdir = dir;
         }
       }
@@ -354,24 +428,29 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
 
     ftran(q, w);
 
-    // Ratio test: how far can the entering variable move?
+    // Ratio test: how far can the entering variable move? The scan doubles
+    // as the collection pass for w's nonzero positions, which the bookkeeping
+    // below and the kernel update then iterate instead of all of w.
     double t_best = kInf;
     if (lb_[q] > -kInf && ub_[q] < kInf) t_best = ub_[q] - lb_[q];  // own bound flip
     std::int32_t leave_row = -1;
     bool leave_to_upper = false;
+    wnz.clear();
     for (std::size_t i = 0; i < m_; ++i) {
+      if (w[i] == 0.0) continue;
+      wnz.push_back(static_cast<std::int32_t>(i));
       if (std::abs(w[i]) <= kRatioTol) continue;
-      const double rho = -qdir * w[i];  // d x_B(i) / d t
+      const double rho_i = -qdir * w[i];  // d x_B(i) / d t
       const std::int32_t k = basic_[i];
       double t;
       bool to_upper;
-      if (rho > 0) {
+      if (rho_i > 0) {
         if (ub_[k] >= kInf) continue;
-        t = (ub_[k] - xval_[k]) / rho;
+        t = (ub_[k] - xval_[k]) / rho_i;
         to_upper = true;
       } else {
         if (lb_[k] <= -kInf) continue;
-        t = (xval_[k] - lb_[k]) / (-rho);
+        t = (xval_[k] - lb_[k]) / (-rho_i);
         to_upper = false;
       }
       if (t < 0) t = 0;  // tiny infeasibilities clamp to a degenerate step
@@ -401,8 +480,8 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
     const double delta = qdir * t_best;
     xval_[q] += delta;
     if (delta != 0.0) {
-      for (std::size_t i = 0; i < m_; ++i) {
-        xval_[static_cast<std::size_t>(basic_[i])] -= w[i] * delta;
+      for (const std::int32_t i : wnz) {
+        xval_[static_cast<std::size_t>(basic_[i])] -= w[static_cast<std::size_t>(i)] * delta;
       }
     }
 
@@ -420,20 +499,21 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
       }
       const std::int32_t k = basic_[r];
       // Incremental reduced-cost update via the pivot row (computed against
-      // the *old* basis inverse, before update_binv).
+      // the *old* basis factorization, before update_factors).
       const double dq = d[static_cast<std::size_t>(q)];
       if (dq != 0.0) {
-        btran_row(r, binv_row);
+        btran_row(r, rho);
+        price_row(rho, alpha, alpha_nz);
         const double ratio = dq / w[r];
-        for (std::size_t j = 0; j < total_cols_; ++j) {
-          if (status_[j] == ColStatus::Basic) continue;
-          double alpha = 0.0;
-          for (const ColEntry& en : cols_[j]) {
-            alpha += binv_row[static_cast<std::size_t>(en.row)] * en.val;
-          }
-          if (alpha != 0.0) d[j] -= ratio * alpha;
+        for (const std::int32_t j32 : alpha_nz) {
+          // alpha_nz holds no basic columns (price_row filters them), so the
+          // update runs without a per-column status check.
+          const std::size_t j = static_cast<std::size_t>(j32);
+          if (alpha[j] == 0.0) continue;
+          d[j] -= ratio * alpha[j];
         }
         d[static_cast<std::size_t>(k)] = -ratio;  // leaving column (alpha = 1)
+        pricer_->on_pivot(q, k, w[r], alpha, alpha_nz);
       } else {
         d[static_cast<std::size_t>(k)] = 0.0;
       }
@@ -445,7 +525,9 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
       basic_[r] = q;
       basis_pos_[q] = static_cast<std::int32_t>(r);
       status_[q] = ColStatus::Basic;
-      update_binv(w, r);
+      cand_remove(q);
+      cand_add(k);
+      update_factors(w, r, wnz);
     }
     ++total_iterations_;
   }
@@ -486,7 +568,19 @@ SolveStatus SimplexSolver::solve_primal() {
   }
   if (any_artificial) {
     const SolveStatus st = primal_loop(phase1_cost, /*phase_one=*/true);
-    if (st != SolveStatus::Optimal) return st;
+    if (st != SolveStatus::Optimal) {
+      // Re-freeze the artificials before surfacing the failure. Callers can
+      // warm-reoptimize from this state (the recovery ladder does exactly
+      // that), and a live zero-cost artificial would let the phase-2 LP
+      // absorb constraint violations for free — "optimal" objectives below
+      // the true bound, unsound prunes. Frozen at zero they are inert; the
+      // dual repair drives any still-basic ones back into bounds.
+      for (std::size_t i = 0; i < m_; ++i) {
+        const std::size_t a = n_ + m_ + i;
+        ub_[a] = true_ub_[a] = 0.0;
+      }
+      return st;
+    }
     double infeas = 0.0;
     for (std::size_t i = 0; i < m_; ++i) infeas += xval_[n_ + m_ + i];
     if (infeas > 1e-6) return SolveStatus::Infeasible;
@@ -563,7 +657,7 @@ SolveStatus SimplexSolver::recover_resolve() {
   if (m_ == 0) return solve_primal();
   // Tightening pivot_tol makes the loops refuse the marginal pivots (and
   // refactorize instead) that plausibly corrupted the factorization the
-  // first time; the rebuilt inverse gives the reoptimization a clean start.
+  // first time; the rebuilt factors give the reoptimization a clean start.
   const double saved_pivot_tol = opts_.pivot_tol;
   opts_.pivot_tol = std::min(1e-6, saved_pivot_tol * 100.0);
   SolveStatus st = SolveStatus::NumericalError;
@@ -583,7 +677,10 @@ SolveStatus SimplexSolver::dual_loop() {
 
   std::vector<double>& d = scratch_d_;
   std::vector<double>& w = scratch_w_;
-  std::vector<double> binv_row(m_);
+  std::vector<std::int32_t>& wnz = scratch_wnz_;
+  std::vector<double>& rho = scratch_rho_;
+  std::vector<double>& alphas = scratch_alpha_;
+  std::vector<std::int32_t>& alpha_nz = scratch_alpha_nz_;
   int degen_streak = 0;
 
   // Reduced costs are maintained incrementally across pivots (same pivot-row
@@ -602,7 +699,7 @@ SolveStatus SimplexSolver::dual_loop() {
         return SolveStatus::TimeLimit;
       }
     }
-    if (pivots_since_refactor_ >= opts_.refactor_interval) {
+    if (pivots_since_refactor_ >= opts_.refactor_interval || rep_->fill_heavy()) {
       if (!refactorize()) return SolveStatus::NumericalError;
       compute_basic_values();
       price(pert_cost_, d);
@@ -630,22 +727,18 @@ SolveStatus SimplexSolver::dual_loop() {
     const bool above = xval_[kleave] > ub_[kleave];
     const double e = above ? 1.0 : -1.0;
 
-    btran_row(r, binv_row);
+    btran_row(r, rho);
+    price_row(rho, alphas, alpha_nz);
 
-    // Dual ratio test over nonbasic columns (alphas cached for the
-    // incremental reduced-cost update below).
-    std::vector<double>& alphas = scratch_alpha_;
+    // Dual ratio test over the pivot row's nonzero columns (alphas stay
+    // cached for the incremental reduced-cost update below).
     std::int32_t q = -1;
     double best_theta = kInf;
     double alpha_q = 0.0;
-    for (std::size_t j = 0; j < total_cols_; ++j) {
-      alphas[j] = 0.0;
-      if (status_[j] == ColStatus::Basic || is_fixed(static_cast<std::int32_t>(j))) continue;
-      double alpha = 0.0;
-      for (const ColEntry& en : cols_[j]) {
-        alpha += binv_row[static_cast<std::size_t>(en.row)] * en.val;
-      }
-      alphas[j] = alpha;
+    for (const std::int32_t j32 : alpha_nz) {
+      const std::size_t j = static_cast<std::size_t>(j32);
+      if (status_[j] == ColStatus::Basic || is_fixed(j32)) continue;
+      const double alpha = alphas[j];
       if (std::abs(alpha) <= opts_.pivot_tol) continue;
       const double abar = e * alpha;
       bool eligible = false;
@@ -659,7 +752,7 @@ SolveStatus SimplexSolver::dual_loop() {
           (theta <= best_theta + 1e-12 && q >= 0 && std::abs(alpha) > std::abs(alpha_q));
       if (better) {
         best_theta = theta;
-        q = static_cast<std::int32_t>(j);
+        q = j32;
         alpha_q = alpha;
       }
     }
@@ -684,10 +777,14 @@ SolveStatus SimplexSolver::dual_loop() {
     if (std::abs(delta) <= kDegenTol) ++reopt_stats_.degen_pivots;
     if (degen_streak > 10 * opts_.bland_threshold) return SolveStatus::NumericalError;
 
+    wnz.clear();
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (w[i] != 0.0) wnz.push_back(static_cast<std::int32_t>(i));
+    }
     xval_[q] += delta;
     if (delta != 0.0) {
-      for (std::size_t i = 0; i < m_; ++i) {
-        xval_[static_cast<std::size_t>(basic_[i])] -= w[i] * delta;
+      for (const std::int32_t i : wnz) {
+        xval_[static_cast<std::size_t>(basic_[i])] -= w[static_cast<std::size_t>(i)] * delta;
       }
     }
 
@@ -695,7 +792,8 @@ SolveStatus SimplexSolver::dual_loop() {
     const double dq = d[static_cast<std::size_t>(q)];
     if (dq != 0.0) {
       const double ratio = dq / alpha_q;
-      for (std::size_t j = 0; j < total_cols_; ++j) {
+      for (const std::int32_t j32 : alpha_nz) {
+        const std::size_t j = static_cast<std::size_t>(j32);
         if (status_[j] == ColStatus::Basic || alphas[j] == 0.0) continue;
         d[j] -= ratio * alphas[j];
       }
@@ -704,6 +802,7 @@ SolveStatus SimplexSolver::dual_loop() {
       d[static_cast<std::size_t>(kleave)] = 0.0;
     }
     d[static_cast<std::size_t>(q)] = 0.0;
+    pricer_->on_pivot(q, kleave, alpha_q, alphas, alpha_nz);
 
     status_[kleave] = above ? ColStatus::AtUpper : ColStatus::AtLower;
     xval_[kleave] = target;
@@ -711,7 +810,7 @@ SolveStatus SimplexSolver::dual_loop() {
     basic_[r] = q;
     basis_pos_[q] = static_cast<std::int32_t>(r);
     status_[q] = ColStatus::Basic;
-    update_binv(w, r);
+    update_factors(w, r, wnz);
     ++total_iterations_;
   }
 }
@@ -750,11 +849,9 @@ void SimplexSolver::set_bounds(std::int32_t col, double lb, double ub) {
 std::vector<double> SimplexSolver::dual_values() const {
   std::vector<double> y(m_, 0.0);
   for (std::size_t i = 0; i < m_; ++i) {
-    const double cb = cost_[static_cast<std::size_t>(basic_[i])];
-    if (cb == 0.0) continue;
-    const double* row = binv_.data() + i * m_;
-    for (std::size_t j = 0; j < m_; ++j) y[j] += cb * row[j];
+    y[i] = cost_[static_cast<std::size_t>(basic_[i])];
   }
+  rep_->btran(y);
   // cost_ is negated for Maximize models; flip back to the model's sense.
   if (maximize_) {
     for (double& v : y) v = -v;
@@ -781,8 +878,9 @@ SimplexSolver::Basis SimplexSolver::export_basis() const {
   b.basic.assign(basic_.begin(), basic_.end());
   b.art_sign.resize(m_);
   for (std::size_t i = 0; i < m_; ++i) {
-    b.art_sign[i] = cols_[n_ + m_ + i][0].val;
+    b.art_sign[i] = art_val(i);
   }
+  b.factor = rep_->snapshot();
   return b;
 }
 
@@ -801,7 +899,7 @@ bool SimplexSolver::load_basis(const Basis& basis) {
   // post-phase-1 state every exported basis was taken in).
   for (std::size_t i = 0; i < m_; ++i) {
     const std::size_t a = n_ + m_ + i;
-    cols_[a][0].val = basis.art_sign[i];
+    art_val(i) = basis.art_sign[i];
     lb_[a] = true_lb_[a] = 0.0;
     ub_[a] = true_ub_[a] = 0.0;
   }
@@ -838,7 +936,14 @@ bool SimplexSolver::load_basis(const Basis& basis) {
     }
   }
 
-  if (!refactorize()) {
+  // Eta replay: adopt the exporter's factorization snapshot when the kernel
+  // supports it — the transplant then costs an eta replay instead of a full
+  // refactorization. Fall back to refactorizing (checkpoint-resumed bases
+  // and the dense kernel ship no snapshot).
+  if (basis.factor != nullptr && rep_->adopt(basis.factor)) {
+    ++reopt_stats_.transplants;
+    pivots_since_refactor_ = basis.factor->eta_count();
+  } else if (!refactorize()) {
     basis_valid_ = false;
     return false;
   }

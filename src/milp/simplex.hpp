@@ -1,5 +1,5 @@
 /// \file simplex.hpp
-/// Bounded-variable revised simplex with an explicit basis inverse.
+/// Bounded-variable revised simplex over a pluggable basis kernel.
 ///
 /// This is the LP engine underneath the branch-and-bound MILP solver (the
 /// role CPLEX plays for the original ArchEx toolbox). It implements:
@@ -7,8 +7,12 @@
 ///   * dual simplex reoptimization after variable-bound changes, which is
 ///     what makes warm-started branch & bound cheap: branching only changes
 ///     bounds, and bound changes preserve dual feasibility of the basis,
-///   * product-form updates of an explicit dense basis inverse with periodic
-///     refactorization and residual-based accuracy checks.
+///   * a basis representation behind `BasisRep` (milp/basis_lu.hpp): sparse
+///     LU with Markowitz pivoting and eta-file updates by default, the
+///     original dense explicit inverse as the cross-check kernel, both with
+///     periodic refactorization governed by `refactor_interval` and fill-in,
+///   * pluggable pricing (milp/pricing.hpp): Dantzig by default, devex as
+///     the first registered alternative.
 ///
 /// The engine works on the standard computational form: every row
 /// `a_i x (<=|>=|==) b_i` becomes `a_i x + s_i = b_i` with a bounded slack
@@ -18,9 +22,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "milp/basis_lu.hpp"
 #include "milp/model.hpp"
+#include "milp/pricing.hpp"
 #include "obs/trace.hpp"
 
 namespace archex::milp {
@@ -35,6 +44,20 @@ struct SimplexOptions {
   std::int64_t max_iterations = 50'000'000;
   int refactor_interval = 400;  ///< pivots between basis refactorizations
   int bland_threshold = 300;    ///< degenerate pivots before Bland's rule kicks in
+  /// Basis kernel (see milp/basis_lu.hpp). SparseLu is the default; Dense is
+  /// the original explicit inverse, kept as the cross-check oracle.
+  BasisKernel kernel = BasisKernel::SparseLu;
+  /// Markowitz threshold partial pivoting (sparse kernel only): within a
+  /// candidate column, entries at least this fraction of the column max are
+  /// acceptable pivots. Smaller favors sparsity, larger favors stability.
+  double markowitz_tol = 0.1;
+  /// Early-refactorization fill governor (sparse kernel only): refactorize
+  /// once the eta file holds more than this multiple of the LU nonzeros,
+  /// even before `refactor_interval` pivots have accumulated.
+  double eta_fill_factor = 3.0;
+  /// Pricing rule by registry name (milp/pricing.hpp): "dantzig" (default)
+  /// or "devex"; unknown names fall back to Dantzig.
+  std::string pricing = "dantzig";
   /// Anti-degeneracy perturbation. Architecture MILPs are massively
   /// degenerate (symmetric costs, unit-capacity flows); tiny deterministic
   /// *relaxing* bound shifts and cost jitter break the ties. Bounds are only
@@ -59,6 +82,9 @@ struct SimplexOptions {
   FaultPlan* fault = nullptr;
 };
 
+/// The LP-facing alias used by docs and downstream options plumbing.
+using LpOptions = SimplexOptions;
+
 /// LP engine over a fixed constraint matrix with mutable variable bounds.
 ///
 /// Usage:
@@ -81,7 +107,7 @@ class SimplexSolver {
   SolveStatus reoptimize_dual();
 
   /// First rung of the branch & bound's numerical-recovery ladder: rebuild
-  /// the basis inverse from scratch and reoptimize under a temporarily
+  /// the basis factorization from scratch and reoptimize under a temporarily
   /// tightened pivot-acceptance tolerance, so the marginal pivots that
   /// poisoned the factorization are refused on the retry. Returns
   /// NumericalError when the rebuilt basis is still singular or the
@@ -126,6 +152,12 @@ class SimplexSolver {
   /// the exporting solver's cold start (the matrix entry, not a status), so
   /// the importer rebuilds the exact same basis matrix.
   ///
+  /// `factor` additionally carries the exporter's factorization state when
+  /// the kernel supports snapshots (sparse LU): the importer then replays
+  /// the eta file instead of refactorizing. It is advisory — a null or
+  /// incompatible snapshot just falls back to refactorization — and is
+  /// deliberately *not* serialized by checkpoints.
+  ///
   /// This is the hand-off unit of the parallel branch & bound: a worker
   /// exports its basis when branching, and whichever worker later steals the
   /// child node installs it with load_basis() and warm-starts the dual
@@ -134,13 +166,15 @@ class SimplexSolver {
     std::vector<std::uint8_t> status;   ///< ColStatus per column (total_cols)
     std::vector<std::int32_t> basic;    ///< basic column per row (m)
     std::vector<double> art_sign;       ///< artificial column sign per row (m)
+    std::shared_ptr<const FactorState> factor;  ///< optional factorization
   };
 
   /// Exports the current basis. Only meaningful after a successful solve.
   [[nodiscard]] Basis export_basis() const;
 
-  /// Installs a basis exported from a solver over the *same model*:
-  /// refactorizes the basis matrix, recomputes basic values against the
+  /// Installs a basis exported from a solver over the *same model*: adopts
+  /// the shipped factorization state (eta replay) when present, otherwise
+  /// refactorizes the basis matrix; recomputes basic values against the
   /// current bounds, and revalidates. Returns false (leaving the solver in
   /// a cold-start state) if the snapshot is inconsistent or the basis is
   /// numerically singular; callers then fall back to solve_primal().
@@ -154,6 +188,7 @@ class SimplexSolver {
     std::int64_t degen_pivots = 0;  ///< pivots with (near-)zero step
     std::int64_t total_pivots = 0;
     std::int64_t refactors = 0;   ///< basis refactorizations (all causes)
+    std::int64_t transplants = 0; ///< basis loads served by eta replay
   };
   [[nodiscard]] const ReoptStats& reopt_stats() const { return reopt_stats_; }
 
@@ -164,20 +199,46 @@ class SimplexSolver {
   void build_from_model(const Model& model);
   void initial_basis();
 
-  // --- linear algebra ---
+  // --- linear algebra (delegating to the basis kernel) ---
   /// w = Binv * A_col (dense result, sparse column input).
   void ftran(std::int32_t col, std::vector<double>& w) const;
-  /// alpha = (row r of Binv) * A  restricted to nonbasic columns;
-  /// also returns binv_row (row r of Binv) for the pivot update.
-  void btran_row(std::size_t r, std::vector<double>& binv_row) const;
-  /// Recomputes Binv from the current basis by Gauss-Jordan elimination.
-  /// Returns false if the basis is (numerically) singular.
+  /// rho = row r of Binv (B^-T e_r), row-indexed.
+  void btran_row(std::size_t r, std::vector<double>& rho) const;
+  /// alpha_j = rho * A_j for every column with a nonzero, computed sparsely
+  /// through the row-wise adjacency; touched columns are listed in
+  /// `alpha_nz` and must be zeroed through it after use.
+  void price_row(const std::vector<double>& rho, std::vector<double>& alpha,
+                 std::vector<std::int32_t>& alpha_nz) const;
+  /// Rebuilds the basis factorization (stats, trace and fault site), then
+  /// delegates to the kernel. Returns false on a (numerically) singular
+  /// basis or an injected singular factorization.
   bool refactorize();
   /// Recomputes the values of basic variables from nonbasic values.
   void compute_basic_values();
-  /// Rank-1 product-form update of Binv for a pivot (entering column's
+  /// Product-form update of the kernel for a pivot (entering column's
   /// ftran result `w`, pivot row `r`).
-  void update_binv(const std::vector<double>& w, std::size_t r);
+  void update_factors(const std::vector<double>& w, std::size_t r,
+                      const std::vector<std::int32_t>& wnz);
+
+  // --- entering-candidate bookkeeping ---
+  /// Rebuilds `cand_` as the nonbasic, non-fixed columns. Called at the top
+  /// of each primal loop; within the loop the list is maintained per pivot,
+  /// so entering selection scans candidates instead of every column.
+  void rebuild_candidates();
+  void cand_remove(std::int32_t j) {
+    const std::int32_t at = cand_idx_[static_cast<std::size_t>(j)];
+    if (at < 0) return;
+    const std::int32_t last = cand_.back();
+    cand_[static_cast<std::size_t>(at)] = last;
+    cand_idx_[static_cast<std::size_t>(last)] = at;
+    cand_.pop_back();
+    cand_idx_[static_cast<std::size_t>(j)] = -1;
+  }
+  void cand_add(std::int32_t j) {
+    if (cand_idx_[static_cast<std::size_t>(j)] >= 0 || is_fixed(j)) return;
+    cand_idx_[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(cand_.size());
+    cand_.push_back(j);
+  }
 
   // --- simplex cores ---
   SolveStatus primal_loop(const std::vector<double>& cost, bool phase_one);
@@ -190,15 +251,42 @@ class SimplexSolver {
   [[nodiscard]] bool is_fixed(std::int32_t j) const { return true_lb_[j] == true_ub_[j]; }
   [[nodiscard]] double bound_violation(std::int32_t j) const;
 
+  // --- compressed-storage accessors ---
+  /// Entries of column j (CSC slice).
+  [[nodiscard]] std::span<const ColEntry> col(std::size_t j) const {
+    return {col_ent_.data() + col_start_[j], col_ent_.data() + col_start_[j + 1]};
+  }
+  /// Row-wise adjacency of row i over structural + slack columns; `row` in
+  /// each entry is the column index.
+  [[nodiscard]] std::span<const ColEntry> row_adj(std::size_t i) const {
+    return {row_ent_.data() + row_start_[i], row_ent_.data() + row_start_[i + 1]};
+  }
+  /// The single matrix entry of row i's artificial column (sign mutates per
+  /// cold start / basis load).
+  [[nodiscard]] double& art_val(std::size_t i) {
+    return col_ent_[static_cast<std::size_t>(col_start_[n_ + m_ + i])].val;
+  }
+  [[nodiscard]] double art_val(std::size_t i) const {
+    return col_ent_[static_cast<std::size_t>(col_start_[n_ + m_ + i])].val;
+  }
+
   // --- data ---
   SimplexOptions opts_;
   std::size_t m_ = 0;  ///< rows
   std::size_t n_ = 0;  ///< structural columns
   std::size_t total_cols_ = 0;  ///< n + m slacks + m artificials
 
-  // Sparse columns of [A | I_slack | I_artificial]; entry list per column.
-  struct ColEntry { std::int32_t row; double val; };
-  std::vector<std::vector<ColEntry>> cols_;
+  // Sparse columns of [A | I_slack | I_artificial] in compressed (CSC) form:
+  // column j is col_ent_[col_start_[j] .. col_start_[j+1]). Flat storage
+  // keeps the pricing/ftran scans on contiguous memory and spares the
+  // per-column allocations of a vector-of-vectors.
+  std::vector<std::int32_t> col_start_;  ///< size total_cols_ + 1
+  std::vector<ColEntry> col_ent_;
+  // Row-wise adjacency (CSR) over structural + slack columns; `row` in an
+  // entry is the *column* index. Artificials are handled specially: their
+  // single sign entry lives in col_ent_ and mutates per cold start.
+  std::vector<std::int32_t> row_start_;  ///< size m_ + 1
+  std::vector<ColEntry> row_ent_;
   std::vector<double> rhs_;
   std::vector<double> cost_;       ///< true phase-2 cost (minimize), size total_cols_
   std::vector<double> pert_cost_;  ///< perturbed cost used for pricing decisions
@@ -209,7 +297,11 @@ class SimplexSolver {
   std::vector<double> xval_;       ///< current value per column
   std::vector<std::int32_t> basic_;    ///< column basic in row i
   std::vector<std::int32_t> basis_pos_;  ///< row of a basic column, -1 otherwise
-  std::vector<double> binv_;       ///< dense m x m, row-major
+  std::vector<std::int32_t> cand_;     ///< nonbasic non-fixed columns (loop-local)
+  std::vector<std::int32_t> cand_idx_; ///< index in cand_, -1 when absent
+  std::unique_ptr<BasisRep> rep_;  ///< basis kernel (sparse LU or dense)
+  std::unique_ptr<Pricer> pricer_;
+  bool dantzig_pricing_ = true;  ///< devirtualized |d_j| scoring fast path
   double obj_value_ = 0.0;
   double obj_constant_ = 0.0;      ///< constant of the (minimize-sense) objective
   bool maximize_ = false;          ///< model was a maximization (cost_ is negated)
@@ -219,9 +311,15 @@ class SimplexSolver {
   ReoptStats reopt_stats_;
   // scratch buffers
   mutable std::vector<double> scratch_w_;
+  mutable std::vector<std::int32_t> scratch_wnz_;  ///< nonzero positions of scratch_w_
   mutable std::vector<double> scratch_y_;
   mutable std::vector<double> scratch_d_;
   mutable std::vector<double> scratch_alpha_;
+  mutable std::vector<std::int32_t> scratch_alpha_nz_;
+  mutable std::vector<double> scratch_rho_;
+  // price_row first-touch marks (per-call stamps; never reset, 64-bit).
+  mutable std::vector<std::int64_t> scratch_mark_;
+  mutable std::int64_t mark_stamp_ = 0;
 };
 
 /// Convenience: solves the LP relaxation of `model` (integrality dropped).

@@ -45,8 +45,8 @@ double metric(const Solution& s, const std::string& name) {
 
 /// Occurrence counts of `site` (a) over a clean full solve and (b) over the
 /// root phase alone (max_nodes = 1 stops before the tree). Aiming between
-/// the two puts the injection mid-tree, where the recovery ladder exists —
-/// a root-LP failure is terminal by design and tested separately.
+/// the two puts the injection mid-tree; root-LP failures run the same
+/// ladder rungs and are tested separately.
 struct SiteProfile {
   std::int64_t total = 0;
   std::int64_t root = 0;
@@ -239,21 +239,103 @@ TEST(RecoveryLadderTest, InjectedDeadlineTerminatesWithTimeLimit) {
   }
 }
 
-TEST(RecoveryLadderTest, RootLpFailureIsTerminalNotSilent) {
-  // Below the first tree node there is no parent bound to inherit, so a
-  // root-LP numerical failure must surface as NumericalError, never as a
-  // bogus Optimal/Infeasible claim.
+TEST(RecoveryLadderTest, RootLpFailureRecoversOnceThenSurfaces) {
+  // The initial root solve gets the same first two ladder rungs as every
+  // node LP, so a transient failure recovers to the clean optimum.
   const Model m = hard_knapsack_fixture(20, 7);
-  FaultPlan plan;
-  plan.arm(FaultSite::NanPivot, 2);  // inside the root primal solve
-  MilpOptions opts;
-  opts.num_threads = 1;
-  opts.fault = &plan;
-  const Solution s = solve_milp(m, opts);
-  EXPECT_TRUE(plan.any_fired());
-  EXPECT_EQ(s.status, SolveStatus::NumericalError);
-  EXPECT_EQ(s.term_reason, TermReason::Numerical);
-  EXPECT_FALSE(s.has_incumbent);
+  MilpOptions base;
+  base.num_threads = 1;
+  const Solution clean = solve_milp(m, base);
+  ASSERT_EQ(clean.status, SolveStatus::Optimal);
+
+  FaultPlan once;
+  once.arm(FaultSite::NanPivot, 2);  // inside the root primal solve
+  MilpOptions o1 = base;
+  o1.fault = &once;
+  const Solution s1 = solve_milp(m, o1);
+  EXPECT_TRUE(once.any_fired());
+  EXPECT_EQ(s1.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(s1.objective, clean.objective);
+
+  // A persistent root failure defeats every rung; below the first tree node
+  // there is no parent bound to inherit, so it must surface as
+  // NumericalError — never a bogus Optimal/Infeasible claim.
+  FaultPlan always;
+  always.arm(FaultSite::NanPivot, 2, /*seed=*/0,
+             /*repeat=*/std::numeric_limits<std::int64_t>::max() / 2);
+  MilpOptions o2 = base;
+  o2.fault = &always;
+  const Solution s2 = solve_milp(m, o2);
+  EXPECT_TRUE(always.any_fired());
+  EXPECT_EQ(s2.status, SolveStatus::NumericalError);
+  EXPECT_EQ(s2.term_reason, TermReason::Numerical);
+  EXPECT_FALSE(s2.has_incumbent);
+}
+
+/// Minimize-cost exact cover with a coverage floor: the equality rows make
+/// every cold (re)solve open phase 1 with live artificials, so an injection
+/// sweep also lands failures in that state. 8 groups x 4 members runs a few
+/// hundred nodes in milliseconds.
+Model equality_cover_fixture(int n_groups, int per_group, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> jitter(0, 3);
+  Model m;
+  LinExpr total_w, obj;
+  double wmax = 0.0;
+  for (int g = 0; g < n_groups; ++g) {
+    LinExpr pick;
+    double gw = 0.0;
+    for (int k = 0; k < per_group; ++k) {
+      const VarId v = m.add_binary();
+      const double w = 5.0 + 3.0 * k + jitter(rng);
+      const double c = 4.0 + 3.0 * k + jitter(rng);
+      pick += 1.0 * v;
+      total_w += w * v;
+      obj += c * v;
+      gw = std::max(gw, w);
+    }
+    m.add_constraint(std::move(pick) == LinExpr(1.0));
+    wmax += gw;
+  }
+  m.add_constraint(std::move(total_w) >= LinExpr(0.62 * wmax));
+  m.set_objective(obj, ObjectiveSense::Minimize);
+  return m;
+}
+
+TEST(RecoveryLadderTest, RecoveredSolvesNeverClaimFalseOptima) {
+  // Regression: a node LP aborted mid-phase-1 (live zero-cost artificials)
+  // used to be warm-reoptimized as-is by the recovery ladder; the
+  // artificials then absorbed constraint violations for free and the node
+  // returned "optimal" objectives far below the true bound — unsound prunes
+  // and a wrong final optimum. Sweep each injectable numerical site across
+  // the whole solve: wherever the failure lands, a non-degraded Optimal
+  // must reproduce the clean optimum.
+  const Model m = equality_cover_fixture(8, 4, 11);
+  MilpOptions base;
+  base.num_threads = 1;
+
+  FaultPlan probe;  // unarmed: counts occurrences over the clean solve
+  MilpOptions ob = base;
+  ob.fault = &probe;
+  const Solution clean = solve_milp(m, ob);
+  ASSERT_EQ(clean.status, SolveStatus::Optimal);
+
+  for (const FaultSite site : {FaultSite::SingularFactor, FaultSite::NanPivot}) {
+    const std::int64_t total = probe.occurrences(site);
+    ASSERT_GT(total, 0) << to_string(site);
+    const std::int64_t step = std::max<std::int64_t>(1, total / 48);
+    for (std::int64_t nth = 1; nth <= total; nth += step) {
+      FaultPlan plan;
+      plan.arm(site, nth);
+      MilpOptions o = base;
+      o.fault = &plan;
+      const Solution s = solve_milp(m, o);
+      if (s.status == SolveStatus::Optimal && !s.degraded) {
+        EXPECT_NEAR(s.objective, clean.objective, 1e-6)
+            << to_string(site) << " injected at occurrence " << nth;
+      }
+    }
+  }
 }
 
 TEST(RecoveryLadderTest, ExhaustedLadderDegradesWithSoundBound) {

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Guarded benchmark runner: runs a google-benchmark binary with JSON output
+# and refuses to publish the result unless it was produced by a Release
+# (NDEBUG) build. This is the provenance gate behind the committed
+# BENCH_*.json baselines — an earlier baseline was silently recorded from a
+# debug build ("context.library_build_type": "debug") and is useless as a
+# comparison point; this runner makes that mistake impossible.
+#
+# Usage: tools/run_bench.sh <bench-binary> <output.json> [benchmark args...]
+#
+# The result is written to a temp file first and only moved to <output.json>
+# after the provenance check passes, so a rejected run never clobbers a
+# committed baseline.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 <bench-binary> <output.json> [benchmark args...]" >&2
+  exit 2
+fi
+
+bin=$1
+out=$2
+shift 2
+
+tmp="${out}.tmp"
+"$bin" --benchmark_out="$tmp" --benchmark_out_format=json "$@"
+
+python3 - "$tmp" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+# `archex_build_type` is stamped by the bench binary's own main() from
+# NDEBUG. The stock `library_build_type` is NOT usable here: it records how
+# the system libbenchmark was compiled (debug on this image), not how the
+# benchmark binary was.
+ctx = data.get("context", {})
+build_type = ctx.get("archex_build_type", "unknown")
+if build_type != "release":
+    print(
+        f"FAIL: benchmark provenance: {path} was produced by a "
+        f"'{build_type}' build of the bench binary, not 'release'. Rebuild "
+        "with the release preset (cmake --preset release) before recording "
+        "BENCH_*.json.",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+print(f"bench provenance ok: archex_build_type=release ({path})")
+EOF
+
+mv "$tmp" "$out"
