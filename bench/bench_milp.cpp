@@ -9,6 +9,7 @@
 #include "milp/branch_bound.hpp"
 #include "milp/presolve.hpp"
 #include "milp/simplex.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -214,6 +215,31 @@ BENCHMARK(BM_MilpThreads)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+void BM_ObsOverhead(benchmark::State& state) {
+  // Span-profiler cost on the BM_LpSolve/1000 instance. Arg 0 solves with
+  // profiling disabled (opts.spans == nullptr — the default every solve
+  // takes); Arg 1 attaches a live SpanBuffer with kernel sampling. The
+  // Arg(0) time must sit within noise of plain BM_LpSolve/1000: disabled
+  // profiling is one null test per ScopedSpan, no clock reads.
+  const Model m = random_lp(1000, 42);
+  const bool profiled = state.range(0) != 0;
+  archex::obs::SpanProfiler prof;
+  SimplexOptions opts;
+  if (profiled) opts.spans = prof.main();
+  std::int64_t spans = 0;
+  for (auto _ : state) {
+    Solution s = solve_lp_relaxation(m, opts);
+    benchmark::DoNotOptimize(s.objective);
+  }
+  if (profiled) {
+    const auto rep = prof.collect();
+    spans = static_cast<std::int64_t>(rep.spans.size()) + rep.dropped;
+  }
+  state.counters["spans"] = static_cast<double>(spans);
+  state.SetLabel(profiled ? "profiled" : "disabled");
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_Presolve(benchmark::State& state) {
   const Model m = random_milp(static_cast<int>(state.range(0)), 8, 3);

@@ -52,6 +52,35 @@ build/examples/milp_solve build/epn_ci_model.lp --threads=4 --certify \
   --trace-json=build/epn_ci_trace.jsonl --log-interval=5 --timing
 python3 tools/validate_trace.py build/epn_ci_trace.jsonl --min-workers=2
 
+echo "=== observability: span profile + per-pattern cost attribution ==="
+# The same model solved with the span profiler attached: the Chrome trace
+# must be structurally valid (per-lane nesting, documented keys) and cover
+# the solver phases plus the sampled simplex kernels. Then the EPN explorer
+# end to end: its profile additionally carries the encode span, and the
+# --perf-report table must attribute >= 90% of encode wall time to named
+# patterns (build_perf_report charges every encode path, so a drop below
+# the bound means an uninstrumented path appeared).
+build/examples/milp_solve build/epn_ci_model.lp --threads=2 --no-certify \
+  --profile-json=build/epn_ci_profile.json > /dev/null
+python3 tools/validate_trace.py --chrome build/epn_ci_profile.json \
+  --require=presolve,root_lp,heuristic,tree,ftran,refactor
+build/examples/epn_explorer --profile-json=build/epn_arch_profile.json \
+  --perf-report > build/epn_perf_report.txt
+python3 tools/validate_trace.py --chrome build/epn_arch_profile.json \
+  --require=encode,formulate,presolve,extract
+python3 - build/epn_perf_report.txt <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"attributed: [0-9.]+s \(([0-9.]+)%\)", text)
+assert m, "perf report missing the attribution line"
+pct = float(m.group(1))
+if pct < 90.0:
+    print(f"FAIL: only {pct}% of encode time attributed to named patterns",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"perf report: {pct}% of encode time attributed to named patterns")
+EOF
+
 echo "=== resilience: fault injection on the EPN solve ==="
 # Injected faults mid-search must leave a *certified* optimum (exit 0 below
 # includes the --certify gate): a bad_alloc at the 50th tree node and a
@@ -83,6 +112,20 @@ if not 0 < iters <= 20000:
     sys.exit(1)
 print(f"bench smoke: BM_LpSolve/1000 ok ({int(iters)} simplex iterations)")
 EOF
+
+echo "=== bench: regression diff against the committed baseline ==="
+# The perf-regression gate: a slightly longer recording of the kernel-bound
+# benchmarks, diffed against BENCH_milp.json. bench_diff.py fails on any
+# benchmark > 15% slower than the baseline (per-name minimum real_time;
+# BM_ObsOverhead/0 doubles as the profiling-off zero-cost assertion — it
+# *is* BM_LpSolve/1000 plus a disabled profiler). On hardware other than
+# the baseline's the diff skips cleanly (the archex_cpu_model stamp), so
+# forks and CI runners stay green; the machine that owns the baseline gets
+# the real comparison.
+tools/run_bench.sh build/bench/bench_milp build/bench_diff_ci.json \
+  --benchmark_filter='^BM_LpSolve/1000$|^BM_ObsOverhead' \
+  --benchmark_min_time=0.2 --benchmark_repetitions=3
+python3 tools/bench_diff.py BENCH_milp.json build/bench_diff_ci.json
 
 echo "=== resilience: checkpoint kill/resume drill ==="
 # Reference: the same single-worker pool-routed search, uninterrupted. Then

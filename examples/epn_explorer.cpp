@@ -4,6 +4,7 @@
 /// Usage:
 ///   epn_explorer [--mode=lazy|monolithic] [--scale=small|paper]
 ///                [--time-limit=SECONDS] [--dot] [--write-lp=FILE]
+///                [--profile-json=FILE] [--perf-report]
 ///
 /// `lazy` runs the iterative MILP-modulo-reliability algorithm (Fig. 3);
 /// `monolithic` encodes the reliability requirements eagerly (Fig. 2b).
@@ -11,12 +12,18 @@
 /// paper scale is expensive by design — the paper reports hours on CPLEX).
 /// `--write-lp=FILE` exports the assembled MILP in CPLEX-LP text instead of
 /// solving (CI feeds the export to `milp_solve --trace-json`).
+/// `--profile-json=FILE` records hierarchical spans (encode -> per-pattern,
+/// solve phases, sampled simplex kernels) and writes a Chrome trace-event
+/// file loadable in Perfetto. `--perf-report` prints the per-pattern cost
+/// attribution table (arch/perf_report.hpp) after the solve.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "arch/perf_report.hpp"
 #include "domains/epn.hpp"
+#include "obs/span.hpp"
 
 using namespace archex;
 using namespace archex::domains::epn;
@@ -29,6 +36,8 @@ struct Args {
   double time_limit = 120.0;
   bool dot = false;
   std::string write_lp;
+  std::string profile_json;
+  bool perf_report = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -40,6 +49,8 @@ Args parse_args(int argc, char** argv) {
     else if (arg.rfind("--time-limit=", 0) == 0) a.time_limit = std::stod(arg.substr(13));
     else if (arg == "--dot") a.dot = true;
     else if (arg.rfind("--write-lp=", 0) == 0) a.write_lp = arg.substr(11);
+    else if (arg.rfind("--profile-json=", 0) == 0) a.profile_json = arg.substr(15);
+    else if (arg == "--perf-report") a.perf_report = true;
     else {
       std::cerr << "unknown argument: " << arg << "\n";
       std::exit(2);
@@ -74,7 +85,11 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Aircraft EPN exploration (" << args.mode << ", " << args.scale
             << " scale) ===\n";
-  auto problem = make_problem(cfg);
+  // Profiler must outlive the Problem (non-owning pointer); armed only when
+  // the user asked for a trace so the disabled path stays zero-cost.
+  obs::SpanProfiler profiler;
+  obs::SpanProfiler* prof = args.profile_json.empty() ? nullptr : &profiler;
+  auto problem = make_problem(cfg, prof);
   const milp::ModelStats stats = problem->model().stats();
   std::cout << "Spec: " << problem->num_patterns_applied() << " pattern instances\n"
             << "MILP: " << stats.num_vars << " variables, " << stats.num_constraints
@@ -97,10 +112,32 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Shared epilogue for both modes: dump the Chrome trace and/or the
+  // per-pattern attribution table, even when the solve came back infeasible
+  // (the encode/presolve spans are still informative).
+  auto write_observability = [&](const milp::Solution& sol) -> bool {
+    if (prof != nullptr) {
+      std::ofstream out(args.profile_json);
+      if (!out) {
+        std::cerr << "cannot write " << args.profile_json << "\n";
+        return false;
+      }
+      prof->write_chrome_trace(out);
+      const auto rep = prof->collect();
+      std::cerr << "profile: " << rep.spans.size() << " spans (" << rep.dropped
+                << " dropped) -> " << args.profile_json << "\n";
+    }
+    if (args.perf_report) {
+      write_perf_report(std::cout, build_perf_report(*problem, sol));
+    }
+    return true;
+  };
+
   if (args.mode == "monolithic") {
     ExplorationResult res = problem->solve(opts);
     std::cout << "status: " << milp::to_string(res.solution.status) << ", solver time "
               << res.solver_seconds << "s, " << res.solution.nodes_explored << " nodes\n";
+    if (!write_observability(res.solution)) return 2;
     if (!res.feasible()) return 1;
     std::cout << "cost: " << res.architecture.cost << "\n";
     res.architecture.print(std::cout);
@@ -116,6 +153,7 @@ int main(int argc, char** argv) {
                 << it.solve_seconds << "s\n";
     }
     std::cout << (res.converged ? "converged" : "NOT converged") << "\n";
+    if (!write_observability(res.final_result.solution)) return 2;
     if (!res.final_result.feasible()) return 1;
     res.final_result.architecture.print(std::cout);
     report_links(*problem, res.final_result.architecture);

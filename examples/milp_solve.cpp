@@ -4,8 +4,8 @@
 /// The "Solver" box of Figure 1 as a reusable tool.
 ///
 /// Usage: milp_solve <model.lp> [--time-limit=S] [--max-nodes=N] [--threads=N]
-///                   [--lp-relaxation] [--trace-json=FILE] [--log-interval=S]
-///                   [--timing] [--certify] [--no-certify]
+///                   [--lp-relaxation] [--trace-json=FILE] [--profile-json=FILE]
+///                   [--log-interval=S] [--timing] [--certify] [--no-certify]
 ///                   [--inject=site:n[:seed]] [--checkpoint=FILE]
 ///                   [--checkpoint-interval=S] [--resume]
 ///
@@ -23,6 +23,7 @@
 #include "milp/fault.hpp"
 #include "milp/lp_format.hpp"
 #include "milp/simplex.hpp"
+#include "obs/span.hpp"
 
 using namespace archex::milp;
 
@@ -46,8 +47,9 @@ void usage() {
       stderr,
       "usage: milp_solve <model.lp> [--time-limit=S] [--max-nodes=N]"
       " [--threads=N] [--lp-relaxation]\n"
-      "                  [--trace-json=FILE] [--log-interval=S] [--timing]"
-      " [--certify] [--no-certify]\n"
+      "                  [--trace-json=FILE] [--profile-json=FILE]"
+      " [--log-interval=S] [--timing]\n"
+      "                  [--certify] [--no-certify]\n"
       "                  [--inject=site:n[:seed]] [--checkpoint=FILE]"
       " [--checkpoint-interval=S] [--resume]\n"
       "  fault sites: singular, nan-pivot, deadline, stall, bad-alloc"
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
   bool certify = true;  // independent certification of the answer (default on)
   double log_interval = 0.0;
   std::string trace_path;
+  std::string profile_path;
   FaultPlan fault;
   bool fault_armed = false;
   std::string checkpoint_file;
@@ -110,6 +113,8 @@ int main(int argc, char** argv) {
       relaxation = true;
     } else if (a.rfind("--trace-json=", 0) == 0) {
       trace_path = a.substr(13);
+    } else if (a.rfind("--profile-json=", 0) == 0) {
+      profile_path = a.substr(15);
     } else if (a.rfind("--log-interval=", 0) == 0) {
       if (!parse_num(a, 15, to_d, log_interval)) return 2;
     } else if (a == "--timing") {
@@ -150,11 +155,19 @@ int main(int argc, char** argv) {
                 st.num_vars, st.num_binary, st.num_integer, st.num_constraints,
                 st.num_nonzeros);
 
+    // Span profiler for --profile-json: lives on the stack here, read only
+    // after solve_milp's workers have joined.
+    archex::obs::SpanProfiler profiler;
+    const bool profiling = !profile_path.empty();
+
     Solution sol;
     if (relaxation) {
-      sol = solve_lp_relaxation(model);
+      SimplexOptions lp_opts;
+      if (profiling) lp_opts.spans = profiler.main();
+      sol = solve_lp_relaxation(model, lp_opts);
     } else {
       MilpOptions opts;
+      if (profiling) opts.profiler = &profiler;
       opts.time_limit_s = time_limit;
       if (max_nodes >= 0) opts.max_nodes = max_nodes;
       opts.num_threads = threads;
@@ -232,6 +245,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "trace: %zu events (%lld dropped) -> %s\n",
                    sol.trace.events.size(),
                    static_cast<long long>(sol.trace.dropped), trace_path.c_str());
+    }
+    if (profiling) {
+      std::ofstream out(profile_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write profile to %s\n",
+                     profile_path.c_str());
+        return 2;
+      }
+      profiler.write_chrome_trace(out);
+      const auto rep = profiler.collect();
+      std::fprintf(stderr, "profile: %zu spans (%lld dropped) -> %s\n",
+                   rep.spans.size(), static_cast<long long>(rep.dropped),
+                   profile_path.c_str());
     }
     if (cert.checked && !cert.ok()) return 9;
     return exit_code(sol.term_reason);

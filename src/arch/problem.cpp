@@ -8,9 +8,11 @@
 
 namespace archex {
 
-Problem::Problem(Library lib, ArchTemplate tmpl)
+Problem::Problem(Library lib, ArchTemplate tmpl, obs::SpanProfiler* profiler)
     : lib_(std::move(lib)), tmpl_(std::move(tmpl)),
-      metrics_(std::make_unique<obs::MetricsRegistry>()) {
+      metrics_(std::make_unique<obs::MetricsRegistry>()), profiler_(profiler) {
+  obs::ScopedSpan encode_span(profiler_ != nullptr ? profiler_->main() : nullptr,
+                              obs::span_id(obs::SpanName::Encode));
   obs::ScopedTimer encode_timer(&metrics_->timer("arch.encode"), &encode_seconds_);
   adj_ = AdjacencyMatrix(tmpl_, model_);
   map_ = LibraryMapping(tmpl_, lib_, model_);
@@ -70,6 +72,8 @@ Problem::Problem(Library lib, ArchTemplate tmpl)
     }
   }
   label_new_rows("structural");
+  encode_timer.stop();
+  pattern_costs_.push_back({"structural", encode_seconds_});
 }
 
 void Problem::label_new_rows(const std::string& label) {
@@ -158,11 +162,21 @@ milp::LinExpr Problem::flow_out(const FlowCommodity& f, NodeId v) const {
 }
 
 void Problem::apply(const Pattern& pattern) {
+  std::string desc = pattern.describe();
+  // Per-pattern encode span (dynamic name, interned once here — never from a
+  // hot loop) and the always-on wall-clock charge the perf report aggregates.
+  obs::ScopedSpan span(profiler_ != nullptr ? profiler_->main() : nullptr,
+                       profiler_ != nullptr ? profiler_->intern(desc) : 0);
+  const auto t0 = std::chrono::steady_clock::now();
   pattern.emit(*this);
-  patterns_applied_.push_back(pattern.describe());
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  patterns_applied_.push_back(desc);
   // Rows emitted during this pattern (minus any flow-coupling rows flow()
   // already claimed) are attributed to the pattern.
-  label_new_rows(pattern.describe());
+  label_new_rows(desc);
+  pattern_costs_.push_back({std::move(desc), secs});
 }
 
 void Problem::apply(const std::shared_ptr<Pattern>& pattern) { apply(*pattern); }
@@ -275,8 +289,13 @@ ExplorationResult Problem::solve(const milp::MilpOptions& options) {
   // routed it elsewhere, so encode / solve / extract share one namespace.
   milp::MilpOptions opts = options;
   if (opts.metrics == nullptr) opts.metrics = metrics_.get();
+  if (opts.profiler == nullptr) opts.profiler = profiler_;
+  obs::SpanBuffer* const spans =
+      opts.profiler != nullptr ? opts.profiler->main() : nullptr;
 
   {
+    obs::ScopedSpan formulate_span(spans,
+                                   obs::span_id(obs::SpanName::Formulate));
     obs::ScopedTimer formulate_timer(&opts.metrics->timer("arch.formulate"),
                                      &res.formulation_seconds);
     model_.set_objective(cost_expression(), milp::ObjectiveSense::Minimize);
@@ -284,12 +303,14 @@ ExplorationResult Problem::solve(const milp::MilpOptions& options) {
   }
 
   {
+    obs::ScopedSpan solve_span(spans, obs::span_id(obs::SpanName::Solve));
     obs::ScopedTimer solve_timer(&opts.metrics->timer("arch.solve"),
                                  &res.solver_seconds);
     res.solution = milp::solve_milp(model_, opts);
   }
 
   if (res.solution.has_incumbent) {
+    obs::ScopedSpan extract_span(spans, obs::span_id(obs::SpanName::Extract));
     obs::ScopedTimer extract_timer(&opts.metrics->timer("arch.extract"),
                                    &res.extract_seconds);
     res.architecture = extract(res.solution);

@@ -29,6 +29,7 @@
 #include "milp/branch_bound.hpp"
 #include "milp/model.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace archex {
 
@@ -49,7 +50,12 @@ class Problem {
  public:
   /// Builds decision variables and structural constraints. The template and
   /// library are copied: a Problem is self-contained once constructed.
-  Problem(Library lib, ArchTemplate tmpl);
+  /// `profiler` (optional, non-owning, must outlive the Problem) records
+  /// hierarchical spans for the whole pipeline — structural encode, each
+  /// pattern application, and (passed through to the MILP engine by solve())
+  /// the solver phases and simplex kernels. Null disables span profiling.
+  explicit Problem(Library lib, ArchTemplate tmpl,
+                   obs::SpanProfiler* profiler = nullptr);
 
   // --- accessors used by patterns -----------------------------------------
   [[nodiscard]] const Library& library() const { return lib_; }
@@ -160,6 +166,28 @@ class Problem {
   /// spans encode + solve + extract. Held by pointer to keep Problem movable.
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
 
+  /// The span profiler this Problem was built with (null when profiling is
+  /// off). solve() passes it to the MILP engine unless the caller set
+  /// MilpOptions::profiler themselves.
+  [[nodiscard]] obs::SpanProfiler* profiler() const { return profiler_; }
+
+  /// One encode-time charge: wall seconds spent emitting under an origin
+  /// label ("structural" for the constructor, a pattern's describe() per
+  /// apply()). Always recorded — the steady_clock reads are two per pattern
+  /// application, negligible next to constraint emission — so the perf
+  /// report (arch/perf_report.hpp) can attribute encode cost even when span
+  /// profiling is off.
+  struct PatternCost {
+    std::string label;
+    double seconds = 0.0;
+  };
+  /// Per-application encode charges, in application order (the constructor's
+  /// "structural" entry first). Aggregate by label for reporting: a pattern
+  /// applied twice appears twice.
+  [[nodiscard]] const std::vector<PatternCost>& pattern_costs() const {
+    return pattern_costs_;
+  }
+
  private:
   /// Labels every model row added since the last call with `label`
   /// (provenance for lint diagnostics). Idempotent for already-labeled rows.
@@ -179,6 +207,8 @@ class Problem {
   std::vector<std::string> row_labels_;        ///< distinct origin labels
   std::vector<std::int32_t> row_origin_;       ///< per row: index into row_labels_
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::SpanProfiler* profiler_ = nullptr;  ///< non-owning; null = spans off
+  std::vector<PatternCost> pattern_costs_;
   double encode_seconds_ = 0.0;  ///< structural-constraint build time (ctor)
 };
 

@@ -168,9 +168,11 @@ void register_epn_patterns() {
   (void)once;
 }
 
-std::unique_ptr<Problem> make_problem(const EpnConfig& cfg) {
+std::unique_ptr<Problem> make_problem(const EpnConfig& cfg,
+                                      obs::SpanProfiler* profiler) {
   register_epn_patterns();
-  auto p = std::make_unique<Problem>(make_library(cfg), make_template(cfg));
+  auto p =
+      std::make_unique<Problem>(make_library(cfg), make_template(cfg), profiler);
   p->set_functional_flow({kGen, kAc, kRect, kDc, kLoad});
 
   // --- Connectivity requirements ---

@@ -744,9 +744,12 @@ class NodePool {
 class Worker {
  public:
   /// Each worker's SimplexSolver gets a private copy of the LP options with
-  /// its *own* trace buffer, keeping every buffer single-writer.
-  static SimplexOptions worker_lp_options(SimplexOptions lp, obs::TraceBuffer* trace) {
+  /// its *own* trace and span buffers, keeping every buffer single-writer.
+  static SimplexOptions worker_lp_options(SimplexOptions lp,
+                                          obs::TraceBuffer* trace,
+                                          obs::SpanBuffer* spans) {
     lp.trace = (trace != nullptr && trace->enabled()) ? trace : nullptr;
+    lp.spans = (spans != nullptr && spans->enabled()) ? spans : nullptr;
     return lp;
   }
 
@@ -754,13 +757,13 @@ class Worker {
          const std::vector<std::int32_t>& int_vars,
          const std::vector<double>& obj_coef,
          const std::vector<BoundChange>& root_fixes, Clock::time_point deadline,
-         obs::TraceBuffer* trace, obs::NodeLogger* logger,
+         obs::TraceBuffer* trace, obs::SpanBuffer* spans, obs::NodeLogger* logger,
          obs::MetricsRegistry* reg)
       : id_(id), opts_(opts), pool_(pool), int_vars_(int_vars),
         obj_coef_(obj_coef), deadline_(deadline),
         trace_((trace != nullptr && trace->enabled()) ? trace : nullptr),
         logger_((logger != nullptr && logger->enabled()) ? logger : nullptr),
-        reg_(reg), lp_(model, worker_lp_options(opts.lp, trace)) {
+        reg_(reg), lp_(model, worker_lp_options(opts.lp, trace, spans)) {
     // Replay the root reduced-cost fixes so this solver's "root" bounds match
     // the pool's reference frame.
     for (const BoundChange& f : root_fixes) lp_.set_bounds(f.col, f.lb, f.ub);
@@ -1080,10 +1083,15 @@ void run_parallel_phase(SearchCtx& ctx, const Model& work, int threads,
   for (int t = 0; t < threads; ++t) {
     obs::TraceBuffer* buf =
         buffers.empty() ? nullptr : &buffers[static_cast<std::size_t>(t)];
+    // Each worker writes its own span buffer (worker 0 is the calling
+    // thread, which is also the profiler's buffer-0 owner — same thread,
+    // single-writer holds).
+    obs::SpanBuffer* spans =
+        ctx.opts.profiler != nullptr ? ctx.opts.profiler->buffer(t) : nullptr;
     workers.push_back(std::make_unique<Worker>(t, work, ctx.opts, pool,
                                                ctx.int_vars, ctx.obj_coef,
                                                root_fixes, ctx.deadline, buf,
-                                               ctx.logger, reg));
+                                               spans, ctx.logger, reg));
   }
   std::vector<std::thread> pool_threads;
   pool_threads.reserve(workers.size() - 1);
@@ -1154,6 +1162,13 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
                     static_cast<double>(threads_req));
   }
   obs::TraceBuffer* root_trace = buffers.empty() ? nullptr : &buffers[0];
+  // Span profiling: buffer 0 is the calling thread's (phases + the
+  // root/sequential solver's kernel spans); workers get their own buffers,
+  // armed here, before any thread spawns.
+  obs::SpanProfiler* const profiler = options.profiler;
+  if (profiler != nullptr) profiler->arm_workers(std::max(threads_req, 1));
+  obs::SpanBuffer* const root_spans =
+      profiler != nullptr ? profiler->buffer(0) : nullptr;
   obs::NodeLogger logger(options.log_interval, options.log_sink, t0);
   auto phase_mark = [&](obs::Phase p) {
     if (root_trace != nullptr) {
@@ -1187,6 +1202,9 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
       s.trace = obs::merge_buffers(buffers);
       reg->counter("milp.trace_dropped").add(s.trace.dropped);
     }
+    if (profiler != nullptr) {
+      reg->counter("milp.spans_dropped").add(profiler->take_dropped());
+    }
     s.metrics = reg->snapshot();
   };
 
@@ -1195,10 +1213,16 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   const Model* work = &model;
   if (options.use_presolve) {
     phase_mark(obs::Phase::Presolve);
+    obs::ScopedSpan presolve_span(root_spans,
+                                  obs::span_id(obs::SpanName::Presolve));
     obs::ScopedTimer presolve_timer(&reg->timer("milp.phase.presolve"),
                                     &sol.phases.presolve);
     pre = presolve(model);
     presolve_timer.stop();
+    presolve_span.stop();
+    // Caller-space row indices: `model` is the caller's model, so these feed
+    // arch-level per-pattern attribution directly.
+    sol.presolve_removed_rows = pre.removed_rows;
     reg->counter("milp.presolve.rows_removed").add(
         static_cast<std::int64_t>(pre.rows_removed));
     reg->counter("milp.presolve.vars_fixed").add(
@@ -1271,6 +1295,7 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   MilpOptions node_options = options;
   node_options.lp.deadline = deadline;  // simplex loops honor the wall clock
   node_options.lp.trace = root_trace;   // root/sequential solver's buffer
+  if (node_options.lp.spans == nullptr) node_options.lp.spans = root_spans;
   if (node_options.lp.fault == nullptr) node_options.lp.fault = options.fault;
   SearchCtx ctx(*work, node_options);
   ctx.granularity = objective_granularity(*work);
@@ -1307,6 +1332,7 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
 
   // --- root solve ---
   phase_mark(obs::Phase::RootLp);
+  obs::ScopedSpan root_span(root_spans, obs::span_id(obs::SpanName::RootLp));
   obs::ScopedTimer root_timer(&reg->timer("milp.phase.root_lp"),
                               &sol.phases.root_lp);
   if (root_trace != nullptr)
@@ -1320,6 +1346,7 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     st = run_recovery_ladder(ctx.lp, {reg, root_trace, 1});
   }
   root_timer.stop();
+  root_span.stop();
   if (st == SolveStatus::Optimal) {
     ctx.root_bound = ctx.lp.objective_value();
     if (root_trace != nullptr) {
@@ -1379,6 +1406,8 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
       }
       {
         phase_mark(obs::Phase::Heuristic);
+        obs::ScopedSpan heur_span(root_spans,
+                                  obs::span_id(obs::SpanName::Heuristic));
         obs::ScopedTimer heur_timer(&reg->timer("milp.phase.heuristic"),
                                     &sol.phases.heuristic);
         if (options.rounding_heuristic) {
@@ -1408,6 +1437,7 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
         }
       }
       phase_mark(obs::Phase::Tree);
+      obs::ScopedSpan tree_span(root_spans, obs::span_id(obs::SpanName::Tree));
       obs::ScopedTimer tree_timer(&reg->timer("milp.phase.tree"),
                                   &sol.phases.tree);
       fix_by_reduced_cost();
@@ -1442,6 +1472,7 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
         // sequential epilogue below then reports the incumbent as optimal.
       }
       tree_timer.stop();
+      tree_span.stop();
     }
   } else if (st == SolveStatus::Infeasible) {
     sol.status = SolveStatus::Infeasible;
@@ -1487,6 +1518,8 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
       return sol;
     }
     phase_mark(obs::Phase::Extract);
+    obs::ScopedSpan extract_span(root_spans,
+                                 obs::span_id(obs::SpanName::MilpExtract));
     obs::ScopedTimer extract_timer(&reg->timer("milp.phase.extract"),
                                    &sol.phases.extract);
     // Abandoned subtrees (ladder exhausted) cap the proven bound at their

@@ -100,6 +100,16 @@ struct MilpOptions {
   /// matches; otherwise (missing/corrupt/mismatched) the solve starts fresh
   /// and sets the `milp.checkpoint.rejected` metric.
   bool resume = false;
+  /// Optional hierarchical span profiler (obs/span.hpp): phase spans
+  /// (presolve / root LP / heuristic / tree / extract) on the caller's
+  /// buffer 0 and sampled simplex kernel spans on each worker's own buffer
+  /// (copied into `lp.spans` per worker unless one is already set there).
+  /// The profiler outlives the solve and may span several (lazy-constraint)
+  /// solves; spans dropped to buffer overflow surface per solve as the
+  /// `milp.spans_dropped` counter. Null — the default — keeps every span
+  /// site at a single pointer test. Export via
+  /// SpanProfiler::write_chrome_trace (`milp_solve --profile-json`).
+  obs::SpanProfiler* profiler = nullptr;
 };
 
 /// Solves the mixed integer program `model`. The returned solution vector is

@@ -206,8 +206,13 @@ struct Solution {
   /// Merged structured event trace; empty unless MilpOptions::trace was set.
   obs::Trace trace;
   /// Snapshot of the solve's metrics registry (name -> value; timers expand
-  /// to `.seconds` / `.count`). Empty for plain LP solves.
+  /// to `.seconds` / `.count` / `.max`). Empty for plain LP solves.
   std::map<std::string, double> metrics;
+  /// Original-model rows presolve eliminated (sorted ascending; empty when
+  /// presolve was off or removed nothing). Indices are in the *caller's* row
+  /// space, so arch::Problem can charge eliminations back to the emitting
+  /// pattern via origin_of_row (arch/perf_report.hpp).
+  std::vector<std::int32_t> presolve_removed_rows;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
   [[nodiscard]] double value(VarId v) const { return x[static_cast<std::size_t>(v.index)]; }

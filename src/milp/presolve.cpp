@@ -243,9 +243,14 @@ PresolveResult presolve(const Model& model, PresolveOptions opt) {
         res.infeasible = true;
         return res;
       }
+      row_dead[i] = true;  // dropped, though not counted in rows_removed
       continue;
     }
     res.reduced.add_constraint(std::move(e), c.sense, rhs, c.name);
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    if (row_dead[i]) res.removed_rows.push_back(static_cast<std::int32_t>(i));
   }
 
   LinExpr obj;

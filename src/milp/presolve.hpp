@@ -29,6 +29,13 @@ struct PresolveResult {
   std::size_t rows_removed = 0;
   std::size_t vars_fixed = 0;
   std::size_t bounds_tightened = 0;
+  /// Original-model indices of every row the reduced model no longer carries
+  /// (redundant, singleton-converted, or emptied by substitution — a
+  /// superset of the `rows_removed` count, which excludes the last kind).
+  /// Sorted ascending. This is what lets the perf report charge presolve
+  /// eliminations back to the pattern that emitted each row
+  /// (`Problem::origin_of_row`).
+  std::vector<std::int32_t> removed_rows;
 
   /// Expands a reduced-space solution vector to original space.
   [[nodiscard]] std::vector<double> postsolve(const std::vector<double>& reduced_x) const;

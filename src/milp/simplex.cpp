@@ -249,6 +249,9 @@ void SimplexSolver::price_row(const std::vector<double>& rho,
 }
 
 bool SimplexSolver::refactorize() {
+  // Refactorizations are rare (every ~refactor_interval pivots) and dominate
+  // worst-case node latency, so they are spanned unconditionally.
+  obs::ScopedSpan span(opts_.spans, obs::span_id(obs::SpanName::Refactor));
   ++reopt_stats_.refactors;
   if (opts_.trace != nullptr) opts_.trace->emit(obs::EventType::Refactor);
   if (opts_.fault != nullptr && opts_.fault->fire(FaultSite::SingularFactor)) {
@@ -292,6 +295,9 @@ void SimplexSolver::rebuild_candidates() {
 }
 
 void SimplexSolver::price(const std::vector<double>& cost, std::vector<double>& d) const {
+  // Full passes happen at loop entry and after refactorizations — rare
+  // enough to span unconditionally.
+  obs::ScopedSpan span(opts_.spans, obs::span_id(obs::SpanName::Price));
   // y = c_B^T * B^-1 via btran of the position-indexed basic costs.
   std::vector<double>& y = scratch_y_;
   for (std::size_t i = 0; i < m_; ++i) {
@@ -426,7 +432,11 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
       return SolveStatus::Optimal;
     }
 
-    ftran(q, w);
+    {
+      obs::ScopedSpan ftran_span(sampled_spans(),
+                                 obs::span_id(obs::SpanName::Ftran));
+      ftran(q, w);
+    }
 
     // Ratio test: how far can the entering variable move? The scan doubles
     // as the collection pass for w's nonzero positions, which the bookkeeping
@@ -502,8 +512,13 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
       // the *old* basis factorization, before update_factors).
       const double dq = d[static_cast<std::size_t>(q)];
       if (dq != 0.0) {
+        obs::SpanBuffer* const sp = sampled_spans();
+        obs::ScopedSpan btran_span(sp, obs::span_id(obs::SpanName::BtranRow));
         btran_row(r, rho);
+        btran_span.stop();
+        obs::ScopedSpan price_span(sp, obs::span_id(obs::SpanName::PriceRow));
         price_row(rho, alpha, alpha_nz);
+        price_span.stop();
         const double ratio = dq / w[r];
         for (const std::int32_t j32 : alpha_nz) {
           // alpha_nz holds no basic columns (price_row filters them), so the
@@ -727,8 +742,14 @@ SolveStatus SimplexSolver::dual_loop() {
     const bool above = xval_[kleave] > ub_[kleave];
     const double e = above ? 1.0 : -1.0;
 
-    btran_row(r, rho);
-    price_row(rho, alphas, alpha_nz);
+    {
+      obs::SpanBuffer* const sp = sampled_spans();
+      obs::ScopedSpan btran_span(sp, obs::span_id(obs::SpanName::BtranRow));
+      btran_row(r, rho);
+      btran_span.stop();
+      obs::ScopedSpan price_span(sp, obs::span_id(obs::SpanName::PriceRow));
+      price_row(rho, alphas, alpha_nz);
+    }
 
     // Dual ratio test over the pivot row's nonzero columns (alphas stay
     // cached for the incremental reduced-cost update below).
@@ -758,7 +779,11 @@ SolveStatus SimplexSolver::dual_loop() {
     }
     if (q < 0) return SolveStatus::Infeasible;  // dual unbounded
 
-    ftran(q, w);
+    {
+      obs::ScopedSpan ftran_span(sampled_spans(),
+                                 obs::span_id(obs::SpanName::Ftran));
+      ftran(q, w);
+    }
     if (std::abs(w[r]) < opts_.pivot_tol) {
       if (!refactorize()) return SolveStatus::NumericalError;
       compute_basic_values();

@@ -30,6 +30,7 @@
 #include "milp/basis_lu.hpp"
 #include "milp/model.hpp"
 #include "milp/pricing.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace archex::milp {
@@ -76,6 +77,15 @@ struct SimplexOptions {
   /// the branch & bound hands each worker's solver its own buffer. Null or
   /// disabled buffers cost one pointer test per event site.
   obs::TraceBuffer* trace = nullptr;
+  /// Optional hierarchical span sink (obs/span.hpp) for the kernel hot paths:
+  /// ftran / btran_row / price_row per pivot, full pricing passes, and
+  /// refactorizations. Single-writer like `trace`. Pivot-level spans are
+  /// *sampled* — one pivot in `span_sample` records them — so profiling a
+  /// million-pivot solve stays cheap; refactorizations and full pricing
+  /// passes are rare and always recorded. Null (the default) keeps the hot
+  /// loops at one pointer test per sample site.
+  obs::SpanBuffer* spans = nullptr;
+  int span_sample = 64;  ///< record kernel spans every Nth pivot
   /// Deterministic fault injection (tests, `milp_solve --inject`). Null —
   /// the default — disables every site at the cost of one pointer test.
   /// Shared across solvers of one solve; see milp/fault.hpp.
@@ -250,6 +260,17 @@ class SimplexSolver {
 
   [[nodiscard]] bool is_fixed(std::int32_t j) const { return true_lb_[j] == true_ub_[j]; }
   [[nodiscard]] double bound_violation(std::int32_t j) const;
+
+  /// The span sink for the current pivot, or null when spans are off or this
+  /// pivot falls outside the 1-in-span_sample sample. One pointer test plus
+  /// (when armed) a modulo on the spans path; null `opts_.spans` — the
+  /// default — short-circuits before the modulo.
+  [[nodiscard]] obs::SpanBuffer* sampled_spans() const {
+    return (opts_.spans != nullptr && opts_.span_sample > 0 &&
+            total_iterations_ % opts_.span_sample == 0)
+               ? opts_.spans
+               : nullptr;
+  }
 
   // --- compressed-storage accessors ---
   /// Entries of column j (CSC slice).

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
 
 namespace archex::obs {
 
@@ -35,6 +36,7 @@ std::map<std::string, double> MetricsRegistry::snapshot() const {
   for (const auto& [name, t] : timers_) {
     out[name + ".seconds"] = t->seconds();
     out[name + ".count"] = static_cast<double>(t->count());
+    out[name + ".max"] = t->max_seconds();
   }
   return out;
 }
@@ -56,6 +58,67 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     }
   }
   os << '}';
+}
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:]; everything else (the dots in
+/// our dotted names, dashes, parens from pattern labels) becomes '_'.
+std::string mangle(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 7);
+  out += "archex_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void write_value(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+  }
+}
+
+void write_sample(std::ostream& os, const std::string& name, const char* type,
+                  double v) {
+  os << "# TYPE " << name << ' ' << type << '\n' << name << ' ';
+  write_value(os, v);
+  os << '\n';
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    write_sample(os, mangle(name) + "_total", "counter",
+                 static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    write_sample(os, mangle(name), "gauge", g->value());
+  }
+  for (const auto& [name, t] : timers_) {
+    const std::string base = mangle(name);
+    write_sample(os, base + "_seconds_total", "counter", t->seconds());
+    write_sample(os, base + "_count", "counter",
+                 static_cast<double>(t->count()));
+    write_sample(os, base + "_max_seconds", "gauge", t->max_seconds());
+  }
+}
+
+std::string prometheus_text(const MetricsRegistry& reg) {
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  return os.str();
 }
 
 }  // namespace archex::obs

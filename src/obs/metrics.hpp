@@ -40,21 +40,32 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Accumulated duration metric with an invocation count; fed by ScopedTimer.
+/// Accumulated duration metric with an invocation count and the worst single
+/// observation; fed by ScopedTimer.
 class Timer {
  public:
   void record(std::int64_t nanos) {
     nanos_.fetch_add(nanos, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
+    std::int64_t prev = max_nanos_.load(std::memory_order_relaxed);
+    while (nanos > prev &&
+           !max_nanos_.compare_exchange_weak(prev, nanos,
+                                             std::memory_order_relaxed)) {
+    }
   }
   [[nodiscard]] double seconds() const {
     return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
   }
   [[nodiscard]] std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Worst single observation (seconds); 0 before any record().
+  [[nodiscard]] double max_seconds() const {
+    return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
 
  private:
   std::atomic<std::int64_t> nanos_{0};
   std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> max_nanos_{0};
 };
 
 /// RAII monotonic-clock scope feeding a Timer (either may be null — the scope
@@ -98,12 +109,20 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Timer& timer(const std::string& name);
 
-  /// Flattens all metrics to name -> value. Timers expand to two entries:
-  /// `<name>.seconds` and `<name>.count`.
+  /// Flattens all metrics to name -> value. Timers expand to three entries:
+  /// `<name>.seconds`, `<name>.count`, and `<name>.max` (worst single
+  /// observation, seconds).
   [[nodiscard]] std::map<std::string, double> snapshot() const;
 
   /// Writes the snapshot as a single JSON object.
   void write_json(std::ostream& os) const;
+
+  /// Writes the registry in Prometheus text exposition format (version
+  /// 0.0.4): metric names are mangled `.` -> `_` under an `archex_` prefix,
+  /// counters gain a `_total` suffix, timers expand to `_seconds_total`,
+  /// `_count`, and a `_max_seconds` gauge. Format details in
+  /// docs/observability.md.
+  void write_prometheus(std::ostream& os) const;
 
  private:
   mutable std::mutex mu_;
@@ -111,5 +130,10 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>> timers_;
 };
+
+/// Prometheus text exposition of a registry as a string — the scrape body of
+/// the planned `archex_serve` stats endpoint. Thin wrapper over
+/// MetricsRegistry::write_prometheus.
+[[nodiscard]] std::string prometheus_text(const MetricsRegistry& reg);
 
 }  // namespace archex::obs

@@ -1,0 +1,185 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace archex::obs {
+namespace {
+
+// Chrome trace-event strings never contain characters needing escape here
+// (interned names are pattern describe() strings and the fixed table below),
+// but keep the writer honest for quotes/backslashes/control bytes anyway.
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_num(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  os << buf;
+}
+
+}  // namespace
+
+const char* to_string(SpanName n) {
+  switch (n) {
+    case SpanName::Encode: return "encode";
+    case SpanName::Formulate: return "formulate";
+    case SpanName::Solve: return "solve";
+    case SpanName::Extract: return "extract";
+    case SpanName::Presolve: return "presolve";
+    case SpanName::RootLp: return "root_lp";
+    case SpanName::Heuristic: return "heuristic";
+    case SpanName::Tree: return "tree";
+    case SpanName::MilpExtract: return "milp_extract";
+    case SpanName::Ftran: return "ftran";
+    case SpanName::BtranRow: return "btran_row";
+    case SpanName::PriceRow: return "price_row";
+    case SpanName::Price: return "price";
+    case SpanName::Refactor: return "refactor";
+    case SpanName::kCount: break;
+  }
+  return "?";
+}
+
+void SpanBuffer::init(std::int32_t worker, std::size_t capacity,
+                      std::chrono::steady_clock::time_point epoch) {
+  worker_ = worker;
+  capacity_ = capacity;
+  epoch_ = epoch;
+  spans_.clear();
+  spans_.reserve(capacity);
+  dropped_ = 0;
+  depth_ = 0;
+}
+
+SpanProfiler::SpanProfiler(std::size_t capacity_per_worker)
+    : capacity_(capacity_per_worker), epoch_(std::chrono::steady_clock::now()) {
+  names_.reserve(static_cast<std::size_t>(SpanName::kCount) + 8);
+  for (std::int32_t i = 0; i < span_id(SpanName::kCount); ++i) {
+    names_.emplace_back(to_string(static_cast<SpanName>(i)));
+  }
+  arm_workers(1);  // buffer 0: the calling thread
+}
+
+std::int32_t SpanProfiler::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::int32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::int32_t>(names_.size() - 1);
+}
+
+const std::string& SpanProfiler::name_of(std::int32_t id) const {
+  static const std::string unknown = "?";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= names_.size()) return unknown;
+  return names_[static_cast<std::size_t>(id)];
+}
+
+void SpanProfiler::arm_workers(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (buffers_.size() < static_cast<std::size_t>(n)) {
+    auto buf = std::make_unique<SpanBuffer>();
+    buf->init(static_cast<std::int32_t>(buffers_.size()), capacity_, epoch_);
+    buffers_.push_back(std::move(buf));
+  }
+}
+
+SpanBuffer* SpanProfiler::buffer(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker < 0 || static_cast<std::size_t>(worker) >= buffers_.size()) {
+    return nullptr;
+  }
+  return buffers_[static_cast<std::size_t>(worker)].get();
+}
+
+int SpanProfiler::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(buffers_.size());
+}
+
+std::int64_t SpanProfiler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& b : buffers_) total += b->dropped();
+  return total;
+}
+
+std::int64_t SpanProfiler::take_dropped() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& b : buffers_) total += b->dropped();
+  const std::int64_t delta = total - reported_dropped_;
+  reported_dropped_ = total;
+  return delta;
+}
+
+SpanProfiler::Report SpanProfiler::collect() const {
+  Report r;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t total = 0;
+    for (const auto& b : buffers_) total += b->spans().size();
+    r.spans.reserve(total);
+    for (const auto& b : buffers_) {
+      r.spans.insert(r.spans.end(), b->spans().begin(), b->spans().end());
+      r.dropped += b->dropped();
+    }
+  }
+  // Parent spans close after their children, so raw buffer order is
+  // exit-ordered; (t0, depth, worker) restores tree order — a parent strictly
+  // precedes its children (same t0 ties break toward the shallower span) and
+  // spans from concurrent workers interleave by start time.
+  std::stable_sort(r.spans.begin(), r.spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.t0 != b.t0) return a.t0 < b.t0;
+                     if (a.depth != b.depth) return a.depth < b.depth;
+                     return a.worker < b.worker;
+                   });
+  return r;
+}
+
+void SpanProfiler::write_chrome_trace(std::ostream& os) const {
+  const Report r = collect();
+  os << "{\"traceEvents\":[";
+  const int workers = num_workers();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"archex\"}}";
+  for (int w = 0; w < workers; ++w) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << w
+       << ",\"args\":{\"name\":\"worker " << w << "\"}}";
+  }
+  for (const SpanRecord& s : r.spans) {
+    os << ",\n";
+    os << "{\"name\":\"";
+    write_escaped(os, name_of(s.name));
+    os << "\",\"cat\":\"archex\",\"ph\":\"X\",\"ts\":";
+    write_num(os, s.t0 * 1e6);  // trace-event timestamps are microseconds
+    os << ",\"dur\":";
+    write_num(os, (s.t1 - s.t0) * 1e6);
+    os << ",\"pid\":1,\"tid\":" << s.worker << ",\"args\":{\"depth\":" << s.depth
+       << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"spans_dropped\":"
+     << r.dropped << "}}\n";
+}
+
+}  // namespace archex::obs

@@ -1,0 +1,210 @@
+/// \file span.hpp
+/// Hierarchical span profiler: scoped RAII timing regions over per-worker
+/// single-writer buffers (the same discipline as TraceBuffer — one thread
+/// writes each buffer, merge happens after the workers join, so the hot path
+/// is a few stores and two clock reads, no locks and no atomics).
+///
+/// Zero-cost when disabled: a ScopedSpan built over a null buffer reduces to
+/// one pointer test in its constructor and one in its destructor — no clock
+/// read, no allocation. Overflowing buffers drop the *newest* spans and count
+/// them (`SpanBuffer::dropped`, surfaced as the `milp.spans_dropped` metric);
+/// profiling is a diagnostic, never a reason to stall or grow memory
+/// mid-solve.
+///
+/// Span names are interned to integer ids: the fixed pipeline / kernel names
+/// (`SpanName`) are pre-interned by every profiler in enum order, so hot
+/// paths use the enum value directly without holding a profiler pointer;
+/// dynamic names (per-pattern encode spans) intern once, at encode time,
+/// under a mutex that the hot path never touches.
+///
+/// Export formats (schema in docs/observability.md):
+///   * Chrome trace-event JSON (`write_chrome_trace`), loadable in Perfetto /
+///     chrome://tracing; worker id maps to `tid`;
+///   * the raw `collect()` report, which the per-pattern cost-attribution
+///     report (arch/perf_report.hpp) and tests consume.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace archex::obs {
+
+/// Fixed span names, pre-interned by every SpanProfiler in this order so the
+/// enum value *is* the name id. Keep in sync with to_string(SpanName).
+enum class SpanName : std::int32_t {
+  // Architecture pipeline (arch::Problem).
+  Encode = 0,   ///< structural constraints (Problem constructor)
+  Formulate,    ///< objective assembly
+  Solve,        ///< the whole MILP solve (arch layer view)
+  Extract,      ///< solution -> Architecture decode
+  // Branch & bound phases (milp::solve_milp).
+  Presolve,
+  RootLp,
+  Heuristic,
+  Tree,
+  MilpExtract,  ///< postsolve + incumbent extraction
+  // Simplex / LU kernel hot paths (sampled every Nth pivot).
+  Ftran,
+  BtranRow,
+  PriceRow,
+  Price,        ///< full pricing pass
+  Refactor,     ///< basis refactorization (always recorded)
+  kCount,       ///< sentinel, not a span
+};
+
+[[nodiscard]] const char* to_string(SpanName n);
+[[nodiscard]] constexpr std::int32_t span_id(SpanName n) {
+  return static_cast<std::int32_t>(n);
+}
+
+/// One closed span. 24 bytes, written by value at scope exit.
+struct SpanRecord {
+  double t0 = 0.0;  ///< seconds since the profiler epoch (monotonic clock)
+  double t1 = 0.0;
+  std::int32_t name = 0;    ///< interned name id
+  std::int32_t worker = 0;
+  std::int32_t depth = 0;   ///< nesting depth at open time (0 = top level)
+};
+
+/// Single-writer span sink for one worker thread. The owning thread is the
+/// only writer; reads (snapshot / dropped) happen after the workers joined,
+/// so no member needs atomicity. Spans are recorded at scope *exit*, so a
+/// parent appears after its children in buffer order — collect() re-sorts.
+class SpanBuffer {
+ public:
+  /// Arms the buffer. capacity == 0 leaves it disabled.
+  void init(std::int32_t worker, std::size_t capacity,
+            std::chrono::steady_clock::time_point epoch);
+
+  [[nodiscard]] bool enabled() const { return capacity_ != 0; }
+  [[nodiscard]] std::int32_t worker() const { return worker_; }
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Seconds since the profiler epoch.
+  [[nodiscard]] double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Called by ScopedSpan only (owning thread). Opens a nesting level.
+  std::int32_t enter() { return depth_++; }
+  /// Closes the level opened by the matching enter() and records the span;
+  /// when full, the newest span is dropped and counted instead.
+  void exit_record(std::int32_t name, double t0, std::int32_t depth) {
+    --depth_;
+    if (spans_.size() < capacity_) {
+      spans_.push_back({t0, now(), name, worker_, depth});
+    } else {
+      ++dropped_;
+    }
+  }
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::size_t capacity_ = 0;
+  std::int64_t dropped_ = 0;
+  std::int32_t depth_ = 0;
+  std::int32_t worker_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// RAII span over a (nullable) SpanBuffer. A null or disabled buffer makes
+/// both constructor and destructor a single pointer test — no clock read —
+/// which is what keeps profiling-off solves at uninstrumented speed.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanBuffer* buf, std::int32_t name) : buf_(buf) {
+    if (buf_ != nullptr) {
+      if (!buf_->enabled()) {
+        buf_ = nullptr;
+        return;
+      }
+      name_ = name;
+      depth_ = buf_->enter();
+      t0_ = buf_->now();
+    }
+  }
+  ~ScopedSpan() { stop(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Closes the span early; destruction then records nothing.
+  void stop() {
+    if (buf_ == nullptr) return;
+    buf_->exit_record(name_, t0_, depth_);
+    buf_ = nullptr;
+  }
+
+ private:
+  SpanBuffer* buf_;
+  double t0_ = 0.0;
+  std::int32_t name_ = 0;
+  std::int32_t depth_ = 0;
+};
+
+/// Owns the per-worker span buffers and the interned name table. Buffer 0
+/// belongs to the calling (main) thread — in this codebase the encoder, the
+/// root phase and pool worker 0 all run on it, so the single-writer rule
+/// holds. arm_workers() must be called before worker threads spawn (the
+/// branch & bound does); buffer pointers are stable thereafter.
+class SpanProfiler {
+ public:
+  explicit SpanProfiler(std::size_t capacity_per_worker = 1 << 16);
+
+  /// Interns a dynamic name (per-pattern spans). Mutex-guarded; call at
+  /// setup/encode time, never from a pivot loop. Idempotent per name.
+  std::int32_t intern(std::string_view name);
+  /// Name of an interned id ("?" for an unknown id). Call after the workers
+  /// joined (export time).
+  [[nodiscard]] const std::string& name_of(std::int32_t id) const;
+
+  /// Ensures buffers exist for workers [0, n). Buffer 0 exists from
+  /// construction. Not thread-safe against concurrent span recording — call
+  /// before spawning the threads that will write the new buffers.
+  void arm_workers(int n);
+  /// Worker w's buffer, or null when never armed.
+  [[nodiscard]] SpanBuffer* buffer(int worker);
+  /// The main-thread buffer (worker 0).
+  [[nodiscard]] SpanBuffer* main() { return buffer(0); }
+  [[nodiscard]] int num_workers() const;
+
+  /// Total spans dropped to buffer overflow across all workers.
+  [[nodiscard]] std::int64_t dropped() const;
+  /// Drop count accumulated since the previous take_dropped() call. The
+  /// branch & bound feeds this delta into the per-solve `milp.spans_dropped`
+  /// counter, so a profiler reused across solves (the lazy algorithm) does
+  /// not double-report. Call after workers joined.
+  std::int64_t take_dropped();
+
+  /// Snapshot of every buffer, merged and sorted by (t0, depth, worker):
+  /// a parent precedes its children, and concurrent workers interleave in
+  /// start-time order. Does not reset the buffers.
+  struct Report {
+    std::vector<SpanRecord> spans;
+    std::int64_t dropped = 0;
+  };
+  [[nodiscard]] Report collect() const;
+
+  /// Writes the Chrome trace-event JSON (`{"traceEvents": [...]}`) for the
+  /// current contents: one `ph:"X"` complete event per span (ts/dur in
+  /// microseconds, pid 1, tid = worker) plus `ph:"M"` thread-name metadata.
+  /// Loadable in Perfetto / chrome://tracing.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards names_ and buffers_ growth
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<SpanBuffer>> buffers_;  ///< stable pointers
+  std::size_t capacity_;
+  std::int64_t reported_dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace archex::obs

@@ -25,18 +25,28 @@ shift 2
 tmp="${out}.tmp"
 "$bin" --benchmark_out="$tmp" --benchmark_out_format=json "$@"
 
-python3 - "$tmp" <<'EOF'
+# Machine / revision provenance for tools/bench_diff.py: the diff tool
+# refuses to compare recordings taken on different CPUs, and the SHA says
+# which commit a baseline measures. Recorded best-effort (empty outside a
+# git checkout) — only the CPU model gates comparisons.
+git_sha=$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || true)
+if [ -n "$git_sha" ] && ! git -C "$(dirname "$0")/.." diff --quiet HEAD 2>/dev/null; then
+  git_sha="${git_sha}-dirty"
+fi
+cpu_model=$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null | head -1)
+
+python3 - "$tmp" "$git_sha" "$cpu_model" <<'EOF'
 import json
 import sys
 
-path = sys.argv[1]
+path, git_sha, cpu_model = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(path) as f:
     data = json.load(f)
 # `archex_build_type` is stamped by the bench binary's own main() from
 # NDEBUG. The stock `library_build_type` is NOT usable here: it records how
 # the system libbenchmark was compiled (debug on this image), not how the
 # benchmark binary was.
-ctx = data.get("context", {})
+ctx = data.setdefault("context", {})
 build_type = ctx.get("archex_build_type", "unknown")
 if build_type != "release":
     print(
@@ -47,7 +57,13 @@ if build_type != "release":
         file=sys.stderr,
     )
     sys.exit(1)
-print(f"bench provenance ok: archex_build_type=release ({path})")
+ctx["archex_git_sha"] = git_sha
+ctx["archex_cpu_model"] = cpu_model
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+print(f"bench provenance ok: archex_build_type=release "
+      f"sha={git_sha or '?'} cpu={cpu_model or '?'} ({path})")
 EOF
 
 mv "$tmp" "$out"

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Validates a solver trace (JSONL) against the schema in docs/observability.md.
+"""Validates a solver trace against the schemas in docs/observability.md.
 
 Usage: validate_trace.py <trace.jsonl> [--min-workers=N]
+       validate_trace.py --chrome <profile.json> [--require=name,name,...]
 
-Checks, in order:
+Default (JSONL) mode checks, in order:
   * every line is a JSON object with the common keys (t, type, worker);
   * the event type is one of the documented types — unknown types FAIL, so a
     new EventType cannot ship without a schema/doc update;
@@ -13,6 +14,15 @@ Checks, in order:
   * exactly one solve_start and at most one solve_end;
   * node, incumbent events are present, and with --min-workers=2 (the CI
     setting for a parallel solve) steal events and >= N distinct workers.
+
+--chrome mode validates the span profiler's Chrome trace-event export
+(`milp_solve --profile-json`, obs/span.hpp):
+  * top-level object with a `traceEvents` array and `otherData.spans_dropped`;
+  * every event is `ph` "M" (metadata) or "X" (complete span) with the
+    documented keys and types; ts/dur are non-negative microseconds;
+  * per tid, spans are properly nested — a span never half-overlaps an
+    enclosing one (within a 1 us float tolerance);
+  * `--require=encode,solve,...` additionally demands each named span occur.
 
 Exit code 0 on success, 1 on any violation (first violation is reported with
 its line number), 2 on usage errors.
@@ -113,12 +123,104 @@ def validate(path, min_workers):
     return 0
 
 
+# Chrome trace-event validation (the span profiler's --profile-json export).
+
+NESTING_EPS_US = 1.0  # float formatting tolerance for end-time comparisons
+
+
+def chrome_fail(idx, msg):
+    print(f"FAIL event {idx}: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate_chrome(path, require):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        print(f"FAIL: {path}: no traceEvents array", file=sys.stderr)
+        return 1
+    dropped = data.get("otherData", {}).get("spans_dropped")
+    if not isinstance(dropped, int) or dropped < 0:
+        print(f"FAIL: {path}: otherData.spans_dropped missing or invalid",
+              file=sys.stderr)
+        return 1
+
+    spans = []  # (ts, dur, tid, name, idx)
+    names = set()
+    tids = set()
+    for idx, e in enumerate(data["traceEvents"]):
+        if not isinstance(e, dict):
+            return chrome_fail(idx, "not a JSON object")
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name"):
+                return chrome_fail(idx, f"unknown metadata '{e.get('name')}'")
+            if not isinstance(e.get("args"), dict) or "name" not in e["args"]:
+                return chrome_fail(idx, "metadata without args.name")
+            continue
+        if ph != "X":
+            return chrome_fail(idx, f"unknown phase '{ph}' (want M or X)")
+        for key, kinds in (("name", (str,)), ("cat", (str,)),
+                           ("ts", NUMBER), ("dur", NUMBER),
+                           ("pid", (int,)), ("tid", (int,))):
+            if not isinstance(e.get(key), kinds):
+                return chrome_fail(idx, f"missing or mistyped key '{key}'")
+        if e["ts"] < 0 or e["dur"] < 0:
+            return chrome_fail(idx, "negative ts/dur")
+        args = e.get("args")
+        if not isinstance(args, dict) or not isinstance(args.get("depth"), int) \
+                or args["depth"] < 0:
+            return chrome_fail(idx, "missing or invalid args.depth")
+        spans.append((e["ts"], e["dur"], e["tid"], e["name"], idx))
+        names.add(e["name"])
+        tids.add(e["tid"])
+
+    if not spans:
+        print(f"FAIL: {path}: no span (ph=X) events", file=sys.stderr)
+        return 1
+    missing = sorted(set(require) - names)
+    if missing:
+        print(f"FAIL: {path}: required spans absent: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+
+    # Proper nesting per thread lane: walking spans in start order with a
+    # stack of enclosing end times, a span that starts inside its parent must
+    # also end inside it. Half-overlap would render as garbage in Perfetto.
+    by_tid = {}
+    for s in sorted(spans):
+        by_tid.setdefault(s[2], []).append(s)
+    for tid, lane in by_tid.items():
+        stack = []  # end times of open ancestors
+        for ts, dur, _, name, idx in lane:
+            while stack and ts >= stack[-1] - NESTING_EPS_US:
+                stack.pop()
+            if stack and ts + dur > stack[-1] + NESTING_EPS_US:
+                return chrome_fail(
+                    idx, f"span '{name}' (tid {tid}) half-overlaps its parent")
+            stack.append(ts + dur)
+
+    print(f"OK {path}: {len(spans)} spans, {len(tids)} worker lane(s), "
+          f"{len(names)} distinct names, {dropped} dropped")
+    return 0
+
+
 def main(argv):
     min_workers = 1
+    chrome = False
+    require = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--min-workers="):
             min_workers = int(arg.split("=", 1)[1])
+        elif arg == "--chrome":
+            chrome = True
+        elif arg.startswith("--require="):
+            require = [n for n in arg.split("=", 1)[1].split(",") if n]
         elif arg.startswith("-"):
             print(f"unknown option: {arg}", file=sys.stderr)
             return 2
@@ -127,6 +229,11 @@ def main(argv):
     if len(paths) != 1:
         print(__doc__, file=sys.stderr)
         return 2
+    if require and not chrome:
+        print("--require only applies to --chrome mode", file=sys.stderr)
+        return 2
+    if chrome:
+        return validate_chrome(paths[0], require)
     return validate(paths[0], min_workers)
 
 
