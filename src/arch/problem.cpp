@@ -314,6 +314,9 @@ ExplorationResult Problem::solve(const milp::MilpOptions& options) {
     obs::ScopedTimer extract_timer(&opts.metrics->timer("arch.extract"),
                                    &res.extract_seconds);
     res.architecture = extract(res.solution);
+  } else if (res.solution.status == milp::SolveStatus::Infeasible && diagnoser_) {
+    obs::ScopedTimer diagnose_timer(&opts.metrics->timer("arch.diagnose"));
+    res.infeasibility_explanation = diagnoser_(*this);
   }
   // Re-snapshot so the arch-layer timers land next to the solver's metrics.
   res.solution.metrics = opts.metrics->snapshot();

@@ -17,6 +17,7 @@
 /// plus any weighted extra cost terms.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -148,6 +149,18 @@ class Problem {
   /// uniform edge cost).
   void set_edge_cost(NodeId from, NodeId to, double cost);
 
+  /// Installs a diagnoser that solve() calls on the infeasible path to fill
+  /// ExplorationResult::infeasibility_explanation. The hook keeps the
+  /// layering one-way: check::enable_infeasibility_diagnosis installs the
+  /// structural analyzer here without arch/ depending on check/. Null (the
+  /// default) leaves the explanation empty.
+  void set_infeasibility_diagnoser(std::function<std::string(const Problem&)> fn) {
+    diagnoser_ = std::move(fn);
+  }
+  [[nodiscard]] bool has_infeasibility_diagnoser() const {
+    return static_cast<bool>(diagnoser_);
+  }
+
   // --- solving --------------------------------------------------------------
   /// Assembles the cost function and solves the monolithic MILP (the eager
   /// method). Use algorithm.hpp for the lazy iterative scheme.
@@ -206,6 +219,7 @@ class Problem {
   std::vector<std::string> patterns_applied_;
   std::vector<std::string> row_labels_;        ///< distinct origin labels
   std::vector<std::int32_t> row_origin_;       ///< per row: index into row_labels_
+  std::function<std::string(const Problem&)> diagnoser_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   obs::SpanProfiler* profiler_ = nullptr;  ///< non-owning; null = spans off
   std::vector<PatternCost> pattern_costs_;

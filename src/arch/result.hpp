@@ -74,6 +74,10 @@ struct ExplorationResult {
   double formulation_seconds = 0.0;
   double solver_seconds = 0.0;
   double extract_seconds = 0.0;
+  /// Pattern-level diagnosis of an infeasible solve, filled when the Problem
+  /// has an infeasibility diagnoser installed (see
+  /// check::enable_infeasibility_diagnosis). Empty otherwise.
+  std::string infeasibility_explanation;
 
   [[nodiscard]] bool feasible() const { return solution.has_incumbent; }
 

@@ -1,0 +1,515 @@
+#include "check/analyze.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <numeric>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "arch/problem.hpp"
+#include "arch/result.hpp"
+
+namespace archex::check {
+
+using milp::LinConstraint;
+using milp::Model;
+using milp::Term;
+using milp::Variable;
+
+namespace {
+
+// --- helpers ---------------------------------------------------------------
+
+std::string col_name(const Model& m, std::size_t j) {
+  const std::string& n = m.vars()[j].name;
+  return n.empty() ? "x" + std::to_string(j) : n;
+}
+
+/// splitmix64: cheap, well-distributed 64-bit mixer for signature hashing.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_double(double d) {
+  // Canonicalize -0.0 so structurally identical bounds hash identically.
+  if (d == 0.0) d = 0.0;
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return mix(bits);
+}
+
+std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
+  return mix(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// --- pass: decompose --------------------------------------------------------
+
+/// Union-find over columns; rows merge the columns they touch.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+class DecomposePass final : public AnalysisPass {
+ public:
+  [[nodiscard]] const char* name() const override { return "decompose"; }
+
+  void run(const Model& model, const AnalyzeOptions& opts,
+           AnalysisReport& report) const override {
+    DecompositionReport& out = report.decomposition;
+    out.ran = true;
+    const std::size_t n = model.num_vars();
+    const std::size_t m = model.num_constraints();
+
+    UnionFind uf(n);
+    std::vector<char> referenced(n, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& terms = model.constraint(i).expr.terms();
+      for (const Term& t : terms) referenced[static_cast<std::size_t>(t.var.index)] = 1;
+      for (std::size_t k = 1; k < terms.size(); ++k) {
+        uf.unite(static_cast<std::size_t>(terms[0].var.index),
+                 static_cast<std::size_t>(terms[k].var.index));
+      }
+    }
+
+    // Component id per union-find root, over referenced columns only.
+    std::map<std::size_t, std::size_t> comp_of_root;
+    std::vector<ComponentInfo> comps;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (referenced[j] == 0) {
+        ++out.unreferenced_cols;
+        continue;
+      }
+      const std::size_t root = uf.find(j);
+      auto [it, inserted] = comp_of_root.emplace(root, comps.size());
+      if (inserted) comps.emplace_back();
+      ComponentInfo& c = comps[it->second];
+      ++c.num_cols;
+      if (c.cols.size() < opts.max_component_members) {
+        c.cols.push_back(static_cast<std::int32_t>(j));
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& terms = model.constraint(i).expr.terms();
+      if (terms.empty()) continue;  // empty rows belong to no component
+      const std::size_t root = uf.find(static_cast<std::size_t>(terms[0].var.index));
+      ComponentInfo& c = comps[comp_of_root.at(root)];
+      ++c.num_rows;
+      if (c.rows.size() < opts.max_component_members) {
+        c.rows.push_back(static_cast<std::int32_t>(i));
+      }
+    }
+    std::sort(comps.begin(), comps.end(), [](const ComponentInfo& a, const ComponentInfo& b) {
+      return a.num_rows + a.num_cols > b.num_rows + b.num_cols;
+    });
+    out.components = std::move(comps);
+  }
+};
+
+// --- pass: propagate --------------------------------------------------------
+
+class PropagatePass final : public AnalysisPass {
+ public:
+  [[nodiscard]] const char* name() const override { return "propagate"; }
+
+  void run(const Model& model, const AnalyzeOptions& opts,
+           AnalysisReport& report) const override {
+    report.propagation.ran = true;
+    report.propagation.result = milp::propagate_bounds(model, opts.propagation);
+  }
+};
+
+// --- pass: symmetry ---------------------------------------------------------
+
+class SymmetryPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] const char* name() const override { return "symmetry"; }
+
+  void run(const Model& model, const AnalyzeOptions& opts,
+           AnalysisReport& report) const override {
+    SymmetryReport& out = report.symmetry;
+    out.ran = true;
+    const std::size_t n = model.num_vars();
+    const std::size_t m = model.num_constraints();
+
+    // Initial colors. Columns: bounds, type, objective coefficient. Rows:
+    // sense and rhs. Interchangeable components produce byte-identical
+    // doubles, so hashing the bit patterns is exact.
+    std::vector<std::uint64_t> col(n), row(m);
+    std::vector<double> obj_coef(n, 0.0);
+    for (const Term& t : model.objective().terms()) {
+      obj_coef[static_cast<std::size_t>(t.var.index)] = t.coef;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const Variable& v = model.vars()[j];
+      std::uint64_t h = hash_double(v.lb);
+      h = combine(h, hash_double(v.ub));
+      h = combine(h, mix(static_cast<std::uint64_t>(v.type)));
+      h = combine(h, hash_double(obj_coef[j]));
+      col[j] = h;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const LinConstraint& c = model.constraint(i);
+      row[i] = combine(mix(static_cast<std::uint64_t>(c.sense)), hash_double(c.rhs));
+    }
+
+    // Column-major adjacency so column signatures refine in one sweep.
+    std::vector<std::vector<std::pair<std::int32_t, double>>> rows_of_col(n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const Term& t : model.constraint(i).expr.terms()) {
+        rows_of_col[static_cast<std::size_t>(t.var.index)].emplace_back(
+            static_cast<std::int32_t>(i), t.coef);
+      }
+    }
+
+    auto distinct = [](std::vector<std::uint64_t> v) {
+      std::sort(v.begin(), v.end());
+      return static_cast<std::size_t>(std::unique(v.begin(), v.end()) - v.begin());
+    };
+
+    // Iterated refinement: a row's new color folds in the commutative sum of
+    // its entries' (coefficient, column-color) signatures — order-free, so
+    // term ordering cannot split a true orbit — and vice versa for columns.
+    std::size_t col_classes = distinct(col);
+    std::size_t row_classes = distinct(row);
+    const int max_rounds = 64;
+    for (out.refinement_rounds = 0; out.refinement_rounds < max_rounds;
+         ++out.refinement_rounds) {
+      std::vector<std::uint64_t> nrow(m), ncol(n);
+      for (std::size_t i = 0; i < m; ++i) {
+        std::uint64_t acc = 0;
+        for (const Term& t : model.constraint(i).expr.terms()) {
+          acc += combine(hash_double(t.coef), col[static_cast<std::size_t>(t.var.index)]);
+        }
+        nrow[i] = combine(row[i], mix(acc));
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        std::uint64_t acc = 0;
+        for (const auto& [i, coef] : rows_of_col[j]) {
+          acc += combine(hash_double(coef), nrow[static_cast<std::size_t>(i)]);
+        }
+        ncol[j] = combine(col[j], mix(acc));
+      }
+      row = std::move(nrow);
+      col = std::move(ncol);
+      const std::size_t nc = distinct(col);
+      const std::size_t nr = distinct(row);
+      if (nc == col_classes && nr == row_classes) break;  // partition stable
+      col_classes = nc;
+      row_classes = nr;
+    }
+
+    auto orbits_of = [&](const std::vector<std::uint64_t>& color, bool referenced_only) {
+      std::map<std::uint64_t, Orbit> groups;
+      for (std::size_t k = 0; k < color.size(); ++k) {
+        if (referenced_only && rows_of_col[k].empty()) continue;  // cols only
+        Orbit& o = groups[color[k]];
+        ++o.size;
+        if (o.members.size() < opts.max_orbit_members) {
+          o.members.push_back(static_cast<std::int32_t>(k));
+        }
+      }
+      std::vector<Orbit> out_orbits;
+      for (auto& [h, o] : groups) {
+        if (o.size >= 2) out_orbits.push_back(std::move(o));
+      }
+      std::sort(out_orbits.begin(), out_orbits.end(),
+                [](const Orbit& a, const Orbit& b) {
+                  if (a.size != b.size) return a.size > b.size;
+                  return a.members < b.members;
+                });
+      return out_orbits;
+    };
+    out.col_orbits = orbits_of(col, /*referenced_only=*/true);
+    {
+      // Row orbits: group by final row color, empty rows excluded.
+      std::map<std::uint64_t, Orbit> groups;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (model.constraint(i).expr.terms().empty()) continue;
+        Orbit& o = groups[row[i]];
+        ++o.size;
+        if (o.members.size() < opts.max_orbit_members) {
+          o.members.push_back(static_cast<std::int32_t>(i));
+        }
+      }
+      for (auto& [h, o] : groups) {
+        if (o.size >= 2) out.row_orbits.push_back(std::move(o));
+      }
+      std::sort(out.row_orbits.begin(), out.row_orbits.end(),
+                [](const Orbit& a, const Orbit& b) {
+                  if (a.size != b.size) return a.size > b.size;
+                  return a.members < b.members;
+                });
+    }
+
+    // Lex-order recommendations for binary-column orbits: ordering the orbit
+    // by value prunes permuted duplicates. Phrased as advice — the orbits
+    // are WL-candidates; the exact swap check happens where constraints are
+    // actually emitted (Problem::add_symmetry_breaking).
+    for (const Orbit& o : out.col_orbits) {
+      bool all_binary = true;
+      for (std::int32_t j : o.members) {
+        const Variable& v = model.vars()[static_cast<std::size_t>(j)];
+        if (v.type != milp::VarType::Binary) { all_binary = false; break; }
+      }
+      if (!all_binary) continue;
+      std::ostringstream rec;
+      rec << "columns {";
+      const std::size_t show = std::min<std::size_t>(o.members.size(), 4);
+      for (std::size_t k = 0; k < show; ++k) {
+        if (k != 0) rec << ", ";
+        rec << col_name(model, static_cast<std::size_t>(o.members[k]));
+      }
+      if (o.size > show) rec << ", ... (" << o.size << " total)";
+      rec << "} share a coefficient signature: consider the lex order ";
+      rec << col_name(model, static_cast<std::size_t>(o.members[0]));
+      for (std::size_t k = 1; k < show; ++k) {
+        rec << " >= " << col_name(model, static_cast<std::size_t>(o.members[k]));
+      }
+      if (o.size > show) rec << " >= ...";
+      out.recommendations.push_back(rec.str());
+    }
+  }
+};
+
+// --- pass: iis --------------------------------------------------------------
+
+class IisPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] const char* name() const override { return "iis"; }
+
+  void run(const Model& model, const AnalyzeOptions& opts,
+           AnalysisReport& report) const override {
+    report.iis = extract_iis(model, opts.iis);
+  }
+};
+
+// --- registry ---------------------------------------------------------------
+
+struct Registration {
+  std::string name;
+  std::unique_ptr<AnalysisPass> (*factory)();
+};
+
+std::vector<Registration>& registry() {
+  static std::vector<Registration> r = {
+      {"decompose", [] { return std::unique_ptr<AnalysisPass>(new DecomposePass); }},
+      {"propagate", [] { return std::unique_ptr<AnalysisPass>(new PropagatePass); }},
+      {"symmetry", [] { return std::unique_ptr<AnalysisPass>(new SymmetryPass); }},
+      {"iis", [] { return std::unique_ptr<AnalysisPass>(new IisPass); }},
+  };
+  return r;
+}
+
+}  // namespace
+
+void register_analysis_pass(const std::string& name,
+                            std::unique_ptr<AnalysisPass> (*factory)()) {
+  for (Registration& r : registry()) {
+    if (r.name == name) {
+      r.factory = factory;
+      return;
+    }
+  }
+  registry().push_back({name, factory});
+}
+
+std::vector<std::string> registered_analysis_passes() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const Registration& r : registry()) names.push_back(r.name);
+  return names;
+}
+
+AnalysisReport analyze(const Model& model, const AnalyzeOptions& options) {
+  AnalysisReport report;
+  for (const Registration& r : registry()) {
+    if (!options.passes.empty() &&
+        std::find(options.passes.begin(), options.passes.end(), r.name) ==
+            options.passes.end()) {
+      continue;
+    }
+    r.factory()->run(model, options, report);
+    report.passes_run.push_back(r.name);
+  }
+  return report;
+}
+
+void AnalysisReport::print(std::ostream& os) const {
+  if (decomposition.ran) {
+    os << "decompose: " << decomposition.components.size() << " component(s)";
+    if (decomposition.unreferenced_cols > 0) {
+      os << ", " << decomposition.unreferenced_cols << " unreferenced column(s)";
+    }
+    os << "\n";
+    for (std::size_t k = 0; k < decomposition.components.size(); ++k) {
+      const ComponentInfo& c = decomposition.components[k];
+      os << "  component " << k << ": " << c.num_rows << " row(s), " << c.num_cols
+         << " col(s)\n";
+    }
+  }
+  if (propagation.ran) {
+    const milp::Propagation& p = propagation.result;
+    os << "propagate: " << (p.infeasible ? "INFEASIBLE" : "feasible box") << ", "
+       << p.bounds_tightened << " tightening(s), " << p.vars_fixed
+       << " fixed, " << p.passes << " pass(es)"
+       << (p.converged || p.infeasible ? "" : " (fixpoint cap hit)") << "\n";
+    if (p.infeasible && p.infeasible_row >= 0) {
+      os << "  proof row: " << p.infeasible_row << "\n";
+    }
+  }
+  if (symmetry.ran) {
+    os << "symmetry: " << symmetry.col_orbits.size() << " column orbit(s), "
+       << symmetry.row_orbits.size() << " row orbit(s) after "
+       << symmetry.refinement_rounds << " refinement round(s)\n";
+    for (const std::string& rec : symmetry.recommendations) {
+      os << "  " << rec << "\n";
+    }
+  }
+  if (iis.attempted) {
+    if (!iis.infeasible) {
+      os << "iis: model not proven infeasible (oracle: " << iis.oracle << ")\n";
+    } else {
+      os << "iis: " << iis.rows.size() << " conflicting row(s)"
+         << (iis.irreducible ? " (irreducible)" : " (not minimized)")
+         << ", oracle: " << iis.oracle << ", " << iis.oracle_calls << " oracle call(s)\n";
+    }
+  }
+}
+
+// --- arch-level attribution -------------------------------------------------
+
+ArchAnalysisReport analyze(const Problem& problem, const AnalyzeOptions& options) {
+  const Model& model = problem.model();
+  ArchAnalysisReport report;
+  report.base = analyze(model, options);
+
+  // IIS rows -> origin labels.
+  std::size_t attributed = 0;
+  for (std::int32_t r : report.base.iis.rows) {
+    const std::string& origin = problem.origin_of_row(static_cast<std::size_t>(r));
+    report.iis_origins.push_back(origin);
+    if (origin != "unattributed") ++attributed;
+  }
+  report.iis_attribution =
+      report.base.iis.rows.empty()
+          ? 1.0
+          : static_cast<double>(attributed) /
+                static_cast<double>(report.base.iis.rows.size());
+
+  // Near-block structure: per origin label, rows plus private/shared column
+  // footprint. A column referenced from two or more origins couples blocks.
+  std::map<std::string, std::size_t> block_index;
+  std::vector<std::set<std::string>> origins_of_col(model.num_vars());
+  for (std::size_t i = 0; i < model.num_constraints(); ++i) {
+    const std::string& origin = problem.origin_of_row(i);
+    auto [it, inserted] = block_index.emplace(origin, report.blocks.size());
+    if (inserted) report.blocks.push_back({origin, 0, 0, 0});
+    ++report.blocks[it->second].rows;
+    for (const Term& t : model.constraint(i).expr.terms()) {
+      origins_of_col[static_cast<std::size_t>(t.var.index)].insert(origin);
+    }
+  }
+  for (const std::set<std::string>& origins : origins_of_col) {
+    if (origins.size() >= 2) ++report.coupling_cols;
+    for (const std::string& origin : origins) {
+      OriginBlock& b = report.blocks[block_index.at(origin)];
+      if (origins.size() == 1) ++b.private_cols;
+      else ++b.shared_cols;
+    }
+  }
+  std::sort(report.blocks.begin(), report.blocks.end(),
+            [](const OriginBlock& a, const OriginBlock& b) {
+              if (a.rows != b.rows) return a.rows > b.rows;
+              return a.origin < b.origin;
+            });
+  return report;
+}
+
+std::string ArchAnalysisReport::explain_infeasibility() const {
+  if (!base.proved_infeasible()) return {};
+  std::ostringstream os;
+  os << "exploration is infeasible: ";
+  if (base.iis.infeasible && !base.iis.rows.empty()) {
+    // Aggregate the conflict by origin so the explanation reads in pattern
+    // terms, not row indices.
+    std::map<std::string, std::size_t> by_origin;
+    for (std::size_t k = 0; k < iis_origins.size(); ++k) ++by_origin[iis_origins[k]];
+    os << (base.iis.irreducible ? "irreducible conflict of " : "conflict of ")
+       << base.iis.rows.size() << " constraint(s) across ";
+    bool first = true;
+    for (const auto& [origin, count] : by_origin) {
+      if (!first) os << ", ";
+      first = false;
+      os << "'" << origin << "' (" << count << " row" << (count == 1 ? "" : "s") << ")";
+    }
+    os << ". Relax or remove one of these requirements to restore feasibility.";
+  } else if (base.propagation.ran && base.propagation.result.infeasible) {
+    os << "bound propagation proves no assignment can satisfy ";
+    if (base.propagation.result.infeasible_row >= 0) {
+      os << "row " << base.propagation.result.infeasible_row;
+    } else {
+      os << "column " << base.propagation.result.infeasible_col << "'s domain";
+    }
+    os << " within the variable bounds.";
+  }
+  return os.str();
+}
+
+void ArchAnalysisReport::print(std::ostream& os) const {
+  base.print(os);
+  os << "blocks (by origin): " << blocks.size() << ", coupling columns: "
+     << coupling_cols << "\n";
+  for (const OriginBlock& b : blocks) {
+    os << "  '" << b.origin << "': " << b.rows << " row(s), " << b.private_cols
+       << " private + " << b.shared_cols << " shared col(s)\n";
+  }
+  if (!base.iis.rows.empty()) {
+    os << "iis attribution: " << iis_attribution * 100.0 << "%\n";
+    for (std::size_t k = 0; k < base.iis.rows.size(); ++k) {
+      os << "  row " << base.iis.rows[k] << " [origin: " << iis_origins[k] << "]\n";
+    }
+  }
+  const std::string why = explain_infeasibility();
+  if (!why.empty()) os << why << "\n";
+}
+
+void enable_infeasibility_diagnosis(Problem& problem, AnalyzeOptions options) {
+  problem.set_infeasibility_diagnoser(
+      [options = std::move(options)](const Problem& p) {
+        const ArchAnalysisReport report = analyze(p, options);
+        std::string why = report.explain_infeasibility();
+        if (why.empty()) {
+          why = "exploration is infeasible, but static analysis could not "
+                "isolate a conflict (the infeasibility needs integrality or "
+                "LP reasoning beyond interval propagation)";
+        }
+        return why;
+      });
+}
+
+}  // namespace archex::check

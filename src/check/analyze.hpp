@@ -1,0 +1,188 @@
+/// \file analyze.hpp
+/// Whole-model structural analysis of MILP models.
+///
+/// The linter (check/lint.hpp) inspects rows in isolation; this module looks
+/// at the model as a whole. ArchEx encodings are highly structured — typed
+/// node groups, interchangeable components, 0/1 adjacency and mapping blocks
+/// — and that structure is statically extractable: independent sub-models,
+/// bounds provable without solving, interchangeable columns, and (when the
+/// model is infeasible) the minimal set of conflicting constraints.
+///
+/// Four passes ship behind the narrow AnalysisPass interface, registerable
+/// like patterns and pricing rules are (the microkernel discipline):
+///
+///   * `decompose` — connected components of the row/column bipartite graph:
+///     each component is an independent sub-model that could be solved
+///     separately;
+///   * `propagate` — interval-arithmetic bound propagation to a fixpoint
+///     (milp::propagate_bounds, the same engine presolve's strengthen step
+///     runs): static infeasibility proofs, fixed variables, tightened
+///     bounds;
+///   * `symmetry` — orbit partitioning of interchangeable columns/rows by
+///     iterated refinement of coefficient-signature hashes, with lex-order
+///     symmetry-breaking recommendations for binary orbits;
+///   * `iis` — deletion-filter irreducible infeasible subsystem extraction
+///     (check/iis.hpp) when the model or its propagated relaxation is
+///     infeasible.
+///
+/// The arch-level overload maps every result back to the emitting pattern
+/// via `Problem::origin_of_row`, so an infeasible exploration is explained
+/// in pattern terms ("at_least_n_paths(...) conflicts with
+/// no_connections(...)") instead of `Infeasible`. CLI: `milp_analyze`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/iis.hpp"
+#include "milp/model.hpp"
+#include "milp/presolve.hpp"
+
+namespace archex {
+class Problem;
+}  // namespace archex
+
+namespace archex::check {
+
+/// Options for the analyzer. Pass selection is by name; an empty `passes`
+/// list runs every registered pass in registration order.
+struct AnalyzeOptions {
+  std::vector<std::string> passes;  ///< empty = all registered passes
+  milp::PropagateOptions propagation{.max_passes = 64, .tol = 1e-9,
+                                     .record_changes = true,
+                                     .max_changes = 4096};
+  IisOptions iis;
+  /// Orbit members listed per orbit in reports (the orbit size is always
+  /// exact; only the listing is capped).
+  std::size_t max_orbit_members = 64;
+  /// Component row/col ids listed per component in reports (counts exact).
+  std::size_t max_component_members = 256;
+};
+
+/// One connected component of the row/column bipartite graph.
+struct ComponentInfo {
+  std::vector<std::int32_t> rows;  ///< sorted ascending, capped for reports
+  std::vector<std::int32_t> cols;
+  std::size_t num_rows = 0;  ///< exact counts (lists above may be capped)
+  std::size_t num_cols = 0;
+};
+
+/// Output of the `decompose` pass.
+struct DecompositionReport {
+  bool ran = false;
+  std::vector<ComponentInfo> components;  ///< largest first
+  std::size_t unreferenced_cols = 0;      ///< columns in no row (not components)
+};
+
+/// Output of the `propagate` pass.
+struct PropagationReport {
+  bool ran = false;
+  milp::Propagation result;
+};
+
+/// One orbit: indices whose coefficient signatures stayed identical through
+/// the refinement — candidates for being interchangeable. Refinement is a
+/// color-refinement (WL-style) necessary condition, so orbits may
+/// overapproximate the true automorphism orbits; recommendations are advice
+/// for the modeler, while `Problem::add_symmetry_breaking` does the exact
+/// swap check before emitting constraints.
+struct Orbit {
+  std::vector<std::int32_t> members;  ///< sorted ascending, capped for reports
+  std::size_t size = 0;               ///< exact orbit size
+};
+
+/// Output of the `symmetry` pass.
+struct SymmetryReport {
+  bool ran = false;
+  std::vector<Orbit> col_orbits;  ///< nontrivial (size >= 2) only, largest first
+  std::vector<Orbit> row_orbits;
+  std::vector<std::string> recommendations;  ///< lex-order hints, binary orbits
+  int refinement_rounds = 0;
+};
+
+/// Aggregate analyzer output.
+struct AnalysisReport {
+  DecompositionReport decomposition;
+  PropagationReport propagation;
+  SymmetryReport symmetry;
+  IisReport iis;
+  std::vector<std::string> passes_run;
+
+  /// True when any pass proved the model statically infeasible.
+  [[nodiscard]] bool proved_infeasible() const {
+    return (propagation.ran && propagation.result.infeasible) || iis.infeasible;
+  }
+  void print(std::ostream& os) const;
+};
+
+/// One registerable analysis technique. Passes run in registration order and
+/// write their own section of the report; later passes may read earlier
+/// sections (the `iis` pass consults `propagation`).
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void run(const milp::Model& model, const AnalyzeOptions& options,
+                   AnalysisReport& report) const = 0;
+};
+
+/// Registers a pass factory under `name` (idempotent: re-registering a name
+/// replaces the factory). The four built-ins are pre-registered.
+void register_analysis_pass(const std::string& name,
+                            std::unique_ptr<AnalysisPass> (*factory)());
+
+/// Names of all registered passes, in registration order.
+[[nodiscard]] std::vector<std::string> registered_analysis_passes();
+
+/// Runs the selected (default: all) passes over `model`.
+[[nodiscard]] AnalysisReport analyze(const milp::Model& model,
+                                     const AnalyzeOptions& options = {});
+
+// --- arch-level attribution -------------------------------------------------
+
+/// Row counts of one origin label (pattern description, "structural",
+/// "flow(...)", "symmetry-breaking") plus its column footprint: the
+/// near-block structure of the encoding. `private_cols` are referenced only
+/// by this origin's rows; shared columns are what couples the blocks.
+struct OriginBlock {
+  std::string origin;
+  std::size_t rows = 0;
+  std::size_t private_cols = 0;
+  std::size_t shared_cols = 0;
+};
+
+/// Analyzer output attributed to the exploration layer.
+struct ArchAnalysisReport {
+  AnalysisReport base;
+  /// Origin label per IIS row, aligned with `base.iis.rows`.
+  std::vector<std::string> iis_origins;
+  /// Fraction of IIS rows with a known (non-"unattributed") origin.
+  double iis_attribution = 0.0;
+  /// Near-block structure: one entry per origin label, rows descending.
+  std::vector<OriginBlock> blocks;
+  /// Columns referenced by rows of two or more distinct origins.
+  std::size_t coupling_cols = 0;
+
+  /// Human-readable paragraph naming the conflicting patterns; empty when no
+  /// infeasibility was proven.
+  [[nodiscard]] std::string explain_infeasibility() const;
+  void print(std::ostream& os) const;
+};
+
+/// Analyzes `problem.model()` and attributes rows via
+/// `Problem::origin_of_row`.
+[[nodiscard]] ArchAnalysisReport analyze(const Problem& problem,
+                                         const AnalyzeOptions& options = {});
+
+/// Wires the analyzer into the Problem: installs an infeasibility diagnoser
+/// so `Problem::solve` fills `ExplorationResult::infeasibility_explanation`
+/// (via analyze + IIS extraction, pattern-named) whenever a solve comes back
+/// infeasible. This is the opt-in switch — construction costs nothing and
+/// the analyzer only runs on the infeasible path.
+void enable_infeasibility_diagnosis(Problem& problem, AnalyzeOptions options = {});
+
+}  // namespace archex::check

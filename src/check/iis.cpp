@@ -1,0 +1,121 @@
+#include "check/iis.hpp"
+
+#include <algorithm>
+
+#include "milp/presolve.hpp"
+#include "milp/simplex.hpp"
+
+namespace archex::check {
+
+using milp::LinConstraint;
+using milp::Model;
+using milp::Propagation;
+using milp::PropagateOptions;
+using milp::Term;
+
+const char* to_string(IisOracle o) {
+  switch (o) {
+    case IisOracle::Auto: return "auto";
+    case IisOracle::Propagation: return "propagation";
+    case IisOracle::Lp: return "lp";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Phase-1 feasibility of the rows of `model` selected by `mask`, with
+/// integrality relaxed. Builds the subsystem model fresh per call — the
+/// deletion filter only runs on models already proven infeasible, so the
+/// quadratic cost is paid on diagnostics, never on the solve path.
+bool lp_infeasible(const Model& model, const std::vector<char>& mask) {
+  Model sub;
+  for (const milp::Variable& v : model.vars()) {
+    sub.add_continuous(v.lb, v.ub, v.name);
+  }
+  for (std::size_t i = 0; i < model.num_constraints(); ++i) {
+    if (mask[i] == 0) continue;
+    const LinConstraint& c = model.constraint(i);
+    sub.add_constraint(c.expr, c.sense, c.rhs, c.name);
+  }
+  milp::SimplexSolver lp(sub);
+  return lp.solve_primal() == milp::SolveStatus::Infeasible;
+}
+
+}  // namespace
+
+IisReport extract_iis(const Model& model, const IisOptions& opt) {
+  IisReport report;
+  report.attempted = true;
+  const std::size_t m = model.num_constraints();
+
+  PropagateOptions popt;
+  popt.tol = opt.tol;
+  popt.max_passes = opt.propagation_passes;
+  popt.record_changes = true;
+
+  std::vector<char> active(m, 1);
+  auto propagation_infeasible = [&](const std::vector<char>& mask) {
+    PropagateOptions sub = popt;
+    sub.record_changes = false;
+    ++report.oracle_calls;
+    return milp::propagate_bounds(model, sub, &mask).infeasible;
+  };
+  auto lp_oracle = [&](const std::vector<char>& mask) {
+    ++report.oracle_calls;
+    return lp_infeasible(model, mask);
+  };
+
+  // Pick the oracle: propagation when it proves the full model infeasible
+  // (sound and cheap), phase-1 LP otherwise.
+  const Propagation full = milp::propagate_bounds(model, popt, &active);
+  ++report.oracle_calls;
+  bool use_propagation = false;
+  if (opt.oracle == IisOracle::Propagation ||
+      (opt.oracle == IisOracle::Auto && full.infeasible)) {
+    use_propagation = true;
+    report.infeasible = full.infeasible;
+  } else {
+    report.infeasible = lp_oracle(active);
+  }
+  report.oracle = use_propagation ? "propagation" : "lp";
+  if (!report.infeasible) return report;
+
+  auto infeasible = [&](const std::vector<char>& mask) {
+    return use_propagation ? propagation_infeasible(mask) : lp_oracle(mask);
+  };
+
+  // Conflict slice: when propagation proved infeasibility, the rows that
+  // drove any bound change plus the contradicting row are themselves an
+  // infeasible subsystem most of the time — shrinking to that slice first
+  // saves one oracle call per unrelated row.
+  if (use_propagation) {
+    std::vector<char> slice(m, 0);
+    if (full.infeasible_row >= 0) slice[static_cast<std::size_t>(full.infeasible_row)] = 1;
+    for (const milp::BoundChange& ch : full.changes) {
+      if (ch.row >= 0) slice[static_cast<std::size_t>(ch.row)] = 1;
+    }
+    if (slice != active && propagation_infeasible(slice)) active = slice;
+  }
+
+  // Deletion filter: drop each still-active row; keep the drop if the rest
+  // stays infeasible. The oracle is monotone (fewer rows never prove more),
+  // so the surviving set is irreducible with respect to it.
+  report.irreducible = true;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (active[i] == 0) continue;
+    if (report.oracle_calls >= opt.max_oracle_calls) {
+      report.irreducible = false;  // budget hit: still infeasible, not minimal
+      break;
+    }
+    active[i] = 0;
+    if (!infeasible(active)) active[i] = 1;
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    if (active[i] != 0) report.rows.push_back(static_cast<std::int32_t>(i));
+  }
+  return report;
+}
+
+}  // namespace archex::check

@@ -1,0 +1,62 @@
+/// \file iis.hpp
+/// Irreducible infeasible subsystem (IIS) extraction.
+///
+/// When a model is infeasible, "Infeasible" is a verdict, not a diagnosis.
+/// An IIS is a set of constraints that (together with the variable bounds)
+/// is infeasible, and from which removing any single constraint restores
+/// feasibility — the minimal conflict a modeler has to break. The deletion
+/// filter computes one: walk the rows, tentatively delete each, keep the
+/// deletion whenever the remainder is still infeasible.
+///
+/// Two infeasibility oracles:
+///   * `Propagation` — milp::propagate_bounds over the active subsystem.
+///     Sound (a propagation proof is a real proof) and fast, but incomplete:
+///     it only sees what interval arithmetic can prove. Used whenever
+///     propagation proves the full model infeasible.
+///   * `Lp` — a phase-1 simplex solve of the active subsystem (integrality
+///     relaxed). Complete for LP infeasibility, O(rows) LP solves.
+///
+/// `Auto` picks Propagation when it proves the full model infeasible and
+/// falls back to Lp otherwise. A model whose LP relaxation is feasible but
+/// which is integer-infeasible yields no IIS here (reported as such).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace archex::check {
+
+/// Which infeasibility test drives the deletion filter.
+enum class IisOracle : std::uint8_t { Auto, Propagation, Lp };
+
+[[nodiscard]] const char* to_string(IisOracle o);
+
+struct IisOptions {
+  IisOracle oracle = IisOracle::Auto;
+  double tol = 1e-9;  ///< propagation tolerance
+  /// Upper bound on oracle invocations (the filter needs one per row plus
+  /// one up-front; a hit leaves `irreducible` false).
+  std::size_t max_oracle_calls = 100'000;
+  int propagation_passes = 64;
+};
+
+/// The extracted conflict.
+struct IisReport {
+  bool attempted = false;    ///< the pass ran
+  bool infeasible = false;   ///< oracle proved the full model infeasible
+  bool irreducible = false;  ///< deletion filter completed: `rows` is an IIS
+  const char* oracle = "none";  ///< oracle that drove the filter
+  /// Member rows of the conflict, sorted ascending. Together with the
+  /// variable bounds these rows are infeasible; if `irreducible`, removing
+  /// any one of them restores feasibility (w.r.t. the oracle).
+  std::vector<std::int32_t> rows;
+  std::size_t oracle_calls = 0;
+};
+
+/// Extracts an IIS from `model`. Never modifies the model.
+[[nodiscard]] IisReport extract_iis(const milp::Model& model,
+                                    const IisOptions& options = {});
+
+}  // namespace archex::check

@@ -297,6 +297,10 @@ void Linter::lint_duplicates() {
     const LinConstraint& c = model_.constraint(i);
     if (c.expr.terms().empty()) continue;  // handled by EmptyRow
     std::ostringstream key;
+    // Hexfloat: the key must be exact. Default stream precision (6 digits)
+    // would merge rows whose coefficients differ past the 6th digit and
+    // report them as duplicates or contradictions of each other.
+    key << std::hexfloat;
     for (const Term& t : c.expr.terms()) key << t.var.index << ":" << t.coef << ";";
     groups[key.str()].push_back({i, c.sense, c.rhs});
   }

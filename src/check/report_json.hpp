@@ -1,0 +1,68 @@
+/// \file report_json.hpp
+/// Machine-readable reports for the static-analysis CLIs.
+///
+/// `milp_lint --json` and `milp_analyze --json` emit the same envelope —
+/// schema `archex-check-report/1` — so downstream tooling parses one format:
+///
+/// ```json
+/// {
+///   "schema": "archex-check-report/1",
+///   "tool": "milp_lint",
+///   "model": {"file": "m.lp", "rows": 12, "cols": 9},
+///   "summary": {"errors": 1, "warnings": 0, "infos": 2, "findings": 3},
+///   "findings": [
+///     {"pass": "lint", "rule": "empty-row", "severity": "warning",
+///      "row": 3, "col": -1, "message": "...", "origin": "structural"}
+///   ],
+///   "analysis": { ...present only for milp_analyze... }
+/// }
+/// ```
+///
+/// Every finding carries the pass that produced it, a stable kebab-case rule
+/// id, a severity, row/col coordinates (-1 when not applicable), and — when
+/// row provenance is available — the origin label of the offending row.
+/// `tools/validate_report.py` checks instances against this schema in CI.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/analyze.hpp"
+#include "check/lint.hpp"
+
+namespace archex::check {
+
+/// What the report says about the model it describes.
+struct ReportModelInfo {
+  std::string file;  ///< path as given on the command line, may be empty
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+/// Everything a report can carry. `lint` and `analysis` are both optional:
+/// milp_lint sets only `lint`, milp_analyze only `analysis`. `row_origins`
+/// (one label per model row, optional) attributes findings to their emitting
+/// pattern; rows beyond its length report no origin.
+struct JsonReportInput {
+  std::string tool;
+  ReportModelInfo model;
+  const LintReport* lint = nullptr;
+  const AnalysisReport* analysis = nullptr;
+  const std::vector<std::string>* row_origins = nullptr;
+};
+
+/// Renders the archex-check-report/1 JSON document (pretty-printed, trailing
+/// newline included).
+[[nodiscard]] std::string to_json(const JsonReportInput& input);
+
+/// Reads a `.origins` sidecar file: one `index<TAB>label` line per row.
+/// Returns a per-row label vector sized to the largest index seen; missing
+/// indices get "unattributed". Throws std::runtime_error on malformed lines.
+[[nodiscard]] std::vector<std::string> read_origins_file(const std::string& path);
+
+/// Writes the sidecar format read_origins_file() parses.
+void write_origins_file(const std::string& path,
+                        const std::vector<std::string>& origins);
+
+}  // namespace archex::check

@@ -1229,6 +1229,12 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
         static_cast<std::int64_t>(pre.vars_fixed));
     reg->counter("milp.presolve.bounds_tightened").add(
         static_cast<std::int64_t>(pre.bounds_tightened));
+    reg->counter("milp.presolve.strengthen_tightened").add(
+        static_cast<std::int64_t>(pre.strengthen_tightened));
+    reg->counter("milp.presolve.strengthen_fixed").add(
+        static_cast<std::int64_t>(pre.strengthen_fixed));
+    reg->counter("milp.presolve.rhs_strengthened").add(
+        static_cast<std::int64_t>(pre.rhs_strengthened));
     if (pre.infeasible) {
       sol.status = SolveStatus::Infeasible;
       sol.solve_seconds = std::chrono::duration<double>(Clock::now() - t0).count();

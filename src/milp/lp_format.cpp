@@ -117,18 +117,33 @@ Model parse_lp(std::istream& in) {
   std::string pending;  // multi-line statements are joined until complete
   int pending_line = 0;
 
+  // End of a statement label: the first ':' followed by whitespace (or at end
+  // of text). A bare `find(':')` is wrong here — ArchEx names legitimately
+  // contain colons (flow commodities like "paths[relh:LD1]"), and the writer
+  // always emits labels as "name: ".
+  auto label_colon = [](const std::string& text) {
+    for (std::size_t p = text.find(':'); p != std::string::npos;
+         p = text.find(':', p + 1)) {
+      if (p + 1 == text.size() ||
+          std::isspace(static_cast<unsigned char>(text[p + 1]))) {
+        return p;
+      }
+    }
+    return std::string::npos;
+  };
+
   auto flush_statement = [&](const std::string& text, int line) {
     if (text.empty()) return;
     if (section == Section::Objective) {
       std::string body = text;
-      if (const std::size_t colon = body.find(':'); colon != std::string::npos) {
+      if (const std::size_t colon = label_colon(body); colon != std::string::npos) {
         body = body.substr(colon + 1);
       }
       for (const ParsedTerm& t : parse_terms(body, line)) objective.push_back(t);
     } else if (section == Section::Constraints) {
       RawConstraint rc;
       std::string body = text;
-      if (const std::size_t colon = body.find(':'); colon != std::string::npos) {
+      if (const std::size_t colon = label_colon(body); colon != std::string::npos) {
         rc.name = body.substr(0, colon);
         // Trim the name.
         while (!rc.name.empty() && std::isspace(static_cast<unsigned char>(rc.name.front()))) {
@@ -192,11 +207,16 @@ Model parse_lp(std::istream& in) {
 
   while (std::getline(in, raw)) {
     ++line_no;
-    // Strip comments ('\' in LP format; accept '#' too).
-    for (const char c : {'\\', '#'}) {
-      if (const std::size_t pos = raw.find(c); pos != std::string::npos) {
-        raw = raw.substr(0, pos);
-      }
+    // Strip comments ('\' in LP format; accept full-line '#' too — but only
+    // at the start of the line, since '#' occurs inside ArchEx names as the
+    // tag separator, e.g. "Load#critical").
+    if (const std::size_t pos = raw.find('\\'); pos != std::string::npos) {
+      raw = raw.substr(0, pos);
+    }
+    {
+      std::size_t first = 0;
+      while (first < raw.size() && std::isspace(static_cast<unsigned char>(raw[first]))) ++first;
+      if (first < raw.size() && raw[first] == '#') raw.clear();
     }
     std::string trimmed = raw;
     while (!trimmed.empty() && std::isspace(static_cast<unsigned char>(trimmed.back()))) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace archex::milp {
 
@@ -20,7 +21,182 @@ bool round_integer_bounds(WorkVar& v, double tol) {
   return v.lb <= v.ub + tol;
 }
 
+/// Activity bound of one row side with infinite contributions counted
+/// separately, so a single unbounded column still allows propagation onto
+/// that column (the residual of the others is finite).
+struct SideBound {
+  double finite_sum = 0.0;  ///< sum of the finite contributions
+  int num_inf = 0;          ///< contributions at +/-infinity
+
+  [[nodiscard]] double total(double inf_sign) const {
+    return num_inf > 0 ? inf_sign * kInf : finite_sum;
+  }
+};
+
 }  // namespace
+
+Propagation propagate_bounds(const Model& model, const PropagateOptions& opt,
+                             const std::vector<char>* row_mask) {
+  const double tol = opt.tol;
+  const std::size_t n = model.num_vars();
+  const std::size_t m = model.num_constraints();
+
+  Propagation res;
+  res.lb.resize(n);
+  res.ub.resize(n);
+  std::vector<char> integral(n);
+  std::vector<char> fixed_on_entry(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Variable& v = model.vars()[j];
+    res.lb[j] = v.lb;
+    res.ub[j] = v.ub;
+    integral[j] = v.is_integral() ? 1 : 0;
+    fixed_on_entry[j] = (v.ub - v.lb <= tol) ? 1 : 0;
+    if (integral[j] != 0) {
+      // Round the starting box inward; an emptied integer domain is already
+      // a static infeasibility proof.
+      if (res.lb[j] > -kInf) res.lb[j] = std::ceil(res.lb[j] - tol);
+      if (res.ub[j] < kInf) res.ub[j] = std::floor(res.ub[j] + tol);
+    }
+    if (res.lb[j] > res.ub[j] + tol) {
+      res.infeasible = true;
+      res.infeasible_col = static_cast<std::int32_t>(j);
+      return res;
+    }
+  }
+
+  // One tightening of column j implied by row i; returns false on an emptied
+  // domain. Improvements below the relative tolerance are rejected so cyclic
+  // chains cannot produce unbounded numbers of epsilon steps.
+  auto tighten = [&](std::size_t j, std::int32_t row, double new_lb, double new_ub,
+                     bool* changed) -> bool {
+    const double old_lb = res.lb[j];
+    const double old_ub = res.ub[j];
+    double lb = std::max(old_lb, new_lb);
+    double ub = std::min(old_ub, new_ub);
+    if (integral[j] != 0) {
+      if (lb > -kInf) lb = std::ceil(lb - tol);
+      if (ub < kInf) ub = std::floor(ub + tol);
+    }
+    // Infinite old bounds need a special case: tol * (1 + inf) is inf and
+    // inf - inf is NaN, which would silently reject every finite improvement
+    // onto a previously unbounded column.
+    const bool lb_improved = old_lb == -kInf
+                                 ? lb > -kInf
+                                 : lb > old_lb + tol * (1.0 + std::abs(old_lb));
+    const bool ub_improved = old_ub == kInf
+                                 ? ub < kInf
+                                 : ub < old_ub - tol * (1.0 + std::abs(old_ub));
+    if (!lb_improved && !ub_improved) return true;
+    res.lb[j] = lb_improved ? lb : old_lb;
+    res.ub[j] = ub_improved ? ub : old_ub;
+    ++res.bounds_tightened;
+    *changed = true;
+    if (opt.record_changes && res.changes.size() < opt.max_changes) {
+      res.changes.push_back({static_cast<std::int32_t>(j), row, old_lb, old_ub,
+                             res.lb[j], res.ub[j]});
+    }
+    if (res.lb[j] > res.ub[j] + tol) {
+      res.infeasible = true;
+      res.infeasible_col = static_cast<std::int32_t>(j);
+      res.infeasible_row = row;
+      return false;
+    }
+    return true;
+  };
+
+  for (res.passes = 0; res.passes < opt.max_passes; ++res.passes) {
+    bool changed = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (row_mask != nullptr && (*row_mask)[i] == 0) continue;
+      const LinConstraint& c = model.constraint(i);
+      const auto row = static_cast<std::int32_t>(i);
+      const double rtol = tol * (1.0 + std::abs(c.rhs));
+
+      // Empty rows carry no propagation; an unsatisfiable constant row is a
+      // static infeasibility proof of its own.
+      if (c.expr.terms().empty()) {
+        const bool ok = (c.sense == Sense::LE && 0.0 <= c.rhs + rtol) ||
+                        (c.sense == Sense::GE && 0.0 >= c.rhs - rtol) ||
+                        (c.sense == Sense::EQ && std::abs(c.rhs) <= rtol);
+        if (!ok) {
+          res.infeasible = true;
+          res.infeasible_row = row;
+          return res;
+        }
+        continue;
+      }
+
+      SideBound lo, hi;  // inf/sup of the row activity over the current box
+      for (const Term& t : c.expr.terms()) {
+        const std::size_t j = static_cast<std::size_t>(t.var.index);
+        const double at_min = t.coef > 0 ? t.coef * res.lb[j] : t.coef * res.ub[j];
+        const double at_max = t.coef > 0 ? t.coef * res.ub[j] : t.coef * res.lb[j];
+        if (std::isfinite(at_min)) lo.finite_sum += at_min; else ++lo.num_inf;
+        if (std::isfinite(at_max)) hi.finite_sum += at_max; else ++hi.num_inf;
+      }
+
+      // Infeasibility by activity interval.
+      if (c.sense != Sense::GE && lo.total(-1.0) > c.rhs + rtol) {
+        res.infeasible = true;
+        res.infeasible_row = row;
+        return res;
+      }
+      if (c.sense != Sense::LE && hi.total(+1.0) < c.rhs - rtol) {
+        res.infeasible = true;
+        res.infeasible_row = row;
+        return res;
+      }
+
+      // Propagate onto each column: the residual activity of the others
+      // implies a bound. With more than one infinite contribution on the
+      // relevant side nothing can be said; with exactly one, only the column
+      // contributing it receives a bound.
+      for (const Term& t : c.expr.terms()) {
+        const std::size_t j = static_cast<std::size_t>(t.var.index);
+        if (c.sense != Sense::GE) {  // a.x <= rhs side
+          const double at_min = t.coef > 0 ? t.coef * res.lb[j] : t.coef * res.ub[j];
+          const bool self_inf = !std::isfinite(at_min);
+          if (lo.num_inf == (self_inf ? 1 : 0)) {
+            const double others = lo.finite_sum - (self_inf ? 0.0 : at_min);
+            const double room = c.rhs - others;  // t.coef * x_j <= room
+            const double b = room / t.coef;
+            if (t.coef > 0) {
+              if (!tighten(j, row, -kInf, b, &changed)) return res;
+            } else {
+              if (!tighten(j, row, b, kInf, &changed)) return res;
+            }
+          }
+        }
+        if (c.sense != Sense::LE) {  // a.x >= rhs side
+          const double at_max = t.coef > 0 ? t.coef * res.ub[j] : t.coef * res.lb[j];
+          const bool self_inf = !std::isfinite(at_max);
+          if (hi.num_inf == (self_inf ? 1 : 0)) {
+            const double others = hi.finite_sum - (self_inf ? 0.0 : at_max);
+            const double room = c.rhs - others;  // t.coef * x_j >= room
+            const double b = room / t.coef;
+            if (t.coef > 0) {
+              if (!tighten(j, row, b, kInf, &changed)) return res;
+            } else {
+              if (!tighten(j, row, -kInf, b, &changed)) return res;
+            }
+          }
+        }
+      }
+    }
+    if (!changed) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    if (fixed_on_entry[j] == 0 && res.ub[j] - res.lb[j] <= tol && res.lb[j] > -kInf) {
+      ++res.vars_fixed;
+    }
+  }
+  return res;
+}
 
 std::vector<double> PresolveResult::postsolve(const std::vector<double>& reduced_x) const {
   std::vector<double> x(fixed.size(), 0.0);
@@ -51,6 +227,26 @@ PresolveResult presolve(const Model& model, PresolveOptions opt) {
       return res;
     }
   }
+
+  // Strengthen step: run the standalone bound-propagation fixpoint first.
+  // It handles rows with one unbounded activity side (which the reduction
+  // loop below skips) and gives the reduction loop a tighter starting box.
+  if (opt.strengthen) {
+    PropagateOptions popt;
+    popt.tol = tol;
+    const Propagation prop = propagate_bounds(model, popt);
+    if (prop.infeasible) {
+      res.infeasible = true;
+      return res;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (prop.lb[j] > vars[j].lb) vars[j].lb = prop.lb[j];
+      if (prop.ub[j] < vars[j].ub) vars[j].ub = prop.ub[j];
+    }
+    res.strengthen_tightened = prop.bounds_tightened;
+    res.strengthen_fixed = prop.vars_fixed;
+  }
+
   std::vector<bool> row_dead(m, false);
 
   // Fixpoint loop over cheap reductions.
@@ -245,6 +441,42 @@ PresolveResult presolve(const Model& model, PresolveOptions opt) {
       }
       row_dead[i] = true;  // dropped, though not counted in rows_removed
       continue;
+    }
+    // Strengthen: a row over integer columns with integral coefficients can
+    // only take activity values that are multiples of the coefficient GCD,
+    // so the rhs rounds to the nearest reachable multiple (<=: down, >=: up;
+    // an EQ rhs off the lattice is infeasible).
+    if (opt.strengthen) {
+      std::int64_t g = 0;
+      bool integral_row = true;
+      for (const Term& t : e.terms()) {
+        const std::size_t rj = static_cast<std::size_t>(t.var.index);
+        const double a = std::abs(t.coef);
+        const double ra = std::round(a);
+        if (res.reduced.vars()[rj].type == VarType::Continuous || a > 1e15 ||
+            std::abs(a - ra) > opt.tol * (1.0 + a) || ra < 1.0) {
+          integral_row = false;
+          break;
+        }
+        g = std::gcd(g, static_cast<std::int64_t>(ra));
+      }
+      if (integral_row && g > 0) {
+        const double gd = static_cast<double>(g);
+        const double rtol = opt.tol * (1.0 + std::abs(rhs));
+        if (c.sense == Sense::LE) {
+          const double nb = std::floor(rhs / gd + rtol) * gd;
+          if (nb < rhs - rtol) { rhs = nb; ++res.rhs_strengthened; }
+        } else if (c.sense == Sense::GE) {
+          const double nb = std::ceil(rhs / gd - rtol) * gd;
+          if (nb > rhs + rtol) { rhs = nb; ++res.rhs_strengthened; }
+        } else {
+          const double q = rhs / gd;
+          if (std::abs(q - std::round(q)) > rtol) {
+            res.infeasible = true;
+            return res;
+          }
+        }
+      }
     }
     res.reduced.add_constraint(std::move(e), c.sense, rhs, c.name);
   }

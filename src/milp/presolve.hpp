@@ -14,6 +14,56 @@
 
 namespace archex::milp {
 
+/// One bound tightening produced by propagate_bounds, with the row that
+/// implied it — the raw material for infeasibility explanations (the
+/// structural analyzer's propagation pass and the IIS deletion filter both
+/// consume these).
+struct BoundChange {
+  std::int32_t col = -1;  ///< tightened column
+  std::int32_t row = -1;  ///< row that implied it; -1 = integer rounding alone
+  double old_lb = 0.0;
+  double old_ub = 0.0;
+  double new_lb = 0.0;
+  double new_ub = 0.0;
+};
+
+/// Options for the standalone bound-propagation fixpoint.
+struct PropagateOptions {
+  int max_passes = 64;          ///< fixpoint cap (cyclic chains terminate here)
+  double tol = 1e-9;            ///< minimum relative improvement to accept
+  bool record_changes = false;  ///< capture per-tightening BoundChange records
+  std::size_t max_changes = 65536;  ///< cap on recorded changes
+};
+
+/// Result of running interval-arithmetic bound propagation to a fixpoint.
+struct Propagation {
+  bool infeasible = false;
+  /// Row whose activity interval proved infeasibility (-1 when a column
+  /// domain emptied instead, see `infeasible_col`).
+  std::int32_t infeasible_row = -1;
+  std::int32_t infeasible_col = -1;
+  bool converged = false;  ///< fixpoint reached within max_passes
+  int passes = 0;
+  std::size_t bounds_tightened = 0;
+  std::size_t vars_fixed = 0;  ///< domains collapsed to a point (not fixed on entry)
+  /// Propagated bounds per column (tightest proven box).
+  std::vector<double> lb, ub;
+  std::vector<BoundChange> changes;  ///< populated when record_changes
+};
+
+/// Runs interval-arithmetic activity-bound propagation over the rows of
+/// `model` to a fixpoint: proves static infeasibility, fixes variables and
+/// tightens bounds without solving anything. Handles rows with up to one
+/// infinite activity contribution per side (the residual still propagates
+/// onto the unbounded column), rounds integer bounds inward, and terminates
+/// on cyclic tightening chains via `max_passes` (converged=false then).
+///
+/// `row_mask`, when non-null, restricts propagation to rows with a nonzero
+/// entry (size must equal num_constraints) — the IIS deletion filter probes
+/// subsystems this way without copying the model.
+Propagation propagate_bounds(const Model& model, const PropagateOptions& options = {},
+                             const std::vector<char>* row_mask = nullptr);
+
 /// Outcome of presolving a model, with enough information to map a solution
 /// of the reduced model back to the original variable space.
 struct PresolveResult {
@@ -29,6 +79,16 @@ struct PresolveResult {
   std::size_t rows_removed = 0;
   std::size_t vars_fixed = 0;
   std::size_t bounds_tightened = 0;
+  /// Tightenings and fixings proven by the up-front bound-propagation
+  /// strengthen step (propagate_bounds), before the reduction loop runs.
+  /// Counted separately from `bounds_tightened` / `vars_fixed` so the
+  /// strengthen step's contribution is visible in `Solution::metrics`.
+  std::size_t strengthen_tightened = 0;
+  std::size_t strengthen_fixed = 0;
+  /// Right-hand sides rounded by the integral-row GCD strengthening of the
+  /// reduced model (all-integer rows with integral coefficients admit
+  /// `rhs -> floor/ceil to the nearest multiple of gcd`).
+  std::size_t rhs_strengthened = 0;
   /// Original-model indices of every row the reduced model no longer carries
   /// (redundant, singleton-converted, or emptied by substitution — a
   /// superset of the `rows_removed` count, which excludes the last kind).
@@ -45,6 +105,11 @@ struct PresolveResult {
 struct PresolveOptions {
   int max_passes = 10;
   double tol = 1e-9;
+  /// Run the bound-propagation strengthen step (propagate_bounds fixpoint +
+  /// integral-row rhs rounding) before the reduction loop. On by default;
+  /// the analyzer's propagation pass uses the same engine, so presolve and
+  /// `milp_analyze` agree on what is statically provable.
+  bool strengthen = true;
 };
 
 /// Runs presolve on `model`. The reduced model preserves the optimal value

@@ -1,0 +1,185 @@
+#include "check/analyze.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "milp/model.hpp"
+
+namespace archex::check {
+namespace {
+
+using milp::Model;
+using milp::Sense;
+using milp::VarId;
+
+/// Two independent 3-variable blocks plus one column no row references.
+Model two_block_model() {
+  Model m;
+  const VarId x1 = m.add_binary("x1");
+  const VarId x2 = m.add_binary("x2");
+  const VarId x3 = m.add_binary("x3");
+  const VarId y1 = m.add_binary("y1");
+  const VarId y2 = m.add_binary("y2");
+  m.add_constraint(x1 + x2, Sense::LE, 1.0, "x_cap");
+  m.add_constraint(x2 + x3, Sense::GE, 1.0, "x_cover");
+  m.add_constraint(y1 + y2, Sense::LE, 1.0, "y_cap");
+  m.add_binary("unused");
+  m.set_objective(x1 + y1);
+  return m;
+}
+
+/// Propagation-provable infeasible chain: x <= 3, y <= x, y >= 5.
+Model chain_infeasible_model() {
+  Model m;
+  const VarId x = m.add_continuous(0.0, 100.0, "x");
+  const VarId y = m.add_continuous(0.0, 100.0, "y");
+  m.add_constraint(x * 1.0, Sense::LE, 3.0, "cap");
+  m.add_constraint(y - x, Sense::LE, 0.0, "link");
+  m.add_constraint(y * 1.0, Sense::GE, 5.0, "demand");
+  m.set_objective(x + y);
+  return m;
+}
+
+/// b1..b4 interchangeable through cover; (b1,b2) and (b3,b4) tied pairwise.
+Model symmetric_model() {
+  Model m;
+  const VarId b1 = m.add_binary("b1");
+  const VarId b2 = m.add_binary("b2");
+  const VarId b3 = m.add_binary("b3");
+  const VarId b4 = m.add_binary("b4");
+  m.add_constraint(b1 + b2 + b3 + b4, Sense::GE, 2.0, "cover");
+  m.add_constraint(b1 + b2, Sense::LE, 1.0, "pair_a");
+  m.add_constraint(b3 + b4, Sense::LE, 1.0, "pair_b");
+  m.set_objective(b1 + b2 + b3 + b4);
+  return m;
+}
+
+TEST(AnalyzeTest, DecomposeFindsIndependentComponents) {
+  const AnalysisReport r = analyze(two_block_model());
+  ASSERT_TRUE(r.decomposition.ran);
+  ASSERT_EQ(r.decomposition.components.size(), 2u);
+  // Largest first: the x-block has 2 rows / 3 cols, the y-block 1 row / 2 cols.
+  EXPECT_EQ(r.decomposition.components[0].num_rows, 2u);
+  EXPECT_EQ(r.decomposition.components[0].num_cols, 3u);
+  EXPECT_EQ(r.decomposition.components[1].num_rows, 1u);
+  EXPECT_EQ(r.decomposition.components[1].num_cols, 2u);
+  EXPECT_EQ(r.decomposition.unreferenced_cols, 1u);
+}
+
+TEST(AnalyzeTest, DecomposeSingleComponentWhenCoupled) {
+  Model m;
+  const VarId a = m.add_binary("a");
+  const VarId b = m.add_binary("b");
+  const VarId c = m.add_binary("c");
+  m.add_constraint(a + b, Sense::LE, 1.0);
+  m.add_constraint(b + c, Sense::LE, 1.0);  // b couples the rows
+  const AnalysisReport r = analyze(m);
+  ASSERT_EQ(r.decomposition.components.size(), 1u);
+  EXPECT_EQ(r.decomposition.components[0].num_cols, 3u);
+}
+
+TEST(AnalyzeTest, PropagateProvesStaticInfeasibility) {
+  const AnalysisReport r = analyze(chain_infeasible_model());
+  ASSERT_TRUE(r.propagation.ran);
+  EXPECT_TRUE(r.propagation.result.infeasible);
+  EXPECT_EQ(r.propagation.result.infeasible_row, 2);
+  EXPECT_TRUE(r.proved_infeasible());
+}
+
+TEST(AnalyzeTest, SymmetryFindsOrbitsAndRecommends) {
+  const AnalysisReport r = analyze(symmetric_model());
+  ASSERT_TRUE(r.symmetry.ran);
+  // All four binaries share a signature (the pair rows are themselves
+  // interchangeable), so refinement cannot split them: one orbit of 4 — or,
+  // if a finer invariant is ever added, at least the pairs survive.
+  ASSERT_FALSE(r.symmetry.col_orbits.empty());
+  EXPECT_GE(r.symmetry.col_orbits[0].size, 2u);
+  ASSERT_FALSE(r.symmetry.row_orbits.empty());  // pair_a ~ pair_b
+  EXPECT_FALSE(r.symmetry.recommendations.empty());
+}
+
+TEST(AnalyzeTest, SymmetryIsSilentOnAsymmetricModel) {
+  Model m;
+  const VarId a = m.add_binary("a");
+  const VarId b = m.add_binary("b");
+  m.add_constraint(a * 1.0 + b * 2.0, Sense::LE, 2.0);
+  m.set_objective(a * 1.0 + b * 3.0);
+  const AnalysisReport r = analyze(m);
+  EXPECT_TRUE(r.symmetry.col_orbits.empty());
+}
+
+TEST(AnalyzeTest, IisExtractsTheFullChain) {
+  const AnalysisReport r = analyze(chain_infeasible_model());
+  ASSERT_TRUE(r.iis.attempted);
+  ASSERT_TRUE(r.iis.infeasible);
+  EXPECT_TRUE(r.iis.irreducible);
+  // Every row of the chain participates: removing any one restores
+  // feasibility, so the IIS is exactly {cap, link, demand}.
+  EXPECT_EQ(r.iis.rows, (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(AnalyzeTest, IisNotAttemptedOnFeasibleModel) {
+  const AnalysisReport r = analyze(two_block_model());
+  EXPECT_FALSE(r.iis.infeasible);
+  EXPECT_FALSE(r.proved_infeasible());
+}
+
+TEST(AnalyzeTest, PassSelectionRunsOnlyRequestedPasses) {
+  AnalyzeOptions opt;
+  opt.passes = {"decompose"};
+  const AnalysisReport r = analyze(chain_infeasible_model(), opt);
+  EXPECT_EQ(r.passes_run, (std::vector<std::string>{"decompose"}));
+  EXPECT_TRUE(r.decomposition.ran);
+  EXPECT_FALSE(r.propagation.ran);
+  EXPECT_FALSE(r.symmetry.ran);
+  EXPECT_FALSE(r.iis.attempted);
+}
+
+TEST(AnalyzeTest, BuiltinPassesAreRegisteredInOrder) {
+  const std::vector<std::string> names = registered_analysis_passes();
+  const auto index = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) - names.begin();
+  };
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_LT(index("decompose"), index("propagate"));
+  EXPECT_LT(index("propagate"), index("symmetry"));
+  EXPECT_LT(index("symmetry"), index("iis"));
+}
+
+class NoopPass final : public AnalysisPass {
+ public:
+  [[nodiscard]] const char* name() const override { return "noop"; }
+  void run(const milp::Model&, const AnalyzeOptions&, AnalysisReport&) const override {}
+};
+
+TEST(AnalyzeTest, CustomPassRegistrationAndSelection) {
+  register_analysis_pass("noop", [] {
+    return std::unique_ptr<AnalysisPass>(std::make_unique<NoopPass>());
+  });
+  // Re-registering the same name must replace, not duplicate.
+  register_analysis_pass("noop", [] {
+    return std::unique_ptr<AnalysisPass>(std::make_unique<NoopPass>());
+  });
+  const std::vector<std::string> names = registered_analysis_passes();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "noop"), 1);
+
+  // Selected passes run in *registration* order, not request order.
+  AnalyzeOptions opt;
+  opt.passes = {"noop", "propagate"};
+  const AnalysisReport r = analyze(two_block_model(), opt);
+  EXPECT_EQ(r.passes_run, (std::vector<std::string>{"propagate", "noop"}));
+}
+
+TEST(AnalyzeTest, ReportPrintsWithoutCrashing) {
+  std::ostringstream os;
+  analyze(chain_infeasible_model()).print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("INFEASIBLE"), std::string::npos);
+  EXPECT_NE(text.find("iis:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace archex::check

@@ -278,5 +278,66 @@ TEST(LintTest, ReportIsSortedAndTalliesMatch) {
   }
 }
 
+// --- regressions from the duplicate-row / big-M audit -----------------------
+
+TEST(LintTest, NearEqualCoefficientsAreNotDuplicates) {
+  // Coefficients differing past the 6th significant digit used to collide
+  // under the default stream precision of the grouping key, producing false
+  // DuplicateRow/ContradictoryRows findings (fixed by hexfloat keys).
+  Model m;
+  const VarId x = m.add_continuous(0.0, 10.0, "x");
+  const VarId y = m.add_continuous(0.0, 10.0, "y");
+  m.add_constraint(1.0 * x + 1.0 * y, Sense::LE, 8.0, "cap");
+  m.add_constraint(1.0000001 * x + 1.0 * y, Sense::LE, 8.0, "cap_tilted");
+  m.set_objective(1.0 * x + 1.0 * y);
+  const LintReport r = lint(m);
+  EXPECT_FALSE(has_rule(r, Rule::DuplicateRow));
+  EXPECT_FALSE(has_rule(r, Rule::ContradictoryRows));
+
+  // And crucially: two such rows with *crossed* rhs must not be reported as
+  // contradictory either — they are different hyperplanes.
+  Model m2;
+  const VarId u = m2.add_continuous(0.0, kInf, "u");
+  m2.add_constraint(1.0 * u, Sense::LE, 3.0, "cap");
+  m2.add_constraint(1.0000001 * u, Sense::GE, 5.0, "floor");
+  m2.set_objective(1.0 * u);
+  EXPECT_FALSE(has_rule(lint(m2), Rule::ContradictoryRows));
+}
+
+TEST(LintTest, ExactDuplicatesStillCaughtAfterPrecisionFix) {
+  Model m;
+  const VarId x = m.add_continuous(0.0, 10.0, "x");
+  const VarId y = m.add_continuous(0.0, 10.0, "y");
+  const LinExpr e = 1.25 * x + 2.5 * y;
+  m.add_constraint(e, Sense::LE, 8.0, "cap");
+  m.add_constraint(e, Sense::LE, 8.0, "cap_again");
+  m.set_objective(1.0 * x);
+  EXPECT_TRUE(has(lint(m), Rule::DuplicateRow, Severity::Warning));
+}
+
+TEST(LintTest, RangedRowsWithCrossedBoundsAreContradictory) {
+  // A ranged row written as LE + GE pair is legitimate (RangePairIsNotADuplicate)
+  // — but only while the range is non-empty. l > u must be an error.
+  Model m;
+  const VarId x = m.add_continuous(0.0, 10.0, "x");
+  const VarId y = m.add_continuous(0.0, 10.0, "y");
+  const LinExpr e = 1.0 * x + 1.0 * y;
+  m.add_constraint(e, Sense::LE, 3.0, "upper");
+  m.add_constraint(e, Sense::GE, 5.0, "lower");  // empty range [5, 3]
+  m.set_objective(1.0 * x);
+  EXPECT_TRUE(has(lint(m), Rule::ContradictoryRows, Severity::Error));
+}
+
+TEST(LintTest, BigMWarnsOnMaximizeModelsToo) {
+  // The big-M heuristic keys on matrix coefficients, so the objective sense
+  // must not matter (the audit checked Maximize models are not exempt).
+  Model m;
+  const VarId x = m.add_continuous(0.0, 100.0, "x");
+  const VarId b = m.add_binary("b");
+  m.add_constraint(1.0 * x - 1e8 * b, Sense::LE, 0.0, "indicator");
+  m.set_objective(1.0 * x, ObjectiveSense::Maximize);
+  EXPECT_TRUE(has(lint(m), Rule::BigM, Severity::Warning));
+}
+
 }  // namespace
 }  // namespace archex::check

@@ -145,5 +145,213 @@ TEST(PresolveTest, PreservesOptimalValueOnMixedModel) {
   EXPECT_TRUE(m.feasible(with.x, 1e-6));
 }
 
+// --- propagate_bounds: the interval-arithmetic fixpoint engine -------------
+
+TEST(PropagateBoundsTest, EmptyRowVacuousAndInfeasible) {
+  Model m;
+  m.add_continuous(0, 1, "x");
+  m.add_constraint(LinExpr{}, Sense::LE, 1.0, "vacuous");
+  Propagation ok = propagate_bounds(m);
+  EXPECT_FALSE(ok.infeasible);
+  EXPECT_TRUE(ok.converged);
+
+  m.add_constraint(LinExpr{}, Sense::GE, 2.0, "impossible");  // 0 >= 2
+  Propagation bad = propagate_bounds(m);
+  EXPECT_TRUE(bad.infeasible);
+  EXPECT_EQ(bad.infeasible_row, 1);
+}
+
+TEST(PropagateBoundsTest, FreeColumnReceivesBoundsFromRow) {
+  Model m;
+  VarId x = m.add_continuous(-kInf, kInf, "x");
+  VarId y = m.add_continuous(0, 4, "y");
+  // x + y <= 10 with y >= 0 implies x <= 10; x + y >= 2 implies x >= -2.
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(10.0));
+  m.add_constraint(LinExpr(x) + LinExpr(y) >= LinExpr(2.0));
+  Propagation p = propagate_bounds(m);
+  ASSERT_FALSE(p.infeasible);
+  const auto j = static_cast<std::size_t>(x.index);
+  EXPECT_NEAR(p.ub[j], 10.0, 1e-9);
+  EXPECT_NEAR(p.lb[j], -2.0, 1e-9);
+}
+
+TEST(PropagateBoundsTest, TwoFreeColumnsBlockPropagationButNotDetection) {
+  Model m;
+  VarId x = m.add_continuous(-kInf, kInf, "x");
+  VarId y = m.add_continuous(-kInf, kInf, "y");
+  // Both activity ends are infinite: nothing can be tightened and nothing is
+  // provable — the pass must terminate cleanly with the box unchanged.
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(5.0));
+  Propagation p = propagate_bounds(m);
+  EXPECT_FALSE(p.infeasible);
+  EXPECT_TRUE(p.converged);
+  EXPECT_EQ(p.bounds_tightened, 0u);
+  EXPECT_EQ(p.lb[0], -kInf);
+  EXPECT_EQ(p.ub[1], kInf);
+}
+
+TEST(PropagateBoundsTest, InfiniteActivityStillBoundsTheUnboundedColumn) {
+  Model m;
+  VarId x = m.add_continuous(-kInf, kInf, "x");
+  VarId y = m.add_continuous(1, 3, "y");
+  // min-activity is -inf because of x, but x itself still receives
+  // x <= 8 - min(y) = 7 (exactly one infinite contribution, its own).
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(8.0));
+  Propagation p = propagate_bounds(m);
+  ASSERT_FALSE(p.infeasible);
+  EXPECT_NEAR(p.ub[static_cast<std::size_t>(x.index)], 7.0, 1e-9);
+}
+
+TEST(PropagateBoundsTest, EqualityRowFixesVariable) {
+  Model m;
+  VarId x = m.add_continuous(0, 10, "x");
+  VarId y = m.add_continuous(2, 2, "y");  // fixed on entry
+  m.add_constraint(LinExpr(x) + LinExpr(y) == LinExpr(6.0));
+  Propagation p = propagate_bounds(m);
+  ASSERT_FALSE(p.infeasible);
+  const auto j = static_cast<std::size_t>(x.index);
+  EXPECT_NEAR(p.lb[j], 4.0, 1e-9);
+  EXPECT_NEAR(p.ub[j], 4.0, 1e-9);
+  // Only x counts as newly fixed; y was fixed before the pass ran.
+  EXPECT_EQ(p.vars_fixed, 1u);
+}
+
+TEST(PropagateBoundsTest, CyclicTighteningChainTerminates) {
+  Model m;
+  VarId x = m.add_continuous(0, 100, "x");
+  VarId y = m.add_continuous(0, 100, "y");
+  // x <= 0.9 y and y <= 0.9 x: the only solution is (0, 0), approached
+  // geometrically — each pass shrinks the box by 0.81. The relative-
+  // improvement guard must cut the chain off at the pass cap at the latest,
+  // never loop unboundedly.
+  m.add_constraint(LinExpr(x) - 0.9 * y <= LinExpr(0.0));
+  m.add_constraint(LinExpr(y) - 0.9 * x <= LinExpr(0.0));
+  PropagateOptions opt;
+  opt.max_passes = 16;
+  Propagation p = propagate_bounds(m, opt);
+  EXPECT_FALSE(p.infeasible);
+  EXPECT_LE(p.passes, 16);
+  // The chain did make progress toward 0.
+  EXPECT_LT(p.ub[0], 100.0);
+}
+
+TEST(PropagateBoundsTest, ChainProvesInfeasibilityAcrossRows) {
+  Model m;
+  VarId x = m.add_continuous(0, 100, "x");
+  VarId y = m.add_continuous(0, 100, "y");
+  m.add_constraint(LinExpr(x) <= LinExpr(3.0), "cap");
+  m.add_constraint(LinExpr(y) - LinExpr(x) <= LinExpr(0.0), "link");
+  m.add_constraint(LinExpr(y) >= LinExpr(5.0), "demand");
+  PropagateOptions opt;
+  opt.record_changes = true;
+  Propagation p = propagate_bounds(m, opt);
+  EXPECT_TRUE(p.infeasible);
+  EXPECT_EQ(p.infeasible_row, 2);
+  EXPECT_FALSE(p.changes.empty());
+}
+
+TEST(PropagateBoundsTest, RowMaskRestrictsThePass) {
+  Model m;
+  VarId x = m.add_continuous(0, 100, "x");
+  m.add_constraint(LinExpr(x) <= LinExpr(3.0));
+  m.add_constraint(LinExpr(x) >= LinExpr(5.0));
+  const std::vector<char> first_only = {1, 0};
+  Propagation p = propagate_bounds(m, {}, &first_only);
+  EXPECT_FALSE(p.infeasible);
+  EXPECT_NEAR(p.ub[0], 3.0, 1e-9);
+  const std::vector<char> both = {1, 1};
+  EXPECT_TRUE(propagate_bounds(m, {}, &both).infeasible);
+}
+
+// --- the strengthen step inside presolve -----------------------------------
+
+TEST(PresolveStrengthenTest, CountsTighteningsAndFixes) {
+  Model m;
+  VarId x = m.add_continuous(0, 100, "x");
+  VarId y = m.add_continuous(0, 100, "y");
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(10.0));
+  m.add_constraint(LinExpr(x) == LinExpr(4.0));
+  m.set_objective(LinExpr(x) + LinExpr(y));
+  PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_GT(r.strengthen_tightened, 0u);
+  EXPECT_GE(r.strengthen_fixed, 1u);  // x pinned by the equality
+}
+
+TEST(PresolveStrengthenTest, OffByOptionMatchesOldBehavior) {
+  Model m;
+  VarId x = m.add_continuous(0, 100, "x");
+  VarId y = m.add_continuous(0, 100, "y");
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(10.0));
+  m.set_objective(LinExpr(x) + LinExpr(y));
+  PresolveOptions opt;
+  opt.strengthen = false;
+  PresolveResult r = presolve(m, opt);
+  EXPECT_EQ(r.strengthen_tightened, 0u);
+  EXPECT_EQ(r.strengthen_fixed, 0u);
+}
+
+TEST(PresolveStrengthenTest, ProvesInfeasibilityBeforeReduction) {
+  Model m;
+  VarId x = m.add_continuous(0, 100, "x");
+  VarId y = m.add_continuous(0, 100, "y");
+  m.add_constraint(LinExpr(x) <= LinExpr(3.0));
+  m.add_constraint(LinExpr(y) - LinExpr(x) <= LinExpr(0.0));
+  m.add_constraint(LinExpr(y) >= LinExpr(5.0));
+  m.set_objective(LinExpr(x));
+  PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.infeasible);
+}
+
+TEST(PresolveStrengthenTest, GcdRoundsRhsOnAllIntegerRow) {
+  Model m;
+  VarId a = m.add_integer(0, 10, "a");
+  VarId b = m.add_integer(0, 10, "b");
+  // 4a + 6b <= 9: gcd 2, so the reachable activities are even and the rhs
+  // tightens to 8.
+  m.add_constraint(4.0 * a + 6.0 * b <= LinExpr(9.0));
+  m.set_objective(-1.0 * a - 1.0 * b);
+  PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_GE(r.rhs_strengthened, 1u);
+  bool found = false;
+  for (std::size_t i = 0; i < r.reduced.num_constraints(); ++i) {
+    const LinConstraint& c = r.reduced.constraint(i);
+    if (c.expr.terms().size() == 2) {
+      EXPECT_NEAR(c.rhs, 8.0, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // The optimum must be unaffected: max a+b s.t. 4a+6b <= 8 is 2 (a=2,b=0).
+  Solution s = solve_milp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -2.0, 1e-7);
+}
+
+TEST(PresolveStrengthenTest, GcdOffLatticeEqualityIsInfeasible) {
+  Model m;
+  VarId a = m.add_integer(0, 10, "a");
+  VarId b = m.add_integer(0, 10, "b");
+  m.add_constraint(4.0 * a + 6.0 * b == LinExpr(7.0));  // odd rhs, even lattice
+  m.set_objective(LinExpr(a));
+  PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.infeasible);
+}
+
+TEST(PresolveStrengthenTest, CountersReachSolutionMetrics) {
+  Model m;
+  VarId x = m.add_continuous(0, 100, "x");
+  VarId y = m.add_continuous(0, 100, "y");
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= LinExpr(10.0));
+  m.add_constraint(LinExpr(x) == LinExpr(4.0));
+  m.set_objective(LinExpr(x) + LinExpr(y));
+  Solution s = solve_milp(m);
+  ASSERT_TRUE(s.optimal());
+  const auto tightened = s.metrics.find("milp.presolve.strengthen_tightened");
+  ASSERT_NE(tightened, s.metrics.end());
+  EXPECT_GT(tightened->second, 0.0);
+}
+
 }  // namespace
 }  // namespace archex::milp

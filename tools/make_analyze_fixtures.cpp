@@ -1,0 +1,117 @@
+/// \file make_analyze_fixtures.cpp
+/// Generates the seeded analyzer fixtures under data/analyze/ that the
+/// ci.sh structural-analysis leg gates on:
+///
+///   * decomposable.lp      — two independent sub-models (>= 2 components);
+///   * static_infeasible.lp — a three-row tightening chain interval
+///                            propagation alone proves infeasible;
+///   * symmetric.lp         — four interchangeable binaries (one column
+///                            orbit) and a symmetric row pair;
+///   * infeasible_epn.lp    — the real small EPN exploration plus one
+///                            contradictory requirement (`no DC->Load
+///                            connections` against `each load connects to
+///                            exactly one DC bus`), with a .origins sidecar
+///                            mapping every row to its emitting pattern so
+///                            the IIS is 100% attributable.
+///
+/// The fixtures are committed; rerun after changing the EPN encoding:
+///   make_analyze_fixtures [output-dir]
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "arch/patterns/connection.hpp"
+#include "check/report_json.hpp"
+#include "domains/epn.hpp"
+#include "milp/model.hpp"
+
+using namespace archex;
+
+namespace {
+
+void write_model(const milp::Model& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  model.write_lp(out);
+  std::printf("wrote %s (%zu rows, %zu cols)\n", path.c_str(),
+              model.num_constraints(), model.num_vars());
+}
+
+milp::Model decomposable() {
+  milp::Model m;
+  const milp::VarId x1 = m.add_binary("x1");
+  const milp::VarId x2 = m.add_binary("x2");
+  const milp::VarId x3 = m.add_binary("x3");
+  const milp::VarId y1 = m.add_binary("y1");
+  const milp::VarId y2 = m.add_binary("y2");
+  const milp::VarId y3 = m.add_binary("y3");
+  m.add_constraint(x1 + x2, milp::Sense::LE, 1.0, "x_cap");
+  m.add_constraint(x2 + x3, milp::Sense::GE, 1.0, "x_cover");
+  m.add_constraint(y1 + y2, milp::Sense::LE, 1.0, "y_cap");
+  m.add_constraint(y2 + y3, milp::Sense::GE, 1.0, "y_cover");
+  m.set_objective(x1 * 1.0 + x2 * 2.0 + x3 * 3.0 + y1 * 1.0 + y2 * 2.0 + y3 * 3.0);
+  return m;
+}
+
+milp::Model static_infeasible() {
+  // A chain only reachable by iterated propagation: r1 caps x, r2 pushes the
+  // cap onto y, r3 demands more of y than the propagated cap allows.
+  milp::Model m;
+  const milp::VarId x = m.add_continuous(0.0, 100.0, "x");
+  const milp::VarId y = m.add_continuous(0.0, 100.0, "y");
+  const milp::VarId z = m.add_continuous(0.0, 100.0, "z");
+  m.add_constraint(x * 1.0, milp::Sense::LE, 3.0, "cap_x");
+  m.add_constraint(y - x, milp::Sense::LE, 0.0, "y_below_x");
+  m.add_constraint(y * 1.0, milp::Sense::GE, 5.0, "demand_y");
+  m.add_constraint(z - y, milp::Sense::LE, 10.0, "slack_z");  // benign
+  m.set_objective(x + y + z * 1.0);
+  return m;
+}
+
+milp::Model symmetric() {
+  milp::Model m;
+  const milp::VarId b1 = m.add_binary("b1");
+  const milp::VarId b2 = m.add_binary("b2");
+  const milp::VarId b3 = m.add_binary("b3");
+  const milp::VarId b4 = m.add_binary("b4");
+  m.add_constraint(b1 + b2 + b3 + b4, milp::Sense::GE, 2.0, "cover");
+  m.add_constraint(b1 + b2, milp::Sense::LE, 1.0, "pair_a");
+  m.add_constraint(b3 + b4, milp::Sense::LE, 1.0, "pair_b");
+  m.set_objective(b1 + b2 + b3 + b4);
+  return m;
+}
+
+void infeasible_epn(const std::string& dir) {
+  const domains::epn::EpnConfig cfg = domains::epn::small_config();
+  const std::unique_ptr<Problem> p = domains::epn::make_problem(cfg);
+  // Contradicts the spec's "each load connects to exactly one DC bus": at
+  // most zero DC->Load edges per load. The resulting conflict is a two-row
+  // IIS per load, both rows pattern-attributed.
+  p->apply(patterns::NConnections({"DCBus"}, {"Load"}, 0, milp::Sense::LE,
+                                  /*only_if_used=*/false,
+                                  patterns::CountSide::kTo));
+  p->model().set_objective(p->cost_expression(), milp::ObjectiveSense::Minimize);
+  write_model(p->model(), dir + "/infeasible_epn.lp");
+
+  std::vector<std::string> origins(p->model().num_constraints());
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    origins[i] = p->origin_of_row(i);
+  }
+  check::write_origins_file(dir + "/infeasible_epn.lp.origins", origins);
+  std::printf("wrote %s/infeasible_epn.lp.origins (%zu rows)\n", dir.c_str(),
+              origins.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "data/analyze";
+  write_model(decomposable(), dir + "/decomposable.lp");
+  write_model(static_infeasible(), dir + "/static_infeasible.lp");
+  write_model(symmetric(), dir + "/symmetric.lp");
+  infeasible_epn(dir);
+  return 0;
+}

@@ -4,16 +4,23 @@
 /// `milp_solve` — run it on any model before burning solver time on it.
 ///
 /// Usage: milp_lint <model.lp>... [--quiet] [--no-info] [--werror]
-///                  [--big-m=X] [--coef-range=X]
+///                  [--big-m=X] [--coef-range=X] [--json]
+///
+/// `--json` emits one archex-check-report/1 document per input (see
+/// check/report_json.hpp) — the same schema `milp_analyze --json` uses, so
+/// CI parses both tools' findings uniformly. A `.origins` sidecar next to an
+/// input attributes findings to the emitting pattern.
 ///
 /// Exit codes: 0 all models clean (at the failing severity), 1 at least one
 /// finding at error severity (or warning with --werror), 2 usage/parse error.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "check/lint.hpp"
+#include "check/report_json.hpp"
 #include "milp/lp_format.hpp"
 
 using namespace archex;
@@ -23,10 +30,12 @@ int main(int argc, char** argv) {
   check::LintOptions opts;
   bool quiet = false;
   bool werror = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     try {
       if (a == "--quiet") quiet = true;
+      else if (a == "--json") json = true;
       else if (a == "--no-info") opts.report_info = false;
       else if (a == "--werror") werror = true;
       else if (a.rfind("--big-m=", 0) == 0) opts.big_m_threshold = std::stod(a.substr(8));
@@ -46,7 +55,7 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: milp_lint <model.lp>... [--quiet] [--no-info]"
-                 " [--werror] [--big-m=X] [--coef-range=X]\n");
+                 " [--werror] [--big-m=X] [--coef-range=X] [--json]\n");
     return 2;
   }
 
@@ -57,7 +66,18 @@ int main(int argc, char** argv) {
     try {
       const milp::Model model = milp::parse_lp_file(file);
       const check::LintReport report = check::lint(model, opts);
-      if (!quiet) {
+      if (json) {
+        std::vector<std::string> origins;
+        if (std::ifstream(file + ".origins").good()) {
+          origins = check::read_origins_file(file + ".origins");
+        }
+        check::JsonReportInput in;
+        in.tool = "milp_lint";
+        in.model = {file, model.num_constraints(), model.num_vars()};
+        in.lint = &report;
+        if (!origins.empty()) in.row_origins = &origins;
+        std::cout << check::to_json(in);
+      } else if (!quiet) {
         std::cout << "== " << file << " ==\n";
         report.print(std::cout);
       } else {

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validates an archex-check-report/1 JSON document (see check/report_json.hpp).
+
+Usage: validate_report.py <report.json> [<report.json>...]
+
+Checks, per file:
+  * top-level object with schema == "archex-check-report/1", a tool name,
+    and well-typed model/summary/findings sections;
+  * every finding carries pass/rule/severity/row/col/message with the right
+    JSON types, severity in {error, warning, info}, and row/col integers
+    >= -1 and inside the model's dimensions;
+  * the summary tallies match the findings array exactly;
+  * when an `analysis` section is present (milp_analyze), its per-pass
+    sub-objects are well-typed: decompose component counts consistent,
+    propagate booleans/counters, symmetry orbits with size >= 2, and an IIS
+    whose origins array (when present) aligns 1:1 with its rows and whose
+    attribution is the recomputable fraction.
+
+Exit code 0 on success, 1 on any violation (reported with its JSON path),
+2 on usage errors.
+"""
+import json
+import sys
+
+SEVERITIES = {"error", "warning", "info"}
+NUMBER = (int, float)
+
+
+class Violation(Exception):
+    pass
+
+
+def need(obj, key, types, path):
+    if key not in obj:
+        raise Violation(f"{path}: missing key '{key}'")
+    if not isinstance(obj[key], types):
+        raise Violation(f"{path}.{key}: expected {types}, got {type(obj[key]).__name__}")
+    return obj[key]
+
+
+def check_findings(doc):
+    model = need(doc, "model", dict, "$")
+    rows = need(model, "rows", int, "$.model")
+    cols = need(model, "cols", int, "$.model")
+    need(model, "file", str, "$.model")
+
+    findings = need(doc, "findings", list, "$")
+    tally = {"error": 0, "warning": 0, "info": 0}
+    for i, f in enumerate(findings):
+        path = f"$.findings[{i}]"
+        if not isinstance(f, dict):
+            raise Violation(f"{path}: not an object")
+        need(f, "pass", str, path)
+        need(f, "rule", str, path)
+        sev = need(f, "severity", str, path)
+        if sev not in SEVERITIES:
+            raise Violation(f"{path}.severity: '{sev}' not in {sorted(SEVERITIES)}")
+        row = need(f, "row", int, path)
+        col = need(f, "col", int, path)
+        if row < -1 or row >= rows:
+            raise Violation(f"{path}.row: {row} outside [-1, {rows})")
+        if col < -1 or col >= cols:
+            raise Violation(f"{path}.col: {col} outside [-1, {cols})")
+        need(f, "message", str, path)
+        if "origin" in f and not isinstance(f["origin"], str):
+            raise Violation(f"{path}.origin: not a string")
+        tally[sev] += 1
+
+    summary = need(doc, "summary", dict, "$")
+    expect = {
+        "errors": tally["error"],
+        "warnings": tally["warning"],
+        "infos": tally["info"],
+        "findings": len(findings),
+    }
+    for key, want in expect.items():
+        got = need(summary, key, int, "$.summary")
+        if got != want:
+            raise Violation(f"$.summary.{key}: {got} != recomputed {want}")
+    return rows
+
+
+def check_analysis(doc, rows):
+    analysis = doc.get("analysis")
+    if analysis is None:
+        return
+    if not isinstance(analysis, dict):
+        raise Violation("$.analysis: not an object")
+    passes = need(analysis, "passes", list, "$.analysis")
+    for p in passes:
+        if not isinstance(p, str):
+            raise Violation("$.analysis.passes: non-string entry")
+
+    if "decompose" in analysis:
+        d = analysis["decompose"]
+        num = need(d, "num_components", int, "$.analysis.decompose")
+        comps = need(d, "components", list, "$.analysis.decompose")
+        if num != len(comps):
+            raise Violation(f"$.analysis.decompose: num_components {num} != "
+                            f"len(components) {len(comps)}")
+        need(d, "unreferenced_cols", int, "$.analysis.decompose")
+        for i, c in enumerate(comps):
+            need(c, "rows", int, f"$.analysis.decompose.components[{i}]")
+            need(c, "cols", int, f"$.analysis.decompose.components[{i}]")
+
+    if "propagate" in analysis:
+        p = analysis["propagate"]
+        for key, types in (("infeasible", bool), ("converged", bool),
+                           ("infeasible_row", int), ("infeasible_col", int),
+                           ("passes", int), ("bounds_tightened", int),
+                           ("vars_fixed", int)):
+            need(p, key, types, "$.analysis.propagate")
+
+    if "symmetry" in analysis:
+        s = analysis["symmetry"]
+        need(s, "refinement_rounds", int, "$.analysis.symmetry")
+        for kind in ("col_orbits", "row_orbits"):
+            for i, o in enumerate(need(s, kind, list, "$.analysis.symmetry")):
+                path = f"$.analysis.symmetry.{kind}[{i}]"
+                size = need(o, "size", int, path)
+                members = need(o, "members", list, path)
+                if size < 2:
+                    raise Violation(f"{path}: trivial orbit (size {size}) reported")
+                if len(members) > size:
+                    raise Violation(f"{path}: more members listed than size")
+        need(s, "recommendations", list, "$.analysis.symmetry")
+
+    if "iis" in analysis:
+        i = analysis["iis"]
+        need(i, "infeasible", bool, "$.analysis.iis")
+        need(i, "irreducible", bool, "$.analysis.iis")
+        need(i, "oracle", str, "$.analysis.iis")
+        need(i, "oracle_calls", int, "$.analysis.iis")
+        iis_rows = need(i, "rows", list, "$.analysis.iis")
+        for r in iis_rows:
+            if not isinstance(r, int) or r < 0 or r >= rows:
+                raise Violation(f"$.analysis.iis.rows: bad row index {r}")
+        if "origins" in i:
+            origins = i["origins"]
+            if not isinstance(origins, list) or len(origins) != len(iis_rows):
+                raise Violation("$.analysis.iis.origins: must align 1:1 with rows")
+            attributed = sum(1 for o in origins if o and o != "unattributed")
+            want = attributed / len(iis_rows) if iis_rows else 1.0
+            got = need(i, "attribution", NUMBER, "$.analysis.iis")
+            if abs(got - want) > 1e-9:
+                raise Violation(f"$.analysis.iis.attribution: {got} != recomputed {want}")
+
+
+def validate(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise Violation("$: not an object")
+    schema = need(doc, "schema", str, "$")
+    if schema != "archex-check-report/1":
+        raise Violation(f"$.schema: unknown schema '{schema}'")
+    tool = need(doc, "tool", str, "$")
+    if not tool:
+        raise Violation("$.tool: empty")
+    rows = check_findings(doc)
+    check_analysis(doc, rows)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            validate(path)
+        except Violation as v:
+            print(f"FAIL {path}: {v}", file=sys.stderr)
+            return 1
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            return 1
+        print(f"OK {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
