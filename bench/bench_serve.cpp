@@ -1,0 +1,106 @@
+/// \file bench_serve.cpp
+/// Service-level throughput/latency benchmark: a batch of node-capped
+/// small-EPN exploration requests pushed through ExplorationService worker
+/// pools of 1, 4 and 8. Reported per configuration:
+///
+///   * requests_per_second — batch size / wall time (the google-benchmark
+///     rate counter);
+///   * p50_ms / p99_ms — request latency quantiles from the service's own
+///     `serve.latency` histogram, i.e. the numbers the Prometheus endpoint
+///     would export.
+///
+/// Each request encodes its own EPN problem and solves a 64-node slice of
+/// the eager reliability MILP (~0.6 s of solver work), so the bench
+/// exercises the real per-request lifecycle — encode, admission, solve,
+/// response — not an idle-queue microbenchmark. On the single-CPU CI box
+/// the workload is compute-bound: extra workers measure scheduling overhead
+/// and fairness, not speedup. The committed BENCH_serve.json baseline is
+/// recorded through tools/run_bench.sh (release provenance enforced) and
+/// diffed by tools/bench_diff.py in ci.sh.
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using archex::serve::ExplorationService;
+using archex::serve::Request;
+using archex::serve::Response;
+using archex::serve::ServiceOptions;
+
+constexpr int kRequestsPerBatch = 6;
+constexpr std::int64_t kNodeCap = 64;
+
+Request epn_request(int i) {
+  Request r;
+  r.id = "bench-epn-" + std::to_string(i);
+  r.domain = "epn";
+  r.max_nodes = kNodeCap;
+  return r;
+}
+
+void BM_ServeEpnBatch(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  for (auto _ : state) {
+    ServiceOptions so;
+    so.workers = workers;
+    ExplorationService svc(so);
+    std::vector<std::future<Response>> futs;
+    futs.reserve(kRequestsPerBatch);
+    for (int i = 0; i < kRequestsPerBatch; ++i) {
+      futs.push_back(svc.submit(epn_request(i)));
+    }
+    for (auto& f : futs) {
+      const Response r = f.get();
+      benchmark::DoNotOptimize(r.nodes);
+    }
+    // The service's own latency histogram (admission -> response), the same
+    // series the Prometheus endpoint exports as archex_serve_latency_*.
+    p50_ms = svc.metrics().histogram("serve.latency").quantile(0.50) * 1e3;
+    p99_ms = svc.metrics().histogram("serve.latency").quantile(0.99) * 1e3;
+  }
+  state.counters["requests_per_second"] = benchmark::Counter(
+      static_cast<double>(kRequestsPerBatch) * state.iterations(),
+      benchmark::Counter::kIsRate);
+  state.counters["p50_ms"] = p50_ms;
+  state.counters["p99_ms"] = p99_ms;
+}
+BENCHMARK(BM_ServeEpnBatch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Provenance stamp for tools/run_bench.sh — see bench_milp.cpp for why the
+  // stock library_build_type cannot be used.
+#if !defined(NDEBUG)
+  benchmark::AddCustomContext("archex_build_type", "debug");
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  benchmark::AddCustomContext("archex_build_type", "sanitized");
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  benchmark::AddCustomContext("archex_build_type", "sanitized");
+#else
+  benchmark::AddCustomContext("archex_build_type", "release");
+#endif
+#else
+  benchmark::AddCustomContext("archex_build_type", "release");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

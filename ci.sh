@@ -170,6 +170,14 @@ tools/run_bench.sh build/bench/bench_milp build/bench_diff_ci.json \
   --benchmark_min_time=0.2 --benchmark_repetitions=3
 python3 tools/bench_diff.py BENCH_milp.json build/bench_diff_ci.json
 
+echo "=== bench: serve throughput diff against BENCH_serve.json ==="
+# Request throughput / latency through ExplorationService (batches of
+# node-capped EPN requests at 1/4/8 workers), diffed against the committed
+# BENCH_serve.json with the same provenance + CPU-match rules as above.
+tools/run_bench.sh build/bench/bench_serve build/bench_serve_ci.json \
+  --benchmark_min_time=0.1 --benchmark_repetitions=2
+python3 tools/bench_diff.py BENCH_serve.json build/bench_serve_ci.json
+
 echo "=== resilience: checkpoint kill/resume drill ==="
 # Reference: the same single-worker pool-routed search, uninterrupted. Then
 # a second run checkpointing every 50 ms is SIGKILLed mid-search and resumed;
@@ -211,6 +219,134 @@ if [ "$ref_obj" != "$res_obj" ] || [ -z "$ref_obj" ]; then
   exit 1
 fi
 echo "kill/resume: resumed run reproduced the uninterrupted optimum ($ref_obj)"
+
+echo "=== serve: resilient exploration service drill ==="
+# Three sub-drills against the archex_serve daemon (docs/serving.md):
+#   A. isolation + deadlines — eight concurrent requests through a 2-worker
+#      pool: a persistently poisoned request must fail alone, a
+#      deadline-bounded hard knapsack must come back as a *degraded* anytime
+#      answer with a finite bound gap, and every untouched sibling must
+#      report the bit-identical objective and node count of an unloaded
+#      solo run (17-significant-digit JSON round trip makes string equality
+#      the float-exactness check).
+#   B. load shedding — a 1-worker/2-slot daemon behind a long blocker:
+#      droppable siblings are shed oldest-first with explicit
+#      `rejected`/`shed` responses, never silent drops, and the newest
+#      arrivals still complete.
+#   C. graceful drain — SIGTERM mid-solve checkpoints the in-flight search,
+#      the shutdown line names the resumable file, and a *fresh* daemon
+#      resuming it reproduces the uninterrupted run's objective.
+# The knapsack instances come from tools/gen_knapsack_lp.py: deterministic,
+# strongly correlated (LP bounds uninformative, so hardness scales with n).
+mkdir -p build/serve_drill
+rm -f build/serve_drill/*
+for s in 11 12 13 14 15 16; do
+  python3 tools/gen_knapsack_lp.py 20 "$s" > "build/serve_drill/sib$s.lp"
+done
+python3 tools/gen_knapsack_lp.py 70 3 9 > build/serve_drill/hard.lp
+
+# Unloaded solo references for the bit-exactness checks (1 worker, nothing
+# else in flight) — the hard instance doubles as drill C's uninterrupted run.
+for s in 11 12 13 14 15 16; do
+  printf '{"id":"sib%s","lp_file":"build/serve_drill/sib%s.lp"}\n' "$s" "$s"
+done > build/serve_drill/solo.ndjson
+printf '{"id":"hard","lp_file":"build/serve_drill/hard.lp"}\n' \
+  >> build/serve_drill/solo.ndjson
+build/tools/archex_batch --workers=1 build/serve_drill/solo.ndjson \
+  > build/serve_drill/solo_out.ndjson
+
+# --- A: mixed concurrent batch; stdin EOF = graceful close (finish all) ---
+{
+  printf '{"id":"anytime","lp_file":"build/serve_drill/hard.lp","deadline_ms":500}\n'
+  printf '{"id":"poison","lp_file":"build/serve_drill/sib11.lp","inject":"nan-pivot:2:0:1000000000","retries":0}\n'
+  for s in 11 12 13 14 15 16; do
+    printf '{"id":"sib%s","lp_file":"build/serve_drill/sib%s.lp"}\n' "$s" "$s"
+  done
+  printf '{"op":"metrics"}\n'
+} > build/serve_drill/mixed.ndjson
+build/tools/archex_serve --workers=2 < build/serve_drill/mixed.ndjson \
+  > build/serve_drill/mixed_out.ndjson
+
+# --- B: tiny queue behind a blocker; droppable siblings must shed ---
+{
+  printf '{"id":"blocker","lp_file":"build/serve_drill/hard.lp","deadline_ms":1500}\n'
+  for s in 11 12 13 14; do
+    printf '{"id":"shed%s","lp_file":"build/serve_drill/sib%s.lp","droppable":true}\n' "$s" "$s"
+  done
+} > build/serve_drill/shed.ndjson
+build/tools/archex_serve --workers=1 --queue=2 < build/serve_drill/shed.ndjson \
+  > build/serve_drill/shed_out.ndjson
+
+# --- C: SIGTERM mid-solve -> checkpoint -> resume in a fresh daemon ---
+mkfifo build/serve_drill/in
+build/tools/archex_serve --workers=1 < build/serve_drill/in \
+  > build/serve_drill/drain_out.ndjson &
+serve_pid=$!
+exec 3> build/serve_drill/in
+printf '{"id":"drainme","lp_file":"build/serve_drill/hard.lp","checkpoint":"build/serve_drill/drain.ck"}\n' >&3
+sleep 1.5  # past several 0.25 s checkpoint intervals, well before the ~9 s solve ends
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+exec 3>&-
+if [ ! -f build/serve_drill/drain.ck ]; then
+  echo "FAIL: serve drill: no checkpoint written before SIGTERM" >&2
+  exit 1
+fi
+printf '{"id":"resumed","lp_file":"build/serve_drill/hard.lp","checkpoint":"build/serve_drill/drain.ck","resume":true}\n' |
+  build/tools/archex_batch --workers=1 - > build/serve_drill/resume_out.ndjson
+
+python3 - build/serve_drill <<'EOF'
+import json, math, sys
+d = sys.argv[1]
+def load(name):
+    out = {}
+    with open(f"{d}/{name}.ndjson") as f:
+        for line in f:
+            j = json.loads(line)
+            out[j.get("id") or j.get("op")] = j
+    return out
+solo, mixed = load("solo_out"), load("mixed_out")
+sibs = [f"sib{s}" for s in (11, 12, 13, 14, 15, 16)]
+
+# A: fault isolation — the poisoned request fails; its siblings are exact.
+assert mixed["poison"]["status"] == "error", mixed["poison"]
+assert not mixed["poison"]["ok"]
+for s in sibs:
+    assert mixed[s]["status"] == "optimal", mixed[s]
+    assert mixed[s]["objective"] == solo[s]["objective"], (s, mixed[s], solo[s])
+    assert mixed[s]["nodes"] == solo[s]["nodes"], (s, mixed[s], solo[s])
+# A: anytime degradation — usable incumbent, finite positive bound gap.
+a = mixed["anytime"]
+assert a["status"] == "degraded" and a["ok"] and a["degraded"], a
+assert math.isfinite(a["gap"]) and a["gap"] > 0, a
+assert a["total_ms"] < 5000, a  # the deadline actually bounded the request
+# A: the daemon exposes its serve metrics and exits via the EOF close path.
+assert "archex_serve_requests_total" in mixed["metrics"]["prometheus"]
+assert mixed["shutdown"]["reason"] == "eof"
+
+# B: explicit shedding — oldest droppables rejected, newest completes.
+shed = load("shed_out")
+rejected = [j for j in shed.values() if j.get("status") == "rejected"]
+assert len(rejected) >= 2, shed
+assert all(j["reason"] == "shed" for j in rejected), rejected
+assert shed["shed14"]["status"] == "optimal", shed["shed14"]
+assert shed["shed14"]["objective"] == solo["sib14"]["objective"]
+assert shed["blocker"]["status"] in ("degraded", "timeout"), shed["blocker"]
+
+# C: drain checkpointed the in-flight solve and named the file; the resumed
+# run reproduces the uninterrupted objective.
+drain = load("drain_out")
+dm = drain["drainme"]
+assert dm["status"] == "preempted" and dm["resumable"], dm
+assert drain["shutdown"]["reason"] == "sigterm", drain["shutdown"]
+assert drain["shutdown"]["preempted"] == 1
+assert dm["checkpoint"] in drain["shutdown"]["checkpoints"]
+resumed = load("resume_out")["resumed"]
+assert resumed["status"] == "optimal", resumed
+assert abs(resumed["objective"] - load("solo_out")["hard"]["objective"]) < 1e-9, (
+    resumed, solo["hard"])
+print("serve drill: isolation, anytime deadline, shedding, and drain/resume ok")
+EOF
 
 echo "=== asan: configure + build (ASan + UBSan, -Werror) ==="
 cmake --preset asan

@@ -3,8 +3,8 @@
 ///
 /// Usage:
 ///   epn_explorer [--mode=lazy|monolithic] [--scale=small|paper]
-///                [--time-limit=SECONDS] [--dot] [--write-lp=FILE]
-///                [--profile-json=FILE] [--perf-report]
+///                [--time-limit=SECONDS] [--max-nodes=N] [--dot]
+///                [--write-lp=FILE] [--profile-json=FILE] [--perf-report]
 ///
 /// `lazy` runs the iterative MILP-modulo-reliability algorithm (Fig. 3);
 /// `monolithic` encodes the reliability requirements eagerly (Fig. 2b).
@@ -16,6 +16,7 @@
 /// solve phases, sampled simplex kernels) and writes a Chrome trace-event
 /// file loadable in Perfetto. `--perf-report` prints the per-pattern cost
 /// attribution table (arch/perf_report.hpp) after the solve.
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,7 +34,13 @@ namespace {
 struct Args {
   std::string mode = "lazy";
   std::string scale = "small";
-  double time_limit = 120.0;
+  // One budget across the whole lazy loop (solve + analyze + learn, end to
+  // end — see docs/solver.md); solve_iteratively slices re-solves so a
+  // non-closing iteration cannot starve the ones after it.
+  double time_limit = 300.0;
+  // Optional per-iteration node cap (0 = off) for deterministic bounding
+  // of each iteration's search independent of wall clock.
+  std::int64_t max_nodes = 0;
   bool dot = false;
   std::string write_lp;
   std::string profile_json;
@@ -47,6 +54,7 @@ Args parse_args(int argc, char** argv) {
     if (arg.rfind("--mode=", 0) == 0) a.mode = arg.substr(7);
     else if (arg.rfind("--scale=", 0) == 0) a.scale = arg.substr(8);
     else if (arg.rfind("--time-limit=", 0) == 0) a.time_limit = std::stod(arg.substr(13));
+    else if (arg.rfind("--max-nodes=", 0) == 0) a.max_nodes = std::stoll(arg.substr(12));
     else if (arg == "--dot") a.dot = true;
     else if (arg.rfind("--write-lp=", 0) == 0) a.write_lp = arg.substr(11);
     else if (arg.rfind("--profile-json=", 0) == 0) a.profile_json = arg.substr(15);
@@ -97,6 +105,7 @@ int main(int argc, char** argv) {
 
   milp::MilpOptions opts;
   opts.time_limit_s = args.time_limit;
+  if (args.max_nodes > 0) opts.max_nodes = args.max_nodes;
 
   if (!args.write_lp.empty()) {
     // Export the assembled MILP (objective included) without solving.
@@ -137,6 +146,7 @@ int main(int argc, char** argv) {
     ExplorationResult res = problem->solve(opts);
     std::cout << "status: " << milp::to_string(res.solution.status) << ", solver time "
               << res.solver_seconds << "s, " << res.solution.nodes_explored << " nodes\n";
+    res.print_degradation(std::cout);
     if (!write_observability(res.solution)) return 2;
     if (!res.feasible()) return 1;
     std::cout << "cost: " << res.architecture.cost << "\n";
@@ -153,6 +163,7 @@ int main(int argc, char** argv) {
                 << it.solve_seconds << "s\n";
     }
     std::cout << (res.converged ? "converged" : "NOT converged") << "\n";
+    res.final_result.print_degradation(std::cout);
     if (!write_observability(res.final_result.solution)) return 2;
     if (!res.final_result.feasible()) return 1;
     res.final_result.architecture.print(std::cout);

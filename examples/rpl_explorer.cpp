@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   ExplorationResult res = problem->solve(opts);
   std::cout << "status: " << milp::to_string(res.solution.status) << ", solver time "
             << res.solver_seconds << "s, " << res.solution.nodes_explored << " nodes\n";
+  res.print_degradation(std::cout);
   if (!res.feasible()) return 1;
 
   std::cout << "cost: " << res.architecture.cost << "\n";

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 
 #include "arch/patterns/general.hpp"
 #include "graph/digraph.hpp"
@@ -121,9 +123,45 @@ IterativeResult solve_iteratively(Problem& p, const AnalysisFn& analyze, const L
   using Clock = std::chrono::steady_clock;
   IterativeResult result;
 
+  // One monotonic deadline for the whole scheme, not a fresh `time_limit_s`
+  // per iteration: earlier revisions restarted the budget at every re-solve,
+  // so a learning loop with a 30 s limit could legally run for minutes. The
+  // per-call limit is converted to an absolute deadline once, here, and the
+  // per-iteration relative limit is disarmed; a caller-supplied absolute
+  // deadline (serve requests) already spans iterations and wins if tighter.
+  milp::MilpOptions opts = milp_options;
+  if (std::isfinite(opts.time_limit_s)) {
+    const auto now = Clock::now();
+    const double limit_s = std::max(opts.time_limit_s, 0.0);
+    // Same headroom guard as solve_milp's arming: a huge-but-finite limit
+    // (the 1e18 default) would overflow the clock's integer representation,
+    // so anything beyond half the clock's remaining range stays "never".
+    const double headroom_s =
+        std::chrono::duration<double>(Clock::time_point::max() - now).count();
+    if (limit_s < headroom_s * 0.5) {
+      opts.deadline = std::min(
+          opts.deadline,
+          now + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(limit_s)));
+      opts.time_limit_s = std::numeric_limits<double>::infinity();
+    }
+  }
+
   for (int iter = 1; iter <= max_iterations; ++iter) {
     const auto t0 = Clock::now();
-    ExplorationResult er = p.solve(milp_options);
+    // Re-solves (iteration >= 2) are sliced to a quarter of the remaining
+    // budget: a learned model that cannot be closed would otherwise run to
+    // the overall deadline and starve every iteration after it. The solver
+    // keeps its best incumbent at the slice boundary, which is all the
+    // analysis and learning steps consume, and a stalled re-solve therefore
+    // costs at most 25% of what is left. Iteration 1 is exempt — a scheme
+    // that converges immediately keeps single-solve semantics — and the
+    // overall deadline still bounds everything.
+    milp::MilpOptions iter_opts = opts;
+    if (iter > 1 && opts.deadline != Clock::time_point::max() && t0 < opts.deadline) {
+      iter_opts.deadline = t0 + (opts.deadline - t0) / 4;
+    }
+    ExplorationResult er = p.solve(iter_opts);
 
     IterativeStep step;
     step.index = iter;
@@ -133,6 +171,22 @@ IterativeResult solve_iteratively(Problem& p, const AnalysisFn& analyze, const L
     if (!er.feasible()) {
       // Either the learned constraints made the problem infeasible or the
       // solve budget ran out without an incumbent — stop, reporting honestly.
+      // Anytime fallback: when the stop was a budget (not infeasibility) and
+      // an earlier iteration produced an architecture, surface that
+      // architecture with its own cost instead of an empty result. The
+      // status stays TimeLimit/NodeLimit, so callers (and the serve layer's
+      // degraded-response mapping) still see that the budget ran out before
+      // the learned requirements were met.
+      const bool budget_stop =
+          er.solution.status == milp::SolveStatus::TimeLimit ||
+          er.solution.status == milp::SolveStatus::NodeLimit ||
+          er.solution.status == milp::SolveStatus::IterationLimit;
+      if (budget_stop && !result.steps.empty()) {
+        const IterativeStep& last = result.steps.back();
+        er.architecture = last.architecture;
+        er.solution.has_incumbent = true;
+        er.solution.objective = last.cost;
+      }
       result.final_result = std::move(er);
       result.steps.push_back(std::move(step));
       return result;

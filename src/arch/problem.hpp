@@ -163,7 +163,11 @@ class Problem {
 
   // --- solving --------------------------------------------------------------
   /// Assembles the cost function and solves the monolithic MILP (the eager
-  /// method). Use algorithm.hpp for the lazy iterative scheme.
+  /// method). Use algorithm.hpp for the lazy iterative scheme. The options'
+  /// `deadline`/`cancel` fields are honored end-to-end: an absolute deadline
+  /// armed before encoding charges encode time against the same budget the
+  /// solver sees (an expired deadline returns TimeLimit without running
+  /// presolve), and a set cancel flag preempts the solve at the next poll.
   ExplorationResult solve(const milp::MilpOptions& options = {});
 
   /// Extracts the concrete architecture from a solution of this problem's

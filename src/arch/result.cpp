@@ -1,6 +1,7 @@
 #include "arch/result.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <ostream>
@@ -171,6 +172,22 @@ void Architecture::print(std::ostream& os) const {
     }
     os << "\n";
   }
+}
+
+void ExplorationResult::print_degradation(std::ostream& os) const {
+  if (!degraded()) return;
+  os << "WARNING: degraded result ("
+     << (solution.degraded ? "numerical recovery exhausted"
+                           : std::string("stopped: ") +
+                                 milp::to_string(solution.status))
+     << "): cost " << solution.objective
+     << " is feasible but not proven optimal; best bound "
+     << solution.best_bound << ", gap "
+     << std::abs(solution.objective - solution.best_bound);
+  if (solution.degraded_nodes > 0) {
+    os << ", " << solution.degraded_nodes << " abandoned subtree(s)";
+  }
+  os << "\n";
 }
 
 void ExplorationResult::print_timing(std::ostream& os) const {

@@ -81,6 +81,29 @@ struct ExplorationResult {
 
   [[nodiscard]] bool feasible() const { return solution.has_incumbent; }
 
+  /// True when the architecture is feasible but optimality was not proven:
+  /// either the solver abandoned subtrees after exhausted numerical
+  /// recovery (`Solution::degraded`), or a time/node budget stopped the
+  /// search with an incumbent (the anytime case). Such a result is sound —
+  /// `solution.best_bound` still brackets the true optimum — but reporting
+  /// it as a clean architecture would overclaim.
+  [[nodiscard]] bool degraded() const {
+    return solution.degraded ||
+           (solution.has_incumbent &&
+            solution.status != milp::SolveStatus::Optimal);
+  }
+  /// Subtrees abandoned by the numerical-recovery ladder (0 for a purely
+  /// budget-limited degraded result).
+  [[nodiscard]] std::int64_t degraded_nodes() const {
+    return solution.degraded_nodes;
+  }
+
+  /// One warning line (cause, bound, gap, abandoned-subtree count) when
+  /// `degraded()`; prints nothing for a clean optimum. The explorer examples
+  /// call this right after the status line so a degraded architecture is
+  /// never silently presented as optimal.
+  void print_degradation(std::ostream& os) const;
+
   /// Prints the encode/solve/decode breakdown plus the solver's own phase
   /// split (presolve, root LP, heuristic, tree, extraction) — the timing
   /// block the explorer examples show after each run.

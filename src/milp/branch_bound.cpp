@@ -217,7 +217,9 @@ struct SearchCtx {
       stop_reason = SolveStatus::NodeLimit;
       return;
     }
-    if (Clock::now() >= deadline) {
+    if (Clock::now() >= deadline ||
+        (opts.cancel != nullptr &&
+         opts.cancel->load(std::memory_order_relaxed))) {
       stopped = true;
       stop_reason = SolveStatus::TimeLimit;
       return;
@@ -864,7 +866,11 @@ class Worker {
       close(nid, obs::NodeOutcome::Pruned, flip * node.bound);
       return;
     }
-    if (Clock::now() >= deadline_) {
+    if (Clock::now() >= deadline_ ||
+        (opts_.cancel != nullptr &&
+         opts_.cancel->load(std::memory_order_relaxed))) {
+      // Expired budget and cooperative cancel stop identically: the node is
+      // parked for the final checkpoint so a drain leaves a resumable file.
       pool_.request_stop(SolveStatus::TimeLimit);
       pool_.keep_for_checkpoint(id_, node);
       close(nid, obs::NodeOutcome::Limit, kNan);
@@ -1208,6 +1214,21 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     s.metrics = reg->snapshot();
   };
 
+  // An absolute deadline that already passed (the arch layer arms one per
+  // exploration, and a service request may sit in an admission queue past
+  // its budget) returns before presolve touches the model: the caller gets
+  // TimeLimit with zero nodes, not a presolve bill it can no longer afford.
+  // The `time_limit_s <= 0` path is untouched — it still runs the root LP's
+  // first poll so nodes_explored stays 1 as it always has.
+  if (options.deadline != Clock::time_point::max() &&
+      Clock::now() >= options.deadline) {
+    sol.status = SolveStatus::TimeLimit;
+    sol.solve_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (threads_req == 1) sol.cpu_seconds = sol.solve_seconds;
+    finish(sol);
+    return sol;
+  }
+
   // --- presolve ---
   PresolveResult pre;
   const Model* work = &model;
@@ -1298,8 +1319,13 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
                           std::chrono::duration<double>(limit_s));
     }
   }
+  // An absolute caller deadline tightens (never relaxes) the derived one, so
+  // `time_limit_s` remains a per-call cap while `options.deadline` is the
+  // end-to-end budget shared across encode/presolve/solve phases.
+  deadline = std::min(deadline, options.deadline);
   MilpOptions node_options = options;
   node_options.lp.deadline = deadline;  // simplex loops honor the wall clock
+  if (node_options.lp.cancel == nullptr) node_options.lp.cancel = options.cancel;
   node_options.lp.trace = root_trace;   // root/sequential solver's buffer
   if (node_options.lp.spans == nullptr) node_options.lp.spans = root_spans;
   if (node_options.lp.fault == nullptr) node_options.lp.fault = options.fault;

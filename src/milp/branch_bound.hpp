@@ -8,6 +8,8 @@
 /// of Figure 1 in the paper (the role CPLEX plays for the original toolbox).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -28,6 +30,24 @@ struct MilpOptions {
   /// Wall-clock limit in seconds. Values ≤ 0 time out immediately; only
   /// +inf (or a limit beyond the clock's ~centuries of range) disables it.
   double time_limit_s = 1e18;
+  /// Absolute monotonic deadline, combined (min) with the deadline derived
+  /// from `time_limit_s`. Unlike a per-call time limit, an absolute deadline
+  /// is shared end-to-end across phases and re-solves: the arch layer arms
+  /// it once per exploration so encode-heavy or lazy-iterating models cannot
+  /// restart the budget at every `solve_milp` call. A deadline that has
+  /// already passed returns `TimeLimit` before presolve runs. The default
+  /// (`time_point::max()`) leaves only `time_limit_s` in charge.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Cooperative cancellation token, polled wherever the deadline is polled
+  /// (simplex iteration loops every 256 iterations, each B&B node boundary).
+  /// Setting the pointed-to flag stops the solve exactly like an expired
+  /// deadline: the best incumbent and a sound `best_bound` are returned with
+  /// status `TimeLimit`, and — when checkpointing is armed — the surviving
+  /// frontier is written so the solve is resumable. This is how
+  /// `serve::ExplorationService` preempts in-flight solves on drain. Null
+  /// (the default) costs one pointer test per poll site.
+  const std::atomic<bool>* cancel = nullptr;
   bool use_presolve = true;
   /// Warm-start node LPs with the dual simplex (false = cold primal solve at
   /// every node; exposed for the `bench_milp` warm-start ablation).

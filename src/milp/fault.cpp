@@ -72,12 +72,22 @@ bool FaultPlan::arm_from_spec(const std::string& spec) {
   const std::optional<std::int64_t> nth = parse_count(nth_tok);
   if (!site || !nth || *nth < 1) return false;
   std::uint64_t seed = 0;
+  std::int64_t repeat = 1;
   if (c2 != std::string::npos) {
-    const std::optional<std::uint64_t> s = parse_seed(spec.substr(c2 + 1));
+    const std::size_t c3 = spec.find(':', c2 + 1);
+    const std::string seed_tok = c3 == std::string::npos
+                                     ? spec.substr(c2 + 1)
+                                     : spec.substr(c2 + 1, c3 - c2 - 1);
+    const std::optional<std::uint64_t> s = parse_seed(seed_tok);
     if (!s) return false;
     seed = *s;
+    if (c3 != std::string::npos) {
+      const std::optional<std::int64_t> r = parse_count(spec.substr(c3 + 1));
+      if (!r || *r < 1) return false;
+      repeat = *r;
+    }
   }
-  arm(*site, *nth, seed);
+  arm(*site, *nth, seed, repeat);
   return true;
 }
 

@@ -58,7 +58,10 @@ class FaultPlan {
   void arm(FaultSite site, std::int64_t nth, std::uint64_t seed = 0,
            std::int64_t repeat = 1);
 
-  /// Arms one site from a CLI spec "site:n[:seed]". Returns false (plan
+  /// Arms one site from a CLI spec "site:n[:seed[:repeat]]". A large
+  /// `repeat` makes the fault persistent — every occurrence from `n` on
+  /// fires, which defeats the whole recovery ladder (the serve drill uses
+  /// this to prove a faulted request fails alone). Returns false (plan
   /// unchanged) on a malformed spec.
   bool arm_from_spec(const std::string& spec);
 

@@ -358,6 +358,9 @@ SolveStatus SimplexSolver::primal_loop(const std::vector<double>& cost, bool pha
       if (std::chrono::steady_clock::now() >= opts_.deadline) {
         return SolveStatus::TimeLimit;
       }
+      if (opts_.cancel != nullptr && opts_.cancel->load(std::memory_order_relaxed)) {
+        return SolveStatus::TimeLimit;  // cooperative cancel (drain/preempt)
+      }
     }
     if (pivots_since_refactor_ >= opts_.refactor_interval || rep_->fill_heavy()) {
       if (!refactorize()) return SolveStatus::NumericalError;
@@ -712,6 +715,9 @@ SolveStatus SimplexSolver::dual_loop() {
       }
       if (std::chrono::steady_clock::now() >= opts_.deadline) {
         return SolveStatus::TimeLimit;
+      }
+      if (opts_.cancel != nullptr && opts_.cancel->load(std::memory_order_relaxed)) {
+        return SolveStatus::TimeLimit;  // cooperative cancel (drain/preempt)
       }
     }
     if (pivots_since_refactor_ >= opts_.refactor_interval || rep_->fill_heavy()) {

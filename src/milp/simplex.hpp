@@ -20,6 +20,7 @@
 /// uniformly as bounded variables.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -72,6 +73,11 @@ struct SimplexOptions {
   /// Defaults to "never". Checked every few hundred iterations.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Cooperative cancellation flag, polled at the same stride as `deadline`.
+  /// A set flag makes the iteration loops return TimeLimit — the caller
+  /// (B&B, or `serve::ExplorationService` on drain) decides what the stop
+  /// means. Null (the default) costs one pointer test per poll.
+  const std::atomic<bool>* cancel = nullptr;
   /// Optional structured-trace sink (refactorizations, dual-repair and
   /// cold-restart falls). Must be written by this solver's thread only —
   /// the branch & bound hands each worker's solver its own buffer. Null or

@@ -1,7 +1,9 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -28,6 +30,55 @@ Timer& MetricsRegistry::timer(const std::string& name) {
   return *slot;
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+// First bucket upper bound and the sqrt(2) bucket ratio, as log2 steps: the
+// index is ceil(2 * log2(s / 100us)), clamped into range.
+constexpr double kHistFloorSeconds = 1e-4;
+}  // namespace
+
+std::size_t Histogram::bucket_index(double seconds) {
+  if (!(seconds > kHistFloorSeconds)) return 0;  // NaN and tiny land in [0, 100us]
+  const double steps = std::ceil(2.0 * std::log2(seconds / kHistFloorSeconds));
+  if (steps >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<std::size_t>(steps);
+}
+
+double Histogram::bucket_upper(std::size_t i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kHistFloorSeconds * std::exp2(0.5 * static_cast<double>(i));
+}
+
+double Histogram::quantile(double q) const {
+  const std::int64_t n = count();
+  if (n <= 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target sample, 1-based; walk the buckets until the running
+  // total covers it, then interpolate within the landing bucket.
+  const auto rank = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n)));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket <= 0) continue;
+    if (seen + in_bucket >= rank) {
+      const double lo = i == 0 ? 0.0 : bucket_upper(i - 1);
+      const double hi = bucket_upper(i);
+      if (!std::isfinite(hi)) return lo;  // overflow bucket: report its floor
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return bucket_upper(kBuckets - 2);  // count says samples exist; be safe
+}
+
 std::map<std::string, double> MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, double> out;
@@ -37,6 +88,12 @@ std::map<std::string, double> MetricsRegistry::snapshot() const {
     out[name + ".seconds"] = t->seconds();
     out[name + ".count"] = static_cast<double>(t->count());
     out[name + ".max"] = t->max_seconds();
+  }
+  for (const auto& [name, h] : histograms_) {
+    out[name + ".count"] = static_cast<double>(h->count());
+    out[name + ".sum"] = h->sum_seconds();
+    out[name + ".p50"] = h->quantile(0.50);
+    out[name + ".p99"] = h->quantile(0.99);
   }
   return out;
 }
@@ -112,6 +169,14 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
     write_sample(os, base + "_count", "counter",
                  static_cast<double>(t->count()));
     write_sample(os, base + "_max_seconds", "gauge", t->max_seconds());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string base = mangle(name);
+    write_sample(os, base + "_seconds_sum", "counter", h->sum_seconds());
+    write_sample(os, base + "_seconds_count", "counter",
+                 static_cast<double>(h->count()));
+    write_sample(os, base + "_p50_seconds", "gauge", h->quantile(0.50));
+    write_sample(os, base + "_p99_seconds", "gauge", h->quantile(0.99));
   }
 }
 

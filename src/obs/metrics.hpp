@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -68,6 +69,47 @@ class Timer {
   std::atomic<std::int64_t> max_nanos_{0};
 };
 
+/// Fixed-bucket log-scale duration histogram for latency distributions
+/// (service request latency, queue wait). Like Counter/Gauge/Timer the hot
+/// path is relaxed atomics only: record() computes a bucket index (one log2)
+/// and does two fetch_adds, so concurrent workers record without locking.
+/// Buckets are geometric with ratio sqrt(2) starting at 100 µs — 64 buckets
+/// cover ~100 µs to ~4.7 h with ≤ ~41% relative error per bucket, plenty for
+/// p50/p99 reporting; the last bucket absorbs overflow. Quantiles linearly
+/// interpolate inside the landing bucket.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double seconds) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_nanos_.fetch_add(static_cast<std::int64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+    buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum_seconds() const {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  /// Estimated q-quantile in seconds, q in [0, 1]. 0 before any record().
+  /// Concurrent record() calls may skew an in-flight estimate by the races'
+  /// worth of samples — fine for reporting, not a synchronization point.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Inclusive upper bound of bucket `i` in seconds (+inf for the last).
+  [[nodiscard]] static double bucket_upper(std::size_t i);
+
+ private:
+  [[nodiscard]] static std::size_t bucket_index(double seconds);
+
+  std::atomic<std::int64_t> buckets_[kBuckets]{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_nanos_{0};
+};
+
 /// RAII monotonic-clock scope feeding a Timer (either may be null — the scope
 /// then measures for the mirror alone, or does nothing at all). `seconds`
 /// optionally mirrors the elapsed time into a plain double (phase fields).
@@ -108,10 +150,12 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Timer& timer(const std::string& name);
+  Histogram& histogram(const std::string& name);
 
   /// Flattens all metrics to name -> value. Timers expand to three entries:
   /// `<name>.seconds`, `<name>.count`, and `<name>.max` (worst single
-  /// observation, seconds).
+  /// observation, seconds). Histograms expand to four: `<name>.count`,
+  /// `<name>.sum` (seconds), `<name>.p50`, and `<name>.p99`.
   [[nodiscard]] std::map<std::string, double> snapshot() const;
 
   /// Writes the snapshot as a single JSON object.
@@ -120,8 +164,9 @@ class MetricsRegistry {
   /// Writes the registry in Prometheus text exposition format (version
   /// 0.0.4): metric names are mangled `.` -> `_` under an `archex_` prefix,
   /// counters gain a `_total` suffix, timers expand to `_seconds_total`,
-  /// `_count`, and a `_max_seconds` gauge. Format details in
-  /// docs/observability.md.
+  /// `_count`, and a `_max_seconds` gauge, histograms to `_seconds_sum` /
+  /// `_seconds_count` counters plus `_p50_seconds` / `_p99_seconds` gauges.
+  /// Format details in docs/observability.md.
   void write_prometheus(std::ostream& os) const;
 
  private:
@@ -129,11 +174,12 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /// Prometheus text exposition of a registry as a string — the scrape body of
-/// the planned `archex_serve` stats endpoint. Thin wrapper over
-/// MetricsRegistry::write_prometheus.
+/// `archex_serve`'s `{"op": "metrics"}` endpoint (docs/serving.md). Thin
+/// wrapper over MetricsRegistry::write_prometheus.
 [[nodiscard]] std::string prometheus_text(const MetricsRegistry& reg);
 
 }  // namespace archex::obs

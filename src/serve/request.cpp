@@ -1,0 +1,118 @@
+#include "serve/request.hpp"
+
+namespace archex::serve {
+
+std::optional<Request> Request::from_json(const Json& j, std::string* err) {
+  auto fail = [&](const std::string& why) -> std::optional<Request> {
+    if (err != nullptr) *err = why;
+    return std::nullopt;
+  };
+  if (!j.is_object()) return fail("request must be a JSON object");
+  Request r;
+  r.id = j.get_string("id");
+  if (r.id.empty()) return fail("missing or empty 'id'");
+  r.lp_file = j.get_string("lp_file");
+  r.lp = j.get_string("lp");
+  r.domain = j.get_string("domain");
+  const int sources = static_cast<int>(!r.lp_file.empty()) +
+                      static_cast<int>(!r.lp.empty()) +
+                      static_cast<int>(!r.domain.empty());
+  if (sources != 1) {
+    return fail("exactly one of 'lp_file', 'lp', 'domain' must be set");
+  }
+  if (!r.domain.empty() && r.domain != "epn" && r.domain != "rpl") {
+    return fail("unknown domain '" + r.domain + "' (expected 'epn' or 'rpl')");
+  }
+  r.lazy = j.get_bool("lazy", false);
+  r.deadline_ms = j.get_number("deadline_ms", 0.0);
+  r.time_limit_s = j.get_number("time_limit_s", 0.0);
+  r.threads = static_cast<int>(j.get_number("threads", 1.0));
+  r.max_nodes = static_cast<std::int64_t>(j.get_number("max_nodes", 0.0));
+  r.retries = static_cast<int>(j.get_number("retries", -1.0));
+  r.seed = static_cast<std::uint64_t>(j.get_number("seed", 0.0));
+  r.droppable = j.get_bool("droppable", false);
+  r.lint = j.get_bool("lint", false);
+  r.inject = j.get_string("inject");
+  r.checkpoint = j.get_string("checkpoint");
+  r.resume = j.get_bool("resume", false);
+  r.preemptible = j.get_bool("preemptible", true);
+  if (r.threads < 1 || r.threads > 64) return fail("'threads' out of range");
+  if (r.deadline_ms < 0 || r.time_limit_s < 0) {
+    return fail("'deadline_ms' / 'time_limit_s' must be >= 0");
+  }
+  return r;
+}
+
+Json Request::to_json() const {
+  Json j;
+  j["id"] = id;
+  if (!lp_file.empty()) j["lp_file"] = lp_file;
+  if (!lp.empty()) j["lp"] = lp;
+  if (!domain.empty()) j["domain"] = domain;
+  if (lazy) j["lazy"] = true;
+  if (deadline_ms > 0) j["deadline_ms"] = deadline_ms;
+  if (time_limit_s > 0) j["time_limit_s"] = time_limit_s;
+  if (threads != 1) j["threads"] = threads;
+  if (max_nodes > 0) j["max_nodes"] = max_nodes;
+  if (retries >= 0) j["retries"] = retries;
+  if (seed != 0) j["seed"] = static_cast<double>(seed);
+  if (droppable) j["droppable"] = true;
+  if (lint) j["lint"] = true;
+  if (!inject.empty()) j["inject"] = inject;
+  if (!checkpoint.empty()) j["checkpoint"] = checkpoint;
+  if (resume) j["resume"] = true;
+  if (!preemptible) j["preemptible"] = false;
+  return j;
+}
+
+const char* to_string(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::Optimal: return "optimal";
+    case ResponseStatus::Degraded: return "degraded";
+    case ResponseStatus::Timeout: return "timeout";
+    case ResponseStatus::Infeasible: return "infeasible";
+    case ResponseStatus::Unbounded: return "unbounded";
+    case ResponseStatus::Error: return "error";
+    case ResponseStatus::Rejected: return "rejected";
+    case ResponseStatus::Preempted: return "preempted";
+  }
+  return "unknown";
+}
+
+Json Response::to_json() const {
+  Json j;
+  j["id"] = id;
+  j["status"] = to_string(status);
+  j["ok"] = ok;
+  if (has_objective) {
+    j["objective"] = objective;
+    j["bound"] = bound;
+    j["gap"] = gap;
+  }
+  j["degraded"] = degraded;
+  if (degraded_nodes > 0) j["degraded_nodes"] = degraded_nodes;
+  if (nodes > 0) j["nodes"] = nodes;
+  if (attempts > 0) j["attempts"] = attempts;
+  if (!reason.empty()) j["reason"] = reason;
+  if (!checkpoint.empty()) {
+    j["checkpoint"] = checkpoint;
+    j["resumable"] = resumable;
+  }
+  j["queue_ms"] = queue_ms;
+  j["solve_seconds"] = solve_seconds;
+  j["total_ms"] = total_ms;
+  if (!lifecycle.empty()) {
+    Json::Array events;
+    events.reserve(lifecycle.size());
+    for (const LifecycleEvent& e : lifecycle) {
+      Json ev;
+      ev["state"] = e.state;
+      ev["ms"] = e.at_ms;
+      events.push_back(std::move(ev));
+    }
+    j["lifecycle"] = Json(std::move(events));
+  }
+  return j;
+}
+
+}  // namespace archex::serve

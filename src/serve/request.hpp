@@ -1,0 +1,103 @@
+/// \file request.hpp
+/// Wire schema of the exploration service: one request and one response per
+/// NDJSON line. docs/serving.md is the field-by-field reference; this header
+/// is the source of truth for defaults.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/json.hpp"
+
+namespace archex::serve {
+
+/// One exploration request. The model source is exactly one of `lp_file`
+/// (CPLEX-LP path), `lp` (inline LP text), or `domain` ("epn" / "rpl",
+/// the built-in case studies).
+struct Request {
+  std::string id;  ///< caller-chosen correlation id; must be non-empty
+
+  std::string lp_file;
+  std::string lp;
+  std::string domain;
+  bool lazy = false;  ///< EPN only: lazy iterative scheme instead of eager
+
+  /// End-to-end budget in milliseconds, measured from *admission* (queue
+  /// wait spends it too — a request that waited its whole budget gets an
+  /// immediate anytime answer, not a fresh solver allowance). 0 = none.
+  double deadline_ms = 0.0;
+  double time_limit_s = 0.0;  ///< per-solve-call cap; 0 = none
+  int threads = 1;            ///< B&B worker threads for this request
+  std::int64_t max_nodes = 0; ///< 0 = solver default
+  /// NumericalError retry budget (the service-level ladder: tightened
+  /// tolerances, then the dense oracle kernel). -1 = service default.
+  int retries = -1;
+  std::uint64_t seed = 0;  ///< backoff jitter seed; 0 derives one from `id`
+  bool droppable = false;  ///< may be shed when the admission queue is full
+  bool lint = false;       ///< reject on Error-severity model-lint findings
+  std::string inject;      ///< fault spec "site:n[:seed[:repeat]]"; tests/drills
+  /// Checkpoint path for this request's solve. Empty + `preemptible` lets
+  /// the service assign one under its checkpoint dir (drain writes it).
+  std::string checkpoint;
+  bool resume = false;      ///< resume from `checkpoint` when compatible
+  bool preemptible = true;  ///< false: drain abandons instead of checkpointing
+
+  /// Parses a request object. Returns nullopt and a reason on schema errors
+  /// (missing id, no/ambiguous model source, bad types).
+  static std::optional<Request> from_json(const Json& j, std::string* err);
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Terminal states of a request. `Degraded` is the anytime result: a best
+/// incumbent returned at the deadline (or after an exhausted in-solver
+/// recovery ladder) together with a sound bound gap — degraded, not wrong.
+enum class ResponseStatus : std::uint8_t {
+  Optimal,     ///< proven optimum
+  Degraded,    ///< feasible incumbent + sound bound, optimality not proven
+  Timeout,     ///< budget expired with no incumbent to return
+  Infeasible,
+  Unbounded,
+  Error,       ///< request-scoped failure (parse, solver numerical, exception)
+  Rejected,    ///< never ran: shed / queue_full / draining / lint
+  Preempted,   ///< drain stopped it; `checkpoint` resumes it
+};
+
+[[nodiscard]] const char* to_string(ResponseStatus s);
+
+/// One lifecycle step (state name + milliseconds since admission) — the
+/// per-request trace the response carries back.
+struct LifecycleEvent {
+  std::string state;
+  double at_ms = 0.0;
+};
+
+struct Response {
+  std::string id;
+  ResponseStatus status = ResponseStatus::Error;
+  bool ok = false;  ///< Optimal or Degraded (a usable architecture came back)
+
+  bool has_objective = false;
+  double objective = 0.0;
+  double bound = 0.0;  ///< best proven bound in the model's own sense
+  double gap = 0.0;    ///< |objective - bound|; 0 when proven optimal
+
+  bool degraded = false;
+  std::int64_t degraded_nodes = 0;
+  std::int64_t nodes = 0;
+  int attempts = 0;    ///< solve attempts consumed (1 = no retries needed)
+  std::string reason;  ///< Rejected/Error detail ("shed", "lint", message…)
+
+  std::string checkpoint;  ///< written checkpoint path (Preempted)
+  bool resumable = false;
+
+  double queue_ms = 0.0;
+  double solve_seconds = 0.0;
+  double total_ms = 0.0;
+  std::vector<LifecycleEvent> lifecycle;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+}  // namespace archex::serve

@@ -1,0 +1,495 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "arch/algorithm.hpp"
+#include "arch/problem.hpp"
+#include "check/lint.hpp"
+#include "domains/epn.hpp"
+#include "domains/rpl.hpp"
+#include "milp/branch_bound.hpp"
+#include "milp/fault.hpp"
+#include "milp/lp_format.hpp"
+
+namespace archex::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Request ids become checkpoint file names; keep them path-safe.
+std::string sanitize_id(const std::string& id) {
+  std::string out;
+  out.reserve(id.size());
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string("req") : out;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// The request's model, whichever source it came from. Domain problems keep
+/// the Problem alive (the solve needs its decision-variable mapping); LP
+/// sources own a bare Model.
+struct BuiltModel {
+  std::unique_ptr<Problem> problem;
+  milp::Model model;  // valid when problem == nullptr
+  bool epn_lazy = false;
+  domains::epn::EpnConfig epn_cfg;
+
+  [[nodiscard]] const milp::Model& lint_target() const {
+    return problem != nullptr ? problem->model() : model;
+  }
+};
+
+BuiltModel build_model(const Request& req) {
+  BuiltModel b;
+  if (req.domain == "epn") {
+    // Same sizing as `epn_explorer --scale=small`: the eager reliability
+    // encoding needs the third rectifier per side to be satisfiable.
+    b.epn_cfg = domains::epn::small_config();
+    b.epn_cfg.rectifiers_per_side = 3;
+    b.epn_lazy = req.lazy;
+    b.epn_cfg.reliability_eager = !req.lazy;
+    b.problem = domains::epn::make_problem(b.epn_cfg);
+  } else if (req.domain == "rpl") {
+    b.problem = domains::rpl::make_problem();
+  } else if (!req.lp_file.empty()) {
+    b.model = milp::parse_lp_file(req.lp_file);
+  } else {
+    std::istringstream in(req.lp);
+    b.model = milp::parse_lp(in);
+  }
+  return b;
+}
+
+}  // namespace
+
+double backoff_delay_ms(double base_ms, std::uint64_t seed, int attempt) {
+  if (base_ms <= 0.0) return 0.0;
+  const std::uint64_t h =
+      splitmix64(seed + 0x9E3779B97F4A7C15ULL *
+                            static_cast<std::uint64_t>(attempt + 1));
+  // 53 uniform bits -> [0, 1), mapped to a [0.5, 1.5) multiplier.
+  const double jitter =
+      0.5 + std::ldexp(static_cast<double>(h >> 11), -53);
+  return base_ms * std::ldexp(1.0, attempt) * jitter;
+}
+
+ExplorationService::ExplorationService(ServiceOptions opts)
+    : opts_(std::move(opts)) {
+  opts_.workers = std::max(opts_.workers, 1);
+  opts_.queue_capacity = std::max<std::size_t>(opts_.queue_capacity, 1);
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  reg_.gauge("serve.workers").set(static_cast<double>(opts_.workers));
+}
+
+ExplorationService::~ExplorationService() { close(); }
+
+Response ExplorationService::reject(const Request& req,
+                                    const std::string& reason) {
+  Response r;
+  r.id = req.id;
+  r.status = ResponseStatus::Rejected;
+  r.reason = reason;
+  reg_.counter("serve.rejected").add();
+  if (reason == "shed" || reason == "drained") reg_.counter("serve.shed").add();
+  return r;
+}
+
+std::future<Response> ExplorationService::submit(Request req) {
+  reg_.counter("serve.requests").add();
+  std::promise<Response> promise;
+  std::future<Response> fut = promise.get_future();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_ || stopping_) {
+    lock.unlock();
+    promise.set_value(reject(req, "draining"));
+    return fut;
+  }
+  if (queue_.size() >= opts_.queue_capacity) {
+    // Load shedding: the oldest droppable queued request yields its slot and
+    // gets an explicit rejection; with nothing sheddable the newcomer is
+    // turned away instead. Either way somebody is told, nobody is dropped
+    // silently.
+    const auto victim =
+        std::find_if(queue_.begin(), queue_.end(),
+                     [](const std::unique_ptr<Pending>& p) {
+                       return p->req.droppable;
+                     });
+    if (victim == queue_.end()) {
+      lock.unlock();
+      promise.set_value(reject(req, "queue_full"));
+      return fut;
+    }
+    std::unique_ptr<Pending> shed = std::move(*victim);
+    queue_.erase(victim);
+    shed->promise.set_value(reject(shed->req, "shed"));
+  }
+  auto pending = std::make_unique<Pending>();
+  pending->req = std::move(req);
+  pending->promise = std::move(promise);
+  pending->admitted = Clock::now();
+  queue_.push_back(std::move(pending));
+  reg_.counter("serve.admitted").add();
+  reg_.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  lock.unlock();
+  cv_.notify_one();
+  return fut;
+}
+
+Response ExplorationService::run(const Request& req) {
+  reg_.counter("serve.requests").add();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || stopping_) return reject(req, "draining");
+  }
+  reg_.counter("serve.admitted").add();
+  return execute(req, Clock::now());
+}
+
+void ExplorationService::worker_loop() {
+  for (;;) {
+    std::unique_ptr<Pending> p;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      p = std::move(queue_.front());
+      queue_.pop_front();
+      reg_.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+    }
+    Response r;
+    try {
+      r = execute(p->req, p->admitted);
+    } catch (const std::exception& e) {
+      // Isolation backstop: no request may take the worker down.
+      r = Response{};
+      r.id = p->req.id;
+      r.status = ResponseStatus::Error;
+      r.reason = e.what();
+      finish_metrics(r);
+    } catch (...) {
+      r = Response{};
+      r.id = p->req.id;
+      r.status = ResponseStatus::Error;
+      r.reason = "unknown exception";
+      finish_metrics(r);
+    }
+    p->promise.set_value(std::move(r));
+  }
+}
+
+Response ExplorationService::execute(const Request& req,
+                                     Clock::time_point admitted) {
+  const Clock::time_point t_start = Clock::now();
+  Response r;
+  r.id = req.id;
+  r.queue_ms = ms_between(admitted, t_start);
+  auto mark = [&](const char* state) {
+    r.lifecycle.push_back({state, ms_between(admitted, Clock::now())});
+  };
+  auto finalize = [&]() -> Response& {
+    r.total_ms = ms_between(admitted, Clock::now());
+    mark("done");
+    finish_metrics(r);
+    return r;
+  };
+  mark("start");
+
+  Clock::time_point deadline = Clock::time_point::max();
+  if (req.deadline_ms > 0) {
+    deadline = admitted + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  req.deadline_ms));
+  }
+  // A budget fully consumed by queue wait gets its answer without touching
+  // the solver: there is no incumbent to report, so this is a timeout.
+  if (Clock::now() >= deadline) {
+    r.status = ResponseStatus::Timeout;
+    r.reason = "deadline expired before execution";
+    return finalize();
+  }
+
+  // --- build (encode) ---
+  mark("build");
+  BuiltModel built;
+  try {
+    built = build_model(req);
+  } catch (const std::exception& e) {
+    r.status = ResponseStatus::Error;
+    r.reason = std::string("model build failed: ") + e.what();
+    return finalize();
+  }
+
+  // --- lint gate ---
+  if (req.lint) {
+    mark("lint");
+    const check::LintReport report = check::lint(built.lint_target());
+    if (!report.clean(check::Severity::Error)) {
+      const auto errors = report.at_least(check::Severity::Error);
+      r.status = ResponseStatus::Rejected;
+      r.reason = "lint: " + errors.front().message;
+      reg_.counter("serve.lint_rejected").add();
+      return finalize();
+    }
+  }
+
+  // --- per-request fault plan (isolation: each request owns its plan) ---
+  milp::FaultPlan fault;
+  bool fault_armed = false;
+  if (!req.inject.empty()) {
+    if (!fault.arm_from_spec(req.inject)) {
+      r.status = ResponseStatus::Error;
+      r.reason = "bad inject spec '" + req.inject + "'";
+      return finalize();
+    }
+    fault_armed = true;
+  }
+
+  milp::MilpOptions base;
+  base.num_threads = req.threads;
+  if (req.time_limit_s > 0) base.time_limit_s = req.time_limit_s;
+  base.deadline = deadline;
+  base.cancel = &cancel_;
+  if (req.max_nodes > 0) base.max_nodes = req.max_nodes;
+  if (fault_armed) base.fault = &fault;
+  std::string ck = req.checkpoint;
+  if (ck.empty() && req.preemptible && !opts_.checkpoint_dir.empty()) {
+    ck = opts_.checkpoint_dir + "/" + sanitize_id(req.id) + ".ck";
+  }
+  base.checkpoint_file = ck;
+  base.checkpoint_interval_s = opts_.checkpoint_interval_s;
+  base.resume = req.resume;
+
+  const std::uint64_t backoff_seed =
+      (req.seed != 0 ? req.seed : fnv1a(req.id)) ^ opts_.backoff_seed;
+  const int retries = req.retries >= 0 ? req.retries : opts_.default_retries;
+
+  // --- solve, with the service-level NumericalError ladder on top of the
+  // solver's own recovery: attempt 1 tightens tolerances, attempt 2 falls
+  // back to the dense oracle kernel. ---
+  mark("solve");
+  milp::Solution sol;
+  std::string solve_error;
+  int attempt = 0;
+  const Clock::time_point t_solve = Clock::now();
+  for (;;) {
+    milp::MilpOptions o = base;
+    if (attempt == 1) {
+      // Tightened-tolerance rung: refuse marginal pivots, pivot for
+      // stability over sparsity, refactorize twice as often.
+      o.lp.pivot_tol = std::max(o.lp.pivot_tol * 10.0, 1e-7);
+      o.lp.markowitz_tol = std::max(o.lp.markowitz_tol, 0.5);
+      o.lp.refactor_interval = std::max(o.lp.refactor_interval / 2, 16);
+    } else if (attempt >= 2) {
+      o.lp.kernel = milp::BasisKernel::Dense;  // slow, numerically boring
+    }
+    solve_error.clear();
+    try {
+      if (built.problem != nullptr) {
+        if (built.epn_lazy) {
+          domains::epn::EpnLazyResult lr = domains::epn::solve_lazy_epn(
+              *built.problem, built.epn_cfg, o, /*max_iterations=*/10);
+          sol = std::move(lr.final_result.solution);
+        } else {
+          sol = built.problem->solve(o).solution;
+        }
+      } else {
+        sol = milp::solve_milp(built.model, o);
+      }
+    } catch (const std::exception& e) {
+      solve_error = e.what();
+      sol = milp::Solution{};
+      sol.status = milp::SolveStatus::NumericalError;
+    }
+    if (sol.status != milp::SolveStatus::NumericalError) break;
+    if (attempt >= retries) break;
+    if (cancel_.load(std::memory_order_relaxed) || Clock::now() >= deadline) {
+      break;  // no budget left to spend on another attempt
+    }
+    reg_.counter("serve.retries").add();
+    const double delay =
+        backoff_delay_ms(opts_.backoff_base_ms, backoff_seed, attempt);
+    if (delay > 0) {
+      const double remaining_ms = ms_between(Clock::now(), deadline);
+      const double capped = std::min(delay, std::max(remaining_ms, 0.0));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(capped));
+    }
+    ++attempt;
+    mark("retry");
+  }
+  r.solve_seconds =
+      std::chrono::duration<double>(Clock::now() - t_solve).count();
+  r.attempts = attempt + 1;
+
+  // --- map the solution to a response ---
+  mark("extract");
+  r.nodes = sol.nodes_explored;
+  r.degraded_nodes = sol.degraded_nodes;
+  if (sol.has_incumbent) {
+    r.has_objective = true;
+    r.objective = sol.objective;
+    r.bound = sol.best_bound;
+    r.gap = std::abs(sol.objective - sol.best_bound);
+  }
+  reg_.counter("serve.solver.nodes").add(sol.nodes_explored);
+  reg_.counter("serve.solver.simplex_iterations").add(sol.simplex_iterations);
+
+  // A TimeLimit while the service-wide cancel token is set and the request's
+  // own deadline has slack is a drain preemption, not a timeout.
+  const bool preempted = cancel_.load(std::memory_order_relaxed) &&
+                         sol.status == milp::SolveStatus::TimeLimit &&
+                         Clock::now() < deadline;
+  switch (sol.status) {
+    case milp::SolveStatus::Optimal:
+      r.status =
+          sol.degraded ? ResponseStatus::Degraded : ResponseStatus::Optimal;
+      break;
+    case milp::SolveStatus::TimeLimit:
+    case milp::SolveStatus::NodeLimit:
+    case milp::SolveStatus::IterationLimit:
+      if (preempted) {
+        r.status = ResponseStatus::Preempted;
+        r.checkpoint = ck;
+        r.resumable = !ck.empty() && file_exists(ck);
+      } else if (sol.has_incumbent) {
+        r.status = ResponseStatus::Degraded;  // the anytime result
+      } else {
+        r.status = ResponseStatus::Timeout;
+      }
+      break;
+    case milp::SolveStatus::Infeasible:
+      r.status = ResponseStatus::Infeasible;
+      break;
+    case milp::SolveStatus::Unbounded:
+      r.status = ResponseStatus::Unbounded;
+      break;
+    case milp::SolveStatus::NumericalError:
+      r.status = ResponseStatus::Error;
+      r.reason = solve_error.empty()
+                     ? "numerical error after " + std::to_string(attempt + 1) +
+                           " attempt(s)"
+                     : solve_error;
+      break;
+  }
+  r.ok = r.status == ResponseStatus::Optimal ||
+         r.status == ResponseStatus::Degraded;
+  r.degraded = sol.degraded || r.status == ResponseStatus::Degraded;
+
+  if (r.status == ResponseStatus::Preempted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++drain_preempted_;
+    if (r.resumable) drained_checkpoints_.push_back(r.checkpoint);
+  }
+  return finalize();
+}
+
+void ExplorationService::finish_metrics(const Response& r) {
+  reg_.counter("serve.completed").add();
+  switch (r.status) {
+    case ResponseStatus::Optimal: reg_.counter("serve.optimal").add(); break;
+    case ResponseStatus::Degraded: reg_.counter("serve.degraded").add(); break;
+    case ResponseStatus::Timeout: reg_.counter("serve.timeouts").add(); break;
+    case ResponseStatus::Infeasible:
+      reg_.counter("serve.infeasible").add();
+      break;
+    case ResponseStatus::Unbounded: reg_.counter("serve.infeasible").add(); break;
+    case ResponseStatus::Error: reg_.counter("serve.errors").add(); break;
+    case ResponseStatus::Rejected: break;  // counted at rejection time
+    case ResponseStatus::Preempted:
+      reg_.counter("serve.preempted").add();
+      break;
+  }
+  reg_.histogram("serve.latency").record(r.total_ms / 1000.0);
+  reg_.histogram("serve.queue_wait").record(r.queue_ms / 1000.0);
+}
+
+ExplorationService::DrainReport ExplorationService::drain() {
+  DrainReport rep;
+  std::vector<std::unique_ptr<Pending>> shed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    stopping_ = true;
+    while (!queue_.empty()) {
+      shed.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    reg_.gauge("serve.queue_depth").set(0.0);
+  }
+  cancel_.store(true, std::memory_order_relaxed);
+  cv_.notify_all();
+  for (std::unique_ptr<Pending>& p : shed) {
+    p->promise.set_value(reject(p->req, "drained"));
+    ++rep.shed;
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rep.preempted = drain_preempted_;
+    rep.checkpoints = drained_checkpoints_;
+  }
+  return rep;
+}
+
+void ExplorationService::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+std::size_t ExplorationService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::string ExplorationService::prometheus() const {
+  return obs::prometheus_text(reg_);
+}
+
+}  // namespace archex::serve

@@ -4,6 +4,9 @@
 /// Sec. 3 claim that the analysis/learning interfaces are domain-pluggable.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "arch/algorithm.hpp"
 #include "arch/patterns/connection.hpp"
 #include "arch/patterns/general.hpp"
@@ -117,6 +120,68 @@ TEST(IterativeSchemeTest, RespectsIterationBudget) {
   IterativeResult res = solve_iteratively(p, never, noop_learn, {}, 4);
   EXPECT_FALSE(res.converged);
   EXPECT_EQ(res.steps.size(), 4u);
+}
+
+TEST(IterativeSchemeTest, TimeLimitIsOneBudgetAcrossIterations) {
+  // Regression: `time_limit_s` used to restart at every re-solve, so a
+  // learning loop with a 0.2 s limit could legally run all ten iterations
+  // (each individually fast) and never time out. The limit is now converted
+  // to one absolute deadline at entry; a learn step that burns the whole
+  // budget must make the *next* solve come back TimeLimit and end the loop.
+  LatencyNet net;
+  Problem p(net.lib, net.tmpl);
+  p.set_functional_flow({"Src", "Mid", "Snk"});
+  p.apply(SinksConnectedToSources(NodeFilter::of_type("Src"), NodeFilter::of_type("Snk")));
+
+  const AnalysisFn never = [](Problem&, const Architecture&) { return AnalysisVerdict{}; };
+  const LearnFn slow_learn = [](Problem& prob, const Architecture&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(350));
+    prob.model().add_constraint(milp::LinExpr(prob.instantiated(0)), milp::Sense::LE, 1.0);
+    return true;
+  };
+  milp::MilpOptions opts;
+  opts.time_limit_s = 0.2;  // spans solve + analyze + learn, end to end
+
+  const auto t0 = std::chrono::steady_clock::now();
+  IterativeResult res = solve_iteratively(p, never, slow_learn, opts, 10);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  EXPECT_FALSE(res.converged);
+  // Iteration 1 solves (budget intact), learn overruns the deadline,
+  // iteration 2's solve times out immediately — never ten fresh budgets.
+  EXPECT_EQ(res.steps.size(), 2u);
+  EXPECT_EQ(res.final_result.solution.status, milp::SolveStatus::TimeLimit);
+  EXPECT_LT(secs, 2.0);
+  // Anytime fallback: the budget-stopped re-solve had no incumbent of its
+  // own, so the loop surfaces iteration 1's architecture (flagged degraded
+  // by the TimeLimit status) instead of an empty result.
+  ASSERT_TRUE(res.final_result.feasible());
+  EXPECT_TRUE(res.final_result.degraded());
+  EXPECT_EQ(res.final_result.solution.objective, res.steps.front().cost);
+  EXPECT_EQ(res.final_result.architecture.cost, res.steps.front().architecture.cost);
+}
+
+TEST(IterativeSchemeTest, CallerDeadlineWinsOverRelativeLimit) {
+  // A serve request's absolute deadline spans the whole request; when it is
+  // tighter than the per-call limit it must win — here it is already
+  // expired, so even iteration 1 returns TimeLimit without exploring.
+  LatencyNet net;
+  Problem p(net.lib, net.tmpl);
+  p.set_functional_flow({"Src", "Mid", "Snk"});
+  p.apply(SinksConnectedToSources(NodeFilter::of_type("Src"), NodeFilter::of_type("Snk")));
+
+  const AnalysisFn never = [](Problem&, const Architecture&) { return AnalysisVerdict{}; };
+  const LearnFn noop = [](Problem&, const Architecture&) { return false; };
+  milp::MilpOptions opts;
+  opts.time_limit_s = 3600.0;  // generous relative limit loses to...
+  opts.deadline = std::chrono::steady_clock::now();  // ...an expired deadline
+
+  IterativeResult res = solve_iteratively(p, never, noop, opts, 5);
+  EXPECT_FALSE(res.converged);
+  ASSERT_EQ(res.steps.size(), 1u);
+  EXPECT_EQ(res.final_result.solution.status, milp::SolveStatus::TimeLimit);
+  EXPECT_FALSE(res.final_result.feasible());
 }
 
 }  // namespace

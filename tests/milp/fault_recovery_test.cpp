@@ -5,9 +5,13 @@
 /// the true optimum (the ladder abandoned a subtree but never pruned it).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <random>
+#include <string>
+#include <thread>
 
 #include "milp/branch_bound.hpp"
 #include "milp/fault.hpp"
@@ -452,6 +456,120 @@ TEST(DeadlineArmingTest, HugeFiniteTimeLimitsStillSolve) {
     opts.time_limit_s = limit;
     const Solution s = solve_milp(m, opts);
     EXPECT_EQ(s.status, SolveStatus::Optimal) << "time_limit_s=" << limit;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation (the serve drain/preemption token)
+// ---------------------------------------------------------------------------
+
+TEST(CancelTokenTest, PreSetTokenStopsBeforeTheTree) {
+  const Model m = hard_knapsack_fixture(20, 7);
+  std::atomic<bool> cancel{true};
+  MilpOptions opts;
+  opts.num_threads = 1;
+  opts.cancel = &cancel;
+  const Solution s = solve_milp(m, opts);
+  // Cancellation reads as an expired budget: TimeLimit, never a claim.
+  EXPECT_EQ(s.status, SolveStatus::TimeLimit);
+  EXPECT_FALSE(s.has_incumbent);
+}
+
+TEST(CancelTokenTest, MidSolveCancelKeepsSoundIncumbent) {
+  // Cancel from a second thread while the search runs; whatever incumbent
+  // was found so far must still be feasible with a bracketing bound.
+  const Model m = hard_knapsack_fixture(52, 7);
+  const Solution clean = solve_milp(m, {});
+  ASSERT_EQ(clean.status, SolveStatus::Optimal);
+
+  std::atomic<bool> cancel{false};
+  MilpOptions opts;
+  opts.num_threads = 1;
+  opts.cancel = &cancel;
+  std::thread killer([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    cancel.store(true, std::memory_order_relaxed);
+  });
+  const Solution s = solve_milp(m, opts);
+  killer.join();
+  EXPECT_EQ(s.status, SolveStatus::TimeLimit);
+  if (s.has_incumbent) {
+    EXPECT_TRUE(m.feasible(s.x, 1e-5));
+    EXPECT_LE(s.objective, clean.objective + 1e-6);   // Maximize
+    EXPECT_GE(s.best_bound, clean.objective - 1e-6);  // bound still brackets
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded injection sweep (the serve isolation drill, solver level):
+// every injectable numerical site, swept shallow to deep through a 4-worker
+// pool solve, must end in a sound state — the clean optimum, a degraded
+// incumbent whose bound still brackets it, or an explicit NumericalError.
+// Never a crash, never a false optimum.
+// ---------------------------------------------------------------------------
+
+TEST(MtInjectionSweepTest, FourWorkerSweepStaysSoundAcrossAllSites) {
+  const Model m = hard_knapsack_fixture(20, 7);
+  MilpOptions seq;
+  seq.num_threads = 1;
+
+  for (const FaultSite site :
+       {FaultSite::SingularFactor, FaultSite::NanPivot, FaultSite::BadAlloc}) {
+    const SiteProfile prof = profile_site(m, site, seq);
+    if (prof.total == 0) continue;  // site unreachable on this fixture
+    const std::int64_t probes[] = {1, prof.mid_tree(),
+                                   std::max<std::int64_t>(1, prof.total - 2)};
+    for (const std::int64_t nth : probes) {
+      FaultPlan plan;
+      // Repeat window + seeded tail: under a 4-worker pool the occurrence
+      // ordering is nondeterministic, so a burst plus a sparse tail makes
+      // sure failures land *somewhere* mid-search on every run.
+      plan.arm(site, nth, /*seed=*/static_cast<std::uint64_t>(nth) + 1,
+               /*repeat=*/6);
+      MilpOptions opts;
+      opts.num_threads = 4;
+      opts.fault = &plan;
+      const Solution s = solve_milp(m, opts);
+      const std::string where =
+          std::string(to_string(site)) + " @ " + std::to_string(nth);
+
+      if (s.status == SolveStatus::Optimal && !s.degraded) {
+        EXPECT_NEAR(s.objective, prof.clean_objective, 1e-6) << where;
+      } else if (s.has_incumbent) {
+        // Degraded or limit-stopped: sound bracket, feasible point.
+        EXPECT_TRUE(m.feasible(s.x, 1e-5)) << where;
+        EXPECT_LE(s.objective, prof.clean_objective + 1e-6) << where;
+        EXPECT_GE(s.best_bound, prof.clean_objective - 1e-6) << where;
+      } else {
+        // Empty-handed exits must be explicit, never "infeasible".
+        EXPECT_NE(s.status, SolveStatus::Infeasible) << where;
+      }
+    }
+  }
+}
+
+TEST(MtInjectionSweepTest, PersistentPoisonDegradesSoundlyUnderFourWorkers) {
+  // Mirror of ExhaustedLadderDegradesWithSoundBound through the pool: every
+  // post-root NaN pivot is poisoned, so workers abandon subtrees. The
+  // incumbent/bound bracket must survive the concurrent bound folding.
+  const Model m = hard_knapsack_fixture(20, 7);
+  MilpOptions seq;
+  seq.num_threads = 1;
+  const SiteProfile prof = profile_site(m, FaultSite::NanPivot, seq);
+
+  FaultPlan plan;
+  plan.arm(FaultSite::NanPivot, prof.root + 1, /*seed=*/0,
+           /*repeat=*/std::numeric_limits<std::int64_t>::max() / 2);
+  MilpOptions opts;
+  opts.num_threads = 4;
+  opts.fault = &plan;
+  const Solution s = solve_milp(m, opts);
+  EXPECT_TRUE(plan.any_fired());
+  if (s.has_incumbent) {
+    EXPECT_LE(s.objective, prof.clean_objective + 1e-6);
+    EXPECT_GE(s.best_bound, prof.clean_objective - 1e-6);
+  } else {
+    EXPECT_NE(s.status, SolveStatus::Infeasible);
   }
 }
 

@@ -97,6 +97,69 @@ TEST(MetricsTest, WriteJsonEmitsOneObject) {
   EXPECT_NE(json.find("\"b.count\":"), std::string::npos);
 }
 
+TEST(MetricsTest, HistogramQuantilesBracketObservations) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty: no estimate, no crash
+  // 1000 observations spread over [1 ms, 100 ms]; the log-bucketed estimate
+  // must land within one sqrt(2) bucket of the true quantile.
+  for (int i = 1; i <= 1000; ++i) h.record(1e-3 * (0.001 + 0.1 * i));
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_NEAR(h.sum_seconds(), 1e-3 * (0.001 * 1000 + 0.1 * 500500), 1e-6);
+  const double p50 = h.quantile(0.50);
+  EXPECT_GE(p50, 0.050 / 1.5);
+  EXPECT_LE(p50, 0.050 * 1.5);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 0.099 / 1.5);
+  EXPECT_LE(p99, 0.101 * 1.5);
+  EXPECT_GE(p99, p50);  // quantiles are monotone in q
+}
+
+TEST(MetricsTest, HistogramClampsOutliersWithoutLosingCounts) {
+  Histogram h;
+  h.record(0.0);     // below the 100 us floor -> first bucket
+  h.record(-1.0);    // negative durations clamp, never index out of range
+  h.record(1e9);     // absurd outlier -> overflow bucket
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_GT(h.quantile(1.0), 0.0);
+}
+
+TEST(MetricsTest, HistogramRecordsConcurrently) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("latency");
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kRecords; ++i) h.record(1e-3 * (t + 1));
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(kThreads) * kRecords);
+  EXPECT_NEAR(h.sum_seconds(), 1e-3 * (1 + 2 + 3 + 4) * kRecords, 1e-6);
+  // All mass sits in [1 ms, 4 ms]: the quantiles may not escape it.
+  EXPECT_GE(h.quantile(0.5), 1e-3 / 1.5);
+  EXPECT_LE(h.quantile(0.99), 4e-3 * 1.5);
+}
+
+TEST(MetricsTest, SnapshotAndPrometheusRenderHistograms) {
+  MetricsRegistry reg;
+  reg.histogram("serve.latency").record(0.25);
+  reg.histogram("serve.latency").record(0.5);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("serve.latency.count"), 2.0);
+  EXPECT_NEAR(snap.at("serve.latency.sum"), 0.75, 1e-9);
+  EXPECT_GT(snap.at("serve.latency.p50"), 0.0);
+  EXPECT_GE(snap.at("serve.latency.p99"), snap.at("serve.latency.p50"));
+
+  const std::string text = prometheus_text(reg);
+  for (const char* needle :
+       {"archex_serve_latency_seconds_sum", "archex_serve_latency_seconds_count",
+        "archex_serve_latency_p50_seconds", "archex_serve_latency_p99_seconds"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Trace buffers
 // ---------------------------------------------------------------------------

@@ -1,0 +1,581 @@
+/// Tests of the resilient exploration service (serve/): the NDJSON value
+/// type, the request/response schema, and the full ExplorationService
+/// lifecycle — deadlines as anytime degraded results, the NumericalError
+/// retry ladder, per-request fault isolation, load shedding, and drain with
+/// checkpoint/resume. The `ServeConcurrency*` suites run under the
+/// ThreadSanitizer CI leg (see tests/CMakeLists.txt), so they stick to
+/// millisecond-scale knapsacks.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "milp/branch_bound.hpp"
+#include "milp/lp_format.hpp"
+#include "serve/json.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+namespace archex::serve {
+namespace {
+
+/// Strongly correlated knapsack (the recipe shared with the fault-recovery
+/// and parallel-BB suites): granularity pruning never fires, so deadlines
+/// and preemptions land mid-search. n = 20 solves in milliseconds; n = 52,
+/// seed 7 explores ~6e4 nodes (~0.5 s release build) — slow enough that an
+/// 80 ms deadline or a 150 ms drain reliably interrupts it.
+std::string knapsack_lp(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> w(10, 30);
+  milp::Model m;
+  milp::LinExpr tw, tv;
+  double cap = 0.0;
+  for (int j = 0; j < n; ++j) {
+    milp::VarId v = m.add_binary();
+    const int wj = w(rng);
+    tw += static_cast<double>(wj) * v;
+    tv += (static_cast<double>(wj) + 5.0 + 0.1 * (j % 7)) * v;
+    cap += wj;
+  }
+  m.add_constraint(tw <= milp::LinExpr(0.5 * cap));
+  m.set_objective(tv, milp::ObjectiveSense::Maximize);
+  std::ostringstream os;
+  m.write_lp(os);
+  return os.str();
+}
+
+/// The exact solver path the service takes for an inline LP source: parse
+/// the text, then solve. Reusing it makes bit-exact comparisons meaningful.
+milp::Solution solo_solve(const std::string& lp_text,
+                          milp::MilpOptions opts = {}) {
+  std::istringstream in(lp_text);
+  milp::Model m = milp::parse_lp(in);
+  return milp::solve_milp(m, opts);
+}
+
+Request lp_request(std::string id, std::string lp_text) {
+  Request r;
+  r.id = std::move(id);
+  r.lp = std::move(lp_text);
+  return r;
+}
+
+ServiceOptions with_workers(int n) {
+  ServiceOptions so;
+  so.workers = n;
+  return so;
+}
+
+// ---------------------------------------------------------------------------
+// Json value type
+// ---------------------------------------------------------------------------
+
+TEST(ServeJsonTest, DumpIsDeterministicWithSortedKeys) {
+  Json j;
+  j["zeta"] = Json(1.0);
+  j["alpha"] = Json("a");
+  j["mid"] = Json(true);
+  EXPECT_EQ(j.dump(), "{\"alpha\":\"a\",\"mid\":true,\"zeta\":1}");
+}
+
+TEST(ServeJsonTest, RoundTripPreservesStructureAndPrecision) {
+  // 17 significant digits survive a dump/parse cycle bit-exactly.
+  const double awkward = 247.70000000000002;
+  Json j;
+  j["obj"] = Json(awkward);
+  j["neg"] = Json(-1.5e-11);
+  j["text"] = Json("line\nbreak \"quoted\" \\slash");
+  j["list"] = Json(Json::Array{Json(1.0), Json()});
+
+  std::string err;
+  const std::optional<Json> back = Json::parse(j.dump(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->dump(), j.dump());
+  EXPECT_EQ(back->find("obj")->as_number(), awkward);
+  EXPECT_EQ(back->find("text")->as_string(), "line\nbreak \"quoted\" \\slash");
+  ASSERT_EQ(back->find("list")->as_array().size(), 2u);
+  EXPECT_TRUE(back->find("list")->as_array()[1].is_null());
+}
+
+TEST(ServeJsonTest, ParsesUnicodeEscapes) {
+  std::string err;
+  const auto j = Json::parse("{\"s\":\"\\u0041\\u00e9\\t\"}", &err);
+  ASSERT_TRUE(j.has_value()) << err;
+  EXPECT_EQ(j->find("s")->as_string(), "A\xc3\xa9\t");
+}
+
+TEST(ServeJsonTest, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing", &err).has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}", &err).has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(Json::parse("{'single':1}", &err).has_value());
+  EXPECT_FALSE(Json::parse("0x10", &err).has_value());  // strtod hex rejected
+  EXPECT_FALSE(Json::parse("nan", &err).has_value());
+  // Depth bomb: the recursive-descent parser caps nesting instead of
+  // overflowing the stack on hostile input.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::parse(deep, &err).has_value());
+}
+
+TEST(ServeJsonTest, NonFiniteNumbersDumpAsNull) {
+  Json j;
+  j["inf"] = Json(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(j.dump(), "{\"inf\":null}");
+}
+
+// ---------------------------------------------------------------------------
+// Request schema
+// ---------------------------------------------------------------------------
+
+std::optional<Request> parse_request(const std::string& text, std::string* err) {
+  const std::optional<Json> j = Json::parse(text, err);
+  if (!j.has_value()) return std::nullopt;
+  return Request::from_json(*j, err);
+}
+
+TEST(ServeRequestTest, MinimalRequestGetsDocumentedDefaults) {
+  std::string err;
+  const auto r = parse_request("{\"id\":\"r1\",\"lp\":\"...\"}", &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  EXPECT_EQ(r->id, "r1");
+  EXPECT_EQ(r->threads, 1);
+  EXPECT_EQ(r->retries, -1);
+  EXPECT_EQ(r->deadline_ms, 0.0);
+  EXPECT_FALSE(r->droppable);
+  EXPECT_FALSE(r->lint);
+  EXPECT_TRUE(r->preemptible);
+  // to_json -> from_json round-trips the whole schema.
+  const auto back = Request::from_json(r->to_json(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->to_json().dump(), r->to_json().dump());
+}
+
+TEST(ServeRequestTest, RejectsSchemaViolations) {
+  std::string err;
+  EXPECT_FALSE(parse_request("{\"lp\":\"...\"}", &err).has_value());
+  EXPECT_FALSE(err.empty());  // missing id names the problem
+  EXPECT_FALSE(parse_request("{\"id\":\"a\"}", &err).has_value());
+  EXPECT_FALSE(
+      parse_request("{\"id\":\"a\",\"lp\":\"x\",\"domain\":\"epn\"}", &err)
+          .has_value());  // ambiguous source
+  EXPECT_FALSE(
+      parse_request("{\"id\":\"a\",\"domain\":\"nosuch\"}", &err).has_value());
+  EXPECT_FALSE(
+      parse_request("{\"id\":\"a\",\"lp\":\"x\",\"threads\":0}", &err)
+          .has_value());
+  EXPECT_FALSE(
+      parse_request("{\"id\":\"a\",\"lp\":\"x\",\"deadline_ms\":-5}", &err)
+          .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff
+// ---------------------------------------------------------------------------
+
+TEST(ServeBackoffTest, DeterministicExponentialWithBoundedJitter) {
+  const std::uint64_t seed = 0xABCDEF12345ULL;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const double a = backoff_delay_ms(10.0, seed, attempt);
+    const double b = backoff_delay_ms(10.0, seed, attempt);
+    EXPECT_EQ(a, b);  // pure function of (base, seed, attempt)
+    const double nominal = 10.0 * std::ldexp(1.0, attempt);
+    EXPECT_GE(a, 0.5 * nominal);
+    EXPECT_LT(a, 1.5 * nominal);
+  }
+  EXPECT_NE(backoff_delay_ms(10.0, 1, 0), backoff_delay_ms(10.0, 2, 0));
+  EXPECT_EQ(backoff_delay_ms(0.0, seed, 3), 0.0);  // test default: no sleep
+}
+
+// ---------------------------------------------------------------------------
+// Service lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(ServeServiceTest, InlineLpSolvesToOptimalBitExact) {
+  const std::string lp = knapsack_lp(20, 7);
+  const milp::Solution solo = solo_solve(lp);
+  ASSERT_EQ(solo.status, milp::SolveStatus::Optimal);
+
+  ExplorationService svc(with_workers(1));
+  const Response r = svc.run(lp_request("k20", lp));
+  EXPECT_EQ(r.status, ResponseStatus::Optimal);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.attempts, 1);
+  ASSERT_TRUE(r.has_objective);
+  EXPECT_EQ(r.objective, solo.objective);  // same code path: bit-identical
+  EXPECT_EQ(r.nodes, solo.nodes_explored);
+  EXPECT_EQ(r.gap, 0.0);
+  // The lifecycle trace walks the documented states in order.
+  ASSERT_GE(r.lifecycle.size(), 4u);
+  EXPECT_EQ(r.lifecycle.front().state, "start");
+  EXPECT_EQ(r.lifecycle.back().state, "done");
+}
+
+TEST(ServeServiceTest, LpFileSourceMatchesInlineText) {
+  const std::string lp = knapsack_lp(20, 7);
+  const std::string path = ::testing::TempDir() + "serve_lpfile_test.lp";
+  {
+    std::ofstream out(path);
+    out << lp;
+  }
+  ExplorationService svc(with_workers(1));
+  Request req;
+  req.id = "file";
+  req.lp_file = path;
+  const Response r = svc.run(req);
+  EXPECT_EQ(r.status, ResponseStatus::Optimal);
+  EXPECT_EQ(r.objective, solo_solve(lp).objective);
+  std::remove(path.c_str());
+}
+
+TEST(ServeServiceTest, DeadlineReturnsAnytimeDegradedWithSoundGap) {
+  const std::string lp = knapsack_lp(52, 7);
+  const milp::Solution solo = solo_solve(lp);
+  ASSERT_EQ(solo.status, milp::SolveStatus::Optimal);
+
+  ExplorationService svc(with_workers(1));
+  Request req = lp_request("deadline", lp);
+  req.deadline_ms = 80;  // full solve needs ~6x that: expires mid-tree
+  const Response r = svc.run(req);
+  ASSERT_EQ(r.status, ResponseStatus::Degraded) << r.reason;
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.degraded);
+  ASSERT_TRUE(r.has_objective);  // the anytime incumbent came back
+  EXPECT_TRUE(std::isfinite(r.gap));
+  EXPECT_GT(r.gap, 0.0);  // optimality genuinely unproven at the deadline
+  // Soundness of the anytime answer (Maximize): the incumbent never beats
+  // the true optimum and the reported bound still brackets it.
+  EXPECT_LE(r.objective, solo.objective + 1e-6);
+  EXPECT_GE(r.bound, solo.objective - 1e-6);
+  EXPECT_LT(r.nodes, solo.nodes_explored);
+  // The budget was enforced end-to-end, not per phase.
+  EXPECT_LT(r.total_ms, 2000.0);
+}
+
+TEST(ServeServiceTest, QueueWaitSpendsTheDeadline) {
+  // A request whose budget is consumed while queued gets an immediate
+  // explicit timeout — it never reaches the solver with a fresh allowance.
+  ExplorationService svc(with_workers(1));
+  auto blocker = svc.submit(lp_request("blocker", knapsack_lp(52, 7)));
+  Request starved = lp_request("starved", knapsack_lp(20, 7));
+  starved.deadline_ms = 1;  // gone long before the blocker finishes
+  auto fut = svc.submit(std::move(starved));
+  const Response r = fut.get();
+  EXPECT_EQ(r.status, ResponseStatus::Timeout);
+  EXPECT_FALSE(r.has_objective);
+  EXPECT_EQ(r.nodes, 0);
+  EXPECT_EQ(r.reason, "deadline expired before execution");
+  EXPECT_EQ(blocker.get().status, ResponseStatus::Optimal);
+}
+
+TEST(ServeServiceTest, LintGateRejectsWithoutPoisoningSiblings) {
+  // x's bounds contradict: model-lint flags it at Error severity.
+  const std::string bad =
+      "Minimize\n obj: x\nSubject To\n c1: x >= 1\nBounds\n 2 <= x <= 1\nEnd\n";
+  ExplorationService svc(with_workers(1));
+  Request req = lp_request("bad", bad);
+  req.lint = true;
+  const Response r = svc.run(req);
+  EXPECT_EQ(r.status, ResponseStatus::Rejected);
+  EXPECT_EQ(r.reason.rfind("lint:", 0), 0u) << r.reason;
+  EXPECT_FALSE(r.ok);
+
+  // The rejection is isolated: the next request on the same service is clean.
+  const Response ok = svc.run(lp_request("good", knapsack_lp(20, 7)));
+  EXPECT_EQ(ok.status, ResponseStatus::Optimal);
+}
+
+TEST(ServeServiceTest, RetryLadderRecoversWithTightenedTolerances) {
+  // nan-pivot from occurrence 2 with a 4-wide window defeats the solver's
+  // own root recovery on attempt 1; the service retry (tightened
+  // tolerances) runs past the window and recovers the optimum.
+  const std::string lp = knapsack_lp(20, 7);
+  const milp::Solution solo = solo_solve(lp);
+
+  ExplorationService svc(with_workers(1));
+  Request req = lp_request("transient", lp);
+  req.inject = "nan-pivot:2:0:4";
+  req.retries = 2;
+  const Response r = svc.run(req);
+  EXPECT_EQ(r.status, ResponseStatus::Optimal) << r.reason;
+  EXPECT_EQ(r.attempts, 2);
+  ASSERT_TRUE(r.has_objective);
+  // Tightened tolerances may pivot differently; the optimum itself agrees.
+  EXPECT_NEAR(r.objective, solo.objective, 1e-9);
+}
+
+TEST(ServeServiceTest, RetryLadderFallsBackToDenseKernel) {
+  // An 8-wide window also defeats the tightened-tolerance rung; only the
+  // dense-kernel rung (attempt 3) gets past it.
+  const std::string lp = knapsack_lp(20, 7);
+  ExplorationService svc(with_workers(1));
+  Request req = lp_request("stubborn", lp);
+  req.inject = "nan-pivot:2:0:8";
+  req.retries = 2;
+  const Response r = svc.run(req);
+  EXPECT_EQ(r.status, ResponseStatus::Optimal) << r.reason;
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_NEAR(r.objective, solo_solve(lp).objective, 1e-9);
+  EXPECT_GE(svc.metrics().counter("serve.retries").value(), 2.0);
+}
+
+TEST(ServeServiceTest, ExhaustedRetriesSurfaceAsErrorNeverFalseOptima) {
+  ExplorationService svc(with_workers(1));
+  Request req = lp_request("doomed", knapsack_lp(20, 7));
+  req.inject = "nan-pivot:2:0:1000000000";  // persistent: every attempt fails
+  req.retries = 1;
+  const Response r = svc.run(req);
+  EXPECT_EQ(r.status, ResponseStatus::Error);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.has_objective);  // never a fabricated answer
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(ServeServiceTest, BadInjectSpecIsARequestScopedError) {
+  ExplorationService svc(with_workers(1));
+  Request req = lp_request("typo", knapsack_lp(20, 7));
+  req.inject = "no-such-site:1";
+  const Response r = svc.run(req);
+  EXPECT_EQ(r.status, ResponseStatus::Error);
+  EXPECT_NE(r.reason.find("inject"), std::string::npos);
+  EXPECT_EQ(svc.run(lp_request("after", knapsack_lp(20, 7))).status,
+            ResponseStatus::Optimal);
+}
+
+TEST(ServeServiceTest, LoadShedsOldestDroppableWithExplicitRejection) {
+  ServiceOptions so;
+  so.workers = 1;
+  so.queue_capacity = 2;
+  ExplorationService svc(so);
+
+  // Occupy the single worker, then wait until it picked the blocker up so
+  // the admission queue is empty and fills deterministically below.
+  auto blocker = svc.submit(lp_request("blocker", knapsack_lp(52, 7)));
+  while (svc.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  Request b = lp_request("b", knapsack_lp(20, 7));
+  b.droppable = true;
+  Request c = lp_request("c", knapsack_lp(20, 8));
+  c.droppable = true;
+  auto fb = svc.submit(std::move(b));
+  auto fc = svc.submit(std::move(c));
+  // Queue is now at capacity. A non-droppable newcomer sheds the oldest
+  // droppable (b); a further droppable newcomer sheds c.
+  auto fd = svc.submit(lp_request("d", knapsack_lp(20, 9)));
+  Request e = lp_request("e", knapsack_lp(20, 10));
+  e.droppable = true;
+  auto fe = svc.submit(std::move(e));
+
+  const Response rb = fb.get();
+  EXPECT_EQ(rb.status, ResponseStatus::Rejected);
+  EXPECT_EQ(rb.reason, "shed");
+  const Response rc = fc.get();
+  EXPECT_EQ(rc.status, ResponseStatus::Rejected);
+  EXPECT_EQ(rc.reason, "shed");
+  EXPECT_EQ(fd.get().status, ResponseStatus::Optimal);
+  EXPECT_EQ(fe.get().status, ResponseStatus::Optimal);
+  EXPECT_EQ(blocker.get().status, ResponseStatus::Optimal);
+  EXPECT_EQ(svc.metrics().counter("serve.shed").value(), 2.0);
+}
+
+TEST(ServeServiceTest, QueueFullRejectsNewcomerWhenNothingDroppable) {
+  ServiceOptions so;
+  so.workers = 1;
+  so.queue_capacity = 1;
+  ExplorationService svc(so);
+  auto blocker = svc.submit(lp_request("blocker", knapsack_lp(52, 7)));
+  while (svc.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto fb = svc.submit(lp_request("b", knapsack_lp(20, 7)));  // fills the queue
+  auto fc = svc.submit(lp_request("c", knapsack_lp(20, 8)));  // turned away
+  const Response rc = fc.get();
+  EXPECT_EQ(rc.status, ResponseStatus::Rejected);
+  EXPECT_EQ(rc.reason, "queue_full");
+  EXPECT_EQ(fb.get().status, ResponseStatus::Optimal);
+  EXPECT_EQ(blocker.get().status, ResponseStatus::Optimal);
+}
+
+TEST(ServeServiceTest, DrainPreemptsCheckpointsAndResumeMatchesSolo) {
+  const std::string lp = knapsack_lp(52, 7);
+  const milp::Solution solo = solo_solve(lp);
+  ASSERT_EQ(solo.status, milp::SolveStatus::Optimal);
+
+  ServiceOptions so;
+  so.workers = 1;
+  so.checkpoint_dir = ::testing::TempDir();
+  so.checkpoint_interval_s = 0.01;
+  std::string ck_path;
+  {
+    ExplorationService svc(so);
+    auto fut = svc.submit(lp_request("drainme", lp));
+    // Let the solve get properly underway (incumbent + open tree) first.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    const ExplorationService::DrainReport rep = svc.drain();
+    const Response r = fut.get();
+    ASSERT_EQ(r.status, ResponseStatus::Preempted) << r.reason;
+    EXPECT_FALSE(r.ok);
+    ASSERT_TRUE(r.resumable);
+    ASSERT_FALSE(r.checkpoint.empty());
+    ck_path = r.checkpoint;
+    EXPECT_EQ(rep.preempted, 1u);
+    ASSERT_EQ(rep.checkpoints.size(), 1u);
+    EXPECT_EQ(rep.checkpoints.front(), ck_path);
+    EXPECT_TRUE(std::ifstream(ck_path).good());
+    // Dead after drain: nothing further is admitted.
+    EXPECT_EQ(svc.run(lp_request("late", lp)).status, ResponseStatus::Rejected);
+  }
+
+  // A fresh service resumes the checkpoint and lands on the uninterrupted
+  // optimum — preemption paused the work, it did not lose or corrupt it.
+  ExplorationService svc2(with_workers(1));
+  Request resume = lp_request("drainme", lp);
+  resume.checkpoint = ck_path;
+  resume.resume = true;
+  const Response r2 = svc2.run(resume);
+  EXPECT_EQ(r2.status, ResponseStatus::Optimal) << r2.reason;
+  EXPECT_NEAR(r2.objective, solo.objective, 1e-9);
+  EXPECT_GT(r2.nodes, 0);
+  std::remove(ck_path.c_str());
+}
+
+TEST(ServeServiceTest, DrainShedsQueueAndClosesAdmission) {
+  ExplorationService svc(with_workers(1));
+  auto blocker = svc.submit(lp_request("blocker", knapsack_lp(52, 7)));
+  while (svc.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<std::future<Response>> queued;
+  queued.push_back(svc.submit(lp_request("q1", knapsack_lp(20, 7))));
+  queued.push_back(svc.submit(lp_request("q2", knapsack_lp(20, 8))));
+  const auto rep = svc.drain();
+  EXPECT_EQ(rep.shed, 2u);
+  for (auto& f : queued) {
+    const Response r = f.get();
+    EXPECT_EQ(r.status, ResponseStatus::Rejected);
+    EXPECT_EQ(r.reason, "drained");
+  }
+  // The in-flight blocker was preempted (no deadline pressure of its own).
+  EXPECT_EQ(blocker.get().status, ResponseStatus::Preempted);
+  EXPECT_EQ(svc.run(lp_request("late", knapsack_lp(20, 7))).status,
+            ResponseStatus::Rejected);
+}
+
+TEST(ServeServiceTest, PrometheusExposesServeMetrics) {
+  ExplorationService svc(with_workers(1));
+  svc.submit(lp_request("m1", knapsack_lp(20, 7))).get();
+  Request deg = lp_request("m2", knapsack_lp(52, 7));
+  deg.deadline_ms = 60;
+  svc.run(deg);
+  const std::string text = svc.prometheus();
+  for (const char* needle :
+       {"archex_serve_requests_total", "archex_serve_completed_total",
+        "archex_serve_optimal_total", "archex_serve_degraded_total",
+        "archex_serve_queue_depth", "archex_serve_workers",
+        "archex_serve_latency_seconds_sum", "archex_serve_latency_seconds_count",
+        "archex_serve_latency_p50_seconds", "archex_serve_latency_p99_seconds",
+        "archex_serve_queue_wait_seconds_count"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency suites (ThreadSanitizer CI leg)
+// ---------------------------------------------------------------------------
+
+TEST(ServeConcurrencyTest, ConcurrentRequestsMatchSoloBitExact) {
+  // Eight fast knapsacks race through four workers; every response must be
+  // bit-identical to its solo run — concurrency may reorder completion,
+  // never results.
+  ExplorationService svc(with_workers(4));
+  std::vector<std::string> lps;
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 8; ++i) {
+    lps.push_back(knapsack_lp(16 + i, 7 + static_cast<unsigned>(i)));
+    futs.push_back(svc.submit(lp_request("c" + std::to_string(i), lps.back())));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const Response r = futs[static_cast<std::size_t>(i)].get();
+    const milp::Solution solo = solo_solve(lps[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(r.status, ResponseStatus::Optimal) << r.id << ": " << r.reason;
+    EXPECT_EQ(r.objective, solo.objective) << r.id;
+    EXPECT_EQ(r.nodes, solo.nodes_explored) << r.id;
+  }
+}
+
+TEST(ServeConcurrencyTest, FaultedRequestFailsAloneUnderLoad) {
+  ExplorationService svc(with_workers(4));
+  std::vector<std::string> lps;
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 6; ++i) {
+    lps.push_back(knapsack_lp(16 + i, 21 + static_cast<unsigned>(i)));
+    Request req = lp_request("f" + std::to_string(i), lps.back());
+    if (i == 2) {
+      req.inject = "nan-pivot:2:0:1000000000";
+      req.retries = 0;
+    }
+    futs.push_back(svc.submit(std::move(req)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    const Response r = futs[static_cast<std::size_t>(i)].get();
+    if (i == 2) {
+      EXPECT_EQ(r.status, ResponseStatus::Error);
+      EXPECT_FALSE(r.has_objective);
+    } else {
+      ASSERT_EQ(r.status, ResponseStatus::Optimal) << r.id << ": " << r.reason;
+      EXPECT_EQ(r.objective, solo_solve(lps[static_cast<std::size_t>(i)]).objective)
+          << r.id;
+    }
+  }
+}
+
+TEST(ServeConcurrencyTest, ParallelSubmittersAndDrainResolveEveryFuture) {
+  // Four submitter threads race a mid-flight drain; the invariant is
+  // accounting, not outcomes: every future resolves with a terminal status
+  // and nothing hangs or crashes.
+  ExplorationService svc(with_workers(2));
+  std::mutex mu;
+  std::vector<std::future<Response>> futs;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&svc, &mu, &futs, t] {
+      for (int i = 0; i < 4; ++i) {
+        auto f = svc.submit(lp_request(
+            "s" + std::to_string(t) + "_" + std::to_string(i),
+            knapsack_lp(14 + i, static_cast<unsigned>(3 * t + i + 1))));
+        std::lock_guard<std::mutex> lock(mu);
+        futs.push_back(std::move(f));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  svc.drain();
+  for (std::thread& t : submitters) t.join();
+  ASSERT_EQ(futs.size(), 16u);
+  int resolved = 0;
+  for (auto& f : futs) {
+    const Response r = f.get();  // must not hang
+    EXPECT_TRUE(r.status == ResponseStatus::Optimal ||
+                r.status == ResponseStatus::Rejected ||
+                r.status == ResponseStatus::Preempted)
+        << to_string(r.status);
+    ++resolved;
+  }
+  EXPECT_EQ(resolved, 16);
+}
+
+}  // namespace
+}  // namespace archex::serve

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Deterministic knapsack LP generator for serve drills and load tests.
+
+Emits a strongly correlated 0/1 knapsack in CPLEX LP format (the dialect
+milp_solve / archex_serve parse): values are weights plus a constant offset,
+which defeats the LP-bound pruning and forces a genuine branch-and-bound
+search, so instance hardness scales smoothly with `n`. The built-in LCG makes
+the instance a pure function of (n, seed) — no dependence on Python's
+`random` module internals across versions.
+
+Usage: gen_knapsack_lp.py N [SEED] [SCALE]
+
+  N      number of items
+  SEED   LCG seed (default 1)
+  SCALE  weight scale factor (default 1); larger coefficients make bounds
+         less informative and the same N noticeably harder
+
+The LP is written to stdout.
+"""
+import sys
+
+
+def lcg(seed):
+    # Numerical Recipes LCG: enough entropy for weights, fully portable.
+    state = seed & 0xFFFFFFFF
+    while True:
+        state = (1664525 * state + 1013904223) & 0xFFFFFFFF
+        yield state
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    n = int(sys.argv[1])
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    scale = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    rng = lcg(seed)
+    weights = [(10 + next(rng) % 21) * scale for _ in range(n)]
+    values = [w + 5 * scale + (j % 7) for j, w in enumerate(weights)]
+    cap = sum(weights) // 2
+
+    out = sys.stdout
+    out.write("\\ strongly correlated knapsack n=%d seed=%d scale=%d\n"
+              % (n, seed, scale))
+    out.write("Maximize\n obj: ")
+    out.write(" + ".join("%d x%d" % (values[j], j) for j in range(n)))
+    out.write("\nSubject To\n cap: ")
+    out.write(" + ".join("%d x%d" % (weights[j], j) for j in range(n)))
+    out.write(" <= %d\n" % cap)
+    out.write("Binaries\n ")
+    out.write(" ".join("x%d" % j for j in range(n)))
+    out.write("\nEnd\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
