@@ -178,6 +178,32 @@ tools/run_bench.sh build/bench/bench_serve build/bench_serve_ci.json \
   --benchmark_min_time=0.1 --benchmark_repetitions=2
 python3 tools/bench_diff.py BENCH_serve.json build/bench_serve_ci.json
 
+echo "=== bench: compiled sweep diff against BENCH_sweep.json ==="
+# The compiled-pipeline benchmark (docs/pipeline.md): a 20-scenario family
+# as 20 independent encode+cold solves (BM_SweepCold) vs the cached+warm
+# path (BM_SweepWarm). Diffed against the committed baseline like the other
+# benches — at a wider 30% threshold, because the cold arm is a single ~2 s
+# iteration whose min scatters more than the short kernel benches — plus a
+# ratio gate on the *fresh* recording: the headline claim of the pipeline,
+# cached+warm >= 5x faster than naive re-encode+cold, must hold on this
+# machine, not just on the baseline's.
+tools/run_bench.sh build/bench/bench_sweep build/bench_sweep_ci.json \
+  --benchmark_min_time=0.5 --benchmark_repetitions=2
+python3 tools/bench_diff.py --threshold=30 \
+  BENCH_sweep.json build/bench_sweep_ci.json
+python3 - build/bench_sweep_ci.json <<'EOF'
+import json, sys
+runs = {}
+for b in json.load(open(sys.argv[1]))["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    key = "cold" if "SweepCold" in b["name"] else "warm"
+    runs[key] = min(runs.get(key, float("inf")), b["real_time"])
+ratio = runs["cold"] / runs["warm"]
+assert ratio >= 5.0, f"cached+warm sweep only {ratio:.2f}x faster than cold"
+print(f"sweep bench: cached+warm path {ratio:.1f}x faster than encode+cold")
+EOF
+
 echo "=== resilience: checkpoint kill/resume drill ==="
 # Reference: the same single-worker pool-routed search, uninterrupted. Then
 # a second run checkpointing every 50 ms is SIGKILLed mid-search and resumed;
@@ -346,6 +372,90 @@ assert resumed["status"] == "optimal", resumed
 assert abs(resumed["objective"] - load("solo_out")["hard"]["objective"]) < 1e-9, (
     resumed, solo["hard"])
 print("serve drill: isolation, anytime deadline, shedding, and drain/resume ok")
+EOF
+
+echo "=== serve: compiled sweep drill ==="
+# The three-stage pipeline (docs/pipeline.md) over the wire: compile the
+# tiny EPN spec once, re-request it (must be an LRU hit with the same
+# fingerprint), run a 20-scenario cost-perturbation sweep against the
+# cached artifact (warm count must be > 0), and check every sweep objective
+# against a solo cold encode+solve of the same scenario through a
+# cache-disabled daemon (--compiled-cache=0 makes each request pay the full
+# naive path).
+mkdir -p build/sweep_drill
+python3 - > build/sweep_drill/sweep.ndjson <<'EOF'
+import json
+scen = [{"name": f"perturb-{i}", "edge_cost_scale": 1.0 + 0.01 * i}
+        for i in range(20)]
+base = {"domain": "epn", "scale": "tiny"}
+print(json.dumps({"id": "c1", "op": "compile", **base}))
+print(json.dumps({"id": "c2", "op": "compile", **base}))
+print(json.dumps({"id": "sweep", "op": "sweep", **base, "sweep": scen}))
+EOF
+python3 - > build/sweep_drill/solo.ndjson <<'EOF'
+import json
+for i in range(20):
+    print(json.dumps({"id": f"solo-{i}", "op": "solve_compiled",
+                      "domain": "epn", "scale": "tiny",
+                      "scenario": {"name": f"perturb-{i}",
+                                   "edge_cost_scale": 1.0 + 0.01 * i}}))
+EOF
+# Control ops (metrics) are answered inline by the daemon, ahead of queued
+# work — so drive it through a FIFO and only ask for the metrics snapshot
+# once the sweep response has landed in the output file.
+rm -f build/sweep_drill/in
+mkfifo build/sweep_drill/in
+build/tools/archex_serve --workers=1 --compiled-cache=2 \
+  < build/sweep_drill/in > build/sweep_drill/sweep_out.ndjson &
+sweep_pid=$!
+exec 3> build/sweep_drill/in
+cat build/sweep_drill/sweep.ndjson >&3
+for _ in $(seq 600); do
+  grep -q '"id":"sweep"' build/sweep_drill/sweep_out.ndjson 2>/dev/null && break
+  sleep 0.2
+done
+printf '{"op":"metrics"}\n' >&3
+exec 3>&-
+wait "$sweep_pid"
+build/tools/archex_batch --workers=2 --compiled-cache=0 \
+  build/sweep_drill/solo.ndjson > build/sweep_drill/solo_out.ndjson
+
+python3 - build/sweep_drill <<'EOF'
+import json, sys
+d = sys.argv[1]
+def load(name):
+    out = {}
+    with open(f"{d}/{name}.ndjson") as f:
+        for line in f:
+            j = json.loads(line)
+            out[j.get("id") or j.get("op")] = j
+    return out
+sweep, solo = load("sweep_out"), load("solo_out")
+
+# Compile once, hit on re-request: same artifact, counted by the cache.
+c1, c2 = sweep["c1"], sweep["c2"]
+assert c1["status"] == "compiled" and c1["cache"] == "miss", c1
+assert c2["status"] == "compiled" and c2["cache"] == "hit", c2
+assert c1["fingerprint"] == c2["fingerprint"], (c1, c2)
+
+# The sweep rode the cached artifact and warm-started its tail.
+sw = sweep["sweep"]
+assert sw["ok"] and sw["cache"] == "hit", sw
+assert sw["fingerprint"] == c1["fingerprint"], (sw, c1)
+assert len(sw["scenarios"]) == 20, len(sw["scenarios"])
+assert sw["warm_solves"] > 0 and sw["cold_solves"] >= 1, sw
+m = sweep["metrics"]["prometheus"]
+assert "archex_serve_compile_cache_hits_total 2" in m, m
+assert "archex_serve_sweep_warm_total" in m, m
+
+# Every warm objective matches the solo cold encode+solve of its scenario.
+for i, s in enumerate(sw["scenarios"]):
+    assert s["ok"], s
+    ref = solo[f"solo-{i}"]
+    assert ref["ok"], ref
+    tol = 1e-6 * max(1.0, abs(ref["objective"]))
+    assert abs(s["objective"] - ref["objective"]) <= tol, (i, s, ref)
+print("sweep drill: compile-once cache hit, warm sweep, objectives match cold")
 EOF
 
 echo "=== asan: configure + build (ASan + UBSan, -Werror) ==="

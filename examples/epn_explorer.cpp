@@ -2,9 +2,17 @@
 /// The aircraft Electrical Power Network case study (paper Sec. 4.1).
 ///
 /// Usage:
-///   epn_explorer [--mode=lazy|monolithic] [--scale=small|paper]
-///                [--time-limit=SECONDS] [--max-nodes=N] [--dot]
+///   epn_explorer [--mode=lazy|monolithic] [--scale=tiny|small|paper]
+///                [--budget=SECONDS] [--max-nodes=N] [--dot]
 ///                [--write-lp=FILE] [--profile-json=FILE] [--perf-report]
+///                [--sweep=N]
+///
+/// `--budget` is the wall-clock allowance (milp::Budget, the one time knob
+/// of the stack); `--time-limit=SECONDS` remains as its deprecated alias.
+/// `--sweep=N` demonstrates the compiled pipeline (docs/pipeline.md):
+/// compile the spec once, then solve N cost-perturbation scenarios
+/// against the frozen artifact, warm-starting each from the previous
+/// optimal basis.
 ///
 /// `lazy` runs the iterative MILP-modulo-reliability algorithm (Fig. 3);
 /// `monolithic` encodes the reliability requirements eagerly (Fig. 2b).
@@ -22,8 +30,10 @@
 #include <iostream>
 #include <string>
 
+#include "arch/compiled_model.hpp"
 #include "arch/perf_report.hpp"
 #include "domains/epn.hpp"
+#include "milp/budget.hpp"
 #include "obs/span.hpp"
 
 using namespace archex;
@@ -37,7 +47,8 @@ struct Args {
   // One budget across the whole lazy loop (solve + analyze + learn, end to
   // end — see docs/solver.md); solve_iteratively slices re-solves so a
   // non-closing iteration cannot starve the ones after it.
-  double time_limit = 300.0;
+  double budget = 300.0;
+  int sweep = 0;
   // Optional per-iteration node cap (0 = off) for deterministic bounding
   // of each iteration's search independent of wall clock.
   std::int64_t max_nodes = 0;
@@ -53,8 +64,10 @@ Args parse_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--mode=", 0) == 0) a.mode = arg.substr(7);
     else if (arg.rfind("--scale=", 0) == 0) a.scale = arg.substr(8);
-    else if (arg.rfind("--time-limit=", 0) == 0) a.time_limit = std::stod(arg.substr(13));
+    else if (arg.rfind("--budget=", 0) == 0) a.budget = std::stod(arg.substr(9));
+    else if (arg.rfind("--time-limit=", 0) == 0) a.budget = std::stod(arg.substr(13));  // deprecated alias
     else if (arg.rfind("--max-nodes=", 0) == 0) a.max_nodes = std::stoll(arg.substr(12));
+    else if (arg.rfind("--sweep=", 0) == 0) a.sweep = std::stoi(arg.substr(8));
     else if (arg == "--dot") a.dot = true;
     else if (arg.rfind("--write-lp=", 0) == 0) a.write_lp = arg.substr(11);
     else if (arg.rfind("--profile-json=", 0) == 0) a.profile_json = arg.substr(15);
@@ -87,9 +100,13 @@ void report_links(const Problem& p, const Architecture& arch) {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
 
-  EpnConfig cfg = args.scale == "paper" ? EpnConfig{} : small_config();
+  EpnConfig cfg = args.scale == "paper"  ? EpnConfig{}
+                  : args.scale == "tiny" ? tiny_config()
+                                         : small_config();
   if (args.scale == "small") cfg.rectifiers_per_side = 3;
-  cfg.reliability_eager = (args.mode == "monolithic");
+  // The compiled sweep solves the frozen matrix directly, so it needs the
+  // eager (monolithic) reliability encoding.
+  cfg.reliability_eager = (args.mode == "monolithic") || args.sweep > 0;
 
   std::cout << "=== Aircraft EPN exploration (" << args.mode << ", " << args.scale
             << " scale) ===\n";
@@ -104,7 +121,7 @@ int main(int argc, char** argv) {
             << " constraints, " << stats.standard_form_lines << " standard-form lines\n\n";
 
   milp::MilpOptions opts;
-  opts.time_limit_s = args.time_limit;
+  opts.budget = milp::Budget::of_seconds(args.budget);
   if (args.max_nodes > 0) opts.max_nodes = args.max_nodes;
 
   if (!args.write_lp.empty()) {
@@ -142,11 +159,44 @@ int main(int argc, char** argv) {
     return true;
   };
 
+  if (args.sweep > 0) {
+    // Compiled pipeline demo: encode once, then re-solve cost perturbations
+    // as objective deltas with warm starts (docs/pipeline.md).
+    const CompiledModel cm = compile(*problem);
+    std::cout << "compiled: fingerprint " << std::hex << cm.fingerprint()
+              << std::dec << ", encode " << cm.encode_seconds() << "s\n";
+    SweepState state;
+    ExplorationResult last;
+    for (int i = 0; i < args.sweep; ++i) {
+      Scenario sc;
+      sc.name = "perturb-" + std::to_string(i);
+      sc.edge_cost_scale = 1.0 + 0.02 * i;
+      if (!cm.library().empty()) {
+        sc.component_cost_scale[cm.library().at(0).name] = 1.0 + 0.05 * i;
+      }
+      ExplorationResult res = archex::solve(cm, sc, opts, &state);
+      std::cout << "scenario " << sc.name << ": "
+                << milp::to_string(res.solution.status) << ", cost "
+                << res.solution.objective << ", "
+                << (res.solution.warm_started ? "warm" : "cold") << ", "
+                << res.solver_seconds << "s\n";
+      last = std::move(res);
+    }
+    std::cout << "sweep: " << state.warm_solves << " warm, "
+              << state.cold_solves << " cold\n"
+              << "degradation: " << last.degradation_json() << "\n";
+    if (!write_observability(last.solution)) return 2;
+    return last.feasible() ? 0 : 1;
+  }
+
   if (args.mode == "monolithic") {
     ExplorationResult res = problem->solve(opts);
     std::cout << "status: " << milp::to_string(res.solution.status) << ", solver time "
               << res.solver_seconds << "s, " << res.solution.nodes_explored << " nodes\n";
     res.print_degradation(std::cout);
+    if (res.degraded()) {
+      std::cout << "degradation: " << res.degradation_json() << "\n";
+    }
     if (!write_observability(res.solution)) return 2;
     if (!res.feasible()) return 1;
     std::cout << "cost: " << res.architecture.cost << "\n";

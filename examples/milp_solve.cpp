@@ -3,11 +3,14 @@
 /// format file, solves it, prints status / objective / nonzero assignment.
 /// The "Solver" box of Figure 1 as a reusable tool.
 ///
-/// Usage: milp_solve <model.lp> [--time-limit=S] [--max-nodes=N] [--threads=N]
+/// Usage: milp_solve <model.lp> [--budget=S] [--max-nodes=N] [--threads=N]
 ///                   [--lp-relaxation] [--trace-json=FILE] [--profile-json=FILE]
 ///                   [--log-interval=S] [--timing] [--certify] [--no-certify]
 ///                   [--inject=site:n[:seed]] [--checkpoint=FILE]
 ///                   [--checkpoint-interval=S] [--resume]
+///
+/// `--budget=S` is the wall-clock allowance (milp::Budget); `--time-limit=S`
+/// remains as its deprecated alias.
 ///
 /// Exit codes follow the termination reason: 0 optimal, 3 infeasible,
 /// 4 unbounded, 5 node limit, 6 time limit, 7 iteration limit, 8 numerical
@@ -45,7 +48,7 @@ int exit_code(TermReason r) {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: milp_solve <model.lp> [--time-limit=S] [--max-nodes=N]"
+      "usage: milp_solve <model.lp> [--budget=S] [--max-nodes=N]"
       " [--threads=N] [--lp-relaxation]\n"
       "                  [--trace-json=FILE] [--profile-json=FILE]"
       " [--log-interval=S] [--timing]\n"
@@ -101,7 +104,9 @@ int main(int argc, char** argv) {
   auto to_ll = [](const std::string& s, std::size_t* pos) { return std::stoll(s, pos); };
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--time-limit=", 0) == 0) {
+    if (a.rfind("--budget=", 0) == 0) {
+      if (!parse_num(a, 9, to_d, time_limit)) return 2;
+    } else if (a.rfind("--time-limit=", 0) == 0) {  // deprecated alias
       if (!parse_num(a, 13, to_d, time_limit)) return 2;
     } else if (a.rfind("--max-nodes=", 0) == 0) {
       long long v = 0;
@@ -168,7 +173,7 @@ int main(int argc, char** argv) {
     } else {
       MilpOptions opts;
       if (profiling) opts.profiler = &profiler;
-      opts.time_limit_s = time_limit;
+      opts.budget = Budget::of_seconds(time_limit);
       if (max_nodes >= 0) opts.max_nodes = max_nodes;
       opts.num_threads = threads;
       opts.trace = !trace_path.empty();

@@ -2,7 +2,10 @@
 /// The Reconfigurable Production Line case study (paper Sec. 4.2).
 ///
 /// Usage:
-///   rpl_explorer [--idle=N] [--time-limit=SECONDS] [--dot]
+///   rpl_explorer [--idle=N] [--budget=SECONDS] [--dot]
+///
+/// `--time-limit=SECONDS` is the deprecated alias of `--budget` (both route
+/// through milp::Budget, the stack's one time knob).
 ///
 /// Without --idle this reproduces the Fig. 4a experiment (line B reused for
 /// product A in operation mode Omega2); with --idle=10 it reproduces
@@ -12,18 +15,20 @@
 #include <string>
 
 #include "domains/rpl.hpp"
+#include "milp/budget.hpp"
 
 using namespace archex;
 using namespace archex::domains::rpl;
 
 int main(int argc, char** argv) {
   RplConfig cfg;
-  double time_limit = 120.0;
+  double budget = 120.0;
   bool dot = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--idle=", 0) == 0) cfg.max_total_idle = std::stod(arg.substr(7));
-    else if (arg.rfind("--time-limit=", 0) == 0) time_limit = std::stod(arg.substr(13));
+    else if (arg.rfind("--budget=", 0) == 0) budget = std::stod(arg.substr(9));
+    else if (arg.rfind("--time-limit=", 0) == 0) budget = std::stod(arg.substr(13));  // deprecated alias
     else if (arg == "--dot") dot = true;
     else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -44,7 +49,7 @@ int main(int argc, char** argv) {
             << stats.num_vars << " variables, " << stats.num_constraints << " constraints\n\n";
 
   milp::MilpOptions opts;
-  opts.time_limit_s = time_limit;
+  opts.budget = milp::Budget::of_seconds(budget);
   ExplorationResult res = problem->solve(opts);
   std::cout << "status: " << milp::to_string(res.solution.status) << ", solver time "
             << res.solver_seconds << "s, " << res.solution.nodes_explored << " nodes\n";

@@ -3,7 +3,10 @@
 /// of two text files: problem description and library."
 ///
 /// Usage:
-///   spec_explorer <problem.spec> <components.lib> [--time-limit=SECONDS]
+///   spec_explorer <problem.spec> <components.lib> [--budget=SECONDS]
+///
+/// `--time-limit=SECONDS` is the deprecated alias of `--budget` (both route
+/// through milp::Budget).
 ///
 /// Domain patterns (has_sufficient_power, has_operation_mode) are registered
 /// before parsing, so the shipped data/epn.spec and data/rpl.spec both load
@@ -14,18 +17,20 @@
 #include "arch/parser.hpp"
 #include "domains/epn.hpp"
 #include "domains/rpl.hpp"
+#include "milp/budget.hpp"
 
 using namespace archex;
 
 int main(int argc, char** argv) {
   if (argc < 3) {
-    std::cerr << "usage: spec_explorer <problem.spec> <components.lib> [--time-limit=S]\n";
+    std::cerr << "usage: spec_explorer <problem.spec> <components.lib> [--budget=S]\n";
     return 2;
   }
-  double time_limit = 120.0;
+  double budget = 120.0;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--time-limit=", 0) == 0) time_limit = std::stod(arg.substr(13));
+    if (arg.rfind("--budget=", 0) == 0) budget = std::stod(arg.substr(9));
+    else if (arg.rfind("--time-limit=", 0) == 0) budget = std::stod(arg.substr(13));  // deprecated alias
   }
 
   // Make the domain-specific patterns resolvable from spec files.
@@ -49,7 +54,7 @@ int main(int argc, char** argv) {
               << stats.standard_form_lines / std::max(1, spec.spec_lines) << "x.\n\n";
 
     milp::MilpOptions opts;
-    opts.time_limit_s = time_limit;
+    opts.budget = milp::Budget::of_seconds(budget);
     const ExplorationResult res = problem->solve(opts);
     std::cout << "status: " << milp::to_string(res.solution.status) << " after "
               << res.solver_seconds << "s, " << res.solution.nodes_explored << " nodes\n";

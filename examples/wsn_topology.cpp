@@ -71,7 +71,7 @@ int main() {
   for (const std::string& s : problem.applied_patterns()) std::cout << "  " << s << "\n";
 
   milp::MilpOptions opts;
-  opts.time_limit_s = 120;
+  opts.budget = milp::Budget::of_seconds(120);
   ExplorationResult res = problem.solve(opts);
   std::cout << "status: " << milp::to_string(res.solution.status) << " in "
             << res.solver_seconds << "s\n";

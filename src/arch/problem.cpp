@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "arch/compiled_model.hpp"
 #include "arch/patterns/pattern.hpp"
 
 namespace archex {
@@ -268,9 +269,8 @@ milp::LinExpr Problem::cost_expression() const {
   }
   // Edge (connection element) costs: sum e_ij * c~_ij.
   for (std::size_t i = 0; i < adj_.num_edges(); ++i) {
-    const auto it = edge_cost_override_.find(static_cast<std::int32_t>(i));
-    const double c = it == edge_cost_override_.end() ? lib_.edge_cost() : it->second;
-    cost.add_term(adj_.edge(static_cast<std::int32_t>(i)).var, c);
+    cost.add_term(adj_.edge(static_cast<std::int32_t>(i)).var,
+                  edge_base_cost(static_cast<std::int32_t>(i)));
   }
   // Extra weighted concerns.
   for (const auto& [term, w] : extra_cost_) {
@@ -282,9 +282,6 @@ milp::LinExpr Problem::cost_expression() const {
 }
 
 ExplorationResult Problem::solve(const milp::MilpOptions& options) {
-  ExplorationResult res;
-  res.encode_seconds = encode_seconds_;
-
   // The MILP engine reports into this problem's registry unless the caller
   // routed it elsewhere, so encode / solve / extract share one namespace.
   milp::MilpOptions opts = options;
@@ -293,33 +290,29 @@ ExplorationResult Problem::solve(const milp::MilpOptions& options) {
   obs::SpanBuffer* const spans =
       opts.profiler != nullptr ? opts.profiler->main() : nullptr;
 
-  {
+  // Thin facade over the compiled pipeline (arch/compiled_model.hpp):
+  // compile the frozen artifact, then solve the base (empty) scenario. The
+  // objective is still assembled onto this Problem's own model so callers
+  // inspecting model().objective() after solve() keep seeing it.
+  double compile_seconds = 0.0;
+  CompiledModel cm = [&] {
     obs::ScopedSpan formulate_span(spans,
                                    obs::span_id(obs::SpanName::Formulate));
-    obs::ScopedTimer formulate_timer(&opts.metrics->timer("arch.formulate"),
-                                     &res.formulation_seconds);
+    obs::ScopedTimer compile_timer(&opts.metrics->timer("arch.compile"),
+                                   &compile_seconds);
     model_.set_objective(cost_expression(), milp::ObjectiveSense::Minimize);
-    res.stats = model_.stats();
-  }
+    return compile(*this);
+  }();
 
-  {
-    obs::ScopedSpan solve_span(spans, obs::span_id(obs::SpanName::Solve));
-    obs::ScopedTimer solve_timer(&opts.metrics->timer("arch.solve"),
-                                 &res.solver_seconds);
-    res.solution = milp::solve_milp(model_, opts);
-  }
-
-  if (res.solution.has_incumbent) {
-    obs::ScopedSpan extract_span(spans, obs::span_id(obs::SpanName::Extract));
-    obs::ScopedTimer extract_timer(&opts.metrics->timer("arch.extract"),
-                                   &res.extract_seconds);
-    res.architecture = extract(res.solution);
-  } else if (res.solution.status == milp::SolveStatus::Infeasible && diagnoser_) {
+  ExplorationResult res = archex::solve(cm, Scenario{}, opts);
+  res.encode_seconds = encode_seconds_;
+  res.formulation_seconds += compile_seconds;
+  if (res.solution.status == milp::SolveStatus::Infeasible && diagnoser_) {
     obs::ScopedTimer diagnose_timer(&opts.metrics->timer("arch.diagnose"));
     res.infeasibility_explanation = diagnoser_(*this);
+    // Re-snapshot so the diagnose timer lands next to the solver's metrics.
+    res.solution.metrics = opts.metrics->snapshot();
   }
-  // Re-snapshot so the arch-layer timers land next to the solver's metrics.
-  res.solution.metrics = opts.metrics->snapshot();
   return res;
 }
 

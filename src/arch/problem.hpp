@@ -149,6 +149,15 @@ class Problem {
   /// uniform edge cost).
   void set_edge_cost(NodeId from, NodeId to, double cost);
 
+  /// Effective cost of candidate edge `edge_idx` (index into
+  /// edges().edges()): the per-edge override when one was set, the library's
+  /// uniform edge cost otherwise. This is the per-edge coefficient
+  /// cost_expression() uses; compile() freezes it into the edge slots.
+  [[nodiscard]] double edge_base_cost(std::int32_t edge_idx) const {
+    const auto it = edge_cost_override_.find(edge_idx);
+    return it == edge_cost_override_.end() ? lib_.edge_cost() : it->second;
+  }
+
   /// Installs a diagnoser that solve() calls on the infeasible path to fill
   /// ExplorationResult::infeasibility_explanation. The hook keeps the
   /// layering one-way: check::enable_infeasibility_diagnosis installs the

@@ -190,6 +190,30 @@ void ExplorationResult::print_degradation(std::ostream& os) const {
   os << "\n";
 }
 
+std::string ExplorationResult::degradation_json() const {
+  // Mirrors serve::Json rendering (serve/json.cpp): sorted keys, %.17g,
+  // non-finite -> null. Kept hand-rolled here because arch/ sits below
+  // serve/ in the layering — the *schema* is shared, not the code.
+  auto num = [](double v) -> std::string {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  };
+  std::string out = "{";
+  if (has_objective()) out += "\"bound\":" + num(bound()) + ",";
+  out += std::string("\"degraded\":") + (degraded() ? "true" : "false");
+  if (degraded_nodes() > 0) {
+    out += ",\"degraded_nodes\":" + std::to_string(degraded_nodes());
+  }
+  if (has_objective()) {
+    out += ",\"gap\":" + num(gap());
+    out += ",\"objective\":" + num(objective());
+  }
+  out += "}";
+  return out;
+}
+
 void ExplorationResult::print_timing(std::ostream& os) const {
   std::ostringstream fmt;
   fmt.setf(std::ios::fixed);

@@ -2,6 +2,7 @@
 /// Concrete architectures extracted from a solved exploration problem.
 #pragma once
 
+#include <cmath>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -80,6 +81,29 @@ struct ExplorationResult {
   std::string infeasibility_explanation;
 
   [[nodiscard]] bool feasible() const { return solution.has_incumbent; }
+
+  // --- serve-schema-aligned reporting ---------------------------------------
+  // These accessors use the exact names (and meanings) of the serve response
+  // fields `has_objective` / `objective` / `bound` / `gap` / `degraded`
+  // (serve/request.hpp), so library-level results and archex_batch/serve
+  // output describe a solve in one vocabulary and can be diffed directly.
+  [[nodiscard]] bool has_objective() const { return solution.has_incumbent; }
+  /// Best incumbent objective in the model's own sense.
+  [[nodiscard]] double objective() const { return solution.objective; }
+  /// Best proven bound in the model's own sense.
+  [[nodiscard]] double bound() const { return solution.best_bound; }
+  /// |objective - bound|; 0 when proven optimal.
+  [[nodiscard]] double gap() const {
+    return std::abs(solution.objective - solution.best_bound);
+  }
+
+  /// One JSON object with the serve response's degradation fields —
+  /// `objective`, `bound`, `gap`, `degraded`, `degraded_nodes` — rendered
+  /// exactly like serve::Json does (sorted keys, %.17g, non-finite as null,
+  /// objective/bound/gap omitted without an incumbent, degraded_nodes
+  /// omitted at 0). `archex_batch` lines and this string agree
+  /// byte-for-byte on the overlapping fields.
+  [[nodiscard]] std::string degradation_json() const;
 
   /// True when the architecture is feasible but optimality was not proven:
   /// either the solver abandoned subtrees after exhausted numerical

@@ -60,6 +60,15 @@ EpnConfig small_config() {
   return cfg;
 }
 
+EpnConfig tiny_config() {
+  EpnConfig cfg = small_config();
+  // k = 1 regime: one disjoint generator path (p_path ~ 8e-4) satisfies both
+  // thresholds, so the eager encoding stays small and the tree closes fast.
+  cfg.critical_threshold = 5e-3;
+  cfg.sheddable_threshold = 5e-2;
+  return cfg;
+}
+
 Library make_library(const EpnConfig& cfg) {
   Library lib;
   lib.set_edge_cost(cfg.contactor_cost);

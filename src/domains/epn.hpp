@@ -45,6 +45,12 @@ struct EpnConfig {
 /// A reduced instance for unit tests and smoke benches.
 [[nodiscard]] EpnConfig small_config();
 
+/// An even smaller instance: small_config() with the reliability thresholds
+/// relaxed into the k = 1 disjoint-path regime, so the eager encoding closes
+/// in well under a second. The compiled-pipeline drills (sweeps of dozens of
+/// solves: tests, ci.sh, bench_sweep) run at this scale.
+[[nodiscard]] EpnConfig tiny_config();
+
 /// The Table 2 component library.
 [[nodiscard]] Library make_library(const EpnConfig& cfg = {});
 

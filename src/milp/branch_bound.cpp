@@ -1304,23 +1304,17 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     }
   }
 
-  // Arm the deadline for *any* finite limit; the cast would overflow the
-  // clock's integer representation for huge values, so limits beyond half the
-  // clock's remaining range (~centuries) keep the "never" sentinel instead.
-  // A negative limit clamps to 0 — an immediate TimeLimit, same as it always
-  // meant — so only +inf (and NaN) disables the deadline.
-  Clock::time_point deadline = Clock::time_point::max();
-  if (std::isfinite(options.time_limit_s)) {
-    const double limit_s = std::max(options.time_limit_s, 0.0);
-    const double headroom_s =
-        std::chrono::duration<double>(Clock::time_point::max() - t0).count();
-    if (limit_s < headroom_s * 0.5) {
-      deadline = t0 + std::chrono::duration_cast<Clock::duration>(
-                          std::chrono::duration<double>(limit_s));
-    }
-  }
+  // One conversion point for every relative budget (milp/budget.hpp): the
+  // preferred `budget` knob and its deprecated `time_limit_s` alias both
+  // become absolute deadlines measured from solve entry — the tighter wins.
+  // Budget::deadline_from carries the historical clamp rules: <= 0 times out
+  // immediately, NaN/+inf (and limits beyond the clock's ~centuries of
+  // range) keep the "never" sentinel.
+  Clock::time_point deadline =
+      Budget::tighter(options.budget, Budget::of_seconds(options.time_limit_s))
+          .deadline_from(t0);
   // An absolute caller deadline tightens (never relaxes) the derived one, so
-  // `time_limit_s` remains a per-call cap while `options.deadline` is the
+  // the budget remains a per-call cap while `options.deadline` is the
   // end-to-end budget shared across encode/presolve/solve phases.
   deadline = std::min(deadline, options.deadline);
   MilpOptions node_options = options;
@@ -1362,6 +1356,27 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     if (options.on_incumbent) options.on_incumbent(obj);
   };
 
+  // Cross-solve warm start (milp/warm_start.hpp). The hint only lines up
+  // with the model the caller sees, so it is unusable under presolve (the
+  // reduced column space differs per call) — gate, count, and drop it.
+  const WarmStartHint* hint = options.warm_hint;
+  if (hint != nullptr && options.use_presolve) {
+    reg->counter("milp.warm_hint.skipped_presolve").add();
+    hint = nullptr;
+  }
+  if (hint != nullptr && !hint->x.empty() && hint->x.size() == work->num_vars()) {
+    // Seed the previous scenario's optimum through the ordinary incumbent
+    // channel: try_incumbent snaps integers and re-validates feasibility, so
+    // a vector the scenario delta made infeasible is simply rejected.
+    double hint_obj = work->objective().constant();
+    for (const Term& t : work->objective().terms()) {
+      hint_obj += t.coef * hint->x[static_cast<std::size_t>(t.var.index)];
+    }
+    if (ctx.try_incumbent(hint->x, ctx.sense_flip * hint_obj)) {
+      reg->counter("milp.warm_hint.incumbent_seeded").add();
+    }
+  }
+
   // --- root solve ---
   phase_mark(obs::Phase::RootLp);
   obs::ScopedSpan root_span(root_spans, obs::span_id(obs::SpanName::RootLp));
@@ -1369,7 +1384,26 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
                               &sol.phases.root_lp);
   if (root_trace != nullptr)
     root_trace->emit(obs::EventType::NodeOpen, 1, kNan);
-  SolveStatus st = ctx.lp.solve_primal();
+  // A hinted basis warm-starts the root with the dual simplex (bound/RHS
+  // deltas preserve dual feasibility; objective deltas are repaired or fall
+  // cold inside reoptimize_dual). A basis that no longer fits the model is
+  // rejected by load_basis and the root solves cold — deterministically.
+  bool warm_root = false;
+  if (hint != nullptr && hint->basis != nullptr) {
+    if (ctx.lp.load_basis(*hint->basis)) {
+      warm_root = true;
+      reg->counter("milp.warm_hint.basis_loaded").add();
+    } else {
+      reg->counter("milp.warm_hint.basis_rejected").add();
+    }
+  }
+  SolveStatus st = warm_root ? ctx.lp.reoptimize_dual() : ctx.lp.solve_primal();
+  if (warm_root && st == SolveStatus::NumericalError) {
+    reg->counter("milp.warm_hint.cold_fallback").add();
+    warm_root = false;
+    st = ctx.lp.solve_primal();
+  }
+  sol.warm_started = warm_root;
   ++ctx.nodes;
   if (st == SolveStatus::NumericalError) {
     // The initial root solve gets the same first two ladder rungs as every
@@ -1385,6 +1419,12 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
       root_trace->emit(obs::EventType::Bound, 1, ctx.sense_flip * ctx.root_bound);
     }
     reg->gauge("milp.root_bound").set(ctx.sense_flip * ctx.root_bound);
+    if (options.export_basis) {
+      // Snapshot *now*, before reduced-cost fixing or the probe dive mutate
+      // bounds/basis: the root-optimal basis is the warm-start handle the
+      // next scenario of a sweep loads (Solution::final_basis).
+      sol.final_basis = std::make_shared<Basis>(ctx.lp.export_basis());
+    }
     const std::vector<double> x = ctx.lp.primal_solution();
 
     // Root reduced-cost fixing (applied lazily once an incumbent exists):

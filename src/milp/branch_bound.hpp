@@ -15,8 +15,10 @@
 #include <iosfwd>
 #include <string>
 
+#include "milp/budget.hpp"
 #include "milp/model.hpp"
 #include "milp/simplex.hpp"
+#include "milp/warm_start.hpp"
 #include "obs/metrics.hpp"
 
 namespace archex::milp {
@@ -27,8 +29,15 @@ struct MilpOptions {
   double gap_abs = 1e-9;          ///< absolute optimality gap
   double gap_rel = 1e-9;          ///< relative optimality gap
   std::int64_t max_nodes = 10'000'000;
-  /// Wall-clock limit in seconds. Values ≤ 0 time out immediately; only
-  /// +inf (or a limit beyond the clock's ~centuries of range) disables it.
+  /// The preferred time-budget knob (milp/budget.hpp): one relative
+  /// wall-clock allowance, measured from `solve_milp` entry and converted to
+  /// an absolute deadline at exactly one point. Combined (min) with the
+  /// deprecated `time_limit_s` alias and the absolute `deadline` below.
+  Budget budget = Budget::unlimited();
+  /// Deprecated alias of `budget` (wall-clock limit in seconds); kept so
+  /// existing call sites compile unchanged. Values ≤ 0 time out immediately;
+  /// only +inf (or a limit beyond the clock's ~centuries of range) disables
+  /// it. New code should set `budget` instead.
   double time_limit_s = 1e18;
   /// Absolute monotonic deadline, combined (min) with the deadline derived
   /// from `time_limit_s`. Unlike a per-call time limit, an absolute deadline
@@ -52,6 +61,21 @@ struct MilpOptions {
   /// Warm-start node LPs with the dual simplex (false = cold primal solve at
   /// every node; exposed for the `bench_milp` warm-start ablation).
   bool warm_start = true;
+  /// Optional cross-solve warm start (milp/warm_start.hpp): a previous
+  /// solve's root basis and/or incumbent vector, typically from the prior
+  /// scenario of a compiled-model sweep. The basis is installed into the
+  /// root LP and reoptimized with the dual simplex; a hint that no longer
+  /// fits the model (structure changed) or has decayed numerically falls
+  /// back to a cold primal root deterministically. Honored only when
+  /// `use_presolve` is false — presolve's reduced column space differs per
+  /// call, so nothing in the hint would line up. Non-owning; must outlive
+  /// the call. Null (the default) is the ordinary cold root.
+  const WarmStartHint* warm_hint = nullptr;
+  /// Export the root LP's optimal basis into `Solution::final_basis` so the
+  /// caller can warm-start the next structurally identical solve. Off by
+  /// default (the snapshot copies the status vectors and pins the LU
+  /// factorization snapshot).
+  bool export_basis = false;
   /// Use the root rounding heuristic to seed the incumbent.
   bool rounding_heuristic = true;
   /// Worker threads for the tree search. 0 = auto

@@ -1,0 +1,73 @@
+/// \file budget.hpp
+/// The one time-budget type of the stack.
+///
+/// Every layer used to grow its own knob for the same idea — "this much wall
+/// clock, measured from some start point": `MilpOptions::time_limit_s` and
+/// `MilpOptions::deadline`, the serve request's `deadline_ms`, the explorer
+/// examples' `--time-limit` flags. `Budget` is now the single documented
+/// type they all funnel through, and `deadline_from()` the single conversion
+/// point where a relative budget becomes an absolute monotonic deadline
+/// (including the clamp/overflow rules that used to live inline in
+/// `solve_milp`). The old fields remain as deprecated aliases; each call
+/// site converts exactly once, at its own start point:
+///
+///   * `solve_milp` — from solve entry (per-call cap);
+///   * `arch::solve` / `Problem::solve` — passed through via MilpOptions;
+///   * `serve::ExplorationService` — from request *admission*, so queue wait
+///     spends the budget too;
+///   * explorers — from process start of the exploration.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace archex::milp {
+
+/// A relative wall-clock allowance. Value semantics, trivially copyable.
+struct Budget {
+  using Clock = std::chrono::steady_clock;
+
+  /// Allowance in seconds. +inf (the default) = unlimited; values <= 0 mean
+  /// "already exhausted" (an immediate TimeLimit); NaN is treated as
+  /// unlimited — the same semantics `time_limit_s` always had.
+  double seconds = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] static constexpr Budget unlimited() { return {}; }
+  [[nodiscard]] static constexpr Budget of_seconds(double s) { return {s}; }
+  [[nodiscard]] static constexpr Budget of_ms(double ms) {
+    return {ms / 1000.0};
+  }
+
+  /// True when this budget actually constrains anything (finite seconds).
+  [[nodiscard]] bool limited() const { return std::isfinite(seconds); }
+
+  /// THE conversion point: the absolute deadline of this budget measured
+  /// from `start`. Unlimited budgets — and budgets beyond half the clock's
+  /// remaining range (~centuries; the duration cast would overflow) — return
+  /// the "never" sentinel `Clock::time_point::max()`. Negative budgets clamp
+  /// to `start` itself: an immediately expired deadline.
+  [[nodiscard]] Clock::time_point deadline_from(Clock::time_point start) const {
+    if (!std::isfinite(seconds)) return Clock::time_point::max();
+    const double limit_s = std::max(seconds, 0.0);
+    const double headroom_s =
+        std::chrono::duration<double>(Clock::time_point::max() - start).count();
+    if (limit_s >= headroom_s * 0.5) return Clock::time_point::max();
+    return start + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(limit_s));
+  }
+
+  /// min() of two budgets: the tighter allowance wins (NaN loses).
+  [[nodiscard]] static Budget tighter(Budget a, Budget b) {
+    const double as = std::isnan(a.seconds)
+                          ? std::numeric_limits<double>::infinity()
+                          : a.seconds;
+    const double bs = std::isnan(b.seconds)
+                          ? std::numeric_limits<double>::infinity()
+                          : b.seconds;
+    return {std::min(as, bs)};
+  }
+};
+
+}  // namespace archex::milp

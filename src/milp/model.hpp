@@ -10,6 +10,7 @@
 #include <iosfwd>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "obs/trace.hpp"
 
 namespace archex::milp {
+
+struct Basis;  // milp/warm_start.hpp; Solution carries one opaquely
 
 inline constexpr double kInf = std::numeric_limits<double>::infinity();
 
@@ -94,6 +97,11 @@ class Model {
 
   /// Tightens the bounds of `v` to the intersection with [lb, ub].
   void tighten_bounds(VarId v, double lb, double ub);
+
+  /// Replaces the right-hand side of row `i`. This is the RHS parameter slot
+  /// of the compiled-model pipeline (arch/compiled_model.hpp): scenario
+  /// deltas rewrite the RHS of named rows without re-encoding the matrix.
+  void set_rhs(std::size_t i, double rhs) { constraints_[i].rhs = rhs; }
 
   [[nodiscard]] ModelStats stats() const;
 
@@ -213,6 +221,16 @@ struct Solution {
   /// space, so arch::Problem can charge eliminations back to the emitting
   /// pattern via origin_of_row (arch/perf_report.hpp).
   std::vector<std::int32_t> presolve_removed_rows;
+  /// Root/sequential solver's root-LP basis, exported when
+  /// MilpOptions::export_basis was set and the root LP solved to optimality
+  /// (null otherwise). The warm-start handle of the sweep pipeline: feed it
+  /// back through MilpOptions::warm_hint on the next structurally identical
+  /// solve. Immutable and safely shareable across solves.
+  std::shared_ptr<const Basis> final_basis;
+  /// True when the root LP was warm-started from the caller's
+  /// MilpOptions::warm_hint basis (loaded + dual reoptimized) rather than
+  /// solved cold — the sweep pipeline's per-scenario warm/cold signal.
+  bool warm_started = false;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
   [[nodiscard]] double value(VarId v) const { return x[static_cast<std::size_t>(v.index)]; }

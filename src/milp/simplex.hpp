@@ -31,6 +31,7 @@
 #include "milp/basis_lu.hpp"
 #include "milp/model.hpp"
 #include "milp/pricing.hpp"
+#include "milp/warm_start.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 
@@ -161,29 +162,11 @@ class SimplexSolver {
   [[nodiscard]] std::size_t num_rows() const { return m_; }
   [[nodiscard]] std::size_t num_structural() const { return n_; }
 
-  /// Compact snapshot of a simplex basis: the column status vector plus the
-  /// basic column of every row. Bounds and values are *not* part of a basis;
-  /// they are reconstructed on install from the receiving solver's current
-  /// bounds. `art_sign` records the sign each artificial column was given by
-  /// the exporting solver's cold start (the matrix entry, not a status), so
-  /// the importer rebuilds the exact same basis matrix.
-  ///
-  /// `factor` additionally carries the exporter's factorization state when
-  /// the kernel supports snapshots (sparse LU): the importer then replays
-  /// the eta file instead of refactorizing. It is advisory — a null or
-  /// incompatible snapshot just falls back to refactorization — and is
-  /// deliberately *not* serialized by checkpoints.
-  ///
-  /// This is the hand-off unit of the parallel branch & bound: a worker
-  /// exports its basis when branching, and whichever worker later steals the
-  /// child node installs it with load_basis() and warm-starts the dual
-  /// simplex from it.
-  struct Basis {
-    std::vector<std::uint8_t> status;   ///< ColStatus per column (total_cols)
-    std::vector<std::int32_t> basic;    ///< basic column per row (m)
-    std::vector<double> art_sign;       ///< artificial column sign per row (m)
-    std::shared_ptr<const FactorState> factor;  ///< optional factorization
-  };
+  /// Compact snapshot of a simplex basis — the hand-off unit of the parallel
+  /// branch & bound and of the sweep pipeline's cross-solve warm starts. The
+  /// struct itself lives at namespace scope (milp/warm_start.hpp) so that
+  /// `Solution` can carry one; this alias keeps the historical spelling.
+  using Basis = milp::Basis;
 
   /// Exports the current basis. Only meaningful after a successful solve.
   [[nodiscard]] Basis export_basis() const;

@@ -57,7 +57,11 @@ double Histogram::bucket_upper(std::size_t i) {
 
 double Histogram::quantile(double q) const {
   const std::int64_t n = count();
-  if (n <= 0) return 0.0;
+  // No samples -> no quantile. NaN, not 0.0: a zero here read as "p99 was
+  // instant" in dashboards and diffs. Every export path carries it through
+  // consistently — snapshot() stores the NaN, write_json maps non-finite to
+  // null, write_prometheus prints the literal "NaN" (valid Prometheus text).
+  if (n <= 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::min(std::max(q, 0.0), 1.0);
   // Rank of the target sample, 1-based; walk the buckets until the running
   // total covers it, then interpolate within the landing bucket.

@@ -94,7 +94,10 @@ class Histogram {
   [[nodiscard]] double sum_seconds() const {
     return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   }
-  /// Estimated q-quantile in seconds, q in [0, 1]. 0 before any record().
+  /// Estimated q-quantile in seconds, q in [0, 1]. NaN before any record()
+  /// — "no samples" is not "zero latency". The NaN flows consistently
+  /// through every export: snapshot() stores it, write_json emits null,
+  /// write_prometheus prints "NaN" (valid Prometheus exposition text).
   /// Concurrent record() calls may skew an in-flight estimate by the races'
   /// worth of samples — fine for reporting, not a synchronization point.
   [[nodiscard]] double quantile(double q) const;

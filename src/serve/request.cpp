@@ -1,6 +1,66 @@
 #include "serve/request.hpp"
 
+#include <cstdio>
+#include <utility>
+
 namespace archex::serve {
+
+std::optional<ScenarioSpec> ScenarioSpec::from_json(const Json& j,
+                                                    std::string* err) {
+  auto fail = [&](const std::string& why) -> std::optional<ScenarioSpec> {
+    if (err != nullptr) *err = why;
+    return std::nullopt;
+  };
+  if (!j.is_object()) return fail("scenario must be a JSON object");
+  ScenarioSpec s;
+  s.name = j.get_string("name");
+  if (const Json* scales = j.find("cost_scale"); scales != nullptr) {
+    if (!scales->is_object()) return fail("'cost_scale' must be an object");
+    for (const auto& [comp, v] : scales->as_object()) {
+      if (!v.is_number()) return fail("'cost_scale." + comp + "' must be a number");
+      s.cost_scale[comp] = v.as_number();
+    }
+  }
+  s.edge_cost_scale = j.get_number("edge_cost_scale", 1.0);
+  if (const Json* un = j.find("unavailable"); un != nullptr) {
+    if (!un->is_array()) return fail("'unavailable' must be an array");
+    for (const Json& v : un->as_array()) {
+      if (!v.is_string()) return fail("'unavailable' entries must be strings");
+      s.unavailable.push_back(v.as_string());
+    }
+  }
+  if (const Json* rhs = j.find("rhs"); rhs != nullptr) {
+    if (!rhs->is_object()) return fail("'rhs' must be an object");
+    for (const auto& [row, v] : rhs->as_object()) {
+      if (!v.is_number()) return fail("'rhs." + row + "' must be a number");
+      s.rhs[row] = v.as_number();
+    }
+  }
+  return s;
+}
+
+Json ScenarioSpec::to_json() const {
+  Json j;
+  j.obj();  // a default scenario still serializes as {}
+  if (!name.empty()) j["name"] = name;
+  if (!cost_scale.empty()) {
+    Json scales;
+    for (const auto& [comp, v] : cost_scale) scales[comp] = v;
+    j["cost_scale"] = std::move(scales);
+  }
+  if (edge_cost_scale != 1.0) j["edge_cost_scale"] = edge_cost_scale;
+  if (!unavailable.empty()) {
+    Json::Array arr;
+    for (const std::string& c : unavailable) arr.emplace_back(c);
+    j["unavailable"] = Json(std::move(arr));
+  }
+  if (!rhs.empty()) {
+    Json rows;
+    for (const auto& [row, v] : rhs) rows[row] = v;
+    j["rhs"] = std::move(rows);
+  }
+  return j;
+}
 
 std::optional<Request> Request::from_json(const Json& j, std::string* err) {
   auto fail = [&](const std::string& why) -> std::optional<Request> {
@@ -11,6 +71,13 @@ std::optional<Request> Request::from_json(const Json& j, std::string* err) {
   Request r;
   r.id = j.get_string("id");
   if (r.id.empty()) return fail("missing or empty 'id'");
+  r.op = j.get_string("op");
+  if (r.op == "explore") r.op.clear();  // canonical spelling of the default
+  const bool compiled_op =
+      r.op == "compile" || r.op == "solve_compiled" || r.op == "sweep";
+  if (!r.op.empty() && !compiled_op) {
+    return fail("unknown op '" + r.op + "'");
+  }
   r.lp_file = j.get_string("lp_file");
   r.lp = j.get_string("lp");
   r.domain = j.get_string("domain");
@@ -24,6 +91,39 @@ std::optional<Request> Request::from_json(const Json& j, std::string* err) {
     return fail("unknown domain '" + r.domain + "' (expected 'epn' or 'rpl')");
   }
   r.lazy = j.get_bool("lazy", false);
+  r.scale = j.get_string("scale");
+  if (!r.scale.empty()) {
+    if (r.domain != "epn") return fail("'scale' is only valid with domain 'epn'");
+    if (r.scale != "tiny" && r.scale != "small" && r.scale != "paper") {
+      return fail("unknown scale '" + r.scale +
+                  "' (expected 'tiny', 'small' or 'paper')");
+    }
+  }
+  if (compiled_op) {
+    if (r.domain.empty()) {
+      return fail("op '" + r.op + "' requires a 'domain' source");
+    }
+    if (r.lazy) return fail("op '" + r.op + "' does not support 'lazy'");
+    if (const Json* sc = j.find("scenario"); sc != nullptr) {
+      std::string serr;
+      auto parsed = ScenarioSpec::from_json(*sc, &serr);
+      if (!parsed.has_value()) return fail("'scenario': " + serr);
+      r.scenario = std::move(*parsed);
+    }
+    if (const Json* sw = j.find("sweep"); sw != nullptr) {
+      if (!sw->is_array()) return fail("'sweep' must be an array");
+      for (const Json& sc : sw->as_array()) {
+        std::string serr;
+        auto parsed = ScenarioSpec::from_json(sc, &serr);
+        if (!parsed.has_value()) return fail("'sweep': " + serr);
+        r.sweep.push_back(std::move(*parsed));
+      }
+    }
+    if (r.op == "sweep" && r.sweep.empty()) {
+      return fail("op 'sweep' requires a non-empty 'sweep' array");
+    }
+  }
+  r.budget_ms = j.get_number("budget_ms", 0.0);
   r.deadline_ms = j.get_number("deadline_ms", 0.0);
   r.time_limit_s = j.get_number("time_limit_s", 0.0);
   r.threads = static_cast<int>(j.get_number("threads", 1.0));
@@ -37,8 +137,8 @@ std::optional<Request> Request::from_json(const Json& j, std::string* err) {
   r.resume = j.get_bool("resume", false);
   r.preemptible = j.get_bool("preemptible", true);
   if (r.threads < 1 || r.threads > 64) return fail("'threads' out of range");
-  if (r.deadline_ms < 0 || r.time_limit_s < 0) {
-    return fail("'deadline_ms' / 'time_limit_s' must be >= 0");
+  if (r.budget_ms < 0 || r.deadline_ms < 0 || r.time_limit_s < 0) {
+    return fail("'budget_ms' / 'deadline_ms' / 'time_limit_s' must be >= 0");
   }
   return r;
 }
@@ -46,10 +146,20 @@ std::optional<Request> Request::from_json(const Json& j, std::string* err) {
 Json Request::to_json() const {
   Json j;
   j["id"] = id;
+  if (!op.empty()) j["op"] = op;
   if (!lp_file.empty()) j["lp_file"] = lp_file;
   if (!lp.empty()) j["lp"] = lp;
   if (!domain.empty()) j["domain"] = domain;
   if (lazy) j["lazy"] = true;
+  if (!scale.empty()) j["scale"] = scale;
+  if (op == "solve_compiled") j["scenario"] = scenario.to_json();
+  if (!sweep.empty()) {
+    Json::Array arr;
+    arr.reserve(sweep.size());
+    for (const ScenarioSpec& s : sweep) arr.push_back(s.to_json());
+    j["sweep"] = Json(std::move(arr));
+  }
+  if (budget_ms > 0) j["budget_ms"] = budget_ms;
   if (deadline_ms > 0) j["deadline_ms"] = deadline_ms;
   if (time_limit_s > 0) j["time_limit_s"] = time_limit_s;
   if (threads != 1) j["threads"] = threads;
@@ -75,8 +185,25 @@ const char* to_string(ResponseStatus s) {
     case ResponseStatus::Error: return "error";
     case ResponseStatus::Rejected: return "rejected";
     case ResponseStatus::Preempted: return "preempted";
+    case ResponseStatus::Compiled: return "compiled";
   }
   return "unknown";
+}
+
+Json ScenarioResult::to_json() const {
+  Json j;
+  j["name"] = name;
+  j["status"] = to_string(status);
+  j["ok"] = ok;
+  if (has_objective) {
+    j["objective"] = objective;
+    j["bound"] = bound;
+    j["gap"] = gap;
+  }
+  j["degraded"] = degraded;
+  j["warm"] = warm;
+  j["solve_seconds"] = solve_seconds;
+  return j;
 }
 
 Json Response::to_json() const {
@@ -97,6 +224,25 @@ Json Response::to_json() const {
   if (!checkpoint.empty()) {
     j["checkpoint"] = checkpoint;
     j["resumable"] = resumable;
+  }
+  if (!cache.empty()) {
+    j["cache"] = cache;
+    // Hex keeps the full 64 bits exact (a JSON number would round through
+    // double); fixed width so lines diff and sort cleanly.
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    j["fingerprint"] = std::string(buf);
+  }
+  if (warm_solves + cold_solves > 0) {
+    j["warm_solves"] = warm_solves;
+    j["cold_solves"] = cold_solves;
+  }
+  if (!scenarios.empty()) {
+    Json::Array arr;
+    arr.reserve(scenarios.size());
+    for (const ScenarioResult& s : scenarios) arr.push_back(s.to_json());
+    j["scenarios"] = Json(std::move(arr));
   }
   j["queue_ms"] = queue_ms;
   j["solve_seconds"] = solve_seconds;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,20 +14,62 @@
 
 namespace archex::serve {
 
+/// One scenario of a compiled-model request: the wire form of
+/// `arch::Scenario`'s parameter deltas (serve stays arch-agnostic in this
+/// header; the service converts). All fields are optional on the wire.
+struct ScenarioSpec {
+  std::string name;
+  /// Library component name -> multiplicative cost scale.
+  std::map<std::string, double> cost_scale;
+  double edge_cost_scale = 1.0;
+  /// Library components toggled unavailable (mapping binaries fixed to 0).
+  std::vector<std::string> unavailable;
+  /// Constraint name -> new right-hand side.
+  std::map<std::string, double> rhs;
+
+  /// Parses a scenario object ({"name", "cost_scale", "edge_cost_scale",
+  /// "unavailable", "rhs"}). Returns nullopt and a reason on bad types.
+  static std::optional<ScenarioSpec> from_json(const Json& j, std::string* err);
+  [[nodiscard]] Json to_json() const;
+};
+
 /// One exploration request. The model source is exactly one of `lp_file`
 /// (CPLEX-LP path), `lp` (inline LP text), or `domain` ("epn" / "rpl",
 /// the built-in case studies).
 struct Request {
   std::string id;  ///< caller-chosen correlation id; must be non-empty
 
+  /// Operation. Empty or "explore" is the classic encode+solve request.
+  /// The compiled-pipeline ops (docs/pipeline.md) require a `domain` source
+  /// (they need the arch-layer artifact, not a bare LP) and reject `lazy`:
+  ///   * "compile"        — encode once, cache, return the fingerprint;
+  ///   * "solve_compiled" — solve `scenario` against the cached artifact;
+  ///   * "sweep"          — solve the `sweep` scenarios sequentially,
+  ///     warm-starting each from the previous optimal basis.
+  std::string op;
+
   std::string lp_file;
   std::string lp;
   std::string domain;
   bool lazy = false;  ///< EPN only: lazy iterative scheme instead of eager
+  /// EPN only: instance scale — "tiny" (the k = 1 regime, closes in well
+  /// under a second; what sweeps/drills should use), "small" (default;
+  /// matches `epn_explorer --scale=small`) or "paper" (Table 2 sizes).
+  std::string scale;
+
+  /// Scenario for "solve_compiled" (ignored otherwise).
+  ScenarioSpec scenario;
+  /// Scenario family for "sweep", solved in order (ignored otherwise).
+  std::vector<ScenarioSpec> sweep;
 
   /// End-to-end budget in milliseconds, measured from *admission* (queue
   /// wait spends it too — a request that waited its whole budget gets an
   /// immediate anytime answer, not a fresh solver allowance). 0 = none.
+  /// The canonical time knob (milp/budget.hpp is the conversion point);
+  /// `deadline_ms` below is its deprecated alias and loses when both are
+  /// set.
+  double budget_ms = 0.0;
+  /// Deprecated alias of `budget_ms`; kept for existing clients. 0 = none.
   double deadline_ms = 0.0;
   double time_limit_s = 0.0;  ///< per-solve-call cap; 0 = none
   int threads = 1;            ///< B&B worker threads for this request
@@ -62,6 +105,7 @@ enum class ResponseStatus : std::uint8_t {
   Error,       ///< request-scoped failure (parse, solver numerical, exception)
   Rejected,    ///< never ran: shed / queue_full / draining / lint
   Preempted,   ///< drain stopped it; `checkpoint` resumes it
+  Compiled,    ///< "compile" op succeeded; `fingerprint`/`cache` identify it
 };
 
 [[nodiscard]] const char* to_string(ResponseStatus s);
@@ -71,6 +115,24 @@ enum class ResponseStatus : std::uint8_t {
 struct LifecycleEvent {
   std::string state;
   double at_ms = 0.0;
+};
+
+/// Per-scenario outcome of a "sweep" response. Field names deliberately
+/// mirror the top-level response (and ExplorationResult's accessors) so
+/// per-scenario lines diff cleanly against solo solves.
+struct ScenarioResult {
+  std::string name;
+  ResponseStatus status = ResponseStatus::Error;
+  bool ok = false;
+  bool has_objective = false;
+  double objective = 0.0;
+  double bound = 0.0;
+  double gap = 0.0;
+  bool degraded = false;
+  bool warm = false;  ///< root LP warm-started from the previous basis
+  double solve_seconds = 0.0;
+
+  [[nodiscard]] Json to_json() const;
 };
 
 struct Response {
@@ -91,6 +153,15 @@ struct Response {
 
   std::string checkpoint;  ///< written checkpoint path (Preempted)
   bool resumable = false;
+
+  // --- compiled-pipeline fields (set by compile/solve_compiled/sweep) ---
+  /// "hit" when the compiled artifact came from the service cache, "miss"
+  /// when this request paid the encode; empty for classic explore requests.
+  std::string cache;
+  std::uint64_t fingerprint = 0;  ///< CompiledModel content fingerprint
+  std::int64_t warm_solves = 0;   ///< sweep scenarios solved warm-started
+  std::int64_t cold_solves = 0;   ///< sweep scenarios solved cold
+  std::vector<ScenarioResult> scenarios;  ///< per-scenario results ("sweep")
 
   double queue_ms = 0.0;
   double solve_seconds = 0.0;

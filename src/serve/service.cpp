@@ -13,6 +13,7 @@
 #include "domains/epn.hpp"
 #include "domains/rpl.hpp"
 #include "milp/branch_bound.hpp"
+#include "milp/budget.hpp"
 #include "milp/fault.hpp"
 #include "milp/lp_format.hpp"
 
@@ -75,10 +76,17 @@ struct BuiltModel {
 BuiltModel build_model(const Request& req) {
   BuiltModel b;
   if (req.domain == "epn") {
-    // Same sizing as `epn_explorer --scale=small`: the eager reliability
-    // encoding needs the third rectifier per side to be satisfiable.
-    b.epn_cfg = domains::epn::small_config();
-    b.epn_cfg.rectifiers_per_side = 3;
+    if (req.scale == "tiny") {
+      // The k = 1 regime: closes in well under a second, what sweeps use.
+      b.epn_cfg = domains::epn::tiny_config();
+    } else if (req.scale == "paper") {
+      b.epn_cfg = domains::epn::EpnConfig{};
+    } else {
+      // Same sizing as `epn_explorer --scale=small`: the eager reliability
+      // encoding needs the third rectifier per side to be satisfiable.
+      b.epn_cfg = domains::epn::small_config();
+      b.epn_cfg.rectifiers_per_side = 3;
+    }
     b.epn_lazy = req.lazy;
     b.epn_cfg.reliability_eager = !req.lazy;
     b.problem = domains::epn::make_problem(b.epn_cfg);
@@ -91,6 +99,47 @@ BuiltModel build_model(const Request& req) {
     b.model = milp::parse_lp(in);
   }
   return b;
+}
+
+/// THE conversion from the request's time knobs to an absolute deadline
+/// (satellite of milp/budget.hpp): `budget_ms` is canonical, `deadline_ms`
+/// its deprecated alias (budget_ms wins when both are set), 0 means
+/// unlimited. Measured from admission so queue wait spends the budget.
+Clock::time_point deadline_of(const Request& req, Clock::time_point admitted) {
+  const double ms = req.budget_ms > 0 ? req.budget_ms : req.deadline_ms;
+  return (ms > 0 ? milp::Budget::of_ms(ms) : milp::Budget::unlimited())
+      .deadline_from(admitted);
+}
+
+/// Severity order for folding per-scenario statuses into one sweep status.
+int severity(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::Optimal:
+    case ResponseStatus::Compiled: return 0;
+    case ResponseStatus::Degraded: return 1;
+    case ResponseStatus::Infeasible:
+    case ResponseStatus::Unbounded: return 2;
+    case ResponseStatus::Timeout: return 3;
+    default: return 4;  // Error / Rejected / Preempted
+  }
+}
+
+/// Maps one scenario's solver outcome the same way the explore path maps its
+/// top-level solution (minus preemption, which is reported at sweep level).
+ResponseStatus scenario_status(const milp::Solution& sol) {
+  switch (sol.status) {
+    case milp::SolveStatus::Optimal:
+      return sol.degraded ? ResponseStatus::Degraded : ResponseStatus::Optimal;
+    case milp::SolveStatus::TimeLimit:
+    case milp::SolveStatus::NodeLimit:
+    case milp::SolveStatus::IterationLimit:
+      return sol.has_incumbent ? ResponseStatus::Degraded
+                               : ResponseStatus::Timeout;
+    case milp::SolveStatus::Infeasible: return ResponseStatus::Infeasible;
+    case milp::SolveStatus::Unbounded: return ResponseStatus::Unbounded;
+    case milp::SolveStatus::NumericalError: return ResponseStatus::Error;
+  }
+  return ResponseStatus::Error;
 }
 
 }  // namespace
@@ -107,7 +156,7 @@ double backoff_delay_ms(double base_ms, std::uint64_t seed, int attempt) {
 }
 
 ExplorationService::ExplorationService(ServiceOptions opts)
-    : opts_(std::move(opts)) {
+    : opts_(std::move(opts)), compiled_cache_(opts_.compiled_cache_capacity) {
   opts_.workers = std::max(opts_.workers, 1);
   opts_.queue_capacity = std::max<std::size_t>(opts_.queue_capacity, 1);
   workers_.reserve(static_cast<std::size_t>(opts_.workers));
@@ -215,6 +264,7 @@ void ExplorationService::worker_loop() {
 
 Response ExplorationService::execute(const Request& req,
                                      Clock::time_point admitted) {
+  if (!req.op.empty()) return execute_compiled(req, admitted);
   const Clock::time_point t_start = Clock::now();
   Response r;
   r.id = req.id;
@@ -230,12 +280,7 @@ Response ExplorationService::execute(const Request& req,
   };
   mark("start");
 
-  Clock::time_point deadline = Clock::time_point::max();
-  if (req.deadline_ms > 0) {
-    deadline = admitted + std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double, std::milli>(
-                                  req.deadline_ms));
-  }
+  const Clock::time_point deadline = deadline_of(req, admitted);
   // A budget fully consumed by queue wait gets its answer without touching
   // the solver: there is no incumbent to report, so this is a timeout.
   if (Clock::now() >= deadline) {
@@ -419,6 +464,196 @@ Response ExplorationService::execute(const Request& req,
   return finalize();
 }
 
+std::shared_ptr<const CompiledModel> ExplorationService::get_or_compile(
+    const Request& req, std::string* cache_state) {
+  // Spec key: everything the built-in domain model depends on (compiled ops
+  // reject `lazy`). The fingerprint memo is needed because the content hash
+  // is only known after compiling.
+  const std::string key = "domain=" + req.domain + ";scale=" + req.scale;
+  // One compile at a time: a duplicate request blocks here and then hits.
+  std::lock_guard<std::mutex> lock(compile_mu_);
+  auto refresh = [&] {
+    const CompiledModelCache::Stats cs = compiled_cache_.stats();
+    reg_.gauge("serve.compile.cache_size")
+        .set(static_cast<double>(compiled_cache_.size()));
+    reg_.gauge("serve.compile.cache_evictions")
+        .set(static_cast<double>(cs.evictions));
+  };
+  if (const auto it = spec_fingerprint_.find(key);
+      it != spec_fingerprint_.end()) {
+    if (std::shared_ptr<const CompiledModel> cm =
+            compiled_cache_.get(it->second)) {
+      *cache_state = "hit";
+      reg_.counter("serve.compile.cache_hits").add();
+      refresh();
+      return cm;
+    }
+  }
+  BuiltModel built = build_model(req);
+  auto cm = std::make_shared<const CompiledModel>(compile(*built.problem));
+  compiled_cache_.put(cm);
+  spec_fingerprint_[key] = cm->fingerprint();
+  *cache_state = "miss";
+  reg_.counter("serve.compile.cache_misses").add();
+  refresh();
+  return cm;
+}
+
+Response ExplorationService::execute_compiled(const Request& req,
+                                              Clock::time_point admitted) {
+  const Clock::time_point t_start = Clock::now();
+  Response r;
+  r.id = req.id;
+  r.queue_ms = ms_between(admitted, t_start);
+  auto mark = [&](const char* state) {
+    r.lifecycle.push_back({state, ms_between(admitted, Clock::now())});
+  };
+  auto finalize = [&]() -> Response& {
+    r.total_ms = ms_between(admitted, Clock::now());
+    mark("done");
+    finish_metrics(r);
+    return r;
+  };
+  mark("start");
+
+  const Clock::time_point deadline = deadline_of(req, admitted);
+  if (Clock::now() >= deadline) {
+    r.status = ResponseStatus::Timeout;
+    r.reason = "deadline expired before execution";
+    return finalize();
+  }
+
+  // --- stage 1+2: the compiled artifact, through the LRU ---
+  mark("compile");
+  std::shared_ptr<const CompiledModel> cm;
+  try {
+    cm = get_or_compile(req, &r.cache);
+  } catch (const std::exception& e) {
+    r.status = ResponseStatus::Error;
+    r.reason = std::string("compile failed: ") + e.what();
+    return finalize();
+  }
+  r.fingerprint = cm->fingerprint();
+
+  // --- lint gate, against the compiled artifact's frozen matrix ---
+  if (req.lint) {
+    mark("lint");
+    const check::LintReport report = check::lint(cm->base_model());
+    if (!report.clean(check::Severity::Error)) {
+      const auto errors = report.at_least(check::Severity::Error);
+      r.status = ResponseStatus::Rejected;
+      r.reason = "lint: " + errors.front().message;
+      reg_.counter("serve.lint_rejected").add();
+      return finalize();
+    }
+  }
+
+  if (req.op == "compile") {
+    r.status = ResponseStatus::Compiled;
+    r.ok = true;
+    return finalize();
+  }
+
+  milp::MilpOptions base;
+  base.num_threads = req.threads;
+  if (req.time_limit_s > 0) base.time_limit_s = req.time_limit_s;
+  base.deadline = deadline;
+  base.cancel = &cancel_;
+  if (req.max_nodes > 0) base.max_nodes = req.max_nodes;
+
+  // --- stage 3: solve the scenario (or the sweep's scenario family) ---
+  mark("solve");
+  const Clock::time_point t_solve = Clock::now();
+  const bool is_sweep = req.op == "sweep";
+  const std::vector<ScenarioSpec> single{req.scenario};
+  const std::vector<ScenarioSpec>& specs = is_sweep ? req.sweep : single;
+  SweepState state;
+  SweepState* sweep_state = is_sweep ? &state : nullptr;
+  std::vector<ScenarioResult> results;
+  results.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ScenarioSpec& spec = specs[i];
+    Scenario sc;
+    sc.name = spec.name.empty() ? "scenario" + std::to_string(i) : spec.name;
+    sc.component_cost_scale = spec.cost_scale;
+    sc.edge_cost_scale = spec.edge_cost_scale;
+    sc.unavailable = spec.unavailable;
+    sc.rhs = spec.rhs;
+    ScenarioResult sr;
+    sr.name = sc.name;
+    try {
+      const ExplorationResult er = archex::solve(*cm, sc, base, sweep_state);
+      const milp::Solution& sol = er.solution;
+      r.nodes += sol.nodes_explored;
+      r.degraded_nodes += sol.degraded_nodes;
+      reg_.counter("serve.solver.nodes").add(sol.nodes_explored);
+      reg_.counter("serve.solver.simplex_iterations")
+          .add(sol.simplex_iterations);
+      sr.status = scenario_status(sol);
+      sr.ok = sr.status == ResponseStatus::Optimal ||
+              sr.status == ResponseStatus::Degraded;
+      if (sol.has_incumbent) {
+        sr.has_objective = true;
+        sr.objective = er.objective();
+        sr.bound = er.bound();
+        sr.gap = er.gap();
+      }
+      sr.degraded = er.degraded();
+      sr.warm = sol.warm_started;
+      sr.solve_seconds = er.solver_seconds;
+    } catch (const std::exception& e) {
+      // Isolation: one bad scenario (e.g. an unknown component name) fails
+      // alone; the rest of the sweep still runs.
+      sr.status = ResponseStatus::Error;
+      if (r.reason.empty()) r.reason = sc.name + ": " + e.what();
+    }
+    results.push_back(std::move(sr));
+  }
+  r.solve_seconds =
+      std::chrono::duration<double>(Clock::now() - t_solve).count();
+  r.attempts = 1;
+
+  mark("extract");
+  if (!is_sweep) {
+    const ScenarioResult& sr = results.front();
+    r.status = sr.status;
+    r.ok = sr.ok;
+    r.has_objective = sr.has_objective;
+    r.objective = sr.objective;
+    r.bound = sr.bound;
+    r.gap = sr.gap;
+    r.degraded = sr.degraded;
+    return finalize();
+  }
+  r.scenarios = std::move(results);
+  r.warm_solves = state.warm_solves;
+  r.cold_solves = state.cold_solves;
+  r.ok = true;
+  r.degraded = false;
+  const ScenarioResult* worst = nullptr;
+  for (const ScenarioResult& sr : r.scenarios) {
+    r.ok = r.ok && sr.ok;
+    r.degraded = r.degraded || sr.degraded;
+    if (worst == nullptr || severity(sr.status) > severity(worst->status)) {
+      worst = &sr;
+    }
+  }
+  r.status = worst != nullptr ? worst->status : ResponseStatus::Error;
+  // The top level mirrors the last scenario's objective, so a sweep response
+  // tail-diffs cleanly against the solve_compiled response for that
+  // scenario.
+  const ScenarioResult& last = r.scenarios.back();
+  r.has_objective = last.has_objective;
+  r.objective = last.objective;
+  r.bound = last.bound;
+  r.gap = last.gap;
+  reg_.counter("serve.sweep.scenarios")
+      .add(static_cast<std::int64_t>(r.scenarios.size()));
+  reg_.counter("serve.sweep.warm").add(state.warm_solves);
+  reg_.counter("serve.sweep.cold").add(state.cold_solves);
+  return finalize();
+}
+
 void ExplorationService::finish_metrics(const Response& r) {
   reg_.counter("serve.completed").add();
   switch (r.status) {
@@ -434,6 +669,7 @@ void ExplorationService::finish_metrics(const Response& r) {
     case ResponseStatus::Preempted:
       reg_.counter("serve.preempted").add();
       break;
+    case ResponseStatus::Compiled: reg_.counter("serve.compiled").add(); break;
   }
   reg_.histogram("serve.latency").record(r.total_ms / 1000.0);
   reg_.histogram("serve.queue_wait").record(r.queue_ms / 1000.0);

@@ -35,12 +35,14 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "arch/compiled_model.hpp"
 #include "obs/metrics.hpp"
 #include "serve/request.hpp"
 
@@ -59,6 +61,11 @@ struct ServiceOptions {
   /// Empty disables auto-checkpointing (requests may still name their own).
   std::string checkpoint_dir;
   double checkpoint_interval_s = 0.25;
+  /// Capacity of the compiled-model LRU (arch::CompiledModelCache), keyed by
+  /// content fingerprint. Serves the "compile"/"solve_compiled"/"sweep" ops:
+  /// repeated requests for an already-compiled spec skip the encode. 0
+  /// disables caching (every compiled op re-encodes).
+  std::size_t compiled_cache_capacity = 8;
 };
 
 class ExplorationService {
@@ -109,14 +116,33 @@ class ExplorationService {
 
   void worker_loop();
   /// The full per-request lifecycle (build, lint, retry ladder, mapping).
+  /// Dispatches compiled-pipeline ops to execute_compiled.
   Response execute(const Request& req,
                    std::chrono::steady_clock::time_point admitted);
+  /// The compile/solve_compiled/sweep lifecycle: fetch-or-compile the
+  /// artifact through the LRU, then solve the request's scenarios against
+  /// it (sweeps warm-start each scenario from the previous basis).
+  Response execute_compiled(const Request& req,
+                            std::chrono::steady_clock::time_point admitted);
+  /// The compiled artifact for the request's spec: cache hit when the spec
+  /// was compiled before (and survived eviction), fresh compile otherwise.
+  /// Sets `*cache_state` to "hit"/"miss" and refreshes the serve.compile.*
+  /// metrics. Throws what model building throws.
+  std::shared_ptr<const CompiledModel> get_or_compile(const Request& req,
+                                                      std::string* cache_state);
   Response reject(const Request& req, const std::string& reason);
   void finish_metrics(const Response& r);
 
   ServiceOptions opts_;
   obs::MetricsRegistry reg_;
   std::atomic<bool> cancel_{false};  ///< shared cooperative preemption token
+
+  /// Compiled artifacts by fingerprint, plus the spec-key -> fingerprint
+  /// memo that turns a repeated request into a cache lookup (the fingerprint
+  /// is only known *after* compiling; the memo closes the loop).
+  CompiledModelCache compiled_cache_;
+  std::mutex compile_mu_;
+  std::map<std::string, std::uint64_t> spec_fingerprint_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

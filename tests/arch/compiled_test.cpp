@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/compiled_model.hpp"
+#include "arch/problem.hpp"
+#include "domains/epn.hpp"
+#include "milp/budget.hpp"
+
+namespace archex {
+namespace {
+
+using domains::epn::EpnConfig;
+using domains::epn::make_problem;
+using domains::epn::tiny_config;
+
+/// The sweeps need the eager (monolithic) reliability encoding: the compiled
+/// artifact is the frozen matrix, so there is no lazy refinement loop.
+EpnConfig eager_tiny() {
+  EpnConfig cfg = tiny_config();
+  cfg.reliability_eager = true;
+  return cfg;
+}
+
+milp::MilpOptions test_options() {
+  milp::MilpOptions opts;
+  opts.num_threads = 1;
+  opts.budget = milp::Budget::of_seconds(120.0);
+  return opts;
+}
+
+/// The i-th member of the cost-perturbation family used throughout: pure
+/// objective deltas (the warm-start case).
+Scenario perturbation(const CompiledModel& cm, int i) {
+  Scenario sc;
+  sc.name = "perturb-" + std::to_string(i);
+  sc.edge_cost_scale = 1.0 + 0.02 * i;
+  sc.component_cost_scale[cm.library().at(0).name] = 1.0 + 0.05 * i;
+  return sc;
+}
+
+TEST(CompiledModelTest, FingerprintIsStableAcrossCompiles) {
+  auto p1 = make_problem(eager_tiny());
+  auto p2 = make_problem(eager_tiny());
+  const CompiledModel a = compile(*p1);
+  const CompiledModel b = compile(*p2);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_GT(a.fingerprint(), 0u);
+}
+
+TEST(CompiledModelTest, FingerprintSeparatesDifferentSpecs) {
+  auto p1 = make_problem(eager_tiny());
+  EpnConfig other = eager_tiny();
+  other.loads_per_side += 1;
+  auto p2 = make_problem(other);
+  EXPECT_NE(compile(*p1).fingerprint(), compile(*p2).fingerprint());
+}
+
+TEST(CompiledModelTest, InstantiateRejectsUnknownNames) {
+  auto p = make_problem(eager_tiny());
+  const CompiledModel cm = compile(*p);
+  Scenario bad_component;
+  bad_component.component_cost_scale["NoSuchComponent"] = 2.0;
+  EXPECT_THROW(cm.instantiate(bad_component), std::invalid_argument);
+  Scenario bad_unavailable;
+  bad_unavailable.unavailable.push_back("NoSuchComponent");
+  EXPECT_THROW(cm.instantiate(bad_unavailable), std::invalid_argument);
+  Scenario bad_rhs;
+  bad_rhs.rhs["no-such-row"] = 1.0;
+  EXPECT_THROW(cm.instantiate(bad_rhs), std::invalid_argument);
+}
+
+TEST(CompiledModelTest, CompiledSolveMatchesClassicSolve) {
+  auto p = make_problem(eager_tiny());
+  const CompiledModel cm = compile(*p);
+  const milp::MilpOptions opts = test_options();
+  const ExplorationResult classic = make_problem(eager_tiny())->solve(opts);
+  const ExplorationResult compiled = archex::solve(cm, Scenario{}, opts);
+  ASSERT_TRUE(classic.feasible());
+  ASSERT_TRUE(compiled.feasible());
+  EXPECT_NEAR(classic.solution.objective, compiled.solution.objective,
+              1e-6 * std::abs(classic.solution.objective));
+}
+
+/// The satellite-4 sweep drill: a 20-scenario EPN cost-perturbation family
+/// re-solved warm against one compiled artifact must reproduce, scenario by
+/// scenario, the objective of a fresh encode + cold solve (certifier
+/// tolerance: 1e-6 relative, check/certify.hpp). One structural scenario
+/// (extra constraint row) lands mid-sweep and must fall back to a cold
+/// solve without contaminating the warm chain around it.
+TEST(CompiledSweepTest, WarmSweepObjectivesMatchColdSolves) {
+  constexpr int kScenarios = 20;
+  constexpr int kStructuralAt = 10;
+  auto p = make_problem(eager_tiny());
+  const CompiledModel cm = compile(*p);
+  const milp::MilpOptions opts = test_options();
+
+  auto scenario_at = [&](int i) {
+    Scenario sc = perturbation(cm, i);
+    if (i == kStructuralAt) {
+      // Structural delta: an extra (loose, but real) row over the first
+      // column changes the basis dimensions.
+      sc.extra_constraints.emplace_back(milp::LinExpr(milp::VarId{.index = 0}),
+                                        milp::Sense::LE, 1.0, "extra-row");
+      sc.name += "-structural";
+    }
+    return sc;
+  };
+
+  SweepState sweep;
+  std::vector<double> warm_obj(kScenarios);
+  std::vector<bool> warm_started(kScenarios);
+  for (int i = 0; i < kScenarios; ++i) {
+    const ExplorationResult res = archex::solve(cm, scenario_at(i), opts, &sweep);
+    ASSERT_TRUE(res.feasible()) << "warm scenario " << i;
+    ASSERT_EQ(res.solution.status, milp::SolveStatus::Optimal) << "scenario " << i;
+    warm_obj[static_cast<std::size_t>(i)] = res.solution.objective;
+    warm_started[static_cast<std::size_t>(i)] = res.solution.warm_started;
+  }
+  // The first solve of the sweep has no basis to start from and the
+  // structural scenario must not warm-start; everything else should.
+  EXPECT_FALSE(warm_started[0]);
+  EXPECT_FALSE(warm_started[kStructuralAt]);
+  EXPECT_GT(sweep.warm_solves, 0);
+  EXPECT_GE(sweep.cold_solves, 2);
+
+  for (int i = 0; i < kScenarios; ++i) {
+    // Fresh encode + compile + cold solve per scenario: the naive path the
+    // sweep replaces. Objectives must agree to certifier tolerance.
+    auto fresh = make_problem(eager_tiny());
+    const CompiledModel cold_cm = compile(*fresh);
+    const ExplorationResult cold = archex::solve(cold_cm, scenario_at(i), opts);
+    ASSERT_TRUE(cold.feasible()) << "cold scenario " << i;
+    ASSERT_EQ(cold.solution.status, milp::SolveStatus::Optimal) << "scenario " << i;
+    EXPECT_NEAR(cold.solution.objective, warm_obj[static_cast<std::size_t>(i)],
+                1e-6 * std::max(1.0, std::abs(cold.solution.objective)))
+        << "scenario " << i;
+  }
+}
+
+TEST(CompiledModelCacheTest, LruEvictsBeyondCapacity) {
+  CompiledModelCache cache(1);
+  auto p1 = make_problem(eager_tiny());
+  EpnConfig other = eager_tiny();
+  other.loads_per_side += 1;
+  auto p2 = make_problem(other);
+  auto a = std::make_shared<const CompiledModel>(compile(*p1));
+  auto b = std::make_shared<const CompiledModel>(compile(*p2));
+  const std::uint64_t fa = a->fingerprint();
+  const std::uint64_t fb = b->fingerprint();
+  ASSERT_NE(fa, fb);
+
+  cache.put(a);
+  EXPECT_NE(cache.get(fa), nullptr);
+  cache.put(b);  // capacity 1: inserting b evicts a
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get(fa), nullptr);
+  EXPECT_NE(cache.get(fb), nullptr);
+  const CompiledModelCache::Stats st = cache.stats();
+  EXPECT_EQ(st.evictions, 1);
+  EXPECT_EQ(st.hits, 2);
+  EXPECT_EQ(st.misses, 1);
+}
+
+TEST(CompiledModelCacheTest, ZeroCapacityDisablesCaching) {
+  CompiledModelCache cache(0);
+  auto p = make_problem(eager_tiny());
+  auto cm = std::make_shared<const CompiledModel>(compile(*p));
+  const std::uint64_t fp = cm->fingerprint();
+  cache.put(std::move(cm));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get(fp), nullptr);
+}
+
+}  // namespace
+}  // namespace archex

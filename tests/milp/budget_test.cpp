@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "milp/budget.hpp"
+
+namespace archex::milp {
+namespace {
+
+using Clock = Budget::Clock;
+
+TEST(BudgetTest, DefaultIsUnlimited) {
+  const Budget b;
+  EXPECT_FALSE(b.limited());
+  EXPECT_EQ(b.deadline_from(Clock::now()), Clock::time_point::max());
+  EXPECT_EQ(Budget::unlimited().seconds, std::numeric_limits<double>::infinity());
+}
+
+TEST(BudgetTest, ConstructorsAgreeOnUnits) {
+  EXPECT_DOUBLE_EQ(Budget::of_seconds(2.5).seconds, 2.5);
+  EXPECT_DOUBLE_EQ(Budget::of_ms(2500.0).seconds, 2.5);
+  EXPECT_TRUE(Budget::of_seconds(2.5).limited());
+}
+
+TEST(BudgetTest, DeadlineFromIsTheStartPlusTheAllowance) {
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point d = Budget::of_seconds(1.5).deadline_from(start);
+  const double delta = std::chrono::duration<double>(d - start).count();
+  EXPECT_NEAR(delta, 1.5, 1e-6);
+}
+
+TEST(BudgetTest, NegativeBudgetClampsToStart) {
+  const Clock::time_point start = Clock::now();
+  EXPECT_EQ(Budget::of_seconds(-3.0).deadline_from(start), start);
+  EXPECT_EQ(Budget::of_seconds(0.0).deadline_from(start), start);
+}
+
+TEST(BudgetTest, NanBehavesAsUnlimited) {
+  const Budget b = Budget::of_seconds(std::nan(""));
+  EXPECT_FALSE(b.limited());
+  EXPECT_EQ(b.deadline_from(Clock::now()), Clock::time_point::max());
+}
+
+TEST(BudgetTest, HugeBudgetSaturatesInsteadOfOverflowing) {
+  // A duration cast of 1e18 seconds would overflow steady_clock's range;
+  // the conversion point must saturate to the "never" sentinel.
+  const Budget b = Budget::of_seconds(1e18);
+  EXPECT_TRUE(b.limited());
+  EXPECT_EQ(b.deadline_from(Clock::now()), Clock::time_point::max());
+}
+
+TEST(BudgetTest, TighterPicksTheSmallerAllowance) {
+  EXPECT_DOUBLE_EQ(Budget::tighter(Budget::of_seconds(2.0), Budget::of_seconds(5.0)).seconds,
+                   2.0);
+  EXPECT_DOUBLE_EQ(Budget::tighter(Budget::unlimited(), Budget::of_seconds(5.0)).seconds,
+                   5.0);
+  // NaN loses against anything, including the unlimited default.
+  EXPECT_DOUBLE_EQ(
+      Budget::tighter(Budget::of_seconds(std::nan("")), Budget::of_seconds(5.0)).seconds,
+      5.0);
+  EXPECT_FALSE(Budget::tighter(Budget::of_seconds(std::nan("")), Budget::unlimited())
+                   .limited());
+}
+
+}  // namespace
+}  // namespace archex::milp

@@ -97,9 +97,45 @@ TEST(MetricsTest, WriteJsonEmitsOneObject) {
   EXPECT_NE(json.find("\"b.count\":"), std::string::npos);
 }
 
+TEST(MetricsTest, EmptyHistogramQuantilesAreNaNEverywhere) {
+  // Regression: empty-histogram quantiles used to report 0.0, which read as
+  // "p99 was instant" in dashboards. They are NaN now, consistently across
+  // the direct call, snapshot(), the JSON export (null) and the Prometheus
+  // export (the literal NaN, valid exposition text).
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("serve.latency");
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.99)));
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("serve.latency.count"), 0.0);
+  EXPECT_TRUE(std::isnan(snap.at("serve.latency.p50")));
+  EXPECT_TRUE(std::isnan(snap.at("serve.latency.p99")));
+
+  std::ostringstream js;
+  reg.write_json(js);
+  EXPECT_NE(js.str().find("\"serve.latency.p50\":null"), std::string::npos)
+      << js.str();
+  EXPECT_NE(js.str().find("\"serve.latency.p99\":null"), std::string::npos)
+      << js.str();
+
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("archex_serve_latency_p50_seconds NaN"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("archex_serve_latency_p99_seconds NaN"),
+            std::string::npos)
+      << text;
+
+  // One sample flips every path back to finite values.
+  h.record(0.25);
+  EXPECT_TRUE(std::isfinite(h.quantile(0.5)));
+  EXPECT_TRUE(std::isfinite(reg.snapshot().at("serve.latency.p99")));
+}
+
 TEST(MetricsTest, HistogramQuantilesBracketObservations) {
   Histogram h;
-  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty: no estimate, no crash
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));  // empty: NaN, no crash
   // 1000 observations spread over [1 ms, 100 ms]; the log-bucketed estimate
   // must land within one sqrt(2) bucket of the true quantile.
   for (int i = 1; i <= 1000; ++i) h.record(1e-3 * (0.001 + 0.1 * i));

@@ -7,6 +7,7 @@
 /// millisecond-scale knapsacks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -176,6 +177,55 @@ TEST(ServeRequestTest, RejectsSchemaViolations) {
   EXPECT_FALSE(
       parse_request("{\"id\":\"a\",\"lp\":\"x\",\"deadline_ms\":-5}", &err)
           .has_value());
+}
+
+TEST(ServeRequestTest, CompiledOpSchema) {
+  std::string err;
+  // The happy path: sweep over a domain source with scenarios and a budget.
+  const auto ok = parse_request(
+      "{\"id\":\"a\",\"op\":\"sweep\",\"domain\":\"epn\",\"scale\":\"tiny\","
+      "\"sweep\":[{\"name\":\"s0\"},{\"edge_cost_scale\":1.1,"
+      "\"unavailable\":[\"GenA\"],\"rhs\":{\"row\":4},"
+      "\"cost_scale\":{\"GenA\":1.5}}],\"budget_ms\":500}",
+      &err);
+  ASSERT_TRUE(ok.has_value()) << err;
+  EXPECT_EQ(ok->op, "sweep");
+  EXPECT_EQ(ok->scale, "tiny");
+  ASSERT_EQ(ok->sweep.size(), 2u);
+  EXPECT_EQ(ok->sweep[0].name, "s0");
+  EXPECT_DOUBLE_EQ(ok->sweep[1].edge_cost_scale, 1.1);
+  EXPECT_EQ(ok->sweep[1].unavailable, std::vector<std::string>{"GenA"});
+  EXPECT_DOUBLE_EQ(ok->sweep[1].rhs.at("row"), 4.0);
+  EXPECT_DOUBLE_EQ(ok->sweep[1].cost_scale.at("GenA"), 1.5);
+  EXPECT_DOUBLE_EQ(ok->budget_ms, 500.0);
+  // to_json -> from_json round-trips the compiled-op fields too.
+  const auto back = Request::from_json(ok->to_json(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->to_json().dump(), ok->to_json().dump());
+
+  // Violations, each named: unknown op; compiled op over an LP source;
+  // compiled op with lazy; sweep without scenarios; scale outside epn;
+  // unknown scale value; negative budget.
+  EXPECT_FALSE(parse_request("{\"id\":\"a\",\"op\":\"frobnicate\",\"lp\":\"x\"}",
+                             &err).has_value());
+  EXPECT_FALSE(parse_request("{\"id\":\"a\",\"op\":\"compile\",\"lp\":\"x\"}",
+                             &err).has_value());
+  EXPECT_FALSE(parse_request(
+                   "{\"id\":\"a\",\"op\":\"compile\",\"domain\":\"epn\","
+                   "\"lazy\":true}",
+                   &err).has_value());
+  EXPECT_FALSE(parse_request(
+                   "{\"id\":\"a\",\"op\":\"sweep\",\"domain\":\"epn\"}", &err)
+                   .has_value());
+  EXPECT_FALSE(parse_request(
+                   "{\"id\":\"a\",\"domain\":\"rpl\",\"scale\":\"tiny\"}", &err)
+                   .has_value());
+  EXPECT_FALSE(parse_request(
+                   "{\"id\":\"a\",\"domain\":\"epn\",\"scale\":\"huge\"}", &err)
+                   .has_value());
+  EXPECT_FALSE(parse_request(
+                   "{\"id\":\"a\",\"domain\":\"epn\",\"budget_ms\":-1}", &err)
+                   .has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -490,6 +540,101 @@ TEST(ServeServiceTest, PrometheusExposesServeMetrics) {
         "archex_serve_queue_wait_seconds_count"}) {
     EXPECT_NE(text.find(needle), std::string::npos) << needle;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-pipeline ops (docs/pipeline.md)
+// ---------------------------------------------------------------------------
+
+Request compiled_request(std::string id, std::string op) {
+  Request r;
+  r.id = std::move(id);
+  r.op = std::move(op);
+  r.domain = "epn";
+  r.scale = "tiny";  // the k = 1 regime; solves in well under a second
+  return r;
+}
+
+TEST(ServeCompiledTest, CompileOpCachesByFingerprint) {
+  ExplorationService svc(with_workers(1));
+  const Response first = svc.run(compiled_request("c1", "compile"));
+  EXPECT_EQ(first.status, ResponseStatus::Compiled) << first.reason;
+  EXPECT_TRUE(first.ok);
+  EXPECT_EQ(first.cache, "miss");
+  EXPECT_NE(first.fingerprint, 0u);
+
+  const Response again = svc.run(compiled_request("c2", "compile"));
+  EXPECT_EQ(again.status, ResponseStatus::Compiled);
+  EXPECT_EQ(again.cache, "hit");  // same spec key -> cached artifact
+  EXPECT_EQ(again.fingerprint, first.fingerprint);
+  EXPECT_EQ(svc.metrics().counter("serve.compile.cache_hits").value(), 1);
+  EXPECT_EQ(svc.metrics().counter("serve.compile.cache_misses").value(), 1);
+
+  // A different scale is a different spec: its own fingerprint, its own miss.
+  Request small = compiled_request("c3", "compile");
+  small.scale = "small";
+  const Response other = svc.run(small);
+  EXPECT_EQ(other.status, ResponseStatus::Compiled);
+  EXPECT_EQ(other.cache, "miss");
+  EXPECT_NE(other.fingerprint, first.fingerprint);
+}
+
+TEST(ServeCompiledTest, SolveCompiledMatchesClassicExplore) {
+  ExplorationService svc(with_workers(1));
+  Request classic;
+  classic.id = "classic";
+  classic.domain = "epn";
+  classic.scale = "tiny";
+  const Response ref = svc.run(classic);
+  ASSERT_EQ(ref.status, ResponseStatus::Optimal) << ref.reason;
+
+  const Response compiled = svc.run(compiled_request("sc", "solve_compiled"));
+  ASSERT_EQ(compiled.status, ResponseStatus::Optimal) << compiled.reason;
+  EXPECT_TRUE(compiled.has_objective);
+  EXPECT_NEAR(compiled.objective, ref.objective,
+              1e-6 * std::max(1.0, std::abs(ref.objective)));
+  // A single-scenario solve reports at the top level only; per-scenario
+  // arrays (and warm/cold counts) belong to sweep responses.
+  EXPECT_TRUE(compiled.scenarios.empty());
+  // The classic explore never compiles, so this request paid the encode.
+  EXPECT_EQ(compiled.cache, "miss");
+}
+
+TEST(ServeCompiledTest, SweepWarmStartsAndReportsPerScenario) {
+  ExplorationService svc(with_workers(1));
+  Request sweep = compiled_request("sw", "sweep");
+  for (int i = 0; i < 4; ++i) {
+    ScenarioSpec sc;
+    sc.name = "s" + std::to_string(i);
+    sc.edge_cost_scale = 1.0 + 0.02 * i;
+    sweep.sweep.push_back(sc);
+  }
+  const Response r = svc.run(sweep);
+  ASSERT_EQ(r.status, ResponseStatus::Optimal) << r.reason;
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.cache, "miss");  // fresh service: this request paid the encode
+  ASSERT_EQ(r.scenarios.size(), 4u);
+  for (std::size_t i = 0; i < r.scenarios.size(); ++i) {
+    EXPECT_EQ(r.scenarios[i].status, ResponseStatus::Optimal) << i;
+    EXPECT_TRUE(r.scenarios[i].has_objective) << i;
+    EXPECT_EQ(r.scenarios[i].name, "s" + std::to_string(i));
+  }
+  EXPECT_FALSE(r.scenarios[0].warm);  // nothing to start from
+  EXPECT_EQ(r.cold_solves, 1);
+  EXPECT_EQ(r.warm_solves, 3);
+  EXPECT_EQ(svc.metrics().counter("serve.sweep.warm").value(), 3);
+  // The response's top-level objective mirrors the last scenario, so sweep
+  // lines diff cleanly against solve_compiled lines.
+  EXPECT_EQ(r.objective, r.scenarios.back().objective);
+}
+
+TEST(ServeCompiledTest, BudgetBoundsACompiledRequest) {
+  ExplorationService svc(with_workers(1));
+  Request r = compiled_request("b1", "solve_compiled");
+  r.budget_ms = 0.001;  // expires during admission: immediate anytime answer
+  const Response out = svc.run(r);
+  EXPECT_EQ(out.status, ResponseStatus::Timeout);
+  EXPECT_FALSE(out.ok);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,7 +2,10 @@
 /// Batch driver: feeds a file of NDJSON exploration requests through an
 /// ExplorationService worker pool and prints one response per line in
 /// *request order* (deterministic output for diffing), plus a summary on
-/// stderr. Exit code 0 unless any request ended in `error`.
+/// stderr. Exit code 0 unless any request ended in `error`. Lines may be
+/// classic explore requests or the compiled-pipeline ops ("compile",
+/// "solve_compiled", "sweep" — docs/pipeline.md); the service routes by
+/// "op", so mixed batches work.
 ///
 ///   archex_batch [--workers=N] [--queue=N] [--retries=N]
 ///                [--checkpoint-dir=PATH] [--backoff-ms=X] requests.ndjson
@@ -31,6 +34,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: archex_batch [--workers=N] [--queue=N] [--retries=N]\n"
                "                    [--checkpoint-dir=PATH] [--backoff-ms=X]\n"
+               "                    [--compiled-cache=N]\n"
                "                    requests.ndjson  ('-' = stdin)\n");
   return 2;
 }
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
       else if (parse_flag(arg, "retries", v)) opts.default_retries = std::stoi(v);
       else if (parse_flag(arg, "checkpoint-dir", v)) opts.checkpoint_dir = v;
       else if (parse_flag(arg, "backoff-ms", v)) opts.backoff_base_ms = std::stod(v);
+      else if (parse_flag(arg, "compiled-cache", v)) opts.compiled_cache_capacity = std::stoul(v);
       else if (arg.rfind("--", 0) == 0) return usage();
       else if (input.empty()) input = arg;
       else return usage();

@@ -10,6 +10,15 @@
 ///   {"op":"ping"}     -> {"op":"pong"}
 ///   {"op":"drain"}    -> same as SIGTERM, then exits
 ///
+/// Compiled-pipeline ops (docs/pipeline.md) parse as ordinary requests:
+///   {"op":"compile","id":...,"domain":"epn"}
+///       -> encode once, cache by content fingerprint, report "hit"/"miss"
+///   {"op":"solve_compiled","id":...,"domain":"epn","scenario":{...}}
+///       -> solve one scenario against the cached artifact
+///   {"op":"sweep","id":...,"domain":"epn","sweep":[{...},...]}
+///       -> solve a scenario family, warm-starting each solve from the
+///          previous optimal basis; per-scenario results + warm/cold counts
+///
 /// SIGTERM (or EOF after `drain`) triggers the graceful drain: queued
 /// requests get explicit `rejected`/`drained` responses, in-flight solves
 /// are preempted and checkpoint, and the final line names the resumable
@@ -54,6 +63,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: archex_serve [--workers=N] [--queue=N] [--retries=N]\n"
                "                    [--checkpoint-dir=PATH] [--backoff-ms=X]\n"
+               "                    [--compiled-cache=N]\n"
                "reads NDJSON requests on stdin, writes NDJSON responses on "
                "stdout\n");
   return 2;
@@ -78,6 +88,7 @@ int main(int argc, char** argv) {
       else if (parse_flag(arg, "retries", v)) opts.default_retries = std::stoi(v);
       else if (parse_flag(arg, "checkpoint-dir", v)) opts.checkpoint_dir = v;
       else if (parse_flag(arg, "backoff-ms", v)) opts.backoff_base_ms = std::stod(v);
+      else if (parse_flag(arg, "compiled-cache", v)) opts.compiled_cache_capacity = std::stoul(v);
       else return usage();
     } catch (const std::exception&) {
       return usage();
